@@ -1,0 +1,345 @@
+package domino
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§5) as testing.B benchmarks, reporting the figures the paper
+// reports via b.ReportMetric:
+//
+//	BenchmarkTable3AtomAreas            — Table 3 (area µm² per atom)
+//	BenchmarkTable4Algorithms           — Table 4 (stages, atoms/stage, LOC)
+//	BenchmarkTable5PerfVsProgrammability— Table 5 (delay, #algorithms, Gpps)
+//	BenchmarkTable6CircuitDepth         — Table 6 (min delay per circuit)
+//	BenchmarkCompileTime                — §5.3 compile times (incl. CoDel rejection)
+//	BenchmarkResourceProvisioning       — §5.2 chip budget
+//	BenchmarkFigure3FlowletPipeline     — Figure 3b (6-stage flowlet pipeline)
+//	BenchmarkFigure9DependencyGraph     — Figure 9 (dep graph + SCC condensation)
+//	BenchmarkMachineThroughput          — simulator packets/sec (compiled pipeline)
+//	BenchmarkInterpreterThroughput      — sequential reference, for comparison
+//	BenchmarkSynthesis                  — codelet→atom mapping per hierarchy level
+
+import (
+	"fmt"
+	"testing"
+
+	"domino/internal/algorithms"
+	"domino/internal/ast"
+	"domino/internal/atoms"
+	"domino/internal/codegen"
+	"domino/internal/hw"
+	"domino/internal/interp"
+	"domino/internal/p4gen"
+	"domino/internal/parser"
+	"domino/internal/passes"
+	"domino/internal/pvsm"
+	"domino/internal/sema"
+	"domino/internal/synth"
+	"domino/internal/workload"
+)
+
+func mustFront(b *testing.B, src string) (*sema.Info, *passes.NormResult) {
+	b.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	norm, err := passes.Normalize(info)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return info, norm
+}
+
+// BenchmarkTable3AtomAreas regenerates Table 3: the area of each atom.
+func BenchmarkTable3AtomAreas(b *testing.B) {
+	kinds := append([]atoms.Kind{atoms.Stateless}, atoms.StatefulHierarchy...)
+	for _, k := range kinds {
+		b.Run(k.String(), func(b *testing.B) {
+			var area float64
+			for i := 0; i < b.N; i++ {
+				area = hw.CircuitFor(k).Area()
+			}
+			b.ReportMetric(area, "area_um2")
+			b.ReportMetric(hw.PaperArea[k], "paper_um2")
+		})
+	}
+}
+
+// BenchmarkTable4Algorithms regenerates Table 4: compile each algorithm to
+// its least expressive target and report the pipeline statistics.
+func BenchmarkTable4Algorithms(b *testing.B) {
+	for _, a := range algorithms.All() {
+		b.Run(a.Name, func(b *testing.B) {
+			info, norm := mustFront(b, a.Source)
+			if !a.Maps {
+				pl, err := pvsm.Build(norm.IR)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(pl.NumStages()), "stages")
+				b.ReportMetric(float64(pl.MaxAtomsPerStage()), "atoms/stage")
+				b.ReportMetric(0, "maps")
+				return
+			}
+			var p *codegen.Program
+			for i := 0; i < b.N; i++ {
+				var ok bool
+				var err error
+				p, ok, err = codegen.LeastTarget(info, norm.IR)
+				if !ok {
+					b.Fatal(err)
+				}
+			}
+			if p.Target.StatefulAtom != a.LeastAtom {
+				b.Fatalf("least atom %s, want %s", p.Target.StatefulAtom, a.LeastAtom)
+			}
+			b.ReportMetric(float64(p.NumStages()), "stages")
+			b.ReportMetric(float64(p.MaxAtomsPerStage()), "atoms/stage")
+			b.ReportMetric(float64(ast.CountLOC(a.Source)), "domino_loc")
+			b.ReportMetric(float64(p4gen.LOC(p)), "p4_loc")
+			b.ReportMetric(1, "maps")
+		})
+	}
+}
+
+// BenchmarkTable5PerfVsProgrammability regenerates Table 5.
+func BenchmarkTable5PerfVsProgrammability(b *testing.B) {
+	counts := map[atoms.Kind]int{}
+	for _, a := range algorithms.All() {
+		if !a.Maps {
+			continue
+		}
+		for _, k := range atoms.StatefulHierarchy {
+			if k.Contains(a.LeastAtom) {
+				counts[k]++
+			}
+		}
+	}
+	for _, k := range atoms.StatefulHierarchy {
+		b.Run(k.String(), func(b *testing.B) {
+			var delay, rate float64
+			for i := 0; i < b.N; i++ {
+				c := hw.CircuitFor(k)
+				delay, rate = c.MinDelay(), c.MaxLineRateGpps()
+			}
+			b.ReportMetric(delay, "delay_ps")
+			b.ReportMetric(float64(counts[k]), "algorithms")
+			b.ReportMetric(rate, "Gpps")
+		})
+	}
+}
+
+// BenchmarkTable6CircuitDepth regenerates Table 6: the minimum delay of the
+// three drawn circuits.
+func BenchmarkTable6CircuitDepth(b *testing.B) {
+	for _, k := range []atoms.Kind{atoms.Write, atoms.ReadAddWrite, atoms.PRAW} {
+		b.Run(k.String(), func(b *testing.B) {
+			var d float64
+			var depth int
+			for i := 0; i < b.N; i++ {
+				c := hw.CircuitFor(k)
+				d = c.MinDelay()
+				depth = len(c.Path)
+			}
+			b.ReportMetric(d, "delay_ps")
+			b.ReportMetric(float64(depth), "path_components")
+		})
+	}
+}
+
+// BenchmarkCompileTime regenerates the §5.3 compile-time discussion: the
+// wall time to accept each algorithm (or reject CoDel on all 7 targets).
+func BenchmarkCompileTime(b *testing.B) {
+	for _, a := range algorithms.All() {
+		b.Run(a.Name, func(b *testing.B) {
+			info, norm := mustFront(b, a.Source)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				codegen.LeastTarget(info, norm.IR)
+			}
+		})
+	}
+}
+
+// BenchmarkResourceProvisioning regenerates the §5.2 chip budget.
+func BenchmarkResourceProvisioning(b *testing.B) {
+	var p hw.Provisioning
+	for i := 0; i < b.N; i++ {
+		p = hw.Provision(atoms.Pairs)
+	}
+	b.ReportMetric(float64(p.StatelessAtomsPerStage), "stateless/stage")
+	b.ReportMetric(float64(p.StatefulPerStage), "stateful/stage")
+	b.ReportMetric(p.TotalOverheadPct, "overhead_pct")
+}
+
+// BenchmarkFigure3FlowletPipeline regenerates Figure 3b: flowlet switching
+// compiled end to end.
+func BenchmarkFigure3FlowletPipeline(b *testing.B) {
+	a, _ := algorithms.ByName("flowlets")
+	var p *Program
+	for i := 0; i < b.N; i++ {
+		var err error
+		p, err = CompileLeast(a.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if p.NumStages() != 6 || p.MaxAtomsPerStage() != 2 {
+		b.Fatalf("flowlet pipeline %d/%d, want 6/2", p.NumStages(), p.MaxAtomsPerStage())
+	}
+	b.ReportMetric(float64(p.NumStages()), "stages")
+	b.ReportMetric(float64(p.MaxAtomsPerStage()), "atoms/stage")
+}
+
+// BenchmarkFigure9DependencyGraph times dependency analysis + SCC
+// condensation on the flowlet program.
+func BenchmarkFigure9DependencyGraph(b *testing.B) {
+	a, _ := algorithms.ByName("flowlets")
+	_, norm := mustFront(b, a.Source)
+	for i := 0; i < b.N; i++ {
+		g := pvsm.BuildGraph(norm.IR)
+		if len(g.SCCs()) == 0 {
+			b.Fatal("no SCCs")
+		}
+	}
+}
+
+// BenchmarkSynthesis times codelet→atom mapping per hierarchy level, the
+// operation that dominated the paper's compile times under SKETCH.
+func BenchmarkSynthesis(b *testing.B) {
+	cases := map[string]string{
+		"RAW": `
+struct Packet { int v; };
+int x;
+void t(struct Packet pkt) { x = x + pkt.v; }
+`,
+		"PRAW": `
+struct Packet { int v; };
+int x;
+void t(struct Packet pkt) { if (pkt.v < 30) { x = x + pkt.v; } }
+`,
+		"Nested": `
+struct Packet { int fresh; };
+int x;
+void t(struct Packet pkt) {
+  if (pkt.fresh == 1) { if (x < 31) { x = x + 1; } } else { x = 0; }
+}
+`,
+	}
+	for name, src := range cases {
+		b.Run(name, func(b *testing.B) {
+			_, norm := mustFront(b, src)
+			pl, err := pvsm.Build(norm.IR)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var target *pvsm.Codelet
+			for _, st := range pl.Stages {
+				for _, c := range st {
+					if c.Stateful() {
+						target = c
+					}
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := synth.MapCodelet(target, synth.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMachineThroughput measures simulated packets per second through
+// the compiled Banzai pipeline for each compiling algorithm.
+func BenchmarkMachineThroughput(b *testing.B) {
+	traces := map[string][]interp.Packet{
+		"flowlets":      workload.FlowletTrace(1, 100, 4096, 10, 50),
+		"heavy_hitters": firstOf(workload.HeavyHitterTrace(1, 1000, 4096, 1.2)),
+		"conga":         workload.CongaTrace(1, 16, 64, 4096),
+	}
+	for name, trace := range traces {
+		b.Run(name, func(b *testing.B) {
+			src, err := CatalogSource(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog, err := CompileLeast(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := prog.NewMachine()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Tick(trace[i&4095])
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
+func firstOf(tr []interp.Packet, _ map[workload.Flow]int) []interp.Packet { return tr }
+
+// BenchmarkInterpreterThroughput is the sequential reference semantics —
+// the software-router baseline the compiled pipeline is compared against.
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	src, err := CatalogSource("flowlets")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ip, err := NewInterpreter(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := workload.FlowletTrace(1, 100, 4096, 10, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ip.Run(trace[i&4095].Clone()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkP4Generation times the P4 backend (§5.1).
+func BenchmarkP4Generation(b *testing.B) {
+	src, _ := CatalogSource("flowlets")
+	prog, err := CompileLeast(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = prog.P4LOC()
+	}
+	b.ReportMetric(float64(n), "p4_loc")
+	b.ReportMetric(float64(prog.DominoLOC()), "domino_loc")
+}
+
+// BenchmarkAblationCleanupPass quantifies what the cleanup pass buys: stage
+// count with and without copy propagation/DCE (the DESIGN.md ablation).
+func BenchmarkAblationCleanupPass(b *testing.B) {
+	a, _ := algorithms.ByName("flowlets")
+	_, norm := mustFront(b, a.Source)
+	with, err := pvsm.Build(norm.IR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	without, err := pvsm.Build(norm.Raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = fmt.Sprintf("%d%d", with.NumCodelets(), without.NumCodelets())
+	}
+	b.ReportMetric(float64(with.NumCodelets()), "codelets_cleaned")
+	b.ReportMetric(float64(without.NumCodelets()), "codelets_raw")
+	b.ReportMetric(float64(with.MaxAtomsPerStage()), "atoms/stage_cleaned")
+	b.ReportMetric(float64(without.MaxAtomsPerStage()), "atoms/stage_raw")
+}

@@ -1,0 +1,231 @@
+// Command paper-eval regenerates every table and figure of the paper's
+// evaluation (§5), printing the measured values side by side with the
+// published ones.
+//
+// Usage:
+//
+//	paper-eval                 # everything
+//	paper-eval -table 4        # one table (3, 4, 5, 6, compile-time, resources)
+//	paper-eval -figure 3       # one figure (3, passes, 9)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"domino/internal/algorithms"
+	"domino/internal/ast"
+	"domino/internal/atoms"
+	"domino/internal/codegen"
+	"domino/internal/hw"
+	"domino/internal/p4gen"
+	"domino/internal/parser"
+	"domino/internal/passes"
+	"domino/internal/pvsm"
+	"domino/internal/sema"
+)
+
+func main() {
+	table := flag.String("table", "", "table to regenerate: 3, 4, 5, 6, compile-time, resources")
+	figure := flag.String("figure", "", "figure to regenerate: 3, passes, 9")
+	flag.Parse()
+
+	if *table == "" && *figure == "" {
+		table3()
+		table4()
+		table5()
+		table6()
+		compileTime()
+		resources()
+		figure3()
+		return
+	}
+	switch *table {
+	case "3":
+		table3()
+	case "4":
+		table4()
+	case "5":
+		table5()
+	case "6":
+		table6()
+	case "compile-time":
+		compileTime()
+	case "resources":
+		resources()
+	case "":
+	default:
+		fatal(fmt.Errorf("unknown table %q", *table))
+	}
+	switch *figure {
+	case "3":
+		figure3()
+	case "passes":
+		figurePasses()
+	case "9":
+		figure9()
+	case "":
+	default:
+		fatal(fmt.Errorf("unknown figure %q", *figure))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paper-eval:", err)
+	os.Exit(1)
+}
+
+// build compiles one algorithm down to IR.
+func build(a algorithms.Algorithm) (*sema.Info, *passes.NormResult) {
+	prog, err := parser.Parse(a.Source)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", a.Name, err))
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", a.Name, err))
+	}
+	norm, err := passes.Normalize(info)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", a.Name, err))
+	}
+	return info, norm
+}
+
+func table3() {
+	fmt.Println("== Table 3: atom areas in a 32 nm standard-cell library (1 GHz) ==")
+	fmt.Printf("%-14s %14s %14s %8s\n", "atom", "area µm² (ours)", "paper", "timing@1GHz")
+	kinds := append([]atoms.Kind{atoms.Stateless}, atoms.StatefulHierarchy...)
+	for _, k := range kinds {
+		c := hw.CircuitFor(k)
+		ok := "meets"
+		if !c.MeetsTiming(1.0) {
+			ok = "FAILS"
+		}
+		fmt.Printf("%-14s %14.0f %14.0f %8s\n", k, c.Area(), hw.PaperArea[k], ok)
+	}
+	fmt.Println()
+}
+
+func table4() {
+	fmt.Println("== Table 4: data-plane algorithms ==")
+	fmt.Printf("%-16s %-12s %-12s %9s %9s %11s %11s %8s\n",
+		"algorithm", "least atom", "(paper)", "stages", "(paper)", "atoms/stage", "DominoLOC", "P4LOC")
+	for _, a := range algorithms.All() {
+		info, norm := build(a)
+		dominoLOC := ast.CountLOC(a.Source)
+		if !a.Maps {
+			pl, err := pvsm.Build(norm.IR)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-16s %-12s %-12s %9d %9d %11d %11d %8s\n",
+				a.Name, "none", "none", pl.NumStages(), a.PaperStages,
+				pl.MaxAtomsPerStage(), dominoLOC, "-")
+			continue
+		}
+		p, ok, err := codegen.LeastTarget(info, norm.IR)
+		if !ok {
+			fatal(fmt.Errorf("%s: %w", a.Name, err))
+		}
+		fmt.Printf("%-16s %-12s %-12s %9d %9d %11d %11d %8d\n",
+			a.Name, p.Target.StatefulAtom, a.LeastAtom,
+			p.NumStages(), a.PaperStages, p.MaxAtomsPerStage(), dominoLOC, p4gen.LOC(p))
+	}
+	fmt.Println("(paper LOC columns: Domino 18–57, generated P4 70–271; ours measured above)")
+	fmt.Println()
+}
+
+func table5() {
+	fmt.Println("== Table 5: programmability vs. performance ==")
+	counts := map[atoms.Kind]int{}
+	for _, a := range algorithms.All() {
+		if !a.Maps {
+			continue
+		}
+		for _, k := range atoms.StatefulHierarchy {
+			if k.Contains(a.LeastAtom) {
+				counts[k]++
+			}
+		}
+	}
+	fmt.Printf("%-14s %12s %8s %15s %12s %8s\n",
+		"atom", "delay ps", "(paper)", "#algorithms", "rate Gpps", "(paper)")
+	paperRate := map[atoms.Kind]float64{
+		atoms.Write: 5.68, atoms.ReadAddWrite: 3.16, atoms.PRAW: 2.54,
+		atoms.IfElseRAW: 2.55, atoms.Sub: 2.44, atoms.Nested: 1.72, atoms.Pairs: 1.64,
+	}
+	for _, k := range atoms.StatefulHierarchy {
+		c := hw.CircuitFor(k)
+		fmt.Printf("%-14s %12.0f %8.0f %15d %12.2f %8.2f\n",
+			k, c.MinDelay(), hw.PaperDelay[k], counts[k], c.MaxLineRateGpps(), paperRate[k])
+	}
+	fmt.Println()
+}
+
+func table6() {
+	fmt.Println("== Table 6: circuits and minimum delays ==")
+	for _, k := range []atoms.Kind{atoms.Write, atoms.ReadAddWrite, atoms.PRAW} {
+		fmt.Print(hw.CircuitFor(k).Diagram())
+		fmt.Printf("  paper min delay: %.0f ps\n\n", hw.PaperDelay[k])
+	}
+}
+
+func compileTime() {
+	fmt.Println("== §5.3: compilation time ==")
+	fmt.Printf("%-16s %-12s %12s\n", "algorithm", "target", "compile time")
+	for _, a := range algorithms.All() {
+		info, norm := build(a)
+		start := time.Now()
+		p, ok, _ := codegen.LeastTarget(info, norm.IR)
+		dt := time.Since(start)
+		if ok {
+			fmt.Printf("%-16s %-12s %12s\n", a.Name, p.Target.StatefulAtom, dt.Round(time.Microsecond))
+		} else {
+			fmt.Printf("%-16s %-12s %12s (rejected on all 7 targets)\n", a.Name, "none", dt.Round(time.Microsecond))
+		}
+	}
+	fmt.Println("(paper worst case: 10 s for CoDel's rejection; our structural search replaces")
+	fmt.Println(" SKETCH's CEGIS loop, so rejections are near-instant — see EXPERIMENTS.md)")
+	fmt.Println()
+}
+
+func resources() {
+	fmt.Println("== §5.2: resource provisioning (Pairs target) ==")
+	fmt.Print(hw.Provision(atoms.Pairs))
+	fmt.Println()
+}
+
+func figure3() {
+	fmt.Println("== Figure 3b: flowlet switching compiled to a Banzai pipeline ==")
+	a, _ := algorithms.ByName("flowlets")
+	info, norm := build(a)
+	p, ok, err := codegen.LeastTarget(info, norm.IR)
+	if !ok {
+		fatal(err)
+	}
+	fmt.Print(p.Describe())
+	fmt.Println()
+}
+
+func figurePasses() {
+	fmt.Println("== Figures 5–8: compiler passes on flowlet switching ==")
+	a, _ := algorithms.ByName("flowlets")
+	_, norm := build(a)
+	fmt.Println("-- after branch removal (Figure 5) --")
+	fmt.Print(passes.Print(norm.Straight))
+	fmt.Println("-- after state flank rewriting (Figure 6) --")
+	fmt.Print(passes.Print(norm.Flanked))
+	fmt.Println("-- after SSA (Figure 7) --")
+	fmt.Print(passes.Print(norm.SSA))
+	fmt.Println("-- three-address code (Figure 8) --")
+	fmt.Print(norm.IR.String())
+}
+
+func figure9() {
+	a, _ := algorithms.ByName("flowlets")
+	_, norm := build(a)
+	fmt.Print(pvsm.Dot(norm.IR))
+}

@@ -1,0 +1,160 @@
+package domino
+
+import (
+	"strings"
+	"testing"
+)
+
+func flowletSrc(t *testing.T) string {
+	t.Helper()
+	src, err := CatalogSource("flowlets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestCompileAndRunQuickstart(t *testing.T) {
+	tgt, err := TargetFor("PRAW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(flowletSrc(t), tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.NumStages() != 6 || prog.MaxAtomsPerStage() != 2 {
+		t.Fatalf("pipeline %d stages / %d atoms, want 6 / 2", prog.NumStages(), prog.MaxAtomsPerStage())
+	}
+	m, err := prog.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Process(Packet{"sport": 10, "dport": 20, "arrival": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["next_hop"] < 0 || out["next_hop"] > 9 {
+		t.Fatalf("next_hop = %d, want in [0,10)", out["next_hop"])
+	}
+}
+
+func TestCompileLeastMatchesCatalog(t *testing.T) {
+	for _, e := range Catalog() {
+		prog, err := CompileLeast(e.Source)
+		if !e.Maps {
+			if err == nil {
+				t.Errorf("%s compiled; catalog says it does not map", e.Name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+			continue
+		}
+		if prog.Target().StatefulAtom != e.LeastAtom {
+			t.Errorf("%s least atom = %s, want %s", e.Name, prog.Target().StatefulAtom, e.LeastAtom)
+		}
+	}
+}
+
+func TestInterpreterAgreesWithMachine(t *testing.T) {
+	src := flowletSrc(t)
+	prog, err := CompileLeast(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewInterpreter(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 100; i++ {
+		in := Packet{"sport": i % 7, "dport": i % 5, "arrival": i * 9}
+		a := in.Clone()
+		if err := ref.Run(a); err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.Process(in.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a["next_hop"] != b["next_hop"] {
+			t.Fatalf("packet %d: interpreter %d vs machine %d", i, a["next_hop"], b["next_hop"])
+		}
+	}
+	if !ref.State().Equal(m.State()) {
+		t.Fatal("state diverged")
+	}
+}
+
+func TestAllOrNothingSurface(t *testing.T) {
+	tgt, _ := TargetFor("Write")
+	_, err := Compile(flowletSrc(t), tgt)
+	if err == nil {
+		t.Fatal("flowlets must not compile on a Write-atom target")
+	}
+	if !strings.Contains(err.Error(), "cannot run at line rate") {
+		t.Fatalf("error %q missing line-rate phrasing", err)
+	}
+}
+
+func TestP4Backend(t *testing.T) {
+	prog, err := CompileLeast(flowletSrc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4 := prog.P4()
+	if !strings.Contains(p4, "V1Switch") {
+		t.Error("P4 output missing V1Switch instantiation")
+	}
+	if prog.P4LOC() <= prog.DominoLOC() {
+		t.Errorf("P4 LOC %d not larger than Domino LOC %d", prog.P4LOC(), prog.DominoLOC())
+	}
+}
+
+func TestDescribeAndDot(t *testing.T) {
+	prog, err := CompileLeast(flowletSrc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.Describe(), "Stage 6:") {
+		t.Error("Describe missing stages")
+	}
+	if !strings.Contains(prog.Dot(), "digraph") {
+		t.Error("Dot output malformed")
+	}
+	if !strings.Contains(prog.ThreeAddressCode(), "saved_hop[pkt.id0]") {
+		t.Error("three-address code missing write flank")
+	}
+}
+
+func TestTargetsOrder(t *testing.T) {
+	ts := Targets()
+	if len(ts) != 7 || ts[0].Name != "Write" || ts[6].Name != "Pairs" {
+		t.Fatalf("unexpected target list: %v", ts)
+	}
+	if _, err := TargetFor("NoSuch"); err == nil {
+		t.Error("expected error for unknown target")
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	c := Catalog()
+	if len(c) != 11 {
+		t.Fatalf("catalog has %d entries, want 11 (Table 4)", len(c))
+	}
+	if _, err := CatalogSource("bogus"); err == nil {
+		t.Error("expected error for unknown catalog name")
+	}
+}
+
+func TestSyntaxErrorSurface(t *testing.T) {
+	_, err := CompileLeast("void t(struct Packet pkt) {")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+}

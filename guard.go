@@ -1,0 +1,132 @@
+package domino
+
+import (
+	"fmt"
+
+	"domino/internal/ast"
+	"domino/internal/interp"
+	"domino/internal/parser"
+)
+
+// Guard is a predicate over packet fields that triggers a transaction
+// (paper §3.3): "a predicate on packet fields that triggers the transaction
+// whenever a packet matches the guard". Guards map straightforwardly to the
+// match key of a match-action table; this implementation evaluates them in
+// front of the compiled pipeline.
+type Guard struct {
+	expr ast.Expr
+	src  string
+}
+
+// ParseGuard parses a guard predicate, e.g. "pkt.tcp_dst_port == 80".
+// Guards may reference packet fields and constants; they cannot touch
+// switch state (the match half of a match-action table is stateless).
+func ParseGuard(src string) (*Guard, error) {
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		return nil, fmt.Errorf("domino: invalid guard: %w", err)
+	}
+	var bad error
+	ast.Walk(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			bad = fmt.Errorf("domino: guard reads %q; guards may only reference packet fields and constants", x.Name)
+			return false
+		case *ast.IndexExpr:
+			bad = fmt.Errorf("domino: guard indexes state array %q; guards must be stateless", x.Name)
+			return false
+		case *ast.CallExpr:
+			bad = fmt.Errorf("domino: guard calls %q; guards must be pure field predicates", x.Fun)
+			return false
+		}
+		return true
+	})
+	if bad != nil {
+		return nil, bad
+	}
+	return &Guard{expr: e, src: src}, nil
+}
+
+// String returns the guard's source form.
+func (g *Guard) String() string { return g.src }
+
+// Match evaluates the guard against a packet. Missing fields read as zero,
+// like any unset header field.
+func (g *Guard) Match(pkt Packet) bool {
+	return evalGuard(g.expr, pkt) != 0
+}
+
+func evalGuard(e ast.Expr, pkt Packet) int32 {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Value
+	case *ast.FieldExpr:
+		return pkt[x.Field]
+	case *ast.UnaryExpr:
+		v := evalGuard(x.X, pkt)
+		r, _ := interp.EvalUnary(x.Op, v)
+		return r
+	case *ast.BinaryExpr:
+		a := evalGuard(x.X, pkt)
+		b := evalGuard(x.Y, pkt)
+		r, _ := interp.EvalBinary(x.Op, a, b)
+		return r
+	case *ast.CondExpr:
+		if evalGuard(x.Cond, pkt) != 0 {
+			return evalGuard(x.Then, pkt)
+		}
+		return evalGuard(x.Else, pkt)
+	}
+	return 0
+}
+
+// Rule pairs a guard with a compiled transaction (paper §3.4's policy
+// element). A nil guard matches every packet.
+type Rule struct {
+	Guard   *Guard
+	Program *Program
+}
+
+// Policy is an ordered list of guard→transaction rules: the §3.4 policy
+// language for disjoint guards. A packet is processed by the first rule
+// whose guard matches (first-match disambiguates overlapping guards; the
+// paper leaves richer composition semantics to future work, and so do we).
+type Policy struct {
+	rules    []Rule
+	machines []*Machine
+}
+
+// NewPolicy instantiates one machine per rule.
+func NewPolicy(rules []Rule) (*Policy, error) {
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("domino: policy needs at least one rule")
+	}
+	p := &Policy{rules: rules}
+	for i, r := range rules {
+		if r.Program == nil {
+			return nil, fmt.Errorf("domino: rule %d has no program", i)
+		}
+		m, err := r.Program.NewMachine()
+		if err != nil {
+			return nil, err
+		}
+		p.machines = append(p.machines, m)
+	}
+	return p, nil
+}
+
+// Process runs pkt through the first matching rule's pipeline. It returns
+// the processed packet and the rule index, or matched=false (packet passes
+// through unmodified) when no guard matches.
+func (p *Policy) Process(pkt Packet) (out Packet, rule int, matched bool, err error) {
+	for i, r := range p.rules {
+		if r.Guard == nil || r.Guard.Match(pkt) {
+			out, err = p.machines[i].Process(pkt)
+			return out, i, true, err
+		}
+	}
+	return pkt, -1, false, nil
+}
+
+// Machine returns the machine instantiated for rule i (for state access).
+func (p *Policy) Machine(i int) *Machine { return p.machines[i] }

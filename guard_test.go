@@ -1,0 +1,133 @@
+package domino
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGuardMatch(t *testing.T) {
+	g, err := ParseGuard("pkt.tcp_dst_port == 80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Match(Packet{"tcp_dst_port": 80}) {
+		t.Error("port 80 should match")
+	}
+	if g.Match(Packet{"tcp_dst_port": 443}) {
+		t.Error("port 443 should not match")
+	}
+	if g.Match(Packet{}) {
+		t.Error("missing field reads as zero; should not match 80")
+	}
+}
+
+func TestGuardForms(t *testing.T) {
+	cases := []struct {
+		guard string
+		pkt   Packet
+		want  bool
+	}{
+		{"pkt.a > 5 && pkt.b < 3", Packet{"a": 6, "b": 2}, true},
+		{"pkt.a > 5 && pkt.b < 3", Packet{"a": 6, "b": 9}, false},
+		{"pkt.a > 5 || pkt.b < 3", Packet{"a": 0, "b": 0}, true},
+		{"!(pkt.a == 0)", Packet{"a": 1}, true},
+		{"(pkt.proto & 255) == 6", Packet{"proto": 6}, true},
+		{"pkt.a >= 10 ? pkt.b : pkt.c", Packet{"a": 10, "b": 1}, true},
+	}
+	for _, c := range cases {
+		g, err := ParseGuard(c.guard)
+		if err != nil {
+			t.Fatalf("%q: %v", c.guard, err)
+		}
+		if got := g.Match(c.pkt); got != c.want {
+			t.Errorf("%q on %v = %v, want %v", c.guard, c.pkt, got, c.want)
+		}
+	}
+}
+
+func TestGuardRejectsState(t *testing.T) {
+	if _, err := ParseGuard("counter > 5"); err == nil || !strings.Contains(err.Error(), "packet fields") {
+		t.Errorf("state scalar in guard: err = %v", err)
+	}
+	if _, err := ParseGuard("tab[pkt.i] == 0"); err == nil || !strings.Contains(err.Error(), "stateless") {
+		t.Errorf("state array in guard: err = %v", err)
+	}
+	if _, err := ParseGuard("hash1(pkt.a) == 0"); err == nil || !strings.Contains(err.Error(), "pure") {
+		t.Errorf("intrinsic in guard: err = %v", err)
+	}
+	if _, err := ParseGuard("pkt.a +"); err == nil {
+		t.Error("syntax error in guard not reported")
+	}
+}
+
+func TestPolicyFirstMatch(t *testing.T) {
+	// Two rules: heavy-hitter detection on port-80 traffic, flowlet routing
+	// for everything else — the §3.3 example composed as a §3.4 policy.
+	hhSrc, _ := CatalogSource("heavy_hitters")
+	flSrc, _ := CatalogSource("flowlets")
+	hh, err := CompileLeast(hhSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := CompileLeast(flSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g80, err := ParseGuard("pkt.dport == 80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := NewPolicy([]Rule{
+		{Guard: g80, Program: hh},
+		{Guard: nil, Program: fl}, // catch-all
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, rule, matched, err := pol.Process(Packet{"sport": 5, "dport": 80})
+	if err != nil || !matched || rule != 0 {
+		t.Fatalf("port-80 packet: rule=%d matched=%v err=%v", rule, matched, err)
+	}
+	if _, ok := out["heavy"]; !ok {
+		t.Error("heavy-hitter rule did not run")
+	}
+
+	out, rule, matched, err = pol.Process(Packet{"sport": 5, "dport": 443, "arrival": 9})
+	if err != nil || !matched || rule != 1 {
+		t.Fatalf("non-80 packet: rule=%d matched=%v err=%v", rule, matched, err)
+	}
+	if _, ok := out["next_hop"]; !ok {
+		t.Error("flowlet rule did not run")
+	}
+}
+
+func TestPolicyNoMatchPassesThrough(t *testing.T) {
+	src, _ := CatalogSource("flowlets")
+	prog, err := CompileLeast(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := ParseGuard("pkt.dport == 80")
+	pol, err := NewPolicy([]Rule{{Guard: g, Program: prog}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Packet{"dport": 443, "sport": 9}
+	out, _, matched, err := pol.Process(in)
+	if err != nil || matched {
+		t.Fatalf("matched=%v err=%v", matched, err)
+	}
+	if out["sport"] != 9 {
+		t.Error("pass-through mangled the packet")
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	if _, err := NewPolicy(nil); err == nil {
+		t.Error("empty policy accepted")
+	}
+	if _, err := NewPolicy([]Rule{{}}); err == nil {
+		t.Error("rule without program accepted")
+	}
+}

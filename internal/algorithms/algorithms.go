@@ -1,0 +1,183 @@
+// Package algorithms contains the eleven data-plane algorithms of paper
+// Table 4, written in Domino, with the metadata the evaluation reports:
+// the least expressive atom each needs, pipeline placement, and the paper's
+// published figures for side-by-side comparison.
+//
+// Each source follows the published pseudocode of the original algorithm,
+// reformulated where necessary to fit Domino's constraints (single update
+// operand per state write, 5-bit stateful constants) — the same massaging
+// the paper's authors performed; EXPERIMENTS.md documents each choice.
+package algorithms
+
+import (
+	"fmt"
+
+	"domino/internal/atoms"
+)
+
+// Placement says which switch pipeline the algorithm runs in (Table 4's
+// "Ingress or Egress Pipeline?" column).
+type Placement string
+
+// Placements from Table 4.
+const (
+	Ingress Placement = "Ingress"
+	Egress  Placement = "Egress"
+	Either  Placement = "Either"
+)
+
+// Algorithm is one Table 4 row.
+type Algorithm struct {
+	// Name is the registry key (lower_snake).
+	Name string
+	// Title is the display name used in the paper.
+	Title string
+	// Description is Table 4's summary of what the algorithm does per packet.
+	Description string
+	// Source is the Domino program.
+	Source string
+	// Maps is false for algorithms that cannot run at line rate on any
+	// default target (CoDel).
+	Maps bool
+	// LeastAtom is the least expressive stateful atom that runs the
+	// algorithm at line rate (valid when Maps).
+	LeastAtom atoms.Kind
+	// Place is the pipeline placement.
+	Place Placement
+	// Paper's published figures (Table 4) for comparison reports.
+	PaperStages, PaperMaxAtoms, PaperDominoLOC, PaperP4LOC int
+}
+
+// All returns the Table 4 algorithms in the paper's row order.
+func All() []Algorithm {
+	return []Algorithm{
+		{
+			Name:        "bloom_filter",
+			Title:       "Bloom filter",
+			Description: "Set membership bit on every packet (3 hash functions)",
+			Source:      BloomFilter,
+			Maps:        true,
+			LeastAtom:   atoms.Write,
+			Place:       Either,
+			PaperStages: 4, PaperMaxAtoms: 3, PaperDominoLOC: 29, PaperP4LOC: 104,
+		},
+		{
+			Name:        "heavy_hitters",
+			Title:       "Heavy Hitters",
+			Description: "Increment Count-Min Sketch on every packet (3 hash functions)",
+			Source:      HeavyHitters,
+			Maps:        true,
+			LeastAtom:   atoms.ReadAddWrite,
+			Place:       Either,
+			PaperStages: 10, PaperMaxAtoms: 9, PaperDominoLOC: 35, PaperP4LOC: 192,
+		},
+		{
+			Name:        "flowlets",
+			Title:       "Flowlets",
+			Description: "Update saved next hop if flowlet threshold is exceeded",
+			Source:      Flowlets,
+			Maps:        true,
+			LeastAtom:   atoms.PRAW,
+			Place:       Ingress,
+			PaperStages: 6, PaperMaxAtoms: 2, PaperDominoLOC: 37, PaperP4LOC: 107,
+		},
+		{
+			Name:        "rcp",
+			Title:       "RCP",
+			Description: "Accumulate RTT sum if RTT is under maximum allowable RTT",
+			Source:      RCP,
+			Maps:        true,
+			LeastAtom:   atoms.PRAW,
+			Place:       Egress,
+			PaperStages: 3, PaperMaxAtoms: 3, PaperDominoLOC: 23, PaperP4LOC: 75,
+		},
+		{
+			Name:        "sampled_netflow",
+			Title:       "Sampled NetFlow",
+			Description: "Sample a packet if packet count reaches N; reset count to 0 when it reaches N",
+			Source:      SampledNetFlow,
+			Maps:        true,
+			LeastAtom:   atoms.IfElseRAW,
+			Place:       Either,
+			PaperStages: 4, PaperMaxAtoms: 2, PaperDominoLOC: 18, PaperP4LOC: 70,
+		},
+		{
+			Name:        "hull",
+			Title:       "HULL",
+			Description: "Update counter for virtual queue",
+			Source:      HULL,
+			Maps:        true,
+			LeastAtom:   atoms.Sub,
+			Place:       Egress,
+			PaperStages: 7, PaperMaxAtoms: 1, PaperDominoLOC: 26, PaperP4LOC: 95,
+		},
+		{
+			Name:        "avq",
+			Title:       "Adaptive Virtual Queue",
+			Description: "Update virtual queue size and virtual capacity",
+			Source:      AVQ,
+			Maps:        true,
+			LeastAtom:   atoms.Nested,
+			Place:       Ingress,
+			PaperStages: 7, PaperMaxAtoms: 3, PaperDominoLOC: 36, PaperP4LOC: 147,
+		},
+		{
+			Name:        "stfq_wfq",
+			Title:       "Priorities for weighted fair queueing",
+			Description: "Compute packet's virtual start time using finish time of last packet in that flow",
+			Source:      STFQ,
+			Maps:        true,
+			LeastAtom:   atoms.Nested,
+			Place:       Ingress,
+			PaperStages: 4, PaperMaxAtoms: 2, PaperDominoLOC: 29, PaperP4LOC: 87,
+		},
+		{
+			Name:        "dns_ttl",
+			Title:       "DNS TTL change tracking",
+			Description: "Track number of changes in announced TTL for each domain",
+			Source:      DNSTTL,
+			Maps:        true,
+			LeastAtom:   atoms.Nested,
+			Place:       Ingress,
+			PaperStages: 6, PaperMaxAtoms: 3, PaperDominoLOC: 27, PaperP4LOC: 119,
+		},
+		{
+			Name:        "conga",
+			Title:       "CONGA",
+			Description: "Update best path's utilization/id if we see a better path; update best path utilization alone if it changes",
+			Source:      CONGA,
+			Maps:        true,
+			LeastAtom:   atoms.Pairs,
+			Place:       Ingress,
+			PaperStages: 4, PaperMaxAtoms: 2, PaperDominoLOC: 32, PaperP4LOC: 89,
+		},
+		{
+			Name:        "codel",
+			Title:       "CoDel",
+			Description: "Update marking state, time for next mark, number of marks, and time at which min queueing delay will exceed target",
+			Source:      CoDel,
+			Maps:        false,
+			Place:       Egress,
+			PaperStages: 15, PaperMaxAtoms: 3, PaperDominoLOC: 57, PaperP4LOC: 271,
+		},
+	}
+}
+
+// ByName returns the named algorithm.
+func ByName(name string) (Algorithm, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return Algorithm{}, fmt.Errorf("algorithms: unknown algorithm %q", name)
+}
+
+// Names lists the registry keys in Table 4 order.
+func Names() []string {
+	var ns []string
+	for _, a := range All() {
+		ns = append(ns, a.Name)
+	}
+	return ns
+}

@@ -1,0 +1,179 @@
+package algorithms
+
+import (
+	"strings"
+	"testing"
+
+	"domino/internal/ast"
+	"domino/internal/atoms"
+	"domino/internal/codegen"
+	"domino/internal/ir"
+	"domino/internal/parser"
+	"domino/internal/passes"
+	"domino/internal/sema"
+)
+
+func build(t *testing.T, a Algorithm) (*sema.Info, *ir.Program) {
+	t.Helper()
+	prog, err := parser.Parse(a.Source)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", a.Name, err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("%s: sema: %v", a.Name, err)
+	}
+	res, err := passes.Normalize(info)
+	if err != nil {
+		t.Fatalf("%s: normalize: %v", a.Name, err)
+	}
+	return info, res.IR
+}
+
+// TestLeastAtomMatchesTable4 is the headline reproduction: the least
+// expressive atom for every algorithm must equal the paper's Table 4
+// column, and CoDel must map to nothing.
+func TestLeastAtomMatchesTable4(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			info, irp := build(t, a)
+			p, ok, err := codegen.LeastTarget(info, irp)
+			if !a.Maps {
+				if ok {
+					t.Fatalf("%s compiled to target %s; the paper reports it does not map", a.Name, p.Target)
+				}
+				return
+			}
+			if !ok {
+				t.Fatalf("%s did not compile on any target: %v", a.Name, err)
+			}
+			if p.Target.StatefulAtom != a.LeastAtom {
+				t.Fatalf("%s least atom = %s, want %s (Table 4)\n%s",
+					a.Name, p.Target.StatefulAtom, a.LeastAtom, p.Describe())
+			}
+		})
+	}
+}
+
+// TestContainmentHierarchy: an algorithm compiling at level k must compile
+// at every level above k and fail at every level below (Table 4's
+// structure).
+func TestContainmentHierarchy(t *testing.T) {
+	for _, a := range All() {
+		if !a.Maps {
+			continue
+		}
+		info, irp := build(t, a)
+		for _, tg := range codegen.Targets() {
+			_, err := codegen.Compile(info, irp, tg)
+			shouldCompile := tg.StatefulAtom.Contains(a.LeastAtom)
+			if shouldCompile && err != nil {
+				t.Errorf("%s on %s: unexpected rejection: %v", a.Name, tg.Name, err)
+			}
+			if !shouldCompile && err == nil {
+				t.Errorf("%s on %s: compiled below its least atom", a.Name, tg.Name)
+			}
+		}
+	}
+}
+
+// TestProgrammabilityCounts reproduces Table 5's programmability column:
+// the number of Table 4 algorithms each target supports.
+func TestProgrammabilityCounts(t *testing.T) {
+	want := map[atoms.Kind]int{
+		atoms.Write:        1,
+		atoms.ReadAddWrite: 2,
+		atoms.PRAW:         4,
+		atoms.IfElseRAW:    5,
+		atoms.Sub:          6,
+		atoms.Nested:       9,
+		atoms.Pairs:        10,
+	}
+	got := map[atoms.Kind]int{}
+	for _, a := range All() {
+		if !a.Maps {
+			continue
+		}
+		for _, k := range atoms.StatefulHierarchy {
+			if k.Contains(a.LeastAtom) {
+				got[k]++
+			}
+		}
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("target %s supports %d algorithms, want %d (Table 5)", k, got[k], w)
+		}
+	}
+}
+
+// TestCoDelRejectionMentionsSqrt: the paper attributes CoDel's failure to
+// the square root its control law needs (§5.3).
+func TestCoDelRejectionMentionsSqrt(t *testing.T) {
+	a, err := ByName("codel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, irp := build(t, a)
+	_, _, lastErr := codegen.LeastTarget(info, irp)
+	if lastErr == nil {
+		t.Fatal("expected rejection")
+	}
+	if !strings.Contains(lastErr.Error(), "sqrt") {
+		t.Fatalf("rejection %q does not mention sqrt", lastErr)
+	}
+}
+
+// TestDominoLOCWithinPaperBallpark: our sources should have the same order
+// of conciseness as the paper's (they quote 18–57 lines).
+func TestDominoLOCWithinPaperBallpark(t *testing.T) {
+	for _, a := range All() {
+		loc := ast.CountLOC(a.Source)
+		if loc < 8 || loc > 80 {
+			t.Errorf("%s: %d LOC, outside the plausible Domino range", a.Name, loc)
+		}
+	}
+}
+
+// TestPipelinesFitDefaultResources: every algorithm (including CoDel, whose
+// codelet pipeline still builds) fits 32 stages and 10 stateful atoms per
+// stage.
+func TestPipelinesFitDefaultResources(t *testing.T) {
+	for _, a := range All() {
+		if !a.Maps {
+			continue
+		}
+		info, irp := build(t, a)
+		p, ok, err := codegen.LeastTarget(info, irp)
+		if !ok {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if p.NumStages() > 32 {
+			t.Errorf("%s needs %d stages > 32", a.Name, p.NumStages())
+		}
+		if info == nil {
+			t.Fatal("nil info")
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if len(Names()) != 11 {
+		t.Fatalf("Names() = %d entries, want 11 (Table 4)", len(Names()))
+	}
+	if _, err := ByName("flowlets"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Error("expected error for unknown algorithm")
+	}
+}
+
+func TestFlowletsIsPaperFigure3a(t *testing.T) {
+	a, _ := ByName("flowlets")
+	for _, want := range []string{"NUM_FLOWLETS 8000", "THRESHOLD 5", "hash3", "saved_hop[pkt.id] = pkt.new_hop"} {
+		if !strings.Contains(a.Source, want) {
+			t.Errorf("flowlets source missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,498 @@
+package algorithms
+
+// BloomFilter sets a membership bit in three hashed filters and reports
+// whether the packet's flow was already a member (Broder & Mitzenmacher).
+const BloomFilter = `
+// Bloom filter with 3 hash functions (paper Table 4, row 1).
+#define NUM_BITS 1024
+
+struct Packet {
+  int sport;
+  int dport;
+  int h1;
+  int h2;
+  int h3;
+  int b1;
+  int b2;
+  int b3;
+  int member;
+};
+
+int filter1[NUM_BITS] = {0};
+int filter2[NUM_BITS] = {0};
+int filter3[NUM_BITS] = {0};
+
+void bloom(struct Packet pkt) {
+  pkt.h1 = hash3(pkt.sport, pkt.dport, 1) % NUM_BITS;
+  pkt.h2 = hash3(pkt.sport, pkt.dport, 2) % NUM_BITS;
+  pkt.h3 = hash3(pkt.sport, pkt.dport, 3) % NUM_BITS;
+  pkt.b1 = filter1[pkt.h1];
+  pkt.b2 = filter2[pkt.h2];
+  pkt.b3 = filter3[pkt.h3];
+  filter1[pkt.h1] = 1;
+  filter2[pkt.h2] = 1;
+  filter3[pkt.h3] = 1;
+  pkt.member = (pkt.b1 & pkt.b2) & pkt.b3;
+}
+`
+
+// HeavyHitters increments a 3-row Count-Min Sketch (Cormode &
+// Muthukrishnan) and flags flows whose estimate crosses the threshold.
+const HeavyHitters = `
+// Heavy-hitter detection with a Count-Min Sketch, 3 hash functions.
+#define SKETCH_SIZE 4096
+#define HH_THRESHOLD 25
+
+struct Packet {
+  int sport;
+  int dport;
+  int h1;
+  int h2;
+  int h3;
+  int c1;
+  int c2;
+  int c3;
+  int m12;
+  int est;
+  int heavy;
+};
+
+int cms1[SKETCH_SIZE] = {0};
+int cms2[SKETCH_SIZE] = {0};
+int cms3[SKETCH_SIZE] = {0};
+
+void heavy_hitters(struct Packet pkt) {
+  pkt.h1 = hash3(pkt.sport, pkt.dport, 1) % SKETCH_SIZE;
+  pkt.h2 = hash3(pkt.sport, pkt.dport, 2) % SKETCH_SIZE;
+  pkt.h3 = hash3(pkt.sport, pkt.dport, 3) % SKETCH_SIZE;
+  cms1[pkt.h1] = cms1[pkt.h1] + 1;
+  cms2[pkt.h2] = cms2[pkt.h2] + 1;
+  cms3[pkt.h3] = cms3[pkt.h3] + 1;
+  pkt.c1 = cms1[pkt.h1];
+  pkt.c2 = cms2[pkt.h2];
+  pkt.c3 = cms3[pkt.h3];
+  pkt.m12 = pkt.c1 < pkt.c2 ? pkt.c1 : pkt.c2;
+  pkt.est = pkt.m12 < pkt.c3 ? pkt.m12 : pkt.c3;
+  pkt.heavy = pkt.est > HH_THRESHOLD;
+}
+`
+
+// Flowlets is the paper's running example (Figure 3a), verbatim.
+const Flowlets = `
+#define NUM_FLOWLETS 8000
+#define THRESHOLD 5
+#define NUM_HOPS 10
+
+struct Packet {
+  int sport;
+  int dport;
+  int new_hop;
+  int arrival;
+  int next_hop;
+  int id; // array index
+};
+
+int last_time[NUM_FLOWLETS] = {0};
+int saved_hop[NUM_FLOWLETS] = {0};
+
+void flowlet(struct Packet pkt) {
+  pkt.new_hop = hash3(pkt.sport,
+                      pkt.dport,
+                      pkt.arrival)
+                % NUM_HOPS;
+
+  pkt.id  = hash2(pkt.sport,
+                  pkt.dport)
+            % NUM_FLOWLETS;
+
+  if (pkt.arrival - last_time[pkt.id]
+      > THRESHOLD)
+  { saved_hop[pkt.id] = pkt.new_hop; }
+
+  last_time[pkt.id] = pkt.arrival;
+  pkt.next_hop = saved_hop[pkt.id];
+}
+`
+
+// RCP accumulates the feedback state the Rate Control Protocol's control
+// loop reads out periodically (Tai, Zhu & Dukkipati).
+const RCP = `
+// RCP: accumulate input traffic and RTT sums for the periodic rate update.
+#define MAX_ALLOWABLE_RTT 30
+
+struct Packet {
+  int size_bytes;
+  int rtt;
+};
+
+int input_traffic_bytes = 0;
+int sum_rtt = 0;
+int num_pkts_with_rtt = 0;
+
+void rcp(struct Packet pkt) {
+  input_traffic_bytes = input_traffic_bytes + pkt.size_bytes;
+  if (pkt.rtt < MAX_ALLOWABLE_RTT) {
+    sum_rtt = sum_rtt + pkt.rtt;
+    num_pkts_with_rtt = num_pkts_with_rtt + 1;
+  }
+}
+`
+
+// SampledNetFlow samples every Nth packet, resetting the counter at N
+// (Cisco Sampled NetFlow).
+const SampledNetFlow = `
+// Sampled NetFlow: 1-in-N packet sampling.
+#define SAMPLE_N_MINUS_1 29
+
+struct Packet {
+  int sample;
+};
+
+int count = 0;
+
+void netflow_sample(struct Packet pkt) {
+  if (count == SAMPLE_N_MINUS_1) {
+    count = 0;
+    pkt.sample = 1;
+  } else {
+    count = count + 1;
+    pkt.sample = 0;
+  }
+}
+`
+
+// HULL maintains a phantom (virtual) queue that drains slower than the
+// physical link and marks packets when it builds up (Alizadeh et al.).
+const HULL = `
+// HULL: phantom queue occupancy, drained at a fraction of line rate.
+#define DRAIN_SHIFT 2
+#define MARK_THRESH 3000
+
+struct Packet {
+  int size_bytes;
+  int arrival;
+  int last;
+  int elapsed;
+  int drained;
+  int net;
+  int q;
+  int mark;
+};
+
+int last_update = 0;
+int vq = 0;
+
+void hull(struct Packet pkt) {
+  pkt.last = last_update;
+  last_update = pkt.arrival;
+  pkt.elapsed = pkt.arrival - pkt.last;
+  pkt.drained = pkt.elapsed << DRAIN_SHIFT;
+  pkt.net = pkt.drained - pkt.size_bytes;
+  if (vq < pkt.drained) {
+    vq = pkt.size_bytes;  // queue emptied during the gap; restart at this packet
+  } else {
+    vq = vq - pkt.net;    // drain, then add this packet's bytes
+  }
+  pkt.q = vq;
+  pkt.mark = pkt.q > MARK_THRESH;
+}
+`
+
+// AVQ adapts a virtual queue's capacity to keep utilization at the target
+// (Kunniyur & Srikant), discretized to one capacity step per packet.
+const AVQ = `
+// Adaptive Virtual Queue: virtual queue size + adaptive virtual capacity.
+#define TARGET_QLEN 20
+#define MIN_CAP 1
+#define MAX_CAP 30
+#define BURST_CAP 31
+
+struct Packet {
+  int size_bytes;
+  int qlen;
+  int vcap_now;
+  int net;
+  int vq_now;
+  int mark;
+};
+
+int vcap = 15;
+int vq = 0;
+
+void avq(struct Packet pkt) {
+  // Virtual capacity adapts: shrink under congestion, grow when idle.
+  if (pkt.qlen > TARGET_QLEN) {
+    if (vcap > MIN_CAP) { vcap = vcap - 1; }
+  } else {
+    if (vcap < MAX_CAP) { vcap = vcap + 1; }
+  }
+  pkt.vcap_now = vcap;
+
+  // Virtual queue drains at the (current) virtual capacity per packet slot.
+  pkt.net = pkt.vcap_now - pkt.size_bytes;
+  if (vq < pkt.vcap_now) {
+    if (pkt.size_bytes < BURST_CAP) {
+      vq = pkt.size_bytes;
+    } else {
+      vq = BURST_CAP;
+    }
+  } else {
+    vq = vq - pkt.net;
+  }
+  pkt.vq_now = vq;
+  pkt.mark = pkt.vq_now > TARGET_QLEN;
+}
+`
+
+// STFQ computes start-time fair queueing virtual start times, the priority
+// computation for WFQ under the PIFO abstraction (Sivaraman et al.).
+const STFQ = `
+// Start-time fair queueing: per-flow virtual start time.
+#define N_FLOWS 256
+
+struct Packet {
+  int flow;
+  int len;
+  int round;
+  int idx;
+  int rpl;
+  int start;
+};
+
+int last_finish[N_FLOWS] = {0};
+
+void stfq(struct Packet pkt) {
+  pkt.idx = hash1(pkt.flow) % N_FLOWS;
+  pkt.rpl = pkt.round + pkt.len;
+  if (last_finish[pkt.idx] == 0) {
+    // First packet of the flow: start at the current round.
+    pkt.start = pkt.round;
+    last_finish[pkt.idx] = pkt.rpl;
+  } else if (last_finish[pkt.idx] > pkt.round) {
+    // Flow is backlogged: start when the previous packet finishes.
+    pkt.start = last_finish[pkt.idx];
+    last_finish[pkt.idx] = last_finish[pkt.idx] + pkt.len;
+  } else {
+    // Flow went idle: restart at the current round.
+    pkt.start = pkt.round;
+    last_finish[pkt.idx] = pkt.rpl;
+  }
+}
+`
+
+// DNSTTL tracks, per domain, how many times the announced TTL changed —
+// the EXPOSURE feature for detecting malicious domains (Bilge et al.).
+const DNSTTL = `
+// DNS TTL change tracking with a saturating per-domain change counter.
+#define N_DOMAINS 1024
+#define MAX_CHANGES 31
+
+struct Packet {
+  int domain;
+  int ttl;
+  int idx;
+  int old_ttl;
+  int changed;
+  int num_changes;
+};
+
+int last_ttl[N_DOMAINS] = {0};
+int ttl_change_count[N_DOMAINS] = {0};
+
+void dns_ttl_track(struct Packet pkt) {
+  pkt.idx = hash1(pkt.domain) % N_DOMAINS;
+  pkt.old_ttl = last_ttl[pkt.idx];
+  last_ttl[pkt.idx] = pkt.ttl;
+  pkt.changed = (pkt.old_ttl != pkt.ttl) && (pkt.old_ttl != 0);
+  if (pkt.changed) {
+    if (ttl_change_count[pkt.idx] < MAX_CHANGES) {
+      ttl_change_count[pkt.idx] = ttl_change_count[pkt.idx] + 1;
+    }
+  }
+  pkt.num_changes = ttl_change_count[pkt.idx];
+}
+`
+
+// CONGA tracks the best (least utilized) path per destination leaf
+// (Alizadeh et al.); the paper reproduces this snippet in §5.3.
+const CONGA = `
+// CONGA: leaf-to-leaf utilization-aware path choice.
+#define N_DSTS 64
+
+struct Packet {
+  int util;
+  int path_id;
+  int src;
+  int idx;
+  int best;
+};
+
+int best_path_util[N_DSTS] = {0};
+int best_path[N_DSTS] = {0};
+
+void conga(struct Packet pkt) {
+  pkt.idx = pkt.src % N_DSTS;
+  if (pkt.util < best_path_util[pkt.idx]) {
+    best_path_util[pkt.idx] = pkt.util;
+    best_path[pkt.idx] = pkt.path_id;
+  } else if (pkt.path_id == best_path[pkt.idx]) {
+    best_path_util[pkt.idx] = pkt.util;
+  }
+  pkt.best = best_path[pkt.idx];
+}
+`
+
+// CoDel is the controlled-delay AQM (Nichols & Jacobson). Its control law
+// sets the next drop time to interval/sqrt(drop_count); no Banzai target
+// provides a square root, so the program is rejected by every compiler
+// target (paper §5.3) — the all-or-nothing model at work.
+// CoDelLUT is a decoupled CoDel variant for the lookup-table extension
+// (paper §5.3 future work). Full CoDel has a second obstacle beyond sqrt:
+// the drop decision reads drop_next, feeds drop_count, and drop_count's
+// sqrt feeds drop_next back — a cycle through two state variables and an
+// intrinsic that no atom (and no lookup table) can close in one stage.
+// This variant arms the counter on ok_to_drop instead of the final drop
+// verdict, breaking the cycle while keeping the control law's shape; with
+// a LUT-equipped target it compiles, where stock CoDel cannot.
+const CoDelLUT = `
+// CoDel (decoupled variant): compiles on targets with lookup tables.
+#define TARGET 5
+#define INTERVAL 100
+
+struct Packet {
+  int now;
+  int sojourn;
+  int above;
+  int deadline;
+  int was_dropping;
+  int fat_now;
+  int armed;
+  int next_due;
+  int count_now;
+  int backoff;
+  int interval_scaled;
+  int next_candidate;
+  int drop;
+  int ok_to_drop;
+};
+
+int dropping = 0;
+int drop_next = 0;
+int drop_count = 0;
+int first_above_time = 0;
+
+void codel_lut(struct Packet pkt) {
+  pkt.above = pkt.sojourn > TARGET;
+  pkt.deadline = pkt.now + INTERVAL;
+
+  if (pkt.above == 0) {
+    first_above_time = 0;
+  } else {
+    if (first_above_time == 0) {
+      first_above_time = pkt.deadline;
+    }
+  }
+  pkt.fat_now = first_above_time;
+  pkt.ok_to_drop = pkt.above && (pkt.fat_now != 0) &&
+                   (pkt.now - pkt.fat_now > 0);
+
+  pkt.was_dropping = dropping;
+  if (pkt.above == 0) {
+    dropping = 0;
+  } else {
+    if (pkt.ok_to_drop == 1) {
+      dropping = 1;
+    }
+  }
+
+  // Arm the counter on the dropping condition (not the final verdict):
+  // this decouples drop_count from drop_next.
+  pkt.armed = pkt.was_dropping && pkt.ok_to_drop;
+  if (pkt.armed == 1) {
+    drop_count = drop_count + 1;
+  }
+  pkt.count_now = drop_count;
+
+  // Control law on the lookup-table unit.
+  pkt.backoff = sqrt(pkt.count_now);
+  pkt.interval_scaled = INTERVAL / pkt.backoff;
+  pkt.next_candidate = pkt.now + pkt.interval_scaled;
+
+  // Drop and re-schedule when the dropping clock expires.
+  pkt.next_due = drop_next;
+  pkt.drop = pkt.was_dropping && (pkt.next_due < pkt.now);
+  if (pkt.drop == 1) {
+    drop_next = pkt.next_candidate;
+  }
+}
+`
+
+const CoDel = `
+// CoDel: controlled delay active queue management.
+#define TARGET 5
+#define INTERVAL 100
+
+struct Packet {
+  int now;
+  int sojourn;
+  int above;
+  int deadline;
+  int was_dropping;
+  int fat_now;
+  int next_due;
+  int count_now;
+  int backoff;
+  int interval_scaled;
+  int next_candidate;
+  int drop;
+  int ok_to_drop;
+};
+
+int dropping = 0;
+int drop_next = 0;
+int drop_count = 0;
+int first_above_time = 0;
+
+void codel(struct Packet pkt) {
+  pkt.above = pkt.sojourn > TARGET;
+  pkt.deadline = pkt.now + INTERVAL;
+
+  // Track when the sojourn time first rose above target.
+  if (pkt.above == 0) {
+    first_above_time = 0;
+  } else {
+    if (first_above_time == 0) {
+      first_above_time = pkt.deadline;
+    }
+  }
+  pkt.fat_now = first_above_time;
+  pkt.ok_to_drop = pkt.above && (pkt.fat_now != 0) &&
+                   (pkt.now - pkt.fat_now > 0);
+
+  // Enter or leave the dropping state.
+  pkt.was_dropping = dropping;
+  if (pkt.above == 0) {
+    dropping = 0;
+  } else {
+    if (pkt.ok_to_drop == 1) {
+      dropping = 1;
+    }
+  }
+
+  // Drop when the dropping state's clock expires.
+  pkt.next_due = drop_next;
+  pkt.drop = pkt.was_dropping && (pkt.now - pkt.next_due > 0);
+  if (pkt.drop == 1) {
+    drop_count = drop_count + 1;
+  }
+  pkt.count_now = drop_count;
+
+  // The CoDel control law: next drop at now + interval / sqrt(count).
+  pkt.backoff = sqrt(pkt.count_now);
+  pkt.interval_scaled = INTERVAL / pkt.backoff;
+  pkt.next_candidate = pkt.now + pkt.interval_scaled;
+  if (pkt.drop == 1) {
+    drop_next = pkt.next_candidate;
+  }
+}
+`

@@ -1,0 +1,456 @@
+// Package ast declares the abstract syntax tree of the Domino language.
+//
+// A Domino program (paper §3.1, Figure 3a) consists of #define constants, a
+// packet struct declaration listing the header fields the transaction may
+// touch, global state variables (scalars or arrays) that persist across
+// packets, and exactly one packet-transaction function.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"domino/internal/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+	String() string
+}
+
+// ---------------------------------------------------------------------------
+// Top-level declarations
+
+// Program is a parsed Domino source file.
+type Program struct {
+	Defines []*Define
+	Structs []*StructDecl
+	Globals []*GlobalVar
+	Func    *FuncDecl
+
+	// Source is the raw program text, retained for lines-of-code accounting
+	// (paper Table 4 compares Domino LOC against generated P4 LOC).
+	Source string
+}
+
+// Pos returns the position of the first declaration.
+func (p *Program) Pos() token.Pos {
+	switch {
+	case len(p.Defines) > 0:
+		return p.Defines[0].Position
+	case len(p.Structs) > 0:
+		return p.Structs[0].Position
+	case p.Func != nil:
+		return p.Func.Position
+	}
+	return token.Pos{}
+}
+
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, d := range p.Defines {
+		fmt.Fprintf(&b, "%s\n", d)
+	}
+	for _, s := range p.Structs {
+		fmt.Fprintf(&b, "%s\n", s)
+	}
+	for _, g := range p.Globals {
+		fmt.Fprintf(&b, "%s\n", g)
+	}
+	if p.Func != nil {
+		b.WriteString(p.Func.String())
+	}
+	return b.String()
+}
+
+// LOC returns the number of non-blank, non-comment-only source lines, the
+// counting convention used for Table 4.
+func (p *Program) LOC() int { return CountLOC(p.Source) }
+
+// CountLOC counts non-blank, non-comment-only lines of a C-like source text.
+func CountLOC(src string) int {
+	n := 0
+	inBlock := false
+	for _, line := range strings.Split(src, "\n") {
+		s := strings.TrimSpace(line)
+		if inBlock {
+			if i := strings.Index(s, "*/"); i >= 0 {
+				inBlock = false
+				s = strings.TrimSpace(s[i+2:])
+			} else {
+				continue
+			}
+		}
+		if i := strings.Index(s, "//"); i >= 0 {
+			s = strings.TrimSpace(s[:i])
+		}
+		if i := strings.Index(s, "/*"); i >= 0 {
+			rest := s[i+2:]
+			if j := strings.Index(rest, "*/"); j >= 0 {
+				s = strings.TrimSpace(s[:i] + rest[j+2:])
+			} else {
+				inBlock = true
+				s = strings.TrimSpace(s[:i])
+			}
+		}
+		if s != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Define is an object-like macro: #define NAME value.
+type Define struct {
+	Name     string
+	Value    int32
+	Position token.Pos
+}
+
+func (d *Define) Pos() token.Pos { return d.Position }
+func (d *Define) String() string { return fmt.Sprintf("#define %s %d", d.Name, d.Value) }
+
+// StructDecl declares the packet struct: the set of header and metadata
+// fields visible to the transaction.
+type StructDecl struct {
+	Name     string
+	Fields   []string
+	Position token.Pos
+}
+
+func (s *StructDecl) Pos() token.Pos { return s.Position }
+func (s *StructDecl) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "struct %s {\n", s.Name)
+	for _, f := range s.Fields {
+		fmt.Fprintf(&b, "  int %s;\n", f)
+	}
+	b.WriteString("};")
+	return b.String()
+}
+
+// GlobalVar declares persistent switch state: a scalar (Size == 0) or an
+// array (Size > 0) of 32-bit integers, zero-initialized unless Init is set.
+type GlobalVar struct {
+	Name     string
+	Size     int // 0 for scalars, element count for arrays
+	Init     int32
+	Position token.Pos
+}
+
+func (g *GlobalVar) Pos() token.Pos { return g.Position }
+func (g *GlobalVar) IsArray() bool  { return g.Size > 0 }
+func (g *GlobalVar) String() string {
+	if g.IsArray() {
+		return fmt.Sprintf("int %s[%d] = {%d};", g.Name, g.Size, g.Init)
+	}
+	return fmt.Sprintf("int %s = %d;", g.Name, g.Init)
+}
+
+// FuncDecl is the packet-transaction function:
+//
+//	void name(struct Packet pkt) { ... }
+type FuncDecl struct {
+	Name      string
+	ParamType string // struct type name, e.g. "Packet"
+	ParamName string // e.g. "pkt"
+	Body      *BlockStmt
+	Position  token.Pos
+}
+
+func (f *FuncDecl) Pos() token.Pos { return f.Position }
+func (f *FuncDecl) String() string {
+	return fmt.Sprintf("void %s(struct %s %s) %s", f.Name, f.ParamType, f.ParamName, f.Body)
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is a { ... } statement list.
+type BlockStmt struct {
+	List     []Stmt
+	Position token.Pos
+}
+
+func (s *BlockStmt) Pos() token.Pos { return s.Position }
+func (s *BlockStmt) stmtNode()      {}
+func (s *BlockStmt) String() string {
+	var b strings.Builder
+	b.WriteString("{\n")
+	for _, st := range s.List {
+		for _, line := range strings.Split(st.String(), "\n") {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// AssignStmt is "lhs = rhs;". Compound assignments (+=) and increments (++)
+// are desugared by the parser, so Op is always plain assignment here and the
+// desugared reads appear in RHS.
+type AssignStmt struct {
+	LHS      Expr // *FieldExpr, *Ident (state scalar) or *IndexExpr (state array)
+	RHS      Expr
+	Position token.Pos
+}
+
+func (s *AssignStmt) Pos() token.Pos { return s.Position }
+func (s *AssignStmt) stmtNode()      {}
+func (s *AssignStmt) String() string { return fmt.Sprintf("%s = %s;", s.LHS, s.RHS) }
+
+// IfStmt is "if (cond) then [else els]". Else may be nil.
+type IfStmt struct {
+	Cond     Expr
+	Then     Stmt
+	Else     Stmt // nil when absent
+	Position token.Pos
+}
+
+func (s *IfStmt) Pos() token.Pos { return s.Position }
+func (s *IfStmt) stmtNode()      {}
+func (s *IfStmt) String() string {
+	if s.Else == nil {
+		return fmt.Sprintf("if (%s) %s", s.Cond, s.Then)
+	}
+	return fmt.Sprintf("if (%s) %s else %s", s.Cond, s.Then, s.Else)
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident names a state scalar (after macro substitution; macros never reach
+// the AST).
+type Ident struct {
+	Name     string
+	Position token.Pos
+}
+
+func (e *Ident) Pos() token.Pos { return e.Position }
+func (e *Ident) exprNode()      {}
+func (e *Ident) String() string { return e.Name }
+
+// FieldExpr is a packet field access: pkt.field.
+type FieldExpr struct {
+	Pkt      string // parameter name, e.g. "pkt"
+	Field    string
+	Position token.Pos
+}
+
+func (e *FieldExpr) Pos() token.Pos { return e.Position }
+func (e *FieldExpr) exprNode()      {}
+func (e *FieldExpr) String() string { return e.Pkt + "." + e.Field }
+
+// IndexExpr is a state-array access: name[index].
+type IndexExpr struct {
+	Name     string
+	Index    Expr
+	Position token.Pos
+}
+
+func (e *IndexExpr) Pos() token.Pos { return e.Position }
+func (e *IndexExpr) exprNode()      {}
+func (e *IndexExpr) String() string { return fmt.Sprintf("%s[%s]", e.Name, e.Index) }
+
+// IntLit is an integer literal (macros are folded into these).
+type IntLit struct {
+	Value    int32
+	Position token.Pos
+}
+
+func (e *IntLit) Pos() token.Pos { return e.Position }
+func (e *IntLit) exprNode()      {}
+func (e *IntLit) String() string { return fmt.Sprintf("%d", e.Value) }
+
+// BinaryExpr is "x op y".
+type BinaryExpr struct {
+	Op       token.Kind
+	X, Y     Expr
+	Position token.Pos
+}
+
+func (e *BinaryExpr) Pos() token.Pos { return e.Position }
+func (e *BinaryExpr) exprNode()      {}
+func (e *BinaryExpr) String() string { return fmt.Sprintf("(%s %s %s)", e.X, e.Op, e.Y) }
+
+// UnaryExpr is "op x" for op in {-, !, ~}.
+type UnaryExpr struct {
+	Op       token.Kind
+	X        Expr
+	Position token.Pos
+}
+
+func (e *UnaryExpr) Pos() token.Pos { return e.Position }
+func (e *UnaryExpr) exprNode()      {}
+func (e *UnaryExpr) String() string { return fmt.Sprintf("(%s%s)", e.Op, e.X) }
+
+// CondExpr is the C conditional operator "cond ? then : else".
+type CondExpr struct {
+	Cond, Then, Else Expr
+	Position         token.Pos
+}
+
+func (e *CondExpr) Pos() token.Pos { return e.Position }
+func (e *CondExpr) exprNode()      {}
+func (e *CondExpr) String() string {
+	return fmt.Sprintf("(%s ? %s : %s)", e.Cond, e.Then, e.Else)
+}
+
+// CallExpr is an intrinsic invocation such as hash2(pkt.sport, pkt.dport).
+// Domino has no user-defined functions; the compiler only needs an
+// intrinsic's signature for dependency analysis (paper §3.1).
+type CallExpr struct {
+	Fun      string
+	Args     []Expr
+	Position token.Pos
+}
+
+func (e *CallExpr) Pos() token.Pos { return e.Position }
+func (e *CallExpr) exprNode()      {}
+func (e *CallExpr) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Fun, strings.Join(args, ", "))
+}
+
+// ---------------------------------------------------------------------------
+// Traversal and structural helpers
+
+// Walk calls fn for every node in the subtree rooted at n, parent first.
+// If fn returns false the node's children are skipped.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *Program:
+		for _, d := range x.Defines {
+			Walk(d, fn)
+		}
+		for _, s := range x.Structs {
+			Walk(s, fn)
+		}
+		for _, g := range x.Globals {
+			Walk(g, fn)
+		}
+		if x.Func != nil {
+			Walk(x.Func, fn)
+		}
+	case *FuncDecl:
+		Walk(x.Body, fn)
+	case *BlockStmt:
+		for _, s := range x.List {
+			Walk(s, fn)
+		}
+	case *AssignStmt:
+		Walk(x.LHS, fn)
+		Walk(x.RHS, fn)
+	case *IfStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		if x.Else != nil {
+			Walk(x.Else, fn)
+		}
+	case *IndexExpr:
+		Walk(x.Index, fn)
+	case *BinaryExpr:
+		Walk(x.X, fn)
+		Walk(x.Y, fn)
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *CondExpr:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		Walk(x.Else, fn)
+	case *CallExpr:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	}
+}
+
+// EqualExpr reports structural equality of two expressions, ignoring
+// positions. The compiler uses it to enforce the "one array index per
+// transaction execution" rule and to deduplicate read flanks.
+func EqualExpr(a, b Expr) bool {
+	switch x := a.(type) {
+	case *Ident:
+		y, ok := b.(*Ident)
+		return ok && x.Name == y.Name
+	case *FieldExpr:
+		y, ok := b.(*FieldExpr)
+		return ok && x.Field == y.Field
+	case *IndexExpr:
+		y, ok := b.(*IndexExpr)
+		return ok && x.Name == y.Name && EqualExpr(x.Index, y.Index)
+	case *IntLit:
+		y, ok := b.(*IntLit)
+		return ok && x.Value == y.Value
+	case *BinaryExpr:
+		y, ok := b.(*BinaryExpr)
+		return ok && x.Op == y.Op && EqualExpr(x.X, y.X) && EqualExpr(x.Y, y.Y)
+	case *UnaryExpr:
+		y, ok := b.(*UnaryExpr)
+		return ok && x.Op == y.Op && EqualExpr(x.X, y.X)
+	case *CondExpr:
+		y, ok := b.(*CondExpr)
+		return ok && EqualExpr(x.Cond, y.Cond) && EqualExpr(x.Then, y.Then) && EqualExpr(x.Else, y.Else)
+	case *CallExpr:
+		y, ok := b.(*CallExpr)
+		if !ok || x.Fun != y.Fun || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !EqualExpr(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// CloneExpr returns a deep copy of e.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *Ident:
+		c := *x
+		return &c
+	case *FieldExpr:
+		c := *x
+		return &c
+	case *IntLit:
+		c := *x
+		return &c
+	case *IndexExpr:
+		return &IndexExpr{Name: x.Name, Index: CloneExpr(x.Index), Position: x.Position}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, X: CloneExpr(x.X), Y: CloneExpr(x.Y), Position: x.Position}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, X: CloneExpr(x.X), Position: x.Position}
+	case *CondExpr:
+		return &CondExpr{Cond: CloneExpr(x.Cond), Then: CloneExpr(x.Then), Else: CloneExpr(x.Else), Position: x.Position}
+	case *CallExpr:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = CloneExpr(a)
+		}
+		return &CallExpr{Fun: x.Fun, Args: args, Position: x.Position}
+	}
+	panic(fmt.Sprintf("ast: CloneExpr: unexpected type %T", e))
+}

@@ -1,0 +1,126 @@
+package ast
+
+import (
+	"testing"
+
+	"domino/internal/token"
+)
+
+func TestCountLOC(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"", 0},
+		{"a;\nb;\n", 2},
+		{"a;\n\n\nb;\n", 2},
+		{"// comment only\na;\n", 1},
+		{"a; // trailing\n", 1},
+		{"/* block */\na;\n", 1},
+		{"/* multi\nline\ncomment */\na;\n", 1},
+		{"a; /* tail\nstill comment */ b;\n", 2},
+	}
+	for _, c := range cases {
+		if got := CountLOC(c.src); got != c.want {
+			t.Errorf("CountLOC(%q) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEqualExpr(t *testing.T) {
+	a := &BinaryExpr{Op: token.Plus, X: &FieldExpr{Pkt: "pkt", Field: "a"}, Y: &IntLit{Value: 3}}
+	b := &BinaryExpr{Op: token.Plus, X: &FieldExpr{Pkt: "pkt", Field: "a"}, Y: &IntLit{Value: 3}}
+	c := &BinaryExpr{Op: token.Minus, X: &FieldExpr{Pkt: "pkt", Field: "a"}, Y: &IntLit{Value: 3}}
+	if !EqualExpr(a, b) {
+		t.Error("structurally equal expressions compare unequal")
+	}
+	if EqualExpr(a, c) {
+		t.Error("different operators compare equal")
+	}
+	ix1 := &IndexExpr{Name: "tab", Index: &FieldExpr{Pkt: "pkt", Field: "i"}}
+	ix2 := &IndexExpr{Name: "tab", Index: &FieldExpr{Pkt: "pkt", Field: "j"}}
+	if EqualExpr(ix1, ix2) {
+		t.Error("different indices compare equal")
+	}
+	call1 := &CallExpr{Fun: "hash2", Args: []Expr{&IntLit{Value: 1}, &IntLit{Value: 2}}}
+	call2 := &CallExpr{Fun: "hash2", Args: []Expr{&IntLit{Value: 1}, &IntLit{Value: 2}}}
+	if !EqualExpr(call1, call2) {
+		t.Error("equal calls compare unequal")
+	}
+}
+
+func TestCloneExprIsDeep(t *testing.T) {
+	orig := &CondExpr{
+		Cond: &BinaryExpr{Op: token.Gt, X: &FieldExpr{Pkt: "pkt", Field: "a"}, Y: &IntLit{Value: 5}},
+		Then: &Ident{Name: "x"},
+		Else: &UnaryExpr{Op: token.Minus, X: &IntLit{Value: 1}},
+	}
+	clone := CloneExpr(orig).(*CondExpr)
+	if !EqualExpr(orig, clone) {
+		t.Fatal("clone not equal to original")
+	}
+	// Mutating the clone must not touch the original.
+	clone.Cond.(*BinaryExpr).Op = token.Lt
+	if EqualExpr(orig, clone) {
+		t.Fatal("clone shares structure with original")
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	prog := &Program{
+		Defines: []*Define{{Name: "N", Value: 4}},
+		Structs: []*StructDecl{{Name: "Packet", Fields: []string{"a"}}},
+		Globals: []*GlobalVar{{Name: "x"}},
+		Func: &FuncDecl{
+			Name: "t", ParamType: "Packet", ParamName: "pkt",
+			Body: &BlockStmt{List: []Stmt{
+				&AssignStmt{
+					LHS: &FieldExpr{Pkt: "pkt", Field: "a"},
+					RHS: &BinaryExpr{Op: token.Plus, X: &IntLit{Value: 1}, Y: &IntLit{Value: 2}},
+				},
+				&IfStmt{
+					Cond: &Ident{Name: "x"},
+					Then: &BlockStmt{},
+					Else: &BlockStmt{},
+				},
+			}},
+		},
+	}
+	count := 0
+	Walk(prog, func(Node) bool { count++; return true })
+	if count < 12 {
+		t.Errorf("Walk visited %d nodes, expected at least 12", count)
+	}
+	// Pruning: returning false skips children.
+	pruned := 0
+	Walk(prog, func(n Node) bool {
+		pruned++
+		_, isFunc := n.(*FuncDecl)
+		return !isFunc
+	})
+	if pruned >= count {
+		t.Error("pruning did not reduce the visit count")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := &GlobalVar{Name: "tab", Size: 8, Init: 3}
+	if g.String() != "int tab[8] = {3};" {
+		t.Errorf("array rendering = %q", g.String())
+	}
+	s := &GlobalVar{Name: "x", Init: -1}
+	if s.String() != "int x = -1;" {
+		t.Errorf("scalar rendering = %q", s.String())
+	}
+	d := &Define{Name: "N", Value: 10}
+	if d.String() != "#define N 10" {
+		t.Errorf("define rendering = %q", d.String())
+	}
+}
+
+func TestProgramLOCUsesSource(t *testing.T) {
+	p := &Program{Source: "a;\n// c\nb;\n"}
+	if p.LOC() != 2 {
+		t.Errorf("LOC = %d, want 2", p.LOC())
+	}
+}

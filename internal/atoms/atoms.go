@@ -1,0 +1,183 @@
+// Package atoms defines Banzai's processing units (paper §2.3): the atom
+// kinds, their containment hierarchy, and their capability grammar.
+//
+// An atom is an atomic unit of packet processing a Banzai machine executes
+// in a single clock cycle. The seven stateful atoms form a containment
+// hierarchy (paper Table 3) — each can express everything its predecessors
+// can:
+//
+//	Write ⊂ ReadAddWrite ⊂ PRAW ⊂ IfElseRAW ⊂ Sub ⊂ Nested ⊂ Pairs
+//
+// plus the single Stateless atom for pure packet-field computation.
+package atoms
+
+import "fmt"
+
+// Kind identifies an atom template.
+type Kind int
+
+const (
+	// Stateless performs arithmetic, logic, relational, and conditional
+	// operations on packet fields and constants (paper Table 3 row 1).
+	Stateless Kind = iota
+	// Write reads and/or writes a packet field or constant into a single
+	// state variable.
+	Write
+	// ReadAddWrite (RAW) adds a packet field or constant to a state
+	// variable, or writes one into it.
+	ReadAddWrite
+	// PRAW executes a RAW on the state variable only if a predicate holds,
+	// else leaves it unchanged.
+	PRAW
+	// IfElseRAW holds two separate RAWs: one each for when a predicate is
+	// true or false.
+	IfElseRAW
+	// Sub is IfElseRAW that can also subtract a packet field or constant.
+	Sub
+	// Nested is Sub with one additional nesting level: 4-way predication.
+	Nested
+	// Pairs is Nested over a pair of state variables, with predicates that
+	// can use both.
+	Pairs
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	Stateless:    "Stateless",
+	Write:        "Write",
+	ReadAddWrite: "ReadAddWrite",
+	PRAW:         "PRAW",
+	IfElseRAW:    "IfElseRAW",
+	Sub:          "Sub",
+	Nested:       "Nested",
+	Pairs:        "Pairs",
+}
+
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// StatefulHierarchy lists the stateful atoms from least to most expressive.
+var StatefulHierarchy = []Kind{Write, ReadAddWrite, PRAW, IfElseRAW, Sub, Nested, Pairs}
+
+// IsStateful reports whether k manipulates persistent state.
+func (k Kind) IsStateful() bool { return k >= Write && k <= Pairs }
+
+// Contains reports whether an atom of kind k can implement everything other
+// can (reflexively). Stateless is incomparable with the stateful kinds.
+func (k Kind) Contains(other Kind) bool {
+	if k == Stateless || other == Stateless {
+		return k == other
+	}
+	return other <= k
+}
+
+// Description returns the paper Table 3 capability summary.
+func (k Kind) Description() string {
+	switch k {
+	case Stateless:
+		return "Arithmetic, logic, relational, and conditional operations on packet/constant operands"
+	case Write:
+		return "Read/Write packet field/constant into single state variable"
+	case ReadAddWrite:
+		return "Add packet field/constant to state variable (OR) Write packet field/constant into state variable"
+	case PRAW:
+		return "Execute RAW on state variable only if a predicate is true, else leave unchanged"
+	case IfElseRAW:
+		return "Two separate RAWs: one each for when a predicate is true or false"
+	case Sub:
+		return "Same as IfElseRAW, but also allow subtracting a packet field/constant"
+	case Nested:
+		return "Same as Sub, but with an additional level of nesting that provides 4-way predication"
+	case Pairs:
+		return "Same as Nested, but allow updates to a pair of state variables, where predicates can use both state variables"
+	}
+	return "unknown"
+}
+
+// Capabilities bound what a stateful atom's guarded-update program may
+// contain; the synthesizer classifies codelets against these.
+type Capabilities struct {
+	// StateVars is the number of state variables the atom owns (1, or 2 for
+	// Pairs).
+	StateVars int
+	// Depth is the maximum predication depth (0 = unconditional update,
+	// 1 = two-way, 2 = four-way).
+	Depth int
+	// ElseBranch is true if the false side of a predicate may apply its own
+	// update (IfElseRAW and above); false means the false side leaves the
+	// state unchanged (PRAW).
+	ElseBranch bool
+	// Add and Subtract report whether updates may add/subtract an operand
+	// to/from the state variable.
+	Add, Subtract bool
+	// SetOnly is true when the only update form is writing an operand
+	// (Write atom).
+	SetOnly bool
+	// PredState is true if predicates may reference the state variable(s).
+	PredState bool
+}
+
+// Caps returns the capability bounds of a stateful atom kind.
+func Caps(k Kind) Capabilities {
+	switch k {
+	case Write:
+		return Capabilities{StateVars: 1, Depth: 0, SetOnly: true}
+	case ReadAddWrite:
+		return Capabilities{StateVars: 1, Depth: 0, Add: true}
+	case PRAW:
+		return Capabilities{StateVars: 1, Depth: 1, Add: true, PredState: true}
+	case IfElseRAW:
+		return Capabilities{StateVars: 1, Depth: 1, ElseBranch: true, Add: true, PredState: true}
+	case Sub:
+		return Capabilities{StateVars: 1, Depth: 1, ElseBranch: true, Add: true, Subtract: true, PredState: true}
+	case Nested:
+		return Capabilities{StateVars: 1, Depth: 2, ElseBranch: true, Add: true, Subtract: true, PredState: true}
+	case Pairs:
+		return Capabilities{StateVars: 2, Depth: 2, ElseBranch: true, Add: true, Subtract: true, PredState: true}
+	}
+	return Capabilities{}
+}
+
+// LeastStateful returns the least expressive stateful kind whose
+// capabilities cover the given requirements, or ok=false if none do.
+func LeastStateful(need Capabilities) (Kind, bool) {
+	for _, k := range StatefulHierarchy {
+		c := Caps(k)
+		if need.StateVars > c.StateVars {
+			continue
+		}
+		if need.Depth > c.Depth {
+			continue
+		}
+		if need.ElseBranch && !c.ElseBranch {
+			continue
+		}
+		if need.Add && !c.Add && !c.SetOnly {
+			continue
+		}
+		if need.Add && c.SetOnly {
+			continue
+		}
+		if need.Subtract && !c.Subtract {
+			continue
+		}
+		if need.PredState && !c.PredState {
+			continue
+		}
+		return k, true
+	}
+	return 0, false
+}
+
+// ConstBits is the constant bit-width budget the synthesizer searches
+// (paper §5.3: "we limit SKETCH to search for constants ... of size up to 5
+// bits").
+const ConstBits = 5
+
+// MaxConst is the largest magnitude representable in ConstBits.
+const MaxConst = 1<<ConstBits - 1 // 31

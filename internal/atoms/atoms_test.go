@@ -1,0 +1,113 @@
+package atoms
+
+import "testing"
+
+func TestHierarchyOrder(t *testing.T) {
+	want := []Kind{Write, ReadAddWrite, PRAW, IfElseRAW, Sub, Nested, Pairs}
+	if len(StatefulHierarchy) != len(want) {
+		t.Fatalf("hierarchy has %d kinds, want %d", len(StatefulHierarchy), len(want))
+	}
+	for i, k := range want {
+		if StatefulHierarchy[i] != k {
+			t.Errorf("hierarchy[%d] = %s, want %s", i, StatefulHierarchy[i], k)
+		}
+	}
+}
+
+func TestContainsIsReflexiveAndTransitive(t *testing.T) {
+	h := StatefulHierarchy
+	for _, k := range h {
+		if !k.Contains(k) {
+			t.Errorf("%s does not contain itself", k)
+		}
+	}
+	for i := range h {
+		for j := range h {
+			for l := range h {
+				if h[i].Contains(h[j]) && h[j].Contains(h[l]) && !h[i].Contains(h[l]) {
+					t.Fatalf("containment not transitive: %s ⊇ %s ⊇ %s", h[i], h[j], h[l])
+				}
+			}
+		}
+	}
+}
+
+func TestStatelessIncomparable(t *testing.T) {
+	if Stateless.Contains(Write) || Write.Contains(Stateless) {
+		t.Error("Stateless must be incomparable with stateful kinds")
+	}
+	if !Stateless.Contains(Stateless) {
+		t.Error("Stateless must contain itself")
+	}
+	if Stateless.IsStateful() {
+		t.Error("Stateless misclassified as stateful")
+	}
+	if !Pairs.IsStateful() || !Write.IsStateful() {
+		t.Error("stateful kinds misclassified")
+	}
+}
+
+func TestCapsMonotone(t *testing.T) {
+	// Along the hierarchy, capabilities only grow.
+	prev := Caps(StatefulHierarchy[0])
+	for _, k := range StatefulHierarchy[1:] {
+		cur := Caps(k)
+		if cur.Depth < prev.Depth {
+			t.Errorf("%s: depth shrank", k)
+		}
+		if prev.Add && !cur.Add {
+			t.Errorf("%s: lost Add", k)
+		}
+		if prev.Subtract && !cur.Subtract {
+			t.Errorf("%s: lost Subtract", k)
+		}
+		if prev.ElseBranch && !cur.ElseBranch {
+			t.Errorf("%s: lost ElseBranch", k)
+		}
+		if cur.StateVars < prev.StateVars {
+			t.Errorf("%s: state arity shrank", k)
+		}
+		prev = cur
+	}
+}
+
+func TestLeastStateful(t *testing.T) {
+	cases := []struct {
+		need Capabilities
+		want Kind
+		ok   bool
+	}{
+		{Capabilities{StateVars: 1}, Write, true},
+		{Capabilities{StateVars: 1, Add: true}, ReadAddWrite, true},
+		{Capabilities{StateVars: 1, Depth: 1, Add: true}, PRAW, true},
+		{Capabilities{StateVars: 1, Depth: 1, ElseBranch: true}, IfElseRAW, true},
+		{Capabilities{StateVars: 1, Depth: 1, Subtract: true}, Sub, true},
+		{Capabilities{StateVars: 1, Depth: 2}, Nested, true},
+		{Capabilities{StateVars: 2}, Pairs, true},
+		{Capabilities{StateVars: 3}, 0, false},
+		{Capabilities{StateVars: 1, Depth: 3}, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := LeastStateful(c.need)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("LeastStateful(%+v) = %s,%v want %s,%v", c.need, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestDescriptionsNonEmpty(t *testing.T) {
+	for _, k := range append([]Kind{Stateless}, StatefulHierarchy...) {
+		if k.Description() == "unknown" || k.Description() == "" {
+			t.Errorf("%s lacks a description", k)
+		}
+		if k.String() == "" {
+			t.Errorf("kind %d lacks a name", k)
+		}
+	}
+}
+
+func TestConstBudget(t *testing.T) {
+	if ConstBits != 5 || MaxConst != 31 {
+		t.Errorf("constant budget = %d bits / %d, want 5 / 31 (paper §5.3)", ConstBits, MaxConst)
+	}
+}

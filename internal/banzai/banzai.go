@@ -1,0 +1,396 @@
+// Package banzai is a cycle-accurate simulator for the Banzai machine model
+// (paper §2): a pipeline of stages executing synchronously, one packet per
+// clock cycle per stage, each stage holding a vector of atoms that run in
+// parallel, and all state local to the atom that owns it.
+//
+// The simulator executes compiled Domino programs and is the vehicle for
+// the transaction-semantics guarantee: for any input packet sequence, the
+// pipeline's outputs and final state are identical to running the original
+// transaction serially, one packet at a time (verified by the test suite,
+// including the property tests in banzai_test.go).
+package banzai
+
+import (
+	"fmt"
+
+	"domino/internal/codegen"
+	"domino/internal/interp"
+	"domino/internal/intrinsics"
+	"domino/internal/ir"
+	"domino/internal/token"
+)
+
+// opKind discriminates compiled micro-operations.
+type opKind uint8
+
+const (
+	opMove opKind = iota
+	opBin
+	opCond
+	opCall
+	opRead
+	opWrite
+)
+
+// operand is a compiled operand: a packet slot or an immediate.
+type operand struct {
+	slot    int
+	imm     int32
+	isConst bool
+}
+
+func (o operand) value(p []int32) int32 {
+	if o.isConst {
+		return o.imm
+	}
+	return p[o.slot]
+}
+
+// cell is atom-local state storage: one scalar or one array.
+type cell struct {
+	name    string
+	isArray bool
+	scalar  int32
+	arr     []int32
+}
+
+// mop is a compiled micro-operation of an atom.
+type mop struct {
+	kind    opKind
+	dst     int
+	op      token.Kind
+	a, b, c operand // c is the condition (opCond) or array index (opRead/opWrite)
+	fun     string
+	args    []operand
+	cell    *cell
+	indexed bool
+}
+
+// atom is a configured processing unit: its micro-ops plus local state.
+type atom struct {
+	ops   []mop
+	cells []*cell
+}
+
+// Machine is an instantiated Banzai pipeline.
+type Machine struct {
+	prog   *codegen.Program
+	stages [][]*atom
+
+	fieldSlot map[string]int
+	slotField []string
+
+	// pipe holds the in-flight packet of each stage (nil bubble).
+	pipe []([]int32)
+
+	cycles  int64
+	packets int64
+}
+
+// New instantiates a machine for a compiled program, allocating atom-local
+// state initialized from the program's global declarations.
+func New(p *codegen.Program) (*Machine, error) {
+	m := &Machine{
+		prog:      p,
+		fieldSlot: map[string]int{},
+		pipe:      make([]([]int32), len(p.Stages)),
+	}
+	slotOf := func(field string) int {
+		if s, ok := m.fieldSlot[field]; ok {
+			return s
+		}
+		s := len(m.slotField)
+		m.fieldSlot[field] = s
+		m.slotField = append(m.slotField, field)
+		return s
+	}
+	// Declared fields first so inputs always have slots.
+	for _, f := range p.Info.Fields {
+		slotOf(f)
+	}
+	for _, f := range p.IR.Fields {
+		slotOf(f)
+	}
+	for _, v := range p.IR.FinalVersion {
+		slotOf(v)
+	}
+
+	compileOperand := func(o ir.Operand) operand {
+		if o.IsConst() {
+			return operand{imm: o.Value, isConst: true}
+		}
+		return operand{slot: slotOf(o.Name)}
+	}
+
+	for _, st := range p.Stages {
+		var row []*atom
+		for _, catom := range st {
+			a := &atom{}
+			cells := map[string]*cell{}
+			cellOf := func(name string) *cell {
+				if c, ok := cells[name]; ok {
+					return c
+				}
+				g, ok := p.Info.StateVar(name)
+				if !ok {
+					return nil
+				}
+				c := &cell{name: name, isArray: g.IsArray()}
+				if g.IsArray() {
+					c.arr = make([]int32, g.Size)
+					for i := range c.arr {
+						c.arr[i] = g.Init
+					}
+				} else {
+					c.scalar = g.Init
+				}
+				cells[name] = c
+				a.cells = append(a.cells, c)
+				return c
+			}
+			for _, s := range catom.Codelet.Stmts {
+				var op mop
+				switch x := s.(type) {
+				case *ir.Move:
+					op = mop{kind: opMove, dst: slotOf(x.Dst), a: compileOperand(x.Src)}
+				case *ir.BinOp:
+					op = mop{kind: opBin, dst: slotOf(x.Dst), op: x.Op,
+						a: compileOperand(x.A), b: compileOperand(x.B)}
+				case *ir.CondMove:
+					op = mop{kind: opCond, dst: slotOf(x.Dst),
+						a: compileOperand(x.A), b: compileOperand(x.B), c: compileOperand(x.Cond)}
+				case *ir.Call:
+					op = mop{kind: opCall, dst: slotOf(x.Dst), fun: x.Fun, op: x.Op}
+					for _, arg := range x.Args {
+						op.args = append(op.args, compileOperand(arg))
+					}
+					if x.Op != token.Illegal {
+						op.b = compileOperand(x.B)
+					}
+				case *ir.ReadState:
+					c := cellOf(x.State)
+					if c == nil {
+						return nil, fmt.Errorf("banzai: unknown state %q", x.State)
+					}
+					op = mop{kind: opRead, dst: slotOf(x.Dst), cell: c}
+					if x.Index != nil {
+						op.indexed = true
+						op.c = compileOperand(*x.Index)
+					}
+				case *ir.WriteState:
+					c := cellOf(x.State)
+					if c == nil {
+						return nil, fmt.Errorf("banzai: unknown state %q", x.State)
+					}
+					op = mop{kind: opWrite, a: compileOperand(x.Src), cell: c}
+					if x.Index != nil {
+						op.indexed = true
+						op.c = compileOperand(*x.Index)
+					}
+				default:
+					return nil, fmt.Errorf("banzai: unknown statement %T", s)
+				}
+				a.ops = append(a.ops, op)
+			}
+			row = append(row, a)
+		}
+		m.stages = append(m.stages, row)
+	}
+	return m, nil
+}
+
+// NumSlots returns the packet header vector width (fields incl. temps).
+func (m *Machine) NumSlots() int { return len(m.slotField) }
+
+// Depth returns the pipeline depth.
+func (m *Machine) Depth() int { return len(m.stages) }
+
+// Cycles returns the clock cycles ticked so far.
+func (m *Machine) Cycles() int64 { return m.cycles }
+
+// Packets returns the packets that have entered the pipeline.
+func (m *Machine) Packets() int64 { return m.packets }
+
+// newSlots builds the in-pipeline representation of a parsed packet.
+func (m *Machine) newSlots(pkt interp.Packet) []int32 {
+	s := make([]int32, len(m.slotField))
+	for f, v := range pkt {
+		if slot, ok := m.fieldSlot[f]; ok {
+			s[slot] = v
+		}
+	}
+	return s
+}
+
+// output converts a departing header vector to a packet carrying the final
+// version of every declared field.
+func (m *Machine) output(s []int32) interp.Packet {
+	out := make(interp.Packet, len(m.prog.IR.FinalVersion))
+	for orig, fin := range m.prog.IR.FinalVersion {
+		out[orig] = s[m.fieldSlot[fin]]
+	}
+	return out
+}
+
+// execAtom runs one atom's micro-ops to completion on a packet — the
+// single-cycle atomic execution of paper §2.3.
+func (m *Machine) execAtom(a *atom, p []int32) {
+	for i := range a.ops {
+		op := &a.ops[i]
+		switch op.kind {
+		case opMove:
+			p[op.dst] = op.a.value(p)
+		case opBin:
+			var v int32
+			if op.op == token.Slash && m.prog.Target.LookupTables && !isPow2Const(op.b) {
+				// General division runs on the reciprocal lookup table.
+				v = intrinsics.LUTDiv(op.a.value(p), op.b.value(p))
+			} else {
+				v, _ = interp.EvalBinary(op.op, op.a.value(p), op.b.value(p))
+			}
+			p[op.dst] = v
+		case opCond:
+			if op.c.value(p) != 0 {
+				p[op.dst] = op.a.value(p)
+			} else {
+				p[op.dst] = op.b.value(p)
+			}
+		case opCall:
+			args := make([]int32, len(op.args))
+			for j, ar := range op.args {
+				args[j] = ar.value(p)
+			}
+			var v int32
+			if op.fun == "sqrt" && m.prog.Target.LookupTables {
+				// The lookup-table unit approximates sqrt (§5.3 extension).
+				v = intrinsics.LUTSqrt(args[0])
+			} else {
+				v, _ = intrinsics.Call(op.fun, args)
+			}
+			if op.op != token.Illegal {
+				v, _ = interp.EvalBinary(op.op, v, op.b.value(p))
+			}
+			p[op.dst] = v
+		case opRead:
+			if op.indexed {
+				p[op.dst] = op.cell.arr[mask(op.c.value(p), len(op.cell.arr))]
+			} else {
+				p[op.dst] = op.cell.scalar
+			}
+		case opWrite:
+			if op.indexed {
+				op.cell.arr[mask(op.c.value(p), len(op.cell.arr))] = op.a.value(p)
+			} else {
+				op.cell.scalar = op.a.value(p)
+			}
+		}
+	}
+}
+
+// isPow2Const reports whether an operand is a positive power-of-two
+// constant: those divisions are exact shifts, not table lookups.
+func isPow2Const(o operand) bool {
+	return o.isConst && o.imm > 0 && o.imm&(o.imm-1) == 0
+}
+
+func mask(idx int32, n int) int {
+	i := int(idx) % n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// Tick advances the machine one clock cycle. in is the packet entering
+// stage 1 this cycle (nil for a bubble); the returned packet is the one
+// leaving the pipeline this cycle, if any.
+//
+// Every stage processes its resident packet in parallel this cycle; the
+// atoms of a stage run concurrently on disjoint state, so intra-cycle order
+// is immaterial.
+func (m *Machine) Tick(in interp.Packet) (interp.Packet, bool) {
+	m.cycles++
+	for i, pkt := range m.pipe {
+		if pkt != nil {
+			for _, a := range m.stages[i] {
+				m.execAtom(a, pkt)
+			}
+		}
+	}
+	depth := len(m.pipe)
+	var out interp.Packet
+	ok := false
+	if depth > 0 && m.pipe[depth-1] != nil {
+		out = m.output(m.pipe[depth-1])
+		ok = true
+	}
+	copy(m.pipe[1:], m.pipe[:depth-1])
+	if depth > 0 {
+		m.pipe[0] = nil
+	}
+	if in != nil {
+		m.packets++
+		if depth == 0 {
+			return m.output(m.newSlots(in)), true
+		}
+		m.pipe[0] = m.newSlots(in)
+	}
+	return out, ok
+}
+
+// Process pushes a packet through every stage back-to-back and returns the
+// transformed packet. It must not be interleaved with Tick while packets
+// are in flight (ErrBusy otherwise); state effects are identical to ticking
+// the packet through with bubbles behind it.
+func (m *Machine) Process(pkt interp.Packet) (interp.Packet, error) {
+	for _, p := range m.pipe {
+		if p != nil {
+			return nil, ErrBusy
+		}
+	}
+	m.packets++
+	m.cycles += int64(len(m.stages))
+	s := m.newSlots(pkt)
+	for _, st := range m.stages {
+		for _, a := range st {
+			m.execAtom(a, s)
+		}
+	}
+	return m.output(s), nil
+}
+
+// ErrBusy reports Process called with packets in flight.
+var ErrBusy = fmt.Errorf("banzai: pipeline has packets in flight; use Tick")
+
+// Drain ticks bubbles until every in-flight packet has exited, returning
+// them in departure order.
+func (m *Machine) Drain() []interp.Packet {
+	var out []interp.Packet
+	for i := 0; i < len(m.pipe); i++ {
+		if p, ok := m.Tick(nil); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// State aggregates every atom's local state into one view, for inspection
+// and equivalence testing. Declared state variables the program never
+// touches appear with their initial values.
+func (m *Machine) State() *interp.State {
+	st := interp.NewState(m.prog.Info)
+	for _, row := range m.stages {
+		for _, a := range row {
+			for _, c := range a.cells {
+				if c.isArray {
+					arr := make([]int32, len(c.arr))
+					copy(arr, c.arr)
+					st.Arrays[c.name] = arr
+				} else {
+					st.Scalars[c.name] = c.scalar
+				}
+			}
+		}
+	}
+	return st
+}

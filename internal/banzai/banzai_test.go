@@ -1,0 +1,300 @@
+package banzai
+
+import (
+	"math/rand"
+	"testing"
+
+	"domino/internal/atoms"
+	"domino/internal/codegen"
+	"domino/internal/interp"
+	"domino/internal/parser"
+	"domino/internal/passes"
+	"domino/internal/sema"
+)
+
+func compile(t *testing.T, src string, k atoms.Kind) (*sema.Info, *codegen.Program) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	res, err := passes.Normalize(info)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	p, err := codegen.Compile(info, res.IR, codegen.NewTarget(k))
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+	return info, p
+}
+
+func machine(t *testing.T, src string, k atoms.Kind) (*sema.Info, *Machine) {
+	t.Helper()
+	info, p := compile(t, src, k)
+	m, err := New(p)
+	if err != nil {
+		t.Fatalf("banzai: %v", err)
+	}
+	return info, m
+}
+
+const flowletSrc = `
+#define NUM_FLOWLETS 8000
+#define THRESHOLD 5
+#define NUM_HOPS 10
+struct Packet {
+  int sport; int dport; int new_hop; int arrival; int next_hop; int id;
+};
+int last_time[NUM_FLOWLETS] = {0};
+int saved_hop[NUM_FLOWLETS] = {0};
+void flowlet(struct Packet pkt) {
+  pkt.new_hop = hash3(pkt.sport, pkt.dport, pkt.arrival) % NUM_HOPS;
+  pkt.id = hash2(pkt.sport, pkt.dport) % NUM_FLOWLETS;
+  if (pkt.arrival - last_time[pkt.id] > THRESHOLD) {
+    saved_hop[pkt.id] = pkt.new_hop;
+  }
+  last_time[pkt.id] = pkt.arrival;
+  pkt.next_hop = saved_hop[pkt.id];
+}
+`
+
+// corpus are programs with bounded array indices (so the strict reference
+// interpreter never faults) exercising every atom level.
+var corpus = map[string]struct {
+	src  string
+	atom atoms.Kind
+}{
+	"flowlet": {flowletSrc, atoms.PRAW},
+	"accumulator": {`
+struct Packet { int len; int total; };
+int bytes = 0;
+void t(struct Packet pkt) { bytes = bytes + pkt.len; pkt.total = bytes; }
+`, atoms.ReadAddWrite},
+	"netflow_sample": {`
+struct Packet { int sample; };
+int count = 0;
+void t(struct Packet pkt) {
+  if (count == 29) { count = 0; pkt.sample = 1; }
+  else { count = count + 1; pkt.sample = 0; }
+}
+`, atoms.IfElseRAW},
+	"phantom_queue": {`
+struct Packet { int drained; int size; int q; };
+int vq = 0;
+void t(struct Packet pkt) {
+  if (vq < pkt.drained) { vq = pkt.size; }
+  else { vq = vq - pkt.drained; }
+  pkt.q = vq;
+}
+`, atoms.Sub},
+	"nested_counter": {`
+struct Packet { int fresh; int v; };
+int ctr = 0;
+void t(struct Packet pkt) {
+  if (pkt.fresh == 1) {
+    if (ctr < 31) { ctr = ctr + 1; }
+  } else {
+    ctr = 0;
+  }
+  pkt.v = ctr;
+}
+`, atoms.Nested},
+	"conga": {`
+struct Packet { int util; int path; int src; };
+#define N 64
+int best_util[N];
+int best_path[N];
+void conga(struct Packet pkt) {
+  pkt.src = pkt.src % N;
+  if (pkt.util < best_util[pkt.src]) {
+    best_util[pkt.src] = pkt.util;
+    best_path[pkt.src] = pkt.path;
+  } else if (pkt.path == best_path[pkt.src]) {
+    best_util[pkt.src] = pkt.util;
+  }
+}
+`, atoms.Pairs},
+}
+
+// TestTransactionSemantics is the paper's core correctness claim: for any
+// packet sequence, the pipelined Banzai execution is indistinguishable from
+// serial, one-packet-at-a-time execution of the transaction — outputs and
+// final state both (paper §3: atomicity and isolation).
+func TestTransactionSemantics(t *testing.T) {
+	for name, tc := range corpus {
+		t.Run(name, func(t *testing.T) {
+			info, m := machine(t, tc.src, tc.atom)
+			ref := interp.New(info)
+			rng := rand.New(rand.NewSource(7))
+
+			var want []interp.Packet
+			var got []interp.Packet
+
+			const n = 500
+			for i := 0; i < n; i++ {
+				in := interp.Packet{}
+				for _, f := range info.Fields {
+					in[f] = int32(rng.Intn(1001))
+				}
+				refPkt := in.Clone()
+				if err := ref.Run(refPkt); err != nil {
+					t.Fatalf("reference: %v", err)
+				}
+				want = append(want, refPkt)
+
+				// Random bubbles between packets.
+				for rng.Intn(3) == 0 {
+					if out, ok := m.Tick(nil); ok {
+						got = append(got, out)
+					}
+				}
+				if out, ok := m.Tick(in); ok {
+					got = append(got, out)
+				}
+			}
+			got = append(got, m.Drain()...)
+
+			if len(got) != n {
+				t.Fatalf("pipeline emitted %d packets, want %d", len(got), n)
+			}
+			for i := range want {
+				for _, f := range info.Fields {
+					if want[i][f] != got[i][f] {
+						t.Fatalf("packet %d field %s: pipeline=%d serial=%d",
+							i, f, got[i][f], want[i][f])
+					}
+				}
+			}
+			if !ref.State().Equal(m.State()) {
+				t.Fatal("final state diverged between pipeline and serial execution")
+			}
+		})
+	}
+}
+
+// TestProcessMatchesTick checks the convenience path against the
+// cycle-accurate path.
+func TestProcessMatchesTick(t *testing.T) {
+	info, m1 := machine(t, flowletSrc, atoms.PRAW)
+	_, m2 := machine(t, flowletSrc, atoms.PRAW)
+	rng := rand.New(rand.NewSource(11))
+
+	for i := 0; i < 200; i++ {
+		in := interp.Packet{}
+		for _, f := range info.Fields {
+			in[f] = int32(rng.Intn(5000))
+		}
+		out1, err := m1.Process(in.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out2 interp.Packet
+		if o, ok := m2.Tick(in.Clone()); ok {
+			out2 = o
+		}
+		for drained := 0; out2 == nil && drained < m2.Depth(); drained++ {
+			if o, ok := m2.Tick(nil); ok {
+				out2 = o
+			}
+		}
+		for _, f := range info.Fields {
+			if out1[f] != out2[f] {
+				t.Fatalf("packet %d field %s: Process=%d Tick=%d", i, f, out1[f], out2[f])
+			}
+		}
+	}
+	if !m1.State().Equal(m2.State()) {
+		t.Fatal("state diverged between Process and Tick paths")
+	}
+}
+
+func TestProcessBusy(t *testing.T) {
+	_, m := machine(t, flowletSrc, atoms.PRAW)
+	m.Tick(interp.Packet{"sport": 1})
+	if _, err := m.Process(interp.Packet{"sport": 2}); err != ErrBusy {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+}
+
+func TestPipelineFullOccupancy(t *testing.T) {
+	// One packet per cycle with no bubbles — the line-rate condition.
+	info, m := machine(t, flowletSrc, atoms.PRAW)
+	ref := interp.New(info)
+	rng := rand.New(rand.NewSource(3))
+
+	const n = 1000
+	var got []interp.Packet
+	for i := 0; i < n; i++ {
+		in := interp.Packet{
+			"sport":   int32(rng.Intn(50)),
+			"dport":   int32(rng.Intn(50)),
+			"arrival": int32(i * 3),
+		}
+		refPkt := in.Clone()
+		if err := ref.Run(refPkt); err != nil {
+			t.Fatal(err)
+		}
+		if out, ok := m.Tick(in); ok {
+			got = append(got, out)
+		}
+	}
+	got = append(got, m.Drain()...)
+	if len(got) != n {
+		t.Fatalf("got %d packets, want %d", len(got), n)
+	}
+	if m.Cycles() != n+int64(m.Depth()) {
+		t.Fatalf("cycles = %d, want %d (one packet per clock)", m.Cycles(), n+m.Depth())
+	}
+	if !ref.State().Equal(m.State()) {
+		t.Fatal("state diverged at full occupancy")
+	}
+}
+
+func TestDepthMatchesCompiledStages(t *testing.T) {
+	_, p := compile(t, flowletSrc, atoms.PRAW)
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth() != p.NumStages() {
+		t.Fatalf("machine depth %d != program stages %d", m.Depth(), p.NumStages())
+	}
+	if m.Depth() != 6 {
+		t.Fatalf("flowlet depth = %d, want 6", m.Depth())
+	}
+}
+
+func TestOutputUsesOriginalFieldNames(t *testing.T) {
+	_, m := machine(t, flowletSrc, atoms.PRAW)
+	out, err := m.Process(interp.Packet{"sport": 9, "dport": 9, "arrival": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"sport", "dport", "new_hop", "arrival", "next_hop", "id"} {
+		if _, ok := out[f]; !ok {
+			t.Errorf("output missing field %q", f)
+		}
+	}
+	if out["next_hop"] < 0 || out["next_hop"] > 9 {
+		t.Errorf("next_hop = %d, want within [0,10)", out["next_hop"])
+	}
+}
+
+func TestStateLocality(t *testing.T) {
+	// The two flowlet state arrays must live in different atoms: mutating
+	// one atom's view must not be visible via another (here we just assert
+	// the cells are disjoint by checking the aggregate view has both).
+	_, m := machine(t, flowletSrc, atoms.PRAW)
+	st := m.State()
+	if _, ok := st.Arrays["last_time"]; !ok {
+		t.Error("missing last_time cell")
+	}
+	if _, ok := st.Arrays["saved_hop"]; !ok {
+		t.Error("missing saved_hop cell")
+	}
+}

@@ -1,0 +1,255 @@
+package banzai
+
+// A random-program fuzzer for the whole compiler: generate syntactically
+// valid Domino transactions, then require that
+//
+//  1. normalization is semantics-preserving (IR evaluation ≡ the AST
+//     interpreter), for every generated program, and
+//  2. if the program compiles for the Pairs target, the cycle-accurate
+//     pipeline is bit-identical to serial execution over a random packet
+//     sequence (outputs and final state).
+//
+// Programs that the all-or-nothing compiler rejects are fine — rejection
+// paths are exercised too — but rejected programs must still satisfy (1).
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"domino/internal/atoms"
+	"domino/internal/codegen"
+	"domino/internal/interp"
+	"domino/internal/parser"
+	"domino/internal/passes"
+	"domino/internal/sema"
+)
+
+// progGen emits random Domino programs over a fixed packet struct:
+// fields a..d are inputs (never assigned, usable as array indices),
+// fields t0..t3 are scratch, s0/s1 are state scalars, tab is a state array.
+type progGen struct {
+	rng  *rand.Rand
+	b    strings.Builder
+	temp int
+}
+
+func (g *progGen) generate() string {
+	g.b.Reset()
+	g.b.WriteString(`
+struct Packet { int a; int b; int c; int d; int t0; int t1; int t2; int t3; };
+int s0 = 0;
+int s1 = 3;
+int tab[16] = {0};
+void fuzz(struct Packet pkt) {
+`)
+	n := 2 + g.rng.Intn(5)
+	for i := 0; i < n; i++ {
+		g.stmt(1)
+	}
+	g.b.WriteString("}\n")
+	return g.b.String()
+}
+
+func (g *progGen) indent(depth int) {
+	g.b.WriteString(strings.Repeat("  ", depth))
+}
+
+// field returns a readable field name.
+func (g *progGen) field() string {
+	return []string{"pkt.a", "pkt.b", "pkt.c", "pkt.d", "pkt.t0", "pkt.t1", "pkt.t2", "pkt.t3"}[g.rng.Intn(8)]
+}
+
+// scratch returns an assignable field name.
+func (g *progGen) scratch() string {
+	return []string{"pkt.t0", "pkt.t1", "pkt.t2", "pkt.t3"}[g.rng.Intn(4)]
+}
+
+// stateRef returns a readable state reference. The array is always indexed
+// by pkt.a & 15, an input field, so the single-index rule holds.
+func (g *progGen) stateRef() string {
+	switch g.rng.Intn(3) {
+	case 0:
+		return "s0"
+	case 1:
+		return "s1"
+	}
+	return "tab[pkt.a & 15]"
+}
+
+// expr emits a random expression of bounded depth using only operations
+// every stateless atom supports.
+func (g *progGen) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", g.rng.Intn(32))
+		case 1:
+			return g.stateRef()
+		default:
+			return g.field()
+		}
+	}
+	ops := []string{"+", "-", "&", "|", "^", "<", ">", "==", "!="}
+	op := ops[g.rng.Intn(len(ops))]
+	if g.rng.Intn(5) == 0 {
+		return fmt.Sprintf("(%s ? %s : %s)", g.expr(depth-1), g.expr(depth-1), g.expr(depth-1))
+	}
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, g.expr(depth-1))
+}
+
+// stateUpdate emits an update in (or near) the atom grammar so a useful
+// fraction of programs compiles.
+func (g *progGen) stateUpdate(depth int) {
+	v := g.stateRef()
+	g.indent(depth)
+	switch g.rng.Intn(4) {
+	case 0:
+		fmt.Fprintf(&g.b, "%s = %s + %s;\n", v, v, g.operand())
+	case 1:
+		fmt.Fprintf(&g.b, "%s = %s - %s;\n", v, v, g.operand())
+	case 2:
+		fmt.Fprintf(&g.b, "%s = %s;\n", v, g.operand())
+	default:
+		fmt.Fprintf(&g.b, "%s = %d;\n", v, g.rng.Intn(32))
+	}
+}
+
+func (g *progGen) operand() string {
+	if g.rng.Intn(2) == 0 {
+		return fmt.Sprintf("%d", g.rng.Intn(32))
+	}
+	return g.field()
+}
+
+func (g *progGen) stmt(depth int) {
+	if depth < 3 && g.rng.Intn(4) == 0 {
+		// Conditional block, possibly with else.
+		g.indent(depth)
+		fmt.Fprintf(&g.b, "if (%s) {\n", g.expr(1))
+		inner := 1 + g.rng.Intn(2)
+		for i := 0; i < inner; i++ {
+			g.stmt(depth + 1)
+		}
+		g.indent(depth)
+		if g.rng.Intn(2) == 0 {
+			g.b.WriteString("} else {\n")
+			for i := 0; i < 1+g.rng.Intn(2); i++ {
+				g.stmt(depth + 1)
+			}
+			g.indent(depth)
+		}
+		g.b.WriteString("}\n")
+		return
+	}
+	if g.rng.Intn(3) == 0 {
+		g.stateUpdate(depth)
+		return
+	}
+	g.indent(depth)
+	fmt.Fprintf(&g.b, "%s = %s;\n", g.scratch(), g.expr(2))
+}
+
+func TestFuzzCompilerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260611))
+	g := &progGen{rng: rng}
+
+	compiled, rejected := 0, 0
+	const programs = 400
+	for pi := 0; pi < programs; pi++ {
+		src := g.generate()
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("generator produced invalid syntax: %v\n%s", err, src)
+		}
+		info, err := sema.Check(prog)
+		if err != nil {
+			t.Fatalf("generator produced semantic error: %v\n%s", err, src)
+		}
+		norm, err := passes.Normalize(info)
+		if err != nil {
+			// The only legal normalization failure is index instability,
+			// which the generator's fixed index cannot produce.
+			t.Fatalf("normalize: %v\n%s", err, src)
+		}
+
+		// Property 1: normalization preserves semantics.
+		ref := interp.New(info)
+		irState := interp.NewState(info)
+		for round := 0; round < 50; round++ {
+			in := interp.Packet{}
+			for _, f := range info.Fields {
+				in[f] = int32(rng.Intn(64) - 16)
+			}
+			refPkt := in.Clone()
+			if err := ref.Run(refPkt); err != nil {
+				t.Fatalf("interp: %v\n%s", err, src)
+			}
+			irPkt := in.Clone()
+			if err := norm.IR.Eval(info, irState, irPkt); err != nil {
+				t.Fatalf("ir eval: %v\n%s", err, src)
+			}
+			for _, f := range info.Fields {
+				if refPkt[f] != irPkt[norm.IR.FinalVersion[f]] {
+					t.Fatalf("program %d round %d: field %s interp=%d ir=%d\n%s",
+						pi, round, f, refPkt[f], irPkt[norm.IR.FinalVersion[f]], src)
+				}
+			}
+			if !ref.State().Equal(irState) {
+				t.Fatalf("program %d: IR state diverged\n%s", pi, src)
+			}
+		}
+
+		// Property 2: if it compiles, the pipeline is serializable.
+		cp, err := codegen.Compile(info, norm.IR, codegen.NewTarget(atoms.Pairs))
+		if err != nil {
+			rejected++
+			continue
+		}
+		compiled++
+		m, err := New(cp)
+		if err != nil {
+			t.Fatalf("banzai: %v\n%s", err, src)
+		}
+		ref2 := interp.New(info)
+		var want, got []interp.Packet
+		for round := 0; round < 100; round++ {
+			in := interp.Packet{}
+			for _, f := range info.Fields {
+				in[f] = int32(rng.Intn(64) - 16)
+			}
+			refPkt := in.Clone()
+			if err := ref2.Run(refPkt); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, refPkt)
+			if out, ok := m.Tick(in); ok {
+				got = append(got, out)
+			}
+		}
+		got = append(got, m.Drain()...)
+		if len(got) != len(want) {
+			t.Fatalf("program %d: %d packets out, want %d\n%s", pi, len(got), len(want), src)
+		}
+		for i := range want {
+			for _, f := range info.Fields {
+				if want[i][f] != got[i][f] {
+					t.Fatalf("program %d packet %d field %s: serial=%d pipeline=%d\n%s",
+						pi, i, f, want[i][f], got[i][f], src)
+				}
+			}
+		}
+		if !ref2.State().Equal(m.State()) {
+			t.Fatalf("program %d: pipeline state diverged\n%s", pi, src)
+		}
+	}
+
+	t.Logf("fuzz: %d programs compiled, %d rejected (both paths exercised)", compiled, rejected)
+	if compiled == 0 {
+		t.Fatal("no generated program compiled; generator too hostile to be useful")
+	}
+	if rejected == 0 {
+		t.Fatal("no generated program was rejected; generator too tame to be useful")
+	}
+}

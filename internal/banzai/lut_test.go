@@ -1,0 +1,122 @@
+package banzai
+
+import (
+	"testing"
+
+	"domino/internal/algorithms"
+	"domino/internal/atoms"
+	"domino/internal/codegen"
+	"domino/internal/interp"
+	"domino/internal/parser"
+	"domino/internal/passes"
+	"domino/internal/sema"
+)
+
+func lutMachine(t *testing.T, src string) *Machine {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := passes.Normalize(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := codegen.NewTarget(atoms.Pairs)
+	tgt.Name = "Pairs+LUT"
+	tgt.LookupTables = true
+	p, err := codegen.Compile(info, res.IR, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCoDelLUTBehaviour runs the decoupled CoDel variant on a LUT-equipped
+// target: packets below the sojourn target are never dropped; a sustained
+// standing queue eventually triggers drops with increasing frequency.
+func TestCoDelLUTBehaviour(t *testing.T) {
+	m := lutMachine(t, algorithms.CoDelLUT)
+
+	// Phase 1: low sojourn — no drops.
+	now := int32(0)
+	for i := 0; i < 500; i++ {
+		now += 2
+		out, err := m.Process(interp.Packet{"now": now, "sojourn": 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out["drop"] != 0 {
+			t.Fatalf("dropped a packet with sojourn below target at t=%d", now)
+		}
+	}
+
+	// Phase 2: persistent standing queue — drops must start.
+	drops := 0
+	for i := 0; i < 3000; i++ {
+		now += 2
+		out, err := m.Process(interp.Packet{"now": now, "sojourn": 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out["drop"] == 1 {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Fatal("no drops despite a sustained standing queue")
+	}
+	if drops > 2900 {
+		t.Fatalf("dropped %d of 3000 packets; control law not pacing", drops)
+	}
+
+	// Phase 3: queue clears — dropping state exits.
+	var last interp.Packet
+	for i := 0; i < 50; i++ {
+		now += 2
+		out, err := m.Process(interp.Packet{"now": now, "sojourn": 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = out
+	}
+	if last["drop"] != 0 {
+		t.Fatal("still dropping after the queue cleared")
+	}
+}
+
+// TestLUTSqrtInPipeline checks the lookup-table unit end to end on a tiny
+// program: the pipeline's sqrt is the LUT approximation.
+func TestLUTSqrtInPipeline(t *testing.T) {
+	m := lutMachine(t, `
+struct Packet { int x; int r; };
+void t(struct Packet pkt) { pkt.r = sqrt(pkt.x); }
+`)
+	cases := []struct{ in, exact int32 }{{0, 0}, {16, 4}, {100, 10}, {255, 16}}
+	for _, c := range cases {
+		out, err := m.Process(interp.Packet{"x": c.in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Below 256 the table is exact.
+		if out["r"] != c.exact {
+			t.Errorf("sqrt(%d) = %d, want %d", c.in, out["r"], c.exact)
+		}
+	}
+	// Large inputs: within the table's 5% error bound.
+	out, err := m.Process(interp.Packet{"x": 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["r"] < 973 || out["r"] > 1075 {
+		t.Errorf("sqrt(2^20) = %d, want 1024 ± 5%%", out["r"])
+	}
+}

@@ -1,0 +1,223 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"domino/internal/atoms"
+	"domino/internal/ir"
+	"domino/internal/parser"
+	"domino/internal/passes"
+	"domino/internal/sema"
+)
+
+func front(t *testing.T, src string) (*sema.Info, *ir.Program) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	res, err := passes.Normalize(info)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return info, res.IR
+}
+
+const flowletSrc = `
+#define NUM_FLOWLETS 8000
+#define THRESHOLD 5
+#define NUM_HOPS 10
+struct Packet {
+  int sport; int dport; int new_hop; int arrival; int next_hop; int id;
+};
+int last_time[NUM_FLOWLETS] = {0};
+int saved_hop[NUM_FLOWLETS] = {0};
+void flowlet(struct Packet pkt) {
+  pkt.new_hop = hash3(pkt.sport, pkt.dport, pkt.arrival) % NUM_HOPS;
+  pkt.id = hash2(pkt.sport, pkt.dport) % NUM_FLOWLETS;
+  if (pkt.arrival - last_time[pkt.id] > THRESHOLD) {
+    saved_hop[pkt.id] = pkt.new_hop;
+  }
+  last_time[pkt.id] = pkt.arrival;
+  pkt.next_hop = saved_hop[pkt.id];
+}
+`
+
+func TestFlowletLeastTargetIsPRAW(t *testing.T) {
+	info, irp := front(t, flowletSrc)
+	p, ok, err := LeastTarget(info, irp)
+	if !ok {
+		t.Fatalf("flowlet did not compile on any target: %v", err)
+	}
+	if p.Target.StatefulAtom != atoms.PRAW {
+		t.Fatalf("least target = %s, want PRAW (Table 4)", p.Target)
+	}
+	if p.NumStages() != 6 || p.MaxAtomsPerStage() != 2 {
+		t.Fatalf("pipeline = %d stages / %d atoms, want 6 / 2:\n%s",
+			p.NumStages(), p.MaxAtomsPerStage(), p.Describe())
+	}
+}
+
+func TestContainmentAcrossTargets(t *testing.T) {
+	info, irp := front(t, flowletSrc)
+	var accepted []string
+	for _, tg := range Targets() {
+		if _, err := Compile(info, irp, tg); err == nil {
+			accepted = append(accepted, tg.Name)
+		}
+	}
+	// PRAW and everything above must accept; Write and RAW must reject.
+	want := []string{"PRAW", "IfElseRAW", "Sub", "Nested", "Pairs"}
+	if strings.Join(accepted, ",") != strings.Join(want, ",") {
+		t.Fatalf("accepting targets = %v, want %v", accepted, want)
+	}
+}
+
+func TestRejectionIsAllOrNothing(t *testing.T) {
+	info, irp := front(t, flowletSrc)
+	_, err := Compile(info, irp, NewTarget(atoms.Write))
+	if err == nil {
+		t.Fatal("flowlet must not compile on the Write target")
+	}
+	ce, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *codegen.Error", err)
+	}
+	if !strings.Contains(ce.Error(), "cannot run at line rate") {
+		t.Fatalf("rejection message %q lacks the line-rate guarantee phrasing", ce)
+	}
+}
+
+func TestDepthRejection(t *testing.T) {
+	// A long dependent chain needs one stage per operation; with depth 4 it
+	// must be rejected outright.
+	src := `
+struct Packet { int a; };
+void t(struct Packet pkt) {
+  pkt.a = pkt.a + 1;
+  pkt.a = pkt.a + 2;
+  pkt.a = pkt.a + 3;
+  pkt.a = pkt.a + 4;
+  pkt.a = pkt.a + 5;
+  pkt.a = pkt.a + 6;
+}
+`
+	info, irp := front(t, src)
+	tg := NewTarget(atoms.Pairs)
+	tg.PipelineDepth = 4
+	_, err := Compile(info, irp, tg)
+	if err == nil || !strings.Contains(err.Error(), "pipeline stages") {
+		t.Fatalf("expected depth rejection, got %v", err)
+	}
+}
+
+func TestWidthSpreading(t *testing.T) {
+	// Eight independent stateless ops in one stage; with width 3 they must
+	// spread over ceil(8/3)=3 stages and still compile.
+	src := `
+struct Packet { int a; int b; int c; int d; int e; int f; int g; int h; };
+void t(struct Packet pkt) {
+  pkt.a = pkt.a + 1;
+  pkt.b = pkt.b + 1;
+  pkt.c = pkt.c + 1;
+  pkt.d = pkt.d + 1;
+  pkt.e = pkt.e + 1;
+  pkt.f = pkt.f + 1;
+  pkt.g = pkt.g + 1;
+  pkt.h = pkt.h + 1;
+}
+`
+	info, irp := front(t, src)
+	tg := NewTarget(atoms.Pairs)
+	tg.StatelessPerStage = 3
+	p, err := Compile(info, irp, tg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if p.NumStages() != 3 {
+		t.Fatalf("stages = %d, want 3 after spreading:\n%s", p.NumStages(), p.Describe())
+	}
+	if p.MaxAtomsPerStage() > 3 {
+		t.Fatalf("width limit violated: %d", p.MaxAtomsPerStage())
+	}
+}
+
+func TestStatefulWidthSpreading(t *testing.T) {
+	src := `
+struct Packet { int a; };
+int x1; int x2; int x3; int x4;
+void t(struct Packet pkt) {
+  x1 = x1 + pkt.a;
+  x2 = x2 + pkt.a;
+  x3 = x3 + pkt.a;
+  x4 = x4 + pkt.a;
+}
+`
+	info, irp := front(t, src)
+	tg := NewTarget(atoms.Pairs)
+	tg.StatefulPerStage = 2
+	p, err := Compile(info, irp, tg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if p.NumStages() != 2 {
+		t.Fatalf("stages = %d, want 2 after stateful spreading:\n%s", p.NumStages(), p.Describe())
+	}
+}
+
+func TestDefaultTargetsMatchPaper(t *testing.T) {
+	ts := Targets()
+	if len(ts) != 7 {
+		t.Fatalf("targets = %d, want 7 (Table 3)", len(ts))
+	}
+	for _, tg := range ts {
+		if tg.PipelineDepth != 32 || tg.StatefulPerStage != 10 || tg.StatelessPerStage != 300 {
+			t.Errorf("target %s limits = %d/%d/%d, want 32/10/300 (§5.2)",
+				tg.Name, tg.PipelineDepth, tg.StatefulPerStage, tg.StatelessPerStage)
+		}
+	}
+	if ts[0].StatefulAtom != atoms.Write || ts[6].StatefulAtom != atoms.Pairs {
+		t.Error("hierarchy order broken")
+	}
+}
+
+func TestSqrtNeverMaps(t *testing.T) {
+	src := `
+struct Packet { int count; int out; };
+void t(struct Packet pkt) { pkt.out = sqrt(pkt.count); }
+`
+	info, irp := front(t, src)
+	if _, ok, _ := LeastTarget(info, irp); ok {
+		t.Fatal("sqrt must not map to any target (paper §5.3, CoDel)")
+	}
+}
+
+func TestLeastAtomRecorded(t *testing.T) {
+	info, irp := front(t, flowletSrc)
+	p, err := Compile(info, irp, NewTarget(atoms.Pairs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LeastAtom != atoms.PRAW {
+		t.Fatalf("LeastAtom = %s, want PRAW even on a Pairs target", p.LeastAtom)
+	}
+}
+
+func TestDescribeListsStages(t *testing.T) {
+	info, irp := front(t, flowletSrc)
+	p, err := Compile(info, irp, NewTarget(atoms.PRAW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Describe()
+	for _, want := range []string{"Stage 1:", "Stage 6:", "[PRAW]", "[Write]", "[Stateless]"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe() missing %q:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"domino/internal/algorithms"
+	"domino/internal/atoms"
+)
+
+// TestCoDelCompilesWithLookupTables exercises the paper's §5.3 future-work
+// extension: "One possibility is a look-up table abstraction that allows us
+// to approximate such mathematical functions." The decoupled CoDel variant
+// (algorithms.CoDelLUT) compiles once the LUT unit provides sqrt and
+// division; stock CoDel stays rejected even with LUTs because its control
+// law also closes a cycle through two state variables.
+func TestCoDelCompilesWithLookupTables(t *testing.T) {
+	a, err := algorithms.ByName("codel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, irp := front(t, a.Source)
+
+	// Stock CoDel: rejected on every target (Table 4's "doesn't map").
+	if _, ok, _ := LeastTarget(info, irp); ok {
+		t.Fatal("CoDel must not compile on the default targets")
+	}
+
+	tgt := NewTarget(atoms.Pairs)
+	tgt.Name = "Pairs+LUT"
+	tgt.LookupTables = true
+
+	// Stock CoDel stays rejected even with LUTs (the state cycle).
+	if _, err := Compile(info, irp, tgt); err == nil {
+		t.Fatal("fully coupled CoDel must stay rejected: its feedback loop spans two state variables")
+	}
+
+	// The decoupled variant: rejected without LUTs, accepted with them.
+	infoL, irpL := front(t, algorithms.CoDelLUT)
+	if _, ok, _ := LeastTarget(infoL, irpL); ok {
+		t.Fatal("CoDelLUT must not compile without lookup tables (sqrt)")
+	}
+	p, err := Compile(infoL, irpL, tgt)
+	if err != nil {
+		t.Fatalf("CoDelLUT with lookup tables: %v", err)
+	}
+	if p.NumStages() > 32 {
+		t.Fatalf("CoDelLUT needs %d stages", p.NumStages())
+	}
+	if p.LeastAtom > atoms.Nested {
+		t.Fatalf("CoDelLUT's stateful codelets need %s; expected ≤ Nested", p.LeastAtom)
+	}
+}
+
+// TestLUTDoesNotWeakenOtherRejections: lookup tables approximate sqrt and
+// division only; multiplication and deep predication remain rejected.
+func TestLUTDoesNotWeakenOtherRejections(t *testing.T) {
+	src := `
+struct Packet { int a; int b; int f; };
+void t(struct Packet pkt) { pkt.f = pkt.a * pkt.b; }
+`
+	info, irp := front(t, src)
+	tgt := NewTarget(atoms.Pairs)
+	tgt.LookupTables = true
+	if _, err := Compile(info, irp, tgt); err == nil {
+		t.Fatal("general multiplication must stay rejected even with LUTs")
+	} else if !strings.Contains(err.Error(), "stateless atom") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestLUTDivisionCompiles(t *testing.T) {
+	src := `
+struct Packet { int a; int b; int f; };
+void t(struct Packet pkt) { pkt.f = pkt.a / pkt.b; }
+`
+	info, irp := front(t, src)
+	tgt := NewTarget(atoms.Write)
+	if _, err := Compile(info, irp, tgt); err == nil {
+		t.Fatal("general division must be rejected without LUTs")
+	}
+	tgt.LookupTables = true
+	if _, err := Compile(info, irp, tgt); err != nil {
+		t.Fatalf("division with LUTs: %v", err)
+	}
+}

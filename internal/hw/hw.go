@@ -1,0 +1,227 @@
+// Package hw models the hardware cost of Banzai atoms: die area and
+// critical-path delay in a 32 nm standard-cell library at a 1 GHz clock.
+//
+// The paper obtained these numbers by synthesizing each atom with the
+// Synopsys Design Compiler (§5.2); that toolchain and cell library are
+// proprietary, so this package reconstructs the same scalars from circuit
+// structure: each atom is an explicit inventory of datapath components
+// (muxes, adders/subtractors, comparators, predication logic, configuration
+// registers) with a register-to-register critical path. Component constants
+// are calibrated against the published Table 3 / Table 5 / Table 6 figures;
+// the orderings and growth — the paper's actual claims — come from the
+// circuit structure itself. See DESIGN.md §4 for the substitution rationale.
+package hw
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"domino/internal/atoms"
+)
+
+// Component is a datapath building block with its 32 nm area and
+// propagation delay.
+type Component struct {
+	Name  string
+	Area  float64 // µm²
+	Delay float64 // ps
+}
+
+// The calibrated 32 nm cell sub-library (32-bit datapath widths).
+var lib = map[string]Component{
+	"xbar_port": {"crossbar port driver", 40, 38},  // header-vector access, each side
+	"flop32":    {"32-bit state register", 55, 0},  // clk-to-q folded into xbar_port
+	"const32":   {"32-bit config register", 22, 0}, // static after configuration
+	"mux2":      {"2-to-1 mux", 48, 100},
+	"mux3":      {"3-to-1 mux", 78, 118},
+	"adder32":   {"32-bit adder", 125, 140},
+	"addsub32":  {"32-bit adder-subtractor", 150, 156},
+	"cmp32":     {"32-bit relational comparator", 96, 118},
+	"pgate":     {"predicated-select network", 62, 77},
+	"pcomb":     {"4-way predication combine", 30, 94},
+	"pairsel":   {"cross-register select", 34, 29},
+	"shift32":   {"32-bit barrel shifter", 380, 220},
+	"logic32":   {"32-bit and/or/xor unit", 120, 40},
+	"mux4":      {"4-to-1 result mux", 130, 110},
+	"opreg":     {"operand staging register", 55, 0},
+}
+
+// Circuit is the gate-level structure of one atom: a component inventory
+// and the register-to-register critical path.
+type Circuit struct {
+	Kind atoms.Kind
+	// Inventory counts each component instance.
+	Inventory map[string]int
+	// Path is the critical path as a component sequence (input crossbar
+	// port through to output port/register setup).
+	Path []string
+}
+
+// add merges counts into the inventory.
+func (c *Circuit) add(counts map[string]int) {
+	for k, n := range counts {
+		c.Inventory[k] += n
+	}
+}
+
+// CircuitFor constructs the circuit model of an atom kind, mirroring the
+// structures in paper Table 6 (Write, RAW, PRAW are drawn there; the rest
+// extend them the way the template hierarchy extends).
+func CircuitFor(k atoms.Kind) *Circuit {
+	c := &Circuit{Kind: k, Inventory: map[string]int{}}
+	switch k {
+	case atoms.Stateless:
+		// One full ALU: staged operands feeding adder-subtractor, barrel
+		// shifter, logic unit and comparator in parallel, a conditional-move
+		// mux, and a 4-to-1 result select.
+		c.add(map[string]int{
+			"xbar_port": 2, "opreg": 2, "mux3": 2, "const32": 3,
+			"addsub32": 1, "shift32": 1, "logic32": 1, "cmp32": 1,
+			"mux2": 2, "mux4": 1,
+		})
+		c.Path = []string{"xbar_port", "shift32", "mux4", "xbar_port"}
+	case atoms.Write:
+		// Table 6 row 1: operand mux into the register, old value tapped out.
+		c.add(map[string]int{
+			"xbar_port": 2, "flop32": 1, "const32": 1, "mux2": 2,
+		})
+		c.Path = []string{"xbar_port", "mux2", "xbar_port"}
+	case atoms.ReadAddWrite:
+		// Table 6 row 2: adder in the loop, mux selecting add vs write.
+		c = CircuitFor(atoms.Write)
+		c.Kind = k
+		c.add(map[string]int{"adder32": 1, "mux2": 1})
+		c.Path = []string{"xbar_port", "adder32", "mux2", "xbar_port"}
+	case atoms.PRAW:
+		// Table 6 row 3: predicate block (two 3-to-1 operand muxes feeding a
+		// comparator) gating the update through a predicated select.
+		c = CircuitFor(atoms.ReadAddWrite)
+		c.Kind = k
+		c.add(map[string]int{"mux3": 2, "cmp32": 1, "const32": 2, "pgate": 1})
+		c.Path = []string{"xbar_port", "adder32", "mux2", "pgate", "xbar_port"}
+	case atoms.IfElseRAW:
+		// A second RAW update path for the predicate-false side.
+		c = CircuitFor(atoms.PRAW)
+		c.Kind = k
+		c.add(map[string]int{"adder32": 1, "mux2": 1, "const32": 1})
+		c.Path = []string{"xbar_port", "adder32", "mux2", "pgate", "xbar_port"}
+	case atoms.Sub:
+		// Each branch gains subtract capability: two adder-subtractors per
+		// branch so x+op and x-op are simultaneously available to the mux.
+		c = CircuitFor(atoms.IfElseRAW)
+		c.Kind = k
+		c.Inventory["adder32"] -= 2
+		c.add(map[string]int{"addsub32": 4, "mux2": 2, "const32": 2})
+		c.Path = []string{"xbar_port", "addsub32", "mux2", "pgate", "xbar_port"}
+	case atoms.Nested:
+		// Two Sub-style halves under a second predication level (4-way),
+		// sharing one state register, plus two more predicate blocks.
+		sub := CircuitFor(atoms.Sub)
+		c.Kind = k
+		for comp, n := range sub.Inventory {
+			c.Inventory[comp] += 2 * n
+		}
+		c.Inventory["flop32"] -= 1    // the halves share the register
+		c.Inventory["xbar_port"] -= 2 // and the port drivers
+		c.add(map[string]int{"mux3": 4, "cmp32": 2, "const32": 4, "pgate": 2, "pcomb": 1})
+		c.Path = []string{"xbar_port", "addsub32", "mux2", "pgate", "pgate", "pcomb", "xbar_port"}
+	case atoms.Pairs:
+		// Two Nested datapaths over a register pair, sharing the predicate
+		// blocks, whose operand muxes widen to admit both registers.
+		nested := CircuitFor(atoms.Nested)
+		c.Kind = k
+		for comp, n := range nested.Inventory {
+			c.Inventory[comp] += 2 * n
+		}
+		// Shared predicate blocks: remove one set.
+		c.Inventory["mux3"] -= 8
+		c.Inventory["cmp32"] -= 4
+		c.Inventory["const32"] -= 8
+		c.Inventory["pcomb"] -= 1
+		c.add(map[string]int{"pairsel": 4})
+		c.Path = []string{"xbar_port", "addsub32", "mux2", "pgate", "pgate", "pcomb", "pairsel", "xbar_port"}
+	default:
+		panic(fmt.Sprintf("hw: unknown atom kind %v", k))
+	}
+	return c
+}
+
+// Area returns the atom's die area in µm² (paper Table 3).
+func (c *Circuit) Area() float64 {
+	var a float64
+	for comp, n := range c.Inventory {
+		a += lib[comp].Area * float64(n)
+	}
+	return a
+}
+
+// MinDelay returns the critical-path delay in picoseconds (paper Table 5).
+func (c *Circuit) MinDelay() float64 {
+	var d float64
+	for _, comp := range c.Path {
+		d += lib[comp].Delay
+	}
+	return d
+}
+
+// MeetsTiming reports whether the atom closes timing at the given clock
+// frequency in GHz (paper Table 3: "All atoms meet timing at 1 GHz").
+func (c *Circuit) MeetsTiming(freqGHz float64) bool {
+	return c.MinDelay() <= 1000.0/freqGHz
+}
+
+// MaxLineRateGpps returns the highest line rate the atom sustains, in
+// billion packets per second: the inverse of its minimum delay (paper §5.4).
+func (c *Circuit) MaxLineRateGpps() float64 {
+	return 1000.0 / c.MinDelay()
+}
+
+// Diagram renders the circuit structure as text: the Table 6 analogue.
+func (c *Circuit) Diagram() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s atom (%0.0f µm², min delay %0.0f ps)\n", c.Kind, c.Area(), c.MinDelay())
+	b.WriteString("  components:\n")
+	names := make([]string, 0, len(c.Inventory))
+	for comp := range c.Inventory {
+		names = append(names, comp)
+	}
+	sort.Strings(names)
+	for _, comp := range names {
+		if c.Inventory[comp] > 0 {
+			fmt.Fprintf(&b, "    %2d × %-28s %6.0f µm² each\n", c.Inventory[comp], lib[comp].Name, lib[comp].Area)
+		}
+	}
+	b.WriteString("  critical path: ")
+	for i, comp := range c.Path {
+		if i > 0 {
+			b.WriteString(" → ")
+		}
+		fmt.Fprintf(&b, "%s (%0.0fps)", lib[comp].Name, lib[comp].Delay)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// PaperArea and PaperDelay are the published Table 3 / Table 5 figures, for
+// side-by-side reporting in EXPERIMENTS.md and the benchmark harness.
+var PaperArea = map[atoms.Kind]float64{
+	atoms.Stateless:    1384,
+	atoms.Write:        250,
+	atoms.ReadAddWrite: 431,
+	atoms.PRAW:         791,
+	atoms.IfElseRAW:    985,
+	atoms.Sub:          1522,
+	atoms.Nested:       3597,
+	atoms.Pairs:        5997,
+}
+
+var PaperDelay = map[atoms.Kind]float64{
+	atoms.Write:        176,
+	atoms.ReadAddWrite: 316,
+	atoms.PRAW:         393,
+	atoms.IfElseRAW:    392,
+	atoms.Sub:          409,
+	atoms.Nested:       580,
+	atoms.Pairs:        609,
+}

@@ -1,0 +1,165 @@
+package hw
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"domino/internal/atoms"
+)
+
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / want
+}
+
+// TestAreasAgainstPaper checks the calibrated model against paper Table 3
+// within 10%.
+func TestAreasAgainstPaper(t *testing.T) {
+	for k, want := range PaperArea {
+		got := CircuitFor(k).Area()
+		if e := relErr(got, want); e > 0.10 {
+			t.Errorf("%s area = %.0f µm², paper %.0f µm² (%.0f%% off)", k, got, want, e*100)
+		}
+	}
+}
+
+// TestDelaysAgainstPaper checks the model against paper Table 5 within 5%.
+func TestDelaysAgainstPaper(t *testing.T) {
+	for k, want := range PaperDelay {
+		got := CircuitFor(k).MinDelay()
+		if e := relErr(got, want); e > 0.05 {
+			t.Errorf("%s delay = %.0f ps, paper %.0f ps (%.1f%% off)", k, got, want, e*100)
+		}
+	}
+}
+
+// TestAreaMonotoneInHierarchy: a more expressive atom occupies more area
+// (Table 3's trend).
+func TestAreaMonotoneInHierarchy(t *testing.T) {
+	h := atoms.StatefulHierarchy
+	for i := 1; i < len(h); i++ {
+		prev := CircuitFor(h[i-1]).Area()
+		cur := CircuitFor(h[i]).Area()
+		if cur <= prev {
+			t.Errorf("area(%s)=%.0f ≤ area(%s)=%.0f; hierarchy must grow", h[i], cur, h[i-1], prev)
+		}
+	}
+}
+
+// TestDelayGrowsWithDepth: circuit depth (path length) drives delay
+// (Table 6's point).
+func TestDelayGrowsWithDepth(t *testing.T) {
+	pairs := [][2]atoms.Kind{
+		{atoms.Write, atoms.ReadAddWrite},
+		{atoms.ReadAddWrite, atoms.PRAW},
+		{atoms.Sub, atoms.Nested},
+		{atoms.Nested, atoms.Pairs},
+	}
+	for _, p := range pairs {
+		lo, hi := CircuitFor(p[0]).MinDelay(), CircuitFor(p[1]).MinDelay()
+		if hi <= lo {
+			t.Errorf("delay(%s)=%.0f ≤ delay(%s)=%.0f", p[1], hi, p[0], lo)
+		}
+	}
+}
+
+// TestAllAtomsMeetTimingAt1GHz reproduces Table 3's timing claim.
+func TestAllAtomsMeetTimingAt1GHz(t *testing.T) {
+	for k := range PaperArea {
+		c := CircuitFor(k)
+		if !c.MeetsTiming(1.0) {
+			t.Errorf("%s fails timing at 1 GHz: %.0f ps", k, c.MinDelay())
+		}
+	}
+}
+
+// TestMaxLineRates reproduces Table 5's performance column (1/delay).
+func TestMaxLineRates(t *testing.T) {
+	want := map[atoms.Kind]float64{
+		atoms.Write:        5.68,
+		atoms.ReadAddWrite: 3.16,
+		atoms.PRAW:         2.54,
+		atoms.IfElseRAW:    2.55,
+		atoms.Sub:          2.44,
+		atoms.Nested:       1.72,
+		atoms.Pairs:        1.64,
+	}
+	for k, w := range want {
+		got := CircuitFor(k).MaxLineRateGpps()
+		if e := relErr(got, w); e > 0.05 {
+			t.Errorf("%s max line rate = %.2f Gpps, paper %.2f (%.1f%% off)", k, got, w, e*100)
+		}
+	}
+}
+
+// TestWriteRAWExactCalibration: the two simplest circuits are calibrated to
+// land exactly on the paper's figures.
+func TestWriteRAWExactCalibration(t *testing.T) {
+	if d := CircuitFor(atoms.Write).MinDelay(); d != 176 {
+		t.Errorf("Write delay = %.0f, want 176 (Table 6)", d)
+	}
+	if d := CircuitFor(atoms.ReadAddWrite).MinDelay(); d != 316 {
+		t.Errorf("RAW delay = %.0f, want 316 (Table 6)", d)
+	}
+	if d := CircuitFor(atoms.PRAW).MinDelay(); d != 393 {
+		t.Errorf("PRAW delay = %.0f, want 393 (Table 6)", d)
+	}
+}
+
+func TestDiagramMentionsComponents(t *testing.T) {
+	d := CircuitFor(atoms.PRAW).Diagram()
+	for _, want := range []string{"comparator", "adder", "critical path", "µm²"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("PRAW diagram missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestInventoryCountsPositive(t *testing.T) {
+	for k := range PaperArea {
+		c := CircuitFor(k)
+		for comp, n := range c.Inventory {
+			if n < 0 {
+				t.Errorf("%s: component %s has negative count %d", k, comp, n)
+			}
+			if _, ok := lib[comp]; !ok {
+				t.Errorf("%s: unknown component %q", k, comp)
+			}
+		}
+		for _, comp := range c.Path {
+			if _, ok := lib[comp]; !ok {
+				t.Errorf("%s: unknown path component %q", k, comp)
+			}
+		}
+	}
+}
+
+// TestProvisioning reproduces §5.2: ~10000 stateless atoms (~300/stage),
+// ~1% stateful overhead, ~8 mm² crossbar (~4%), ~12% total.
+func TestProvisioning(t *testing.T) {
+	p := Provision(atoms.Pairs)
+	if p.StatelessAtomsTotal < 9000 || p.StatelessAtomsTotal > 11000 {
+		t.Errorf("stateless atoms = %d, want ≈10000", p.StatelessAtomsTotal)
+	}
+	if p.StatelessAtomsPerStage < 280 || p.StatelessAtomsPerStage > 330 {
+		t.Errorf("stateless/stage = %d, want ≈300", p.StatelessAtomsPerStage)
+	}
+	if p.StatefulOverheadPct > 1.5 {
+		t.Errorf("stateful overhead = %.2f%%, want ≈1%%", p.StatefulOverheadPct)
+	}
+	if p.CrossbarMM2 < 7 || p.CrossbarMM2 > 9 {
+		t.Errorf("crossbar = %.1f mm², want ≈8", p.CrossbarMM2)
+	}
+	if p.TotalOverheadPct < 10 || p.TotalOverheadPct > 15 {
+		t.Errorf("total overhead = %.1f%%, want ≈12%% (<15%% per the abstract)", p.TotalOverheadPct)
+	}
+}
+
+func TestProvisioningReport(t *testing.T) {
+	s := Provision(atoms.Pairs).String()
+	for _, want := range []string{"stateless", "stateful", "crossbar", "total overhead"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}

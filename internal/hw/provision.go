@@ -1,0 +1,71 @@
+package hw
+
+import (
+	"fmt"
+	"strings"
+
+	"domino/internal/atoms"
+)
+
+// Provisioning reproduces the §5.2 resource-limit arithmetic: how many
+// atoms a 200 mm² switching chip can afford, and the resulting area
+// overhead.
+type Provisioning struct {
+	// Inputs (paper constants).
+	ChipAreaMM2          float64 // 200 mm², the smallest chip in Gibb et al.
+	StatelessOverheadPct float64 // 7%, RMT's action-unit overhead
+	Stages               int     // 32, as in RMT
+	StatefulPerStage     int     // 10, the paper's choice
+	RMTCrossbarMM2       float64 // 6 mm² for 224 action units
+	RMTActionUnits       int     // 224
+
+	// Derived.
+	StatelessAtomsTotal    int
+	StatelessAtomsPerStage int
+	StatefulOverheadPct    float64
+	CrossbarMM2            float64
+	CrossbarOverheadPct    float64
+	TotalOverheadPct       float64
+}
+
+// Provision computes the chip budget when the stateful atom is k.
+func Provision(k atoms.Kind) Provisioning {
+	p := Provisioning{
+		ChipAreaMM2:          200,
+		StatelessOverheadPct: 7,
+		Stages:               32,
+		StatefulPerStage:     10,
+		RMTCrossbarMM2:       6,
+		RMTActionUnits:       224,
+	}
+	statelessArea := CircuitFor(atoms.Stateless).Area()          // µm²
+	budget := p.ChipAreaMM2 * 1e6 * p.StatelessOverheadPct / 100 // µm²
+	p.StatelessAtomsTotal = int(budget / statelessArea)
+	p.StatelessAtomsPerStage = p.StatelessAtomsTotal / p.Stages
+
+	statefulArea := CircuitFor(k).Area()
+	statefulTotal := float64(p.StatefulPerStage*p.Stages) * statefulArea
+	p.StatefulOverheadPct = statefulTotal / (p.ChipAreaMM2 * 1e6) * 100
+
+	// Crossbar scaled linearly from RMT's 6 mm² for 224 units to our
+	// per-stage stateless atom count (paper: "Scaling this proportionally to
+	// 300 atoms, we estimate a crossbar area of 8 mm²").
+	p.CrossbarMM2 = p.RMTCrossbarMM2 * float64(p.StatelessAtomsPerStage) / float64(p.RMTActionUnits)
+	p.CrossbarOverheadPct = p.CrossbarMM2 / p.ChipAreaMM2 * 100
+
+	p.TotalOverheadPct = p.StatelessOverheadPct + p.StatefulOverheadPct + p.CrossbarOverheadPct
+	return p
+}
+
+// String renders the provisioning report.
+func (p Provisioning) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chip %.0f mm², %d stages\n", p.ChipAreaMM2, p.Stages)
+	fmt.Fprintf(&b, "stateless: %d atoms total, %d per stage (%.0f%% overhead)\n",
+		p.StatelessAtomsTotal, p.StatelessAtomsPerStage, p.StatelessOverheadPct)
+	fmt.Fprintf(&b, "stateful:  %d per stage (%.1f%% overhead)\n",
+		p.StatefulPerStage, p.StatefulOverheadPct)
+	fmt.Fprintf(&b, "crossbar:  %.1f mm² (%.1f%% overhead)\n", p.CrossbarMM2, p.CrossbarOverheadPct)
+	fmt.Fprintf(&b, "total overhead: %.1f%%\n", p.TotalOverheadPct)
+	return b.String()
+}

@@ -1,0 +1,354 @@
+// Package interp executes a Domino packet transaction with the paper's
+// specification semantics: one packet at a time, the entire function body
+// run to completion before the next packet (paper §3.1, "Conceptually, the
+// switch invokes the packet transaction function one packet at a time, with
+// no concurrent packet processing").
+//
+// The interpreter is the reference against which every compiler stage is
+// validated: a compiled Banzai pipeline must produce exactly the same packet
+// modifications and state evolution as this interpreter on every input
+// sequence.
+package interp
+
+import (
+	"fmt"
+
+	"domino/internal/ast"
+	"domino/internal/intrinsics"
+	"domino/internal/sema"
+	"domino/internal/token"
+)
+
+// State is the persistent switch state of one transaction: scalars and
+// arrays of 32-bit integers.
+type State struct {
+	Scalars map[string]int32
+	Arrays  map[string][]int32
+}
+
+// NewState allocates zero/initialized state for the declared globals.
+func NewState(info *sema.Info) *State {
+	st := &State{
+		Scalars: make(map[string]int32, len(info.Scalars)),
+		Arrays:  make(map[string][]int32, len(info.Arrays)),
+	}
+	for name, g := range info.Scalars {
+		st.Scalars[name] = g.Init
+	}
+	for name, g := range info.Arrays {
+		arr := make([]int32, g.Size)
+		if g.Init != 0 {
+			for i := range arr {
+				arr[i] = g.Init
+			}
+		}
+		st.Arrays[name] = arr
+	}
+	return st
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	c := &State{
+		Scalars: make(map[string]int32, len(s.Scalars)),
+		Arrays:  make(map[string][]int32, len(s.Arrays)),
+	}
+	for k, v := range s.Scalars {
+		c.Scalars[k] = v
+	}
+	for k, v := range s.Arrays {
+		arr := make([]int32, len(v))
+		copy(arr, v)
+		c.Arrays[k] = arr
+	}
+	return c
+}
+
+// Equal reports whether two states are identical.
+func (s *State) Equal(o *State) bool {
+	if len(s.Scalars) != len(o.Scalars) || len(s.Arrays) != len(o.Arrays) {
+		return false
+	}
+	for k, v := range s.Scalars {
+		if o.Scalars[k] != v {
+			return false
+		}
+	}
+	for k, v := range s.Arrays {
+		ov, ok := o.Arrays[k]
+		if !ok || len(ov) != len(v) {
+			return false
+		}
+		for i := range v {
+			if v[i] != ov[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Packet is a parsed packet: field name → value.
+type Packet map[string]int32
+
+// Clone copies the packet.
+func (p Packet) Clone() Packet {
+	c := make(Packet, len(p))
+	for k, v := range p {
+		c[k] = v
+	}
+	return c
+}
+
+// Interp runs packet transactions against a State.
+type Interp struct {
+	info  *sema.Info
+	state *State
+}
+
+// New creates an interpreter with fresh state.
+func New(info *sema.Info) *Interp {
+	return &Interp{info: info, state: NewState(info)}
+}
+
+// NewWithState creates an interpreter over existing state (not copied).
+func NewWithState(info *sema.Info, st *State) *Interp {
+	return &Interp{info: info, state: st}
+}
+
+// State returns the interpreter's live state.
+func (ip *Interp) State() *State { return ip.state }
+
+// Run executes the transaction on pkt, mutating pkt and the state, exactly
+// once, atomically and in isolation (trivially: the interpreter is serial).
+func (ip *Interp) Run(pkt Packet) error {
+	return ip.execStmt(ip.info.Prog.Func.Body, pkt)
+}
+
+// RunStmt executes a single statement against pkt and the state. The
+// normalization passes use it to interpret their intermediate straight-line
+// forms when proving themselves semantics-preserving.
+func (ip *Interp) RunStmt(s ast.Stmt, pkt Packet) error {
+	return ip.execStmt(s, pkt)
+}
+
+func (ip *Interp) execStmt(s ast.Stmt, pkt Packet) error {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range st.List {
+			if err := ip.execStmt(inner, pkt); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ast.AssignStmt:
+		v, err := ip.eval(st.RHS, pkt)
+		if err != nil {
+			return err
+		}
+		return ip.assign(st.LHS, v, pkt)
+	case *ast.IfStmt:
+		c, err := ip.eval(st.Cond, pkt)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return ip.execStmt(st.Then, pkt)
+		}
+		if st.Else != nil {
+			return ip.execStmt(st.Else, pkt)
+		}
+		return nil
+	}
+	return fmt.Errorf("interp: unexpected statement %T", s)
+}
+
+func (ip *Interp) assign(lhs ast.Expr, v int32, pkt Packet) error {
+	switch lv := lhs.(type) {
+	case *ast.FieldExpr:
+		pkt[lv.Field] = v
+		return nil
+	case *ast.Ident:
+		ip.state.Scalars[lv.Name] = v
+		return nil
+	case *ast.IndexExpr:
+		idx, err := ip.eval(lv.Index, pkt)
+		if err != nil {
+			return err
+		}
+		arr := ip.state.Arrays[lv.Name]
+		i, err := boundsCheck(lv.Name, idx, len(arr))
+		if err != nil {
+			return err
+		}
+		arr[i] = v
+		return nil
+	}
+	return fmt.Errorf("interp: invalid lvalue %s", lhs)
+}
+
+func boundsCheck(name string, idx int32, n int) (int, error) {
+	if idx < 0 || int(idx) >= n {
+		return 0, fmt.Errorf("index %d out of range for state array %s[%d]", idx, name, n)
+	}
+	return int(idx), nil
+}
+
+func (ip *Interp) eval(e ast.Expr, pkt Packet) (int32, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Value, nil
+	case *ast.FieldExpr:
+		return pkt[x.Field], nil
+	case *ast.Ident:
+		return ip.state.Scalars[x.Name], nil
+	case *ast.IndexExpr:
+		idx, err := ip.eval(x.Index, pkt)
+		if err != nil {
+			return 0, err
+		}
+		arr := ip.state.Arrays[x.Name]
+		i, err := boundsCheck(x.Name, idx, len(arr))
+		if err != nil {
+			return 0, err
+		}
+		return arr[i], nil
+	case *ast.UnaryExpr:
+		v, err := ip.eval(x.X, pkt)
+		if err != nil {
+			return 0, err
+		}
+		return EvalUnary(x.Op, v)
+	case *ast.BinaryExpr:
+		a, err := ip.eval(x.X, pkt)
+		if err != nil {
+			return 0, err
+		}
+		// && and || short-circuit, matching C.
+		switch x.Op {
+		case token.LAnd:
+			if a == 0 {
+				return 0, nil
+			}
+			b, err := ip.eval(x.Y, pkt)
+			if err != nil {
+				return 0, err
+			}
+			return boolToInt(b != 0), nil
+		case token.LOr:
+			if a != 0 {
+				return 1, nil
+			}
+			b, err := ip.eval(x.Y, pkt)
+			if err != nil {
+				return 0, err
+			}
+			return boolToInt(b != 0), nil
+		}
+		b, err := ip.eval(x.Y, pkt)
+		if err != nil {
+			return 0, err
+		}
+		return EvalBinary(x.Op, a, b)
+	case *ast.CondExpr:
+		c, err := ip.eval(x.Cond, pkt)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return ip.eval(x.Then, pkt)
+		}
+		return ip.eval(x.Else, pkt)
+	case *ast.CallExpr:
+		args := make([]int32, len(x.Args))
+		for i, a := range x.Args {
+			v, err := ip.eval(a, pkt)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		return intrinsics.Call(x.Fun, args)
+	}
+	return 0, fmt.Errorf("interp: unexpected expression %T", e)
+}
+
+func boolToInt(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EvalUnary applies a Domino unary operator with int32 wraparound
+// semantics. Shared by the IR evaluator and the Banzai simulator so all
+// three execution paths agree bit-for-bit.
+func EvalUnary(op token.Kind, v int32) (int32, error) {
+	switch op {
+	case token.Minus:
+		return -v, nil
+	case token.Not:
+		return boolToInt(v == 0), nil
+	case token.BitNot:
+		return ^v, nil
+	}
+	return 0, fmt.Errorf("interp: invalid unary operator %s", op)
+}
+
+// EvalBinary applies a Domino binary operator with int32 wraparound
+// semantics. Division and modulo by zero yield zero (hardware ALU
+// convention) rather than trapping; shifts use the low five bits of the
+// shift count, as 32-bit barrel shifters do.
+func EvalBinary(op token.Kind, a, b int32) (int32, error) {
+	switch op {
+	case token.Plus:
+		return a + b, nil
+	case token.Minus:
+		return a - b, nil
+	case token.Star:
+		return a * b, nil
+	case token.Slash:
+		if b == 0 {
+			return 0, nil
+		}
+		if a == -1<<31 && b == -1 { // the one overflowing case
+			return a, nil
+		}
+		return a / b, nil
+	case token.Percent:
+		if b == 0 {
+			return 0, nil
+		}
+		if a == -1<<31 && b == -1 {
+			return 0, nil
+		}
+		return a % b, nil
+	case token.Shl:
+		return a << (uint32(b) & 31), nil
+	case token.Shr:
+		return a >> (uint32(b) & 31), nil
+	case token.And:
+		return a & b, nil
+	case token.Or:
+		return a | b, nil
+	case token.Xor:
+		return a ^ b, nil
+	case token.LAnd:
+		return boolToInt(a != 0 && b != 0), nil
+	case token.LOr:
+		return boolToInt(a != 0 || b != 0), nil
+	case token.Eq:
+		return boolToInt(a == b), nil
+	case token.Neq:
+		return boolToInt(a != b), nil
+	case token.Lt:
+		return boolToInt(a < b), nil
+	case token.Gt:
+		return boolToInt(a > b), nil
+	case token.Leq:
+		return boolToInt(a <= b), nil
+	case token.Geq:
+		return boolToInt(a >= b), nil
+	}
+	return 0, fmt.Errorf("interp: invalid binary operator %s", op)
+}

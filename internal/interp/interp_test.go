@@ -1,0 +1,263 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"domino/internal/intrinsics"
+	"domino/internal/parser"
+	"domino/internal/sema"
+	"domino/internal/token"
+)
+
+func build(t *testing.T, src string) *Interp {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return New(info)
+}
+
+func TestCounter(t *testing.T) {
+	ip := build(t, `
+struct Packet { int f; };
+int counter = 0;
+void t(struct Packet pkt) {
+  if (counter < 99) { counter = counter + 1; }
+  else { counter = 0; }
+  pkt.f = counter;
+}
+`)
+	for i := 1; i <= 250; i++ {
+		pkt := Packet{}
+		if err := ip.Run(pkt); err != nil {
+			t.Fatal(err)
+		}
+		want := int32(i % 100)
+		if pkt["f"] != want {
+			t.Fatalf("packet %d: f = %d, want %d", i, pkt["f"], want)
+		}
+	}
+}
+
+func TestFlowletSemantics(t *testing.T) {
+	ip := build(t, `
+#define NUM_FLOWLETS 8000
+#define THRESHOLD 5
+#define NUM_HOPS 10
+struct Packet {
+  int sport; int dport; int new_hop; int arrival; int next_hop; int id;
+};
+int last_time[NUM_FLOWLETS] = {0};
+int saved_hop[NUM_FLOWLETS] = {0};
+void flowlet(struct Packet pkt) {
+  pkt.new_hop = hash3(pkt.sport, pkt.dport, pkt.arrival) % NUM_HOPS;
+  pkt.id = hash2(pkt.sport, pkt.dport) % NUM_FLOWLETS;
+  if (pkt.arrival - last_time[pkt.id] > THRESHOLD) {
+    saved_hop[pkt.id] = pkt.new_hop;
+  }
+  last_time[pkt.id] = pkt.arrival;
+  pkt.next_hop = saved_hop[pkt.id];
+}
+`)
+	// Two back-to-back packets of the same flow must use the same hop;
+	// a packet after a long gap may be rerouted (and is, whenever the fresh
+	// hash differs).
+	p1 := Packet{"sport": 10, "dport": 20, "arrival": 100}
+	if err := ip.Run(p1); err != nil {
+		t.Fatal(err)
+	}
+	p2 := Packet{"sport": 10, "dport": 20, "arrival": 103}
+	if err := ip.Run(p2); err != nil {
+		t.Fatal(err)
+	}
+	if p1["next_hop"] != p2["next_hop"] {
+		t.Fatalf("within-flowlet packets took hops %d and %d", p1["next_hop"], p2["next_hop"])
+	}
+	p3 := Packet{"sport": 10, "dport": 20, "arrival": 10000}
+	if err := ip.Run(p3); err != nil {
+		t.Fatal(err)
+	}
+	wantHop := intrinsics.Hash(3, 10, 20, 10000) % 10
+	if p3["next_hop"] != wantHop {
+		t.Fatalf("post-gap packet hop = %d, want freshly hashed %d", p3["next_hop"], wantHop)
+	}
+}
+
+func TestArrayOutOfRange(t *testing.T) {
+	ip := build(t, `
+struct Packet { int i; int f; };
+int arr[4];
+void t(struct Packet pkt) { pkt.f = arr[pkt.i]; }
+`)
+	if err := ip.Run(Packet{"i": 4}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if err := ip.Run(Packet{"i": -1}); err == nil {
+		t.Fatal("expected out-of-range error for negative index")
+	}
+	if err := ip.Run(Packet{"i": 3}); err != nil {
+		t.Fatalf("in-range access failed: %v", err)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// && must not evaluate its right side when the left is false; division
+	// by zero yields 0 anyway, so use array bounds as the observable effect.
+	ip := build(t, `
+struct Packet { int guard; int i; int f; };
+int arr[4];
+void t(struct Packet pkt) {
+  if (pkt.guard && arr[pkt.i] > 0) { pkt.f = 1; }
+  else { pkt.f = 0; }
+}
+`)
+	// guard=0 with an out-of-range index: must not fault.
+	if err := ip.Run(Packet{"guard": 0, "i": 100}); err != nil {
+		t.Fatalf("short-circuit failed: %v", err)
+	}
+}
+
+func TestStateInitialization(t *testing.T) {
+	ip := build(t, `
+struct Packet { int f; };
+int x = 42;
+int arr[3] = {7};
+int arr2[5] = {9};
+void t(struct Packet pkt) { pkt.f = x + arr[0] + arr2[4]; }
+`)
+	pkt := Packet{}
+	if err := ip.Run(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if pkt["f"] != 42+7+9 {
+		t.Fatalf("f = %d, want 58", pkt["f"])
+	}
+}
+
+func TestStateCloneAndEqual(t *testing.T) {
+	ip := build(t, `
+struct Packet { int f; };
+int x;
+int arr[4];
+void t(struct Packet pkt) { x = x + 1; arr[0] = x; pkt.f = x; }
+`)
+	before := ip.State().Clone()
+	if !before.Equal(ip.State()) {
+		t.Fatal("clone not equal to original")
+	}
+	if err := ip.Run(Packet{}); err != nil {
+		t.Fatal(err)
+	}
+	if before.Equal(ip.State()) {
+		t.Fatal("state mutation visible through clone")
+	}
+}
+
+func TestEvalBinaryWraparound(t *testing.T) {
+	tests := []struct {
+		op      token.Kind
+		a, b, w int32
+	}{
+		{token.Plus, 1<<31 - 1, 1, -1 << 31},
+		{token.Minus, -1 << 31, 1, 1<<31 - 1},
+		{token.Star, 1 << 30, 4, 0},
+		{token.Slash, 7, 0, 0},
+		{token.Percent, 7, 0, 0},
+		{token.Slash, -1 << 31, -1, -1 << 31},
+		{token.Percent, -1 << 31, -1, 0},
+		{token.Shl, 1, 33, 2},  // shift count masked to 5 bits
+		{token.Shr, -8, 1, -4}, // arithmetic shift
+		{token.Lt, -1, 1, 1},   // signed compare
+		{token.Geq, 5, 5, 1},   //
+		{token.LAnd, 3, 0, 0},  //
+		{token.LOr, 0, -7, 1},  //
+		{token.Xor, 0x0f, 0x3, 0x0c},
+	}
+	for _, tt := range tests {
+		got, err := EvalBinary(tt.op, tt.a, tt.b)
+		if err != nil {
+			t.Errorf("%s: %v", tt.op, err)
+			continue
+		}
+		if got != tt.w {
+			t.Errorf("%d %s %d = %d, want %d", tt.a, tt.op, tt.b, got, tt.w)
+		}
+	}
+}
+
+func TestEvalUnary(t *testing.T) {
+	if v, _ := EvalUnary(token.Minus, -1<<31); v != -1<<31 {
+		t.Errorf("-(-2^31) = %d, want wraparound to -2^31", v)
+	}
+	if v, _ := EvalUnary(token.Not, 0); v != 1 {
+		t.Errorf("!0 = %d, want 1", v)
+	}
+	if v, _ := EvalUnary(token.Not, 17); v != 0 {
+		t.Errorf("!17 = %d, want 0", v)
+	}
+	if v, _ := EvalUnary(token.BitNot, 0); v != -1 {
+		t.Errorf("^0 = %d, want -1", v)
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	a := intrinsics.Hash(2, 10, 20)
+	b := intrinsics.Hash(2, 10, 20)
+	if a != b {
+		t.Fatal("hash is not deterministic")
+	}
+	if a < 0 {
+		t.Fatal("hash returned a negative value")
+	}
+	if intrinsics.Hash(2, 10, 20) == intrinsics.Hash(3, 10, 20, 0) {
+		t.Error("differently salted hashes collide on related inputs (suspicious)")
+	}
+}
+
+func TestHashNonNegativeProperty(t *testing.T) {
+	f := func(a, b int32) bool { return intrinsics.Hash(2, a, b) >= 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	cases := []struct{ in, want int32 }{
+		{0, 0}, {1, 1}, {3, 1}, {4, 2}, {15, 3}, {16, 4}, {1 << 30, 1 << 15}, {-5, 0},
+	}
+	for _, c := range cases {
+		if got := intrinsics.Sqrt(c.in); got != c.want {
+			t.Errorf("sqrt(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	f := func(x int32) bool {
+		if x < 0 {
+			return intrinsics.Sqrt(x) == 0
+		}
+		r := int64(intrinsics.Sqrt(x))
+		return r*r <= int64(x) && (r+1)*(r+1) > int64(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTernaryEval(t *testing.T) {
+	ip := build(t, `
+struct Packet { int a; int b; int f; };
+void t(struct Packet pkt) { pkt.f = pkt.a > pkt.b ? pkt.a : pkt.b; }
+`)
+	pkt := Packet{"a": 3, "b": 9}
+	if err := ip.Run(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if pkt["f"] != 9 {
+		t.Fatalf("max = %d, want 9", pkt["f"])
+	}
+}

@@ -1,0 +1,104 @@
+// Package intrinsics defines the runtime semantics of Domino's intrinsic
+// functions (paper §3.1: "The function may invoke intrinsics such as hash2
+// to use hardware accelerators such as hash generators").
+//
+// The compiler treats intrinsics as opaque: it uses only the signature for
+// dependency analysis and supplies this canned run-time implementation. The
+// hash family models a switch's hash generator block; it is a deterministic
+// FNV-1a style mix so that simulations are reproducible. sqrt is declared so
+// programs like CoDel parse, but no Banzai target provides it (paper §5.3),
+// so programs calling it are rejected at code generation.
+package intrinsics
+
+import "fmt"
+
+// Sig describes an intrinsic's arity.
+type Sig struct {
+	Name string
+	Args int
+	// Pure is true for all current intrinsics: result depends only on the
+	// arguments, so calls can be freely scheduled by the compiler.
+	Pure bool
+}
+
+// Table lists every intrinsic the language accepts. hash1..hash6 take the
+// corresponding number of fields; sqrt takes one.
+var Table = map[string]Sig{
+	"hash1": {Name: "hash1", Args: 1, Pure: true},
+	"hash2": {Name: "hash2", Args: 2, Pure: true},
+	"hash3": {Name: "hash3", Args: 3, Pure: true},
+	"hash4": {Name: "hash4", Args: 4, Pure: true},
+	"hash5": {Name: "hash5", Args: 5, Pure: true},
+	"hash6": {Name: "hash6", Args: 6, Pure: true},
+	"sqrt":  {Name: "sqrt", Args: 1, Pure: true},
+}
+
+// Lookup returns the signature of an intrinsic.
+func Lookup(name string) (Sig, bool) {
+	s, ok := Table[name]
+	return s, ok
+}
+
+// IsHash reports whether name is one of the hash-generator intrinsics.
+func IsHash(name string) bool {
+	return len(name) == 5 && name[:4] == "hash" && name[4] >= '1' && name[4] <= '6'
+}
+
+const (
+	fnvOffset uint32 = 2166136261
+	fnvPrime  uint32 = 16777619
+)
+
+// Hash mixes its arguments with a salt identifying the hash instance, so
+// hash2 and hash3 behave like independently seeded hardware hash units. The
+// result is non-negative so that "hash % tablesize" is a valid array index.
+func Hash(salt uint32, args ...int32) int32 {
+	h := fnvOffset ^ (salt*0x9e3779b9 + 0x85ebca6b)
+	for _, a := range args {
+		v := uint32(a)
+		for i := 0; i < 4; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime
+			v >>= 8
+		}
+	}
+	// Final avalanche, then clear the sign bit.
+	h ^= h >> 16
+	h *= 0x7feb352d
+	h ^= h >> 15
+	return int32(h & 0x7fffffff)
+}
+
+// Sqrt is the integer square root (floor). Defined for completeness; no
+// line-rate target supports it.
+func Sqrt(x int32) int32 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iteration on uint64 to avoid overflow.
+	v := uint64(x)
+	r := v
+	for guess := (r + 1) / 2; guess < r; guess = (r + v/r) / 2 {
+		r = guess
+	}
+	return int32(r)
+}
+
+// Call evaluates intrinsic name on args. The salt for hash intrinsics is
+// derived from the arity so each hashN is an independent function.
+func Call(name string, args []int32) (int32, error) {
+	sig, ok := Table[name]
+	if !ok {
+		return 0, fmt.Errorf("unknown intrinsic %q", name)
+	}
+	if len(args) != sig.Args {
+		return 0, fmt.Errorf("intrinsic %s expects %d arguments, got %d", name, sig.Args, len(args))
+	}
+	if IsHash(name) {
+		return Hash(uint32(sig.Args), args...), nil
+	}
+	if name == "sqrt" {
+		return Sqrt(args[0]), nil
+	}
+	return 0, fmt.Errorf("intrinsic %q has no runtime implementation", name)
+}

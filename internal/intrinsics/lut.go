@@ -1,0 +1,87 @@
+package intrinsics
+
+import "math"
+
+// Lookup-table approximations of the mathematical functions no atom
+// provides natively. The paper's §5.3 closes CoDel's rejection with: "One
+// possibility is a look-up table abstraction that allows us to approximate
+// such mathematical functions. We leave this exploration to future work."
+// This file is that exploration: hardware-realistic table lookups — a
+// 256-entry mantissa ROM plus exponent alignment — for square root and
+// reciprocal-based division.
+
+// sqrtTab[i] = round(sqrt(i)) for an 8-bit mantissa.
+var sqrtTab [256]int32
+
+// recipTab[i] = round(2^22 / i) for a normalized divisor i in [128, 255].
+var recipTab [256]int64
+
+func init() {
+	for i := range sqrtTab {
+		sqrtTab[i] = int32(math.Round(math.Sqrt(float64(i))))
+	}
+	for i := 1; i < len(recipTab); i++ {
+		recipTab[i] = int64(math.Round(float64(1<<22) / float64(i)))
+	}
+}
+
+// LUTSqrt approximates the integer square root with an 8-bit mantissa
+// table: x is normalized to m·2^s with m in [64, 255] and s even, then
+// sqrt(x) ≈ sqrtTab[m] << (s/2). Inputs below 256 are exact. Non-positive
+// inputs return 0, like Sqrt.
+func LUTSqrt(x int32) int32 {
+	if x <= 0 {
+		return 0
+	}
+	if x < 256 {
+		return sqrtTab[x]
+	}
+	// Normalize: find s such that m = x >> s lies in [64, 255] with s even.
+	s := 0
+	m := uint32(x)
+	for m > 255 {
+		m >>= 2 // keep s even by stepping in twos
+		s += 2
+	}
+	return sqrtTab[m] << (uint(s) / 2)
+}
+
+// LUTDiv approximates a/b with a normalized-reciprocal table:
+// b = n·2^t with n in [128, 255], a/b ≈ (a · recipTab[n]) >> (22 + t).
+// Division by zero returns 0 (the same convention as the exact evaluator);
+// signs are handled separately, truncating toward zero.
+func LUTDiv(a, b int32) int32 {
+	if b == 0 {
+		return 0
+	}
+	neg := (a < 0) != (b < 0)
+	ua, ub := int64(a), int64(b)
+	if ua < 0 {
+		ua = -ua
+	}
+	if ub < 0 {
+		ub = -ub
+	}
+	t := 0
+	for ub > 255 {
+		ub >>= 1
+		t++
+	}
+	for ub < 128 {
+		ub <<= 1
+		t--
+	}
+	// a/b = a/(n·2^t) ≈ (a·recip[n]) >> (22+t); a negative total shift is a
+	// left shift. Keeping the shift combined preserves the table's precision.
+	var q int64
+	prod := ua * recipTab[ub]
+	if shift := 22 + t; shift >= 0 {
+		q = prod >> uint(shift)
+	} else {
+		q = prod << uint(-shift)
+	}
+	if neg {
+		q = -q
+	}
+	return int32(q)
+}

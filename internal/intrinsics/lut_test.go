@@ -1,0 +1,117 @@
+package intrinsics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUTSqrtExactBelow256(t *testing.T) {
+	for x := int32(0); x < 256; x++ {
+		if got, want := LUTSqrt(x), int32(math.Round(math.Sqrt(float64(x)))); got != want {
+			t.Fatalf("LUTSqrt(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestLUTSqrtRelativeError(t *testing.T) {
+	// The mantissa can hold as few as 6 significant bits after even-exponent
+	// normalization, so the honest bound for this table is ~5%.
+	for _, x := range []int32{300, 1000, 4096, 65535, 1 << 20, 1<<31 - 1} {
+		got := float64(LUTSqrt(x))
+		want := math.Sqrt(float64(x))
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("LUTSqrt(%d) = %.0f, true %.1f (%.2f%% off)", x, got, want, rel*100)
+		}
+	}
+}
+
+func TestLUTSqrtNeverNegativeProperty(t *testing.T) {
+	f := func(x int32) bool {
+		v := LUTSqrt(x)
+		if x <= 0 {
+			return v == 0
+		}
+		return v >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUTSqrtMonotoneProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		if a < 0 || b < 0 {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return LUTSqrt(a) <= LUTSqrt(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUTDivByZero(t *testing.T) {
+	if LUTDiv(100, 0) != 0 {
+		t.Error("division by zero must yield 0, the evaluator convention")
+	}
+}
+
+func TestLUTDivRelativeError(t *testing.T) {
+	cases := [][2]int32{{100, 7}, {1 << 20, 3}, {12345, 678}, {-1000, 9}, {1000, -9}, {7, 100}}
+	for _, c := range cases {
+		got := float64(LUTDiv(c[0], c[1]))
+		want := float64(c[0] / c[1])
+		if want == 0 {
+			if math.Abs(got) > 1 {
+				t.Errorf("LUTDiv(%d,%d) = %.0f, want ≈0", c[0], c[1], got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-want) / math.Abs(want); rel > 0.02 {
+			t.Errorf("LUTDiv(%d,%d) = %.0f, true %.0f (%.2f%% off)", c[0], c[1], got, want, rel*100)
+		}
+	}
+}
+
+func TestLUTDivSignProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		if b == 0 {
+			return LUTDiv(a, b) == 0
+		}
+		q := LUTDiv(a, b)
+		if a == 0 {
+			return q == 0 || q == 1 // table rounding may give 1 for 0/b? it cannot: 0*recip=0
+		}
+		wantNeg := (a < 0) != (b < 0)
+		return q == 0 || (q < 0) == wantNeg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCallUnknown(t *testing.T) {
+	if _, err := Call("nosuch", nil); err == nil {
+		t.Error("unknown intrinsic accepted")
+	}
+	if _, err := Call("hash2", []int32{1}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestIsHash(t *testing.T) {
+	for _, name := range []string{"hash1", "hash6"} {
+		if !IsHash(name) {
+			t.Errorf("IsHash(%s) = false", name)
+		}
+	}
+	for _, name := range []string{"hash0", "hash7", "sqrt", "hashx"} {
+		if IsHash(name) {
+			t.Errorf("IsHash(%s) = true", name)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package ir
+
+import (
+	"fmt"
+
+	"domino/internal/interp"
+	"domino/internal/intrinsics"
+	"domino/internal/sema"
+	"domino/internal/token"
+)
+
+// Eval executes a normalized program sequentially against interpreter state,
+// mutating pkt and st. It is the reference semantics for three-address code
+// and is used to prove each normalization pass semantics-preserving.
+//
+// Array indices are reduced modulo the array size, modeling a hardware
+// memory bank's address decoder (the reference AST interpreter faults
+// instead; programs whose indices are always in range — the only programs
+// whose behaviour the paper defines — agree under both).
+func (p *Program) Eval(info *sema.Info, st *interp.State, pkt interp.Packet) error {
+	get := func(o Operand) int32 {
+		if o.IsConst() {
+			return o.Value
+		}
+		return pkt[o.Name]
+	}
+	for _, s := range p.Stmts {
+		switch st2 := s.(type) {
+		case *Move:
+			pkt[st2.Dst] = get(st2.Src)
+		case *BinOp:
+			v, err := interp.EvalBinary(st2.Op, get(st2.A), get(st2.B))
+			if err != nil {
+				return err
+			}
+			pkt[st2.Dst] = v
+		case *CondMove:
+			if get(st2.Cond) != 0 {
+				pkt[st2.Dst] = get(st2.A)
+			} else {
+				pkt[st2.Dst] = get(st2.B)
+			}
+		case *Call:
+			args := make([]int32, len(st2.Args))
+			for i, a := range st2.Args {
+				args[i] = get(a)
+			}
+			v, err := intrinsics.Call(st2.Fun, args)
+			if err != nil {
+				return err
+			}
+			if st2.Op != token.Illegal {
+				v, err = interp.EvalBinary(st2.Op, v, get(st2.B))
+				if err != nil {
+					return err
+				}
+			}
+			pkt[st2.Dst] = v
+		case *ReadState:
+			v, err := readState(st, st2.State, st2.Index, get)
+			if err != nil {
+				return err
+			}
+			pkt[st2.Dst] = v
+		case *WriteState:
+			if err := writeState(st, st2.State, st2.Index, get(st2.Src), get); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("ir: unknown statement type %T", s)
+		}
+	}
+	return nil
+}
+
+func readState(st *interp.State, name string, index *Operand, get func(Operand) int32) (int32, error) {
+	if index == nil {
+		v, ok := st.Scalars[name]
+		if !ok {
+			return 0, fmt.Errorf("ir: unknown state scalar %q", name)
+		}
+		return v, nil
+	}
+	arr, ok := st.Arrays[name]
+	if !ok {
+		return 0, fmt.Errorf("ir: unknown state array %q", name)
+	}
+	return arr[maskIndex(get(*index), len(arr))], nil
+}
+
+func writeState(st *interp.State, name string, index *Operand, v int32, get func(Operand) int32) error {
+	if index == nil {
+		if _, ok := st.Scalars[name]; !ok {
+			return fmt.Errorf("ir: unknown state scalar %q", name)
+		}
+		st.Scalars[name] = v
+		return nil
+	}
+	arr, ok := st.Arrays[name]
+	if !ok {
+		return fmt.Errorf("ir: unknown state array %q", name)
+	}
+	arr[maskIndex(get(*index), len(arr))] = v
+	return nil
+}
+
+// maskIndex reduces an index into [0, n): hardware address decoders ignore
+// out-of-range bits. Negative values are folded to non-negative first.
+func maskIndex(idx int32, n int) int {
+	m := int(idx) % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}

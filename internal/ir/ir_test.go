@@ -1,0 +1,117 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"domino/internal/token"
+)
+
+func TestStmtStrings(t *testing.T) {
+	idx := F("id0")
+	cases := []struct {
+		stmt Stmt
+		want string
+	}{
+		{&Move{Dst: "a", Src: C(3)}, "pkt.a = 3;"},
+		{&BinOp{Dst: "a", Op: token.Plus, A: F("b"), B: C(1)}, "pkt.a = pkt.b + 1;"},
+		{&CondMove{Dst: "a", Cond: F("c"), A: F("x"), B: F("y")}, "pkt.a = pkt.c ? pkt.x : pkt.y;"},
+		{&Call{Dst: "h", Fun: "hash2", Args: []Operand{F("s"), F("d")}, Op: token.Percent, B: C(10)},
+			"pkt.h = hash2(pkt.s, pkt.d) % 10;"},
+		{&Call{Dst: "h", Fun: "hash1", Args: []Operand{F("s")}, Op: token.Illegal},
+			"pkt.h = hash1(pkt.s);"},
+		{&ReadState{Dst: "v", State: "x"}, "pkt.v = x;"},
+		{&ReadState{Dst: "v", State: "tab", Index: &idx}, "pkt.v = tab[pkt.id0];"},
+		{&WriteState{State: "x", Src: F("v")}, "x = pkt.v;"},
+		{&WriteState{State: "tab", Index: &idx, Src: C(1)}, "tab[pkt.id0] = 1;"},
+	}
+	for _, c := range cases {
+		if got := c.stmt.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestReadsWrites(t *testing.T) {
+	idx := F("i")
+	rs := &ReadState{Dst: "v", State: "tab", Index: &idx}
+	reads := strings.Join(rs.Reads(), ",")
+	if !strings.Contains(reads, "state.tab") || !strings.Contains(reads, "pkt.i") {
+		t.Errorf("ReadState reads = %v", rs.Reads())
+	}
+	if rs.Writes() != "pkt.v" {
+		t.Errorf("ReadState writes = %q", rs.Writes())
+	}
+	ws := &WriteState{State: "tab", Index: &idx, Src: F("v")}
+	if ws.Writes() != "state.tab" {
+		t.Errorf("WriteState writes = %q", ws.Writes())
+	}
+	bo := &BinOp{Dst: "a", Op: token.Plus, A: F("b"), B: C(1)}
+	if len(bo.Reads()) != 1 || bo.Reads()[0] != "pkt.b" {
+		t.Errorf("BinOp reads = %v (constants must not appear)", bo.Reads())
+	}
+}
+
+func TestValidateSSAViolation(t *testing.T) {
+	p := &Program{Stmts: []Stmt{
+		&Move{Dst: "a", Src: C(1)},
+		&Move{Dst: "a", Src: C(2)},
+	}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "SSA") {
+		t.Fatalf("Validate = %v, want SSA violation", err)
+	}
+}
+
+func TestValidateDoubleFlank(t *testing.T) {
+	p := &Program{Stmts: []Stmt{
+		&ReadState{Dst: "a", State: "x"},
+		&ReadState{Dst: "b", State: "x"},
+	}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "read twice") {
+		t.Fatalf("Validate = %v, want double-read error", err)
+	}
+	p = &Program{Stmts: []Stmt{
+		&WriteState{State: "x", Src: C(1)},
+		&WriteState{State: "x", Src: C(2)},
+	}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "written twice") {
+		t.Fatalf("Validate = %v, want double-write error", err)
+	}
+}
+
+func TestValidateReadAfterWrite(t *testing.T) {
+	p := &Program{Stmts: []Stmt{
+		&WriteState{State: "x", Src: C(1)},
+		&ReadState{Dst: "a", State: "x"},
+	}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "read after write") {
+		t.Fatalf("Validate = %v, want read-after-write error", err)
+	}
+}
+
+func TestValidateCleanProgram(t *testing.T) {
+	idx := F("i")
+	p := &Program{Stmts: []Stmt{
+		&ReadState{Dst: "v", State: "tab", Index: &idx},
+		&BinOp{Dst: "w", Op: token.Plus, A: F("v"), B: C(1)},
+		&WriteState{State: "tab", Index: &idx, Src: F("w")},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate = %v, want nil", err)
+	}
+}
+
+func TestOperandHelpers(t *testing.T) {
+	if !F("x").IsField() || F("x").IsConst() {
+		t.Error("field operand misclassified")
+	}
+	if !C(5).IsConst() || C(5).IsField() {
+		t.Error("const operand misclassified")
+	}
+	if C(-3).String() != "-3" || F("a").String() != "pkt.a" {
+		t.Error("operand rendering broken")
+	}
+	if !IsStateVar(StateVar("x")) || IsStateVar(FieldVar("x")) {
+		t.Error("variable-ID helpers broken")
+	}
+}

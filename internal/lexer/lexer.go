@@ -1,0 +1,296 @@
+// Package lexer turns Domino source text into a stream of tokens.
+//
+// The lexer also performs the only preprocessing Domino needs: object-like
+// "#define NAME value" macros, which the paper's examples use for constants
+// such as NUM_FLOWLETS. Macro values must be integer constant expressions;
+// they are recorded by the lexer and substituted by the parser during
+// constant evaluation, preserving source positions for diagnostics.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"domino/internal/token"
+)
+
+// Error is a lexical error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans Domino source text. Create one with New.
+type Lexer struct {
+	src  string
+	off  int // byte offset of the next unread character
+	line int
+	col  int
+	errs []*Error
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// skipSpaceAndComments consumes whitespace and // and /* */ comments.
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			open := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(open, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token. At end of input it returns EOF forever.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.peek()
+
+	switch {
+	case c == '#':
+		return l.scanDirective(pos)
+	case isIdentStart(c):
+		return l.scanIdent(pos)
+	case isDigit(c):
+		return l.scanNumber(pos)
+	}
+
+	l.advance()
+	two := func(second byte, match, single token.Kind) token.Token {
+		if l.peek() == second {
+			l.advance()
+			return token.Token{Kind: match, Pos: pos}
+		}
+		return token.Token{Kind: single, Pos: pos}
+	}
+
+	switch c {
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return token.Token{Kind: token.Inc, Pos: pos}
+		}
+		return two('=', token.AddAssign, token.Plus)
+	case '-':
+		if l.peek() == '-' {
+			l.advance()
+			return token.Token{Kind: token.Dec, Pos: pos}
+		}
+		return two('=', token.SubAssign, token.Minus)
+	case '*':
+		return token.Token{Kind: token.Star, Pos: pos}
+	case '/':
+		return token.Token{Kind: token.Slash, Pos: pos}
+	case '%':
+		return token.Token{Kind: token.Percent, Pos: pos}
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return token.Token{Kind: token.LAnd, Pos: pos}
+		}
+		return two('=', token.AndAssign, token.And)
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return token.Token{Kind: token.LOr, Pos: pos}
+		}
+		return two('=', token.OrAssign, token.Or)
+	case '^':
+		return two('=', token.XorAssign, token.Xor)
+	case '!':
+		return two('=', token.Neq, token.Not)
+	case '~':
+		return token.Token{Kind: token.BitNot, Pos: pos}
+	case '=':
+		return two('=', token.Eq, token.Assign)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return token.Token{Kind: token.Shl, Pos: pos}
+		}
+		return two('=', token.Leq, token.Lt)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.Shr, Pos: pos}
+		}
+		return two('=', token.Geq, token.Gt)
+	case '?':
+		return token.Token{Kind: token.Question, Pos: pos}
+	case ':':
+		return token.Token{Kind: token.Colon, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.Semicolon, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.Comma, Pos: pos}
+	case '.':
+		return token.Token{Kind: token.Dot, Pos: pos}
+	case '(':
+		return token.Token{Kind: token.LParen, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RParen, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBrace, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBrace, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBracket, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBracket, Pos: pos}
+	}
+	l.errorf(pos, "unexpected character %q", c)
+	return token.Token{Kind: token.Illegal, Lit: string(c), Pos: pos}
+}
+
+// scanDirective handles "#define". The token's Lit carries the remainder of
+// the line ("NAME value"); the parser splits and evaluates it.
+func (l *Lexer) scanDirective(pos token.Pos) token.Token {
+	start := l.off
+	l.advance() // '#'
+	for l.off < len(l.src) && isIdentCont(l.peek()) {
+		l.advance()
+	}
+	name := l.src[start:l.off]
+	if name != "#define" {
+		l.errorf(pos, "unknown preprocessor directive %q (only #define is supported)", name)
+		return token.Token{Kind: token.Illegal, Lit: name, Pos: pos}
+	}
+	lineStart := l.off
+	for l.off < len(l.src) && l.peek() != '\n' {
+		l.advance()
+	}
+	body := strings.TrimSpace(l.src[lineStart:l.off])
+	return token.Token{Kind: token.Define, Lit: body, Pos: pos}
+}
+
+func (l *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && isIdentCont(l.peek()) {
+		l.advance()
+	}
+	lit := l.src[start:l.off]
+	kind := token.Lookup(lit)
+	if kind == token.Ident {
+		return token.Token{Kind: token.Ident, Lit: lit, Pos: pos}
+	}
+	return token.Token{Kind: kind, Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.off
+	// Hex literal.
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+	} else {
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	lit := l.src[start:l.off]
+	if _, err := strconv.ParseInt(lit, 0, 64); err != nil {
+		l.errorf(pos, "invalid integer literal %q", lit)
+		return token.Token{Kind: token.Illegal, Lit: lit, Pos: pos}
+	}
+	return token.Token{Kind: token.Int, Lit: lit, Pos: pos}
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// All tokenizes the entire input, returning the tokens up to and including
+// EOF. Useful in tests.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package lexer
+
+import (
+	"testing"
+
+	"domino/internal/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	l := New(src)
+	var ks []token.Kind
+	for _, tok := range l.All() {
+		ks = append(ks, tok.Kind)
+	}
+	if errs := l.Errors(); len(errs) > 0 {
+		t.Fatalf("unexpected lex errors for %q: %v", src, errs[0])
+	}
+	return ks
+}
+
+func TestOperators(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []token.Kind
+	}{
+		{"+ - * / %", []token.Kind{token.Plus, token.Minus, token.Star, token.Slash, token.Percent, token.EOF}},
+		{"<< >> < > <= >=", []token.Kind{token.Shl, token.Shr, token.Lt, token.Gt, token.Leq, token.Geq, token.EOF}},
+		{"== != = ! ~", []token.Kind{token.Eq, token.Neq, token.Assign, token.Not, token.BitNot, token.EOF}},
+		{"& | ^ && ||", []token.Kind{token.And, token.Or, token.Xor, token.LAnd, token.LOr, token.EOF}},
+		{"+= -= |= &= ^= ++ --", []token.Kind{token.AddAssign, token.SubAssign, token.OrAssign, token.AndAssign, token.XorAssign, token.Inc, token.Dec, token.EOF}},
+		{"? : ; , . ( ) { } [ ]", []token.Kind{token.Question, token.Colon, token.Semicolon, token.Comma, token.Dot, token.LParen, token.RParen, token.LBrace, token.RBrace, token.LBracket, token.RBracket, token.EOF}},
+	}
+	for _, tt := range tests {
+		got := kinds(t, tt.src)
+		if len(got) != len(tt.want) {
+			t.Fatalf("%q: got %v, want %v", tt.src, got, tt.want)
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("%q token %d: got %s, want %s", tt.src, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	l := New("if else int void struct pkt last_time _x9")
+	toks := l.All()
+	want := []struct {
+		kind token.Kind
+		lit  string
+	}{
+		{token.KwIf, "if"}, {token.KwElse, "else"}, {token.KwInt, "int"},
+		{token.KwVoid, "void"}, {token.KwStruct, "struct"},
+		{token.Ident, "pkt"}, {token.Ident, "last_time"}, {token.Ident, "_x9"},
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Lit != w.lit {
+			t.Errorf("token %d: got %v, want %s(%q)", i, toks[i], w.kind, w.lit)
+		}
+	}
+}
+
+func TestForbiddenKeywordsAreRecognized(t *testing.T) {
+	for _, kw := range []string{"while", "for", "do", "goto", "break", "continue", "return"} {
+		l := New(kw)
+		tok := l.Next()
+		if !tok.Kind.IsForbidden() {
+			t.Errorf("%q: expected forbidden keyword, got %s", kw, tok.Kind)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	l := New("0 42 8000 0x1f 0XFF")
+	toks := l.All()
+	wantLits := []string{"0", "42", "8000", "0x1f", "0XFF"}
+	for i, w := range wantLits {
+		if toks[i].Kind != token.Int || toks[i].Lit != w {
+			t.Errorf("token %d: got %v, want INT(%q)", i, toks[i], w)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `a // line comment with symbols + - {}
+	b /* block
+	comment */ c`
+	got := kinds(t, src)
+	want := []token.Kind{token.Ident, token.Ident, token.Ident, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	l := New("a /* never closed")
+	l.All()
+	if len(l.Errors()) == 0 {
+		t.Fatal("expected an error for unterminated block comment")
+	}
+}
+
+func TestDefineDirective(t *testing.T) {
+	l := New("#define NUM_FLOWLETS 8000\nint x;")
+	tok := l.Next()
+	if tok.Kind != token.Define {
+		t.Fatalf("got %v, want #define", tok)
+	}
+	if tok.Lit != "NUM_FLOWLETS 8000" {
+		t.Fatalf("define body = %q, want %q", tok.Lit, "NUM_FLOWLETS 8000")
+	}
+	if next := l.Next(); next.Kind != token.KwInt {
+		t.Fatalf("after directive got %v, want int", next)
+	}
+}
+
+func TestUnknownDirective(t *testing.T) {
+	l := New("#include <stdio.h>")
+	tok := l.Next()
+	if tok.Kind != token.Illegal {
+		t.Fatalf("got %v, want ILLEGAL", tok)
+	}
+	if len(l.Errors()) == 0 {
+		t.Fatal("expected an error for #include")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("a\n  bb\n")
+	t1 := l.Next()
+	t2 := l.Next()
+	if t1.Pos.Line != 1 || t1.Pos.Col != 1 {
+		t.Errorf("first token at %v, want 1:1", t1.Pos)
+	}
+	if t2.Pos.Line != 2 || t2.Pos.Col != 3 {
+		t.Errorf("second token at %v, want 2:3", t2.Pos)
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	l := New("a @ b")
+	l.All()
+	if len(l.Errors()) != 1 {
+		t.Fatalf("got %d errors, want 1", len(l.Errors()))
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New("")
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("call %d: got %v, want EOF", i, tok)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package p4gen
+
+import (
+	"strings"
+	"testing"
+
+	"domino/internal/algorithms"
+	"domino/internal/ast"
+	"domino/internal/codegen"
+	"domino/internal/parser"
+	"domino/internal/passes"
+	"domino/internal/sema"
+)
+
+func compileAlg(t *testing.T, a algorithms.Algorithm) *codegen.Program {
+	t.Helper()
+	prog, err := parser.Parse(a.Source)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	res, err := passes.Normalize(info)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	p, ok, err := codegen.LeastTarget(info, res.IR)
+	if !ok {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func TestGenerateFlowletP4(t *testing.T) {
+	a, _ := algorithms.ByName("flowlets")
+	p4 := Generate(compileAlg(t, a))
+
+	for _, want := range []string{
+		"#include <v1model.p4>",
+		"header data_t",
+		"bit<32> sport;",
+		"register<bit<32>>(8000) reg_last_time;",
+		"register<bit<32>>(8000) reg_saved_hop;",
+		"hash(",
+		"reg_last_time.read(",
+		"reg_saved_hop.write(",
+		"V1Switch(",
+		"apply {",
+	} {
+		if !strings.Contains(p4, want) {
+			t.Errorf("generated P4 missing %q", want)
+		}
+	}
+}
+
+func TestStagesAppearInOrder(t *testing.T) {
+	a, _ := algorithms.ByName("flowlets")
+	p4 := Generate(compileAlg(t, a))
+	i1 := strings.Index(p4, "stage1_atom0();")
+	i6 := strings.Index(p4, "stage6_atom0();")
+	if i1 < 0 || i6 < 0 || i1 > i6 {
+		t.Fatalf("stage applications missing or out of order (i1=%d, i6=%d)", i1, i6)
+	}
+}
+
+// TestP4LOCExceedsDomino reproduces Table 4's point: generated P4 is
+// several times longer than the Domino source for every algorithm.
+func TestP4LOCExceedsDomino(t *testing.T) {
+	for _, a := range algorithms.All() {
+		if !a.Maps {
+			continue
+		}
+		p := compileAlg(t, a)
+		dominoLOC := ast.CountLOC(a.Source)
+		p4LOC := LOC(p)
+		if p4LOC < 2*dominoLOC {
+			t.Errorf("%s: P4 %d LOC vs Domino %d LOC; expected ≥2× expansion",
+				a.Name, p4LOC, dominoLOC)
+		}
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	a, _ := algorithms.ByName("conga")
+	p := compileAlg(t, a)
+	if Generate(p) != Generate(p) {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestScalarRegistersGetSizeOne(t *testing.T) {
+	a, _ := algorithms.ByName("rcp")
+	p4 := Generate(compileAlg(t, a))
+	if !strings.Contains(p4, "register<bit<32>>(1) reg_sum_rtt;") {
+		t.Errorf("scalar register declaration missing:\n%s", p4[:600])
+	}
+}
+
+func TestConditionalMovesUseTernary(t *testing.T) {
+	a, _ := algorithms.ByName("flowlets")
+	p4 := Generate(compileAlg(t, a))
+	if !strings.Contains(p4, "? ") || !strings.Contains(p4, " : ") {
+		t.Error("expected conditional expressions in generated P4")
+	}
+}
+
+func TestMetadataHoldsTemporaries(t *testing.T) {
+	a, _ := algorithms.ByName("flowlets")
+	p4 := Generate(compileAlg(t, a))
+	if !strings.Contains(p4, "struct metadata_t {") {
+		t.Fatal("missing metadata struct")
+	}
+	// SSA versions of declared fields are temporaries, not header fields.
+	if !strings.Contains(p4, "meta.") {
+		t.Error("expected metadata references for compiler temporaries")
+	}
+}

@@ -1,0 +1,597 @@
+// Package parser builds a Domino AST from source text.
+//
+// The parser is a hand-written recursive-descent parser with precedence
+// climbing for binary expressions. It performs macro substitution for
+// #define constants, desugars compound assignment (+=) and increment (++/--)
+// statements, and rejects the constructs Domino forbids (paper Table 1) with
+// targeted diagnostics rather than generic syntax errors.
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"domino/internal/ast"
+	"domino/internal/lexer"
+	"domino/internal/token"
+)
+
+// Error is a parse error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is the collection of errors from a parse.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+// maxErrors caps diagnostics per parse so a corrupted input cannot produce
+// unbounded error lists.
+const maxErrors = 20
+
+type parser struct {
+	lex     *lexer.Lexer
+	tok     token.Token
+	ahead   *token.Token // one-token lookahead buffer
+	errs    ErrorList
+	defines map[string]int32
+	order   []string // define names in declaration order
+}
+
+// Parse parses a complete Domino program.
+func Parse(src string) (*ast.Program, error) {
+	p := &parser{lex: lexer.New(src), defines: map[string]int32{}}
+	p.next()
+	prog := p.parseProgram()
+	prog.Source = src
+	for _, le := range p.lex.Errors() {
+		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	if len(p.errs) > 0 {
+		return prog, p.errs
+	}
+	if prog.Func == nil {
+		return prog, ErrorList{{Msg: "program contains no packet transaction function"}}
+	}
+	return prog, nil
+}
+
+// ParseExpr parses a single expression, for tests and tools.
+func ParseExpr(src string) (ast.Expr, error) {
+	p := &parser{lex: lexer.New(src), defines: map[string]int32{}}
+	p.next()
+	e := p.parseExpr()
+	if p.tok.Kind != token.EOF {
+		p.errorf(p.tok.Pos, "unexpected %s after expression", p.tok)
+	}
+	if len(p.errs) > 0 {
+		return nil, p.errs
+	}
+	return e, nil
+}
+
+func (p *parser) next() {
+	if p.ahead != nil {
+		p.tok = *p.ahead
+		p.ahead = nil
+		return
+	}
+	p.tok = p.lex.Next()
+}
+
+func (p *parser) peek() token.Token {
+	if p.ahead == nil {
+		t := p.lex.Next()
+		p.ahead = &t
+	}
+	return *p.ahead
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	if len(p.errs) < maxErrors {
+		p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+	} else {
+		p.next()
+	}
+	return t
+}
+
+// sync skips tokens until a likely statement boundary, so one syntax error
+// does not cascade.
+func (p *parser) sync() {
+	for p.tok.Kind != token.EOF {
+		k := p.tok.Kind
+		p.next()
+		if k == token.Semicolon || k == token.RBrace {
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{}
+	for p.tok.Kind != token.EOF {
+		switch p.tok.Kind {
+		case token.Define:
+			if d := p.parseDefine(); d != nil {
+				prog.Defines = append(prog.Defines, d)
+			}
+		case token.KwStruct:
+			if s := p.parseStruct(); s != nil {
+				prog.Structs = append(prog.Structs, s)
+			}
+		case token.KwInt, token.KwBit:
+			if g := p.parseGlobal(); g != nil {
+				prog.Globals = append(prog.Globals, g)
+			}
+		case token.KwVoid:
+			f := p.parseFunc()
+			if f != nil {
+				if prog.Func != nil {
+					p.errorf(f.Position, "multiple packet transactions; Domino compiles one transaction per program (paper §3.4)")
+				} else {
+					prog.Func = f
+				}
+			}
+		default:
+			if p.tok.Kind.IsForbidden() {
+				p.errorf(p.tok.Pos, "%q is not allowed in Domino (paper Table 1)", p.tok.Lit)
+			} else {
+				p.errorf(p.tok.Pos, "unexpected %s at top level", p.tok)
+			}
+			p.sync()
+		}
+		if len(p.errs) >= maxErrors {
+			break
+		}
+	}
+	return prog
+}
+
+func (p *parser) parseDefine() *ast.Define {
+	t := p.tok
+	p.next()
+	parts := strings.Fields(t.Lit)
+	if len(parts) < 2 {
+		p.errorf(t.Pos, "#define needs a name and an integer value")
+		return nil
+	}
+	name := parts[0]
+	valSrc := strings.TrimSpace(t.Lit[len(parts[0]):])
+	val, err := p.evalConstSrc(valSrc, t.Pos)
+	if err != nil {
+		p.errorf(t.Pos, "#define %s: %v", name, err)
+		return nil
+	}
+	if _, dup := p.defines[name]; dup {
+		p.errorf(t.Pos, "#define %s: redefined", name)
+	} else {
+		p.order = append(p.order, name)
+	}
+	p.defines[name] = val
+	return &ast.Define{Name: name, Value: val, Position: t.Pos}
+}
+
+// evalConstSrc evaluates a constant expression in string form (used for
+// #define bodies and array sizes), with previously seen macros in scope.
+func (p *parser) evalConstSrc(src string, pos token.Pos) (int32, error) {
+	sub := &parser{lex: lexer.New(src), defines: p.defines}
+	sub.next()
+	e := sub.parseExpr()
+	if len(sub.errs) > 0 {
+		return 0, errors.New(sub.errs[0].Msg)
+	}
+	if sub.tok.Kind != token.EOF {
+		return 0, fmt.Errorf("unexpected %s in constant expression", sub.tok)
+	}
+	return evalConst(e, pos)
+}
+
+// evalConst folds a macro-substituted expression to a constant.
+func evalConst(e ast.Expr, pos token.Pos) (int32, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Value, nil
+	case *ast.UnaryExpr:
+		v, err := evalConst(x.X, pos)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case token.Minus:
+			return -v, nil
+		case token.BitNot:
+			return ^v, nil
+		case token.Not:
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	case *ast.BinaryExpr:
+		a, err := evalConst(x.X, pos)
+		if err != nil {
+			return 0, err
+		}
+		b, err := evalConst(x.Y, pos)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case token.Plus:
+			return a + b, nil
+		case token.Minus:
+			return a - b, nil
+		case token.Star:
+			return a * b, nil
+		case token.Slash:
+			if b == 0 {
+				return 0, errors.New("division by zero in constant expression")
+			}
+			return a / b, nil
+		case token.Percent:
+			if b == 0 {
+				return 0, errors.New("division by zero in constant expression")
+			}
+			return a % b, nil
+		case token.Shl:
+			return a << (uint32(b) & 31), nil
+		case token.Shr:
+			return a >> (uint32(b) & 31), nil
+		case token.And:
+			return a & b, nil
+		case token.Or:
+			return a | b, nil
+		case token.Xor:
+			return a ^ b, nil
+		}
+	}
+	return 0, errors.New("not a constant expression")
+}
+
+func (p *parser) parseStruct() *ast.StructDecl {
+	pos := p.tok.Pos
+	p.next() // struct
+	name := p.expect(token.Ident)
+	p.expect(token.LBrace)
+	s := &ast.StructDecl{Name: name.Lit, Position: pos}
+	for p.tok.Kind == token.KwInt || p.tok.Kind == token.KwBit {
+		p.next()
+		f := p.expect(token.Ident)
+		p.expect(token.Semicolon)
+		s.Fields = append(s.Fields, f.Lit)
+	}
+	p.expect(token.RBrace)
+	p.expect(token.Semicolon)
+	return s
+}
+
+func (p *parser) parseGlobal() *ast.GlobalVar {
+	pos := p.tok.Pos
+	p.next() // int / bit
+	if p.tok.Kind == token.Star {
+		p.errorf(p.tok.Pos, "pointers are not allowed in Domino (paper Table 1)")
+		p.sync()
+		return nil
+	}
+	name := p.expect(token.Ident)
+	g := &ast.GlobalVar{Name: name.Lit, Position: pos}
+	if p.tok.Kind == token.LBracket {
+		p.next()
+		sizeExpr := p.parseExpr()
+		sz, err := evalConst(sizeExpr, pos)
+		if err != nil {
+			p.errorf(pos, "array %s: size must be a constant expression: %v", name.Lit, err)
+		} else if sz <= 0 {
+			p.errorf(pos, "array %s: size must be positive, got %d", name.Lit, sz)
+		} else {
+			g.Size = int(sz)
+		}
+		p.expect(token.RBracket)
+	}
+	if p.tok.Kind == token.Assign {
+		p.next()
+		if p.tok.Kind == token.LBrace {
+			p.next()
+			v := p.parseExpr()
+			if val, err := evalConst(v, pos); err == nil {
+				g.Init = val
+			} else {
+				p.errorf(pos, "initializer for %s must be constant: %v", name.Lit, err)
+			}
+			p.expect(token.RBrace)
+		} else {
+			v := p.parseExpr()
+			if val, err := evalConst(v, pos); err == nil {
+				g.Init = val
+			} else {
+				p.errorf(pos, "initializer for %s must be constant: %v", name.Lit, err)
+			}
+		}
+	}
+	p.expect(token.Semicolon)
+	return g
+}
+
+func (p *parser) parseFunc() *ast.FuncDecl {
+	pos := p.tok.Pos
+	p.next() // void
+	name := p.expect(token.Ident)
+	p.expect(token.LParen)
+	p.expect(token.KwStruct)
+	ptype := p.expect(token.Ident)
+	pname := p.expect(token.Ident)
+	p.expect(token.RParen)
+	if p.tok.Kind != token.LBrace {
+		p.errorf(p.tok.Pos, "expected function body, found %s", p.tok)
+		return nil
+	}
+	body := p.parseBlock()
+	return &ast.FuncDecl{
+		Name:      name.Lit,
+		ParamType: ptype.Lit,
+		ParamName: pname.Lit,
+		Body:      body,
+		Position:  pos,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *parser) parseBlock() *ast.BlockStmt {
+	pos := p.tok.Pos
+	p.expect(token.LBrace)
+	b := &ast.BlockStmt{Position: pos}
+	for p.tok.Kind != token.RBrace && p.tok.Kind != token.EOF {
+		if s := p.parseStmt(); s != nil {
+			b.List = append(b.List, s)
+		}
+		if len(p.errs) >= maxErrors {
+			break
+		}
+	}
+	p.expect(token.RBrace)
+	return b
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch p.tok.Kind {
+	case token.LBrace:
+		return p.parseBlock()
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwInt, token.KwBit:
+		p.errorf(p.tok.Pos, "local variable declarations are not allowed inside a packet transaction; use a packet field as a temporary")
+		p.sync()
+		return nil
+	case token.Ident:
+		return p.parseSimpleStmt()
+	case token.Semicolon:
+		p.next() // empty statement
+		return nil
+	}
+	if p.tok.Kind.IsForbidden() {
+		switch p.tok.Kind {
+		case token.KwWhile, token.KwFor, token.KwDo:
+			p.errorf(p.tok.Pos, "iteration (%q) is not allowed in Domino (paper Table 1)", p.tok.Lit)
+		default:
+			p.errorf(p.tok.Pos, "%q is not allowed in Domino (paper Table 1)", p.tok.Lit)
+		}
+	} else {
+		p.errorf(p.tok.Pos, "unexpected %s; expected a statement", p.tok)
+	}
+	p.sync()
+	return nil
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	pos := p.tok.Pos
+	p.next() // if
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	then := p.parseStmt()
+	var els ast.Stmt
+	if p.tok.Kind == token.KwElse {
+		p.next()
+		els = p.parseStmt()
+	}
+	if then == nil {
+		return nil
+	}
+	return &ast.IfStmt{Cond: cond, Then: then, Else: els, Position: pos}
+}
+
+// parseSimpleStmt parses assignments (plain and compound) and ++/--
+// statements, desugaring the latter two into plain assignments.
+func (p *parser) parseSimpleStmt() ast.Stmt {
+	pos := p.tok.Pos
+	lhs := p.parseUnary()
+	switch {
+	case p.tok.Kind.IsAssignOp():
+		op := p.tok.Kind
+		p.next()
+		rhs := p.parseExpr()
+		p.expect(token.Semicolon)
+		if !isLValue(lhs) {
+			p.errorf(pos, "left-hand side of assignment must be a packet field or state variable")
+			return nil
+		}
+		if base := op.CompoundBase(); base != token.Illegal {
+			rhs = &ast.BinaryExpr{Op: base, X: ast.CloneExpr(lhs), Y: rhs, Position: pos}
+		}
+		return &ast.AssignStmt{LHS: lhs, RHS: rhs, Position: pos}
+	case p.tok.Kind == token.Inc || p.tok.Kind == token.Dec:
+		op := token.Plus
+		if p.tok.Kind == token.Dec {
+			op = token.Minus
+		}
+		p.next()
+		p.expect(token.Semicolon)
+		if !isLValue(lhs) {
+			p.errorf(pos, "operand of ++/-- must be a packet field or state variable")
+			return nil
+		}
+		one := &ast.IntLit{Value: 1, Position: pos}
+		rhs := &ast.BinaryExpr{Op: op, X: ast.CloneExpr(lhs), Y: one, Position: pos}
+		return &ast.AssignStmt{LHS: lhs, RHS: rhs, Position: pos}
+	}
+	p.errorf(p.tok.Pos, "expected assignment operator, found %s", p.tok)
+	p.sync()
+	return nil
+}
+
+func isLValue(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.FieldExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (p *parser) parseExpr() ast.Expr { return p.parseTernary() }
+
+func (p *parser) parseTernary() ast.Expr {
+	cond := p.parseBinary(1)
+	if p.tok.Kind != token.Question {
+		return cond
+	}
+	pos := p.tok.Pos
+	p.next()
+	then := p.parseTernary()
+	p.expect(token.Colon)
+	els := p.parseTernary()
+	return &ast.CondExpr{Cond: cond, Then: then, Else: els, Position: pos}
+}
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	lhs := p.parseUnary()
+	for {
+		prec := p.tok.Kind.Precedence()
+		if prec < minPrec {
+			return lhs
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		rhs := p.parseBinary(prec + 1)
+		lhs = &ast.BinaryExpr{Op: op, X: lhs, Y: rhs, Position: pos}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.tok.Kind {
+	case token.Minus, token.Not, token.BitNot:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		x := p.parseUnary()
+		// Fold -literal immediately so e.g. -1 is an IntLit.
+		if lit, ok := x.(*ast.IntLit); ok && op == token.Minus {
+			return &ast.IntLit{Value: -lit.Value, Position: pos}
+		}
+		return &ast.UnaryExpr{Op: op, X: x, Position: pos}
+	case token.Star:
+		p.errorf(p.tok.Pos, "pointers are not allowed in Domino (paper Table 1)")
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	switch p.tok.Kind {
+	case token.Int:
+		t := p.tok
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 0, 64)
+		if err != nil {
+			p.errorf(t.Pos, "invalid integer %q", t.Lit)
+		}
+		return &ast.IntLit{Value: int32(v), Position: t.Pos}
+	case token.LParen:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RParen)
+		return e
+	case token.Ident:
+		return p.parseOperand()
+	}
+	p.errorf(p.tok.Pos, "unexpected %s in expression", p.tok)
+	t := p.tok
+	p.next()
+	return &ast.IntLit{Value: 0, Position: t.Pos}
+}
+
+// parseOperand parses an identifier and whatever follows it: macro
+// substitution, pkt.field, state[index], or intrinsic(args).
+func (p *parser) parseOperand() ast.Expr {
+	name := p.tok
+	p.next()
+
+	switch p.tok.Kind {
+	case token.Dot:
+		p.next()
+		f := p.expect(token.Ident)
+		fe := &ast.FieldExpr{Pkt: name.Lit, Field: f.Lit, Position: name.Pos}
+		if p.tok.Kind == token.LBracket {
+			p.errorf(p.tok.Pos, "packet fields cannot be indexed")
+			p.next()
+			p.parseExpr()
+			p.expect(token.RBracket)
+		}
+		return fe
+	case token.LBracket:
+		p.next()
+		idx := p.parseExpr()
+		p.expect(token.RBracket)
+		return &ast.IndexExpr{Name: name.Lit, Index: idx, Position: name.Pos}
+	case token.LParen:
+		p.next()
+		call := &ast.CallExpr{Fun: name.Lit, Position: name.Pos}
+		if p.tok.Kind != token.RParen {
+			for {
+				call.Args = append(call.Args, p.parseExpr())
+				if p.tok.Kind != token.Comma {
+					break
+				}
+				p.next()
+			}
+		}
+		p.expect(token.RParen)
+		return call
+	}
+
+	if v, ok := p.defines[name.Lit]; ok {
+		return &ast.IntLit{Value: v, Position: name.Pos}
+	}
+	return &ast.Ident{Name: name.Lit, Position: name.Pos}
+}

@@ -1,0 +1,317 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"domino/internal/ast"
+	"domino/internal/token"
+)
+
+// flowletSrc is the paper's running example (Figure 3a), reproduced
+// verbatim modulo whitespace.
+const flowletSrc = `
+#define NUM_FLOWLETS 8000
+#define THRESHOLD 5
+#define NUM_HOPS 10
+
+struct Packet {
+  int sport;
+  int dport;
+  int new_hop;
+  int arrival;
+  int next_hop;
+  int id; // array index
+};
+
+int last_time[NUM_FLOWLETS] = {0};
+int saved_hop[NUM_FLOWLETS] = {0};
+
+void flowlet(struct Packet pkt) {
+  pkt.new_hop = hash3(pkt.sport, pkt.dport, pkt.arrival) % NUM_HOPS;
+  pkt.id = hash2(pkt.sport, pkt.dport) % NUM_FLOWLETS;
+  if (pkt.arrival - last_time[pkt.id] > THRESHOLD) {
+    saved_hop[pkt.id] = pkt.new_hop;
+  }
+  last_time[pkt.id] = pkt.arrival;
+  pkt.next_hop = saved_hop[pkt.id];
+}
+`
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return prog
+}
+
+func TestParseFlowlet(t *testing.T) {
+	prog := mustParse(t, flowletSrc)
+	if got := len(prog.Defines); got != 3 {
+		t.Errorf("defines = %d, want 3", got)
+	}
+	if got := len(prog.Structs); got != 1 {
+		t.Fatalf("structs = %d, want 1", got)
+	}
+	if got := len(prog.Structs[0].Fields); got != 6 {
+		t.Errorf("packet fields = %d, want 6", got)
+	}
+	if got := len(prog.Globals); got != 2 {
+		t.Fatalf("globals = %d, want 2", got)
+	}
+	for _, g := range prog.Globals {
+		if g.Size != 8000 {
+			t.Errorf("array %s size = %d, want 8000 (macro-expanded)", g.Name, g.Size)
+		}
+	}
+	if prog.Func == nil || prog.Func.Name != "flowlet" {
+		t.Fatalf("func = %+v, want flowlet", prog.Func)
+	}
+	if prog.Func.ParamName != "pkt" || prog.Func.ParamType != "Packet" {
+		t.Errorf("param = %s %s, want Packet pkt", prog.Func.ParamType, prog.Func.ParamName)
+	}
+	if got := len(prog.Func.Body.List); got != 5 {
+		t.Errorf("body statements = %d, want 5", got)
+	}
+}
+
+func TestMacroSubstitution(t *testing.T) {
+	prog := mustParse(t, flowletSrc)
+	// The THRESHOLD in the if-condition must have been folded to 5.
+	ifStmt, ok := prog.Func.Body.List[2].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("statement 2 is %T, want *ast.IfStmt", prog.Func.Body.List[2])
+	}
+	cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.Gt {
+		t.Fatalf("condition = %s, want a > comparison", ifStmt.Cond)
+	}
+	lit, ok := cond.Y.(*ast.IntLit)
+	if !ok || lit.Value != 5 {
+		t.Fatalf("threshold operand = %s, want literal 5", cond.Y)
+	}
+}
+
+func TestDefineExpressions(t *testing.T) {
+	prog := mustParse(t, `
+#define A 4
+#define B (A * 2 + 1)
+#define C (1 << 10)
+struct Packet { int f; };
+int arr[B];
+int big[C];
+void t(struct Packet pkt) { pkt.f = A; }
+`)
+	if prog.Globals[0].Size != 9 {
+		t.Errorf("B-sized array = %d, want 9", prog.Globals[0].Size)
+	}
+	if prog.Globals[1].Size != 1024 {
+		t.Errorf("C-sized array = %d, want 1024", prog.Globals[1].Size)
+	}
+}
+
+func TestCompoundAssign(t *testing.T) {
+	prog := mustParse(t, `
+struct Packet { int f; };
+int count = 0;
+void t(struct Packet pkt) { count += pkt.f; }
+`)
+	as, ok := prog.Func.Body.List[0].(*ast.AssignStmt)
+	if !ok {
+		t.Fatalf("statement is %T, want assignment", prog.Func.Body.List[0])
+	}
+	bin, ok := as.RHS.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.Plus {
+		t.Fatalf("RHS = %s, want count + pkt.f", as.RHS)
+	}
+	if id, ok := bin.X.(*ast.Ident); !ok || id.Name != "count" {
+		t.Fatalf("desugared read = %s, want count", bin.X)
+	}
+}
+
+func TestIncrementDesugared(t *testing.T) {
+	prog := mustParse(t, `
+struct Packet { int f; };
+int counter = 0;
+void t(struct Packet pkt) { counter++; pkt.f--; }
+`)
+	as := prog.Func.Body.List[0].(*ast.AssignStmt)
+	if as.String() != "counter = (counter + 1);" {
+		t.Errorf("counter++ desugared to %q", as.String())
+	}
+	as2 := prog.Func.Body.List[1].(*ast.AssignStmt)
+	if as2.String() != "pkt.f = (pkt.f - 1);" {
+		t.Errorf("pkt.f-- desugared to %q", as2.String())
+	}
+}
+
+func TestTernaryParse(t *testing.T) {
+	e, err := ParseExpr("a ? b : c ? d : e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ?: is right-associative: a ? b : (c ? d : e).
+	outer, ok := e.(*ast.CondExpr)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if _, ok := outer.Else.(*ast.CondExpr); !ok {
+		t.Fatalf("ternary not right-associative: %s", e)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	tests := []struct{ src, want string }{
+		{"1 + 2 * 3", "(1 + (2 * 3))"},
+		{"1 << 2 + 3", "(1 << (2 + 3))"},
+		{"a == b & c", "((a == b) & c)"},
+		{"a || b && c", "(a || (b && c))"},
+		{"-a + b", "((-a) + b)"},
+		{"!a == 0", "((!a) == 0)"},
+	}
+	for _, tt := range tests {
+		e, err := ParseExpr(tt.src)
+		if err != nil {
+			t.Errorf("%q: %v", tt.src, err)
+			continue
+		}
+		if got := e.String(); got != tt.want {
+			t.Errorf("%q parsed as %s, want %s", tt.src, got, tt.want)
+		}
+	}
+}
+
+// Table 1 restrictions, one test each.
+
+func expectParseError(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not mention %q", err.Error(), wantSubstr)
+	}
+}
+
+const harness = `
+struct Packet { int f; };
+void t(struct Packet pkt) { %s }
+`
+
+func TestNoWhile(t *testing.T) {
+	expectParseError(t, strings.Replace(harness, "%s", "while (pkt.f) { pkt.f = 0; }", 1), "not allowed in Domino")
+}
+
+func TestNoFor(t *testing.T) {
+	expectParseError(t, strings.Replace(harness, "%s", "for (;;) { }", 1), "not allowed in Domino")
+}
+
+func TestNoDoWhile(t *testing.T) {
+	expectParseError(t, strings.Replace(harness, "%s", "do { pkt.f = 0; } while (pkt.f);", 1), "not allowed in Domino")
+}
+
+func TestNoGoto(t *testing.T) {
+	expectParseError(t, strings.Replace(harness, "%s", "goto done;", 1), "not allowed in Domino")
+}
+
+func TestNoBreak(t *testing.T) {
+	expectParseError(t, strings.Replace(harness, "%s", "break;", 1), "not allowed in Domino")
+}
+
+func TestNoContinue(t *testing.T) {
+	expectParseError(t, strings.Replace(harness, "%s", "continue;", 1), "not allowed in Domino")
+}
+
+func TestNoPointerGlobals(t *testing.T) {
+	expectParseError(t, "struct Packet { int f; };\nint *p;\nvoid t(struct Packet pkt) { pkt.f = 0; }", "pointers are not allowed")
+}
+
+func TestNoLocalDeclarations(t *testing.T) {
+	expectParseError(t, strings.Replace(harness, "%s", "int local = 3;", 1), "local variable declarations are not allowed")
+}
+
+func TestNoMultipleTransactions(t *testing.T) {
+	expectParseError(t, `
+struct Packet { int f; };
+void a(struct Packet pkt) { pkt.f = 1; }
+void b(struct Packet pkt) { pkt.f = 2; }
+`, "multiple packet transactions")
+}
+
+func TestMissingTransaction(t *testing.T) {
+	expectParseError(t, "struct Packet { int f; };", "no packet transaction")
+}
+
+func TestNegativeArraySize(t *testing.T) {
+	expectParseError(t, `
+struct Packet { int f; };
+int arr[0];
+void t(struct Packet pkt) { pkt.f = 0; }
+`, "size must be positive")
+}
+
+func TestRedefinedMacro(t *testing.T) {
+	expectParseError(t, `
+#define N 4
+#define N 5
+struct Packet { int f; };
+void t(struct Packet pkt) { pkt.f = N; }
+`, "redefined")
+}
+
+func TestErrorRecovery(t *testing.T) {
+	// Two independent errors should both be reported.
+	_, err := Parse(`
+struct Packet { int f; };
+void t(struct Packet pkt) {
+  pkt.f = ;
+  goto x;
+}
+`)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	el, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if len(el) < 2 {
+		t.Fatalf("got %d errors, want at least 2: %v", len(el), el)
+	}
+}
+
+func TestLOCCount(t *testing.T) {
+	prog := mustParse(t, flowletSrc)
+	// Matches the convention: non-blank, non-comment lines.
+	if loc := prog.LOC(); loc < 20 || loc > 30 {
+		t.Errorf("flowlet LOC = %d, want in [20, 30]", loc)
+	}
+}
+
+func TestHexLiterals(t *testing.T) {
+	prog := mustParse(t, `
+struct Packet { int f; };
+void t(struct Packet pkt) { pkt.f = 0xff; }
+`)
+	as := prog.Func.Body.List[0].(*ast.AssignStmt)
+	lit, ok := as.RHS.(*ast.IntLit)
+	if !ok || lit.Value != 255 {
+		t.Fatalf("RHS = %s, want 255", as.RHS)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// Parse → print → parse must converge (idempotent printing).
+	prog := mustParse(t, flowletSrc)
+	printed := prog.String()
+	prog2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse of printed program failed: %v\nsource:\n%s", err, printed)
+	}
+	if prog2.String() != printed {
+		t.Error("printing is not idempotent")
+	}
+}

@@ -1,0 +1,106 @@
+package passes
+
+import (
+	"domino/internal/ast"
+	"domino/internal/sema"
+)
+
+// Assign is a straight-line statement between passes: always a plain
+// assignment. Guardable marks statements that originated inside a branch
+// (as opposed to hoisted condition temporaries, which are always executed).
+type Assign struct {
+	Stmt *ast.AssignStmt
+	// CondTemp is true for the hoisted "pkt.tmpN = <condition>" assignments
+	// branch removal introduces. They are evaluated unconditionally, exactly
+	// as in paper Figure 5.
+	CondTemp bool
+}
+
+// BranchRemoval converts the transaction body into straight-line code with
+// no branches (paper §4.1, Figure 5). Each if-condition is hoisted into a
+// fresh packet temporary, and every assignment in a branch is rewritten as a
+// conditional move:
+//
+//	if (c) { x = e; }      becomes      pkt.tmpN = c;
+//	                                    x = pkt.tmpN ? e : x;
+//
+// Else-branch assignments swap the ternary's arms. Nested branches are
+// handled innermost-first by recursion, producing nested conditional
+// operators in the rewritten right-hand sides.
+func BranchRemoval(info *sema.Info, ng *NameGen) []Assign {
+	return removeBranches(info.Prog.Func.Body.List, ng)
+}
+
+func removeBranches(stmts []ast.Stmt, ng *NameGen) []Assign {
+	var out []Assign
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.AssignStmt:
+			out = append(out, Assign{Stmt: st})
+		case *ast.BlockStmt:
+			out = append(out, removeBranches(st.List, ng)...)
+		case *ast.IfStmt:
+			out = append(out, removeIf(st, ng)...)
+		}
+	}
+	return out
+}
+
+func removeIf(st *ast.IfStmt, ng *NameGen) []Assign {
+	tmp := ng.FreshSeq("tmp")
+	guard := &ast.FieldExpr{Pkt: "pkt", Field: tmp, Position: st.Position}
+	out := []Assign{{
+		Stmt: &ast.AssignStmt{
+			LHS:      ast.CloneExpr(guard),
+			RHS:      ast.CloneExpr(st.Cond),
+			Position: st.Position,
+		},
+		CondTemp: true,
+	}}
+
+	then := removeBranches([]ast.Stmt{st.Then}, ng)
+	out = append(out, guardAssigns(then, guard, true)...)
+	if st.Else != nil {
+		els := removeBranches([]ast.Stmt{st.Else}, ng)
+		out = append(out, guardAssigns(els, guard, false)...)
+	}
+	return out
+}
+
+// guardAssigns rewrites each guardable assignment "lhs = rhs" into
+// "lhs = guard ? rhs : lhs" (or the swapped form for else branches).
+// Condition temporaries from inner branches pass through unguarded: they
+// are pure and their values are only consumed by statements that are
+// themselves guarded.
+func guardAssigns(list []Assign, guard ast.Expr, thenBranch bool) []Assign {
+	out := make([]Assign, 0, len(list))
+	for _, a := range list {
+		if a.CondTemp {
+			out = append(out, a)
+			continue
+		}
+		lhsCopy := ast.CloneExpr(a.Stmt.LHS)
+		var rhs ast.Expr
+		if thenBranch {
+			rhs = &ast.CondExpr{
+				Cond:     ast.CloneExpr(guard),
+				Then:     a.Stmt.RHS,
+				Else:     lhsCopy,
+				Position: a.Stmt.Position,
+			}
+		} else {
+			rhs = &ast.CondExpr{
+				Cond:     ast.CloneExpr(guard),
+				Then:     lhsCopy,
+				Else:     a.Stmt.RHS,
+				Position: a.Stmt.Position,
+			}
+		}
+		out = append(out, Assign{Stmt: &ast.AssignStmt{
+			LHS:      a.Stmt.LHS,
+			RHS:      rhs,
+			Position: a.Stmt.Position,
+		}})
+	}
+	return out
+}

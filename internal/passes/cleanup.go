@@ -1,0 +1,191 @@
+package passes
+
+import (
+	"domino/internal/interp"
+	"domino/internal/ir"
+	"domino/internal/token"
+)
+
+// Cleanup runs copy propagation, constant folding and dead-code elimination
+// to a fixed point on three-address code. The input is SSA, which makes all
+// three transformations local:
+//
+//   - copy propagation: after "pkt.a = pkt.b" every later read of a can read
+//     b instead (b is assigned at most once, before a);
+//   - constant folding: an operation on two constants becomes a move, and a
+//     conditional with constant condition selects an arm;
+//   - DCE: a field assignment is dead if nothing reads the field and it is
+//     not the final version of a packet field (the value leaving the
+//     pipeline); state writes are always live.
+//
+// Cleanup keeps the codelet pipeline minimal so stage counts and atoms/stage
+// (paper Table 4) reflect the algorithm rather than compiler noise.
+func Cleanup(p *ir.Program) *ir.Program {
+	stmts := p.Stmts
+	for {
+		var changed bool
+		stmts, changed = cleanupOnce(stmts, p.FinalVersion)
+		if !changed {
+			break
+		}
+	}
+	out := &ir.Program{
+		Stmts:        stmts,
+		FinalVersion: p.FinalVersion,
+	}
+	seen := map[string]bool{}
+	for _, s := range stmts {
+		for _, r := range s.Reads() {
+			if !ir.IsStateVar(r) && !seen[r] {
+				seen[r] = true
+				out.Fields = append(out.Fields, r[len("pkt."):])
+			}
+		}
+		if w := s.Writes(); !ir.IsStateVar(w) && !seen[w] {
+			seen[w] = true
+			out.Fields = append(out.Fields, w[len("pkt."):])
+		}
+		switch st := s.(type) {
+		case *ir.ReadState:
+			out.StateReads = append(out.StateReads, st.State)
+		case *ir.WriteState:
+			out.StateWrites = append(out.StateWrites, st.State)
+		}
+	}
+	// Final versions of fields must stay visible even if every producer was
+	// folded away; ensure they appear in the field universe.
+	for _, v := range p.FinalVersion {
+		if !seen["pkt."+v] {
+			seen["pkt."+v] = true
+			out.Fields = append(out.Fields, v)
+		}
+	}
+	return out
+}
+
+func cleanupOnce(stmts []ir.Stmt, finals map[string]string) ([]ir.Stmt, bool) {
+	changed := false
+
+	// Pass 1: build substitution map from moves and folds.
+	subst := map[string]ir.Operand{} // field name → replacement operand
+	resolve := func(o ir.Operand) ir.Operand {
+		for o.IsField() {
+			r, ok := subst[o.Name]
+			if !ok {
+				return o
+			}
+			o = r
+		}
+		return o
+	}
+
+	var out []ir.Stmt
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ir.Move:
+			src := resolve(st.Src)
+			subst[st.Dst] = src
+			out = append(out, &ir.Move{Dst: st.Dst, Src: src})
+		case *ir.BinOp:
+			a, b := resolve(st.A), resolve(st.B)
+			if a.IsConst() && b.IsConst() {
+				v, err := interp.EvalBinary(st.Op, a.Value, b.Value)
+				if err == nil {
+					subst[st.Dst] = ir.C(v)
+					out = append(out, &ir.Move{Dst: st.Dst, Src: ir.C(v)})
+					changed = true
+					continue
+				}
+			}
+			if a != st.A || b != st.B {
+				changed = true
+			}
+			out = append(out, &ir.BinOp{Dst: st.Dst, Op: st.Op, A: a, B: b})
+		case *ir.CondMove:
+			c, a, b := resolve(st.Cond), resolve(st.A), resolve(st.B)
+			if c.IsConst() {
+				pick := b
+				if c.Value != 0 {
+					pick = a
+				}
+				subst[st.Dst] = pick
+				out = append(out, &ir.Move{Dst: st.Dst, Src: pick})
+				changed = true
+				continue
+			}
+			if a == b { // both arms identical: the condition is irrelevant
+				subst[st.Dst] = a
+				out = append(out, &ir.Move{Dst: st.Dst, Src: a})
+				changed = true
+				continue
+			}
+			if c != st.Cond || a != st.A || b != st.B {
+				changed = true
+			}
+			out = append(out, &ir.CondMove{Dst: st.Dst, Cond: c, A: a, B: b})
+		case *ir.Call:
+			args := make([]ir.Operand, len(st.Args))
+			for i, a := range st.Args {
+				args[i] = resolve(a)
+				if args[i] != st.Args[i] {
+					changed = true
+				}
+			}
+			ns := &ir.Call{Dst: st.Dst, Fun: st.Fun, Args: args, Op: st.Op}
+			if st.Op != token.Illegal {
+				ns.B = resolve(st.B)
+				if ns.B != st.B {
+					changed = true
+				}
+			}
+			out = append(out, ns)
+		case *ir.ReadState:
+			ns := &ir.ReadState{Dst: st.Dst, State: st.State}
+			if st.Index != nil {
+				idx := resolve(*st.Index)
+				if idx != *st.Index {
+					changed = true
+				}
+				ns.Index = &idx
+			}
+			out = append(out, ns)
+		case *ir.WriteState:
+			ns := &ir.WriteState{State: st.State, Src: resolve(st.Src)}
+			if ns.Src != st.Src {
+				changed = true
+			}
+			if st.Index != nil {
+				idx := resolve(*st.Index)
+				if idx != *st.Index {
+					changed = true
+				}
+				ns.Index = &idx
+			}
+			out = append(out, ns)
+		default:
+			out = append(out, s)
+		}
+	}
+
+	// Pass 2: DCE. Live roots: state writes (implicit) and final versions.
+	live := map[string]bool{}
+	for _, v := range finals {
+		live["pkt."+v] = true
+	}
+	reads := map[string]int{}
+	for _, s := range out {
+		for _, r := range s.Reads() {
+			reads[r]++
+		}
+	}
+	var kept []ir.Stmt
+	for _, s := range out {
+		w := s.Writes()
+		if !ir.IsStateVar(w) && reads[w] == 0 && !live[w] {
+			changed = true
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return kept, changed
+}

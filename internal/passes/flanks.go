@@ -1,0 +1,256 @@
+package passes
+
+import (
+	"fmt"
+
+	"domino/internal/ast"
+	"domino/internal/sema"
+)
+
+// FlankInfo records, for each state variable touched by the transaction,
+// the packet temporary that carries its value and the index expression used
+// (nil for scalars). Later passes use it to keep the read and write flanks
+// of a variable addressing the same memory location.
+type FlankInfo struct {
+	// Temp maps state variable name → packet temporary field name.
+	Temp map[string]string
+	// Index maps array name → the index expression (a packet field after
+	// this pass, possibly a hoisted temporary).
+	Index map[string]ast.Expr
+	// Read and Written record which state variables have read/write flanks.
+	Read, Written map[string]bool
+	// Order lists state variables in first-access order.
+	Order []string
+}
+
+// RewriteFlanks rewrites all state-variable operations into read flanks,
+// packet-temporary arithmetic, and write flanks (paper §4.1, Figure 6).
+// After this pass the only statements touching state are:
+//
+//	pkt.<v> = v[idx];   (read flank, before the first access)
+//	v[idx] = pkt.<v>;   (write flank, at the end)
+//
+// and every other occurrence of v has been replaced by pkt.<v>.
+//
+// It also enforces the array-index constancy Table 1 requires at runtime:
+// any packet field appearing in an array's index expression must not be
+// assigned after the first access to that array (otherwise the write flank
+// would address a different element than the reads).
+func RewriteFlanks(info *sema.Info, stmts []Assign, ng *NameGen) ([]Assign, *FlankInfo, error) {
+	fi := &FlankInfo{
+		Temp:    map[string]string{},
+		Index:   map[string]ast.Expr{},
+		Read:    map[string]bool{},
+		Written: map[string]bool{},
+	}
+
+	// Classify accesses: which state vars are read, which written, and where
+	// each is first touched.
+	firstAccess := map[string]int{}
+	for i, a := range stmts {
+		for _, v := range stateReadsOf(info, a.Stmt.RHS) {
+			if _, ok := firstAccess[v]; !ok {
+				firstAccess[v] = i
+				fi.Order = append(fi.Order, v)
+			}
+			fi.Read[v] = true
+		}
+		if v, ok := stateWriteOf(info, a.Stmt.LHS); ok {
+			if _, ok := firstAccess[v]; !ok {
+				firstAccess[v] = i
+				fi.Order = append(fi.Order, v)
+			}
+			fi.Written[v] = true
+		}
+	}
+
+	// Check index-field stability.
+	if err := checkIndexStability(info, stmts, firstAccess); err != nil {
+		return nil, nil, err
+	}
+
+	// Allocate temporaries, named after the state variable when possible
+	// (paper's pkt.last_time / pkt.saved_hop style).
+	for _, v := range fi.Order {
+		fi.Temp[v] = ng.Fresh(v)
+		if idx, ok := info.ArrayIndex[v]; ok {
+			fi.Index[v] = idx
+		}
+	}
+
+	var out []Assign
+	emittedRead := map[string]bool{}
+	pkt := info.Prog.Func.ParamName
+
+	// hoistIndex ensures an array's index is a bare packet field, hoisting
+	// compound expressions into a temporary exactly once.
+	hoistIndex := func(v string) ast.Expr {
+		idx := fi.Index[v]
+		if idx == nil {
+			return nil
+		}
+		if _, isField := idx.(*ast.FieldExpr); isField {
+			return idx
+		}
+		t := ng.Fresh(v + "_idx")
+		tf := &ast.FieldExpr{Pkt: pkt, Field: t}
+		out = append(out, Assign{Stmt: &ast.AssignStmt{
+			LHS: ast.CloneExpr(tf),
+			RHS: ast.CloneExpr(idx),
+		}, CondTemp: true})
+		fi.Index[v] = tf
+		return tf
+	}
+
+	emitReadFlank := func(v string) {
+		if emittedRead[v] {
+			return
+		}
+		emittedRead[v] = true
+		if !fi.Read[v] {
+			// Write-only variable: no read flank needed; the temporary is
+			// built up by the rewritten writes alone. Still hoist the index.
+			hoistIndex(v)
+			return
+		}
+		idx := hoistIndex(v)
+		var src ast.Expr
+		if idx != nil {
+			src = &ast.IndexExpr{Name: v, Index: ast.CloneExpr(idx)}
+		} else {
+			src = &ast.Ident{Name: v}
+		}
+		out = append(out, Assign{Stmt: &ast.AssignStmt{
+			LHS: &ast.FieldExpr{Pkt: pkt, Field: fi.Temp[v]},
+			RHS: src,
+		}, CondTemp: true})
+	}
+
+	for i, a := range stmts {
+		// Emit read flanks for every variable first touched at statement i.
+		for _, v := range fi.Order {
+			if firstAccess[v] == i {
+				emitReadFlank(v)
+			}
+		}
+		lhs := a.Stmt.LHS
+		if v, ok := stateWriteOf(info, lhs); ok {
+			lhs = &ast.FieldExpr{Pkt: pkt, Field: fi.Temp[v], Position: a.Stmt.Pos()}
+		}
+		rhs := replaceStateReads(info, fi, pkt, a.Stmt.RHS)
+		out = append(out, Assign{Stmt: &ast.AssignStmt{LHS: lhs, RHS: rhs, Position: a.Stmt.Position}, CondTemp: a.CondTemp})
+	}
+
+	// Write flanks, in first-access order.
+	for _, v := range fi.Order {
+		if !fi.Written[v] {
+			continue
+		}
+		var lhs ast.Expr
+		if idx := fi.Index[v]; idx != nil {
+			lhs = &ast.IndexExpr{Name: v, Index: ast.CloneExpr(idx)}
+		} else {
+			lhs = &ast.Ident{Name: v}
+		}
+		out = append(out, Assign{Stmt: &ast.AssignStmt{
+			LHS: lhs,
+			RHS: &ast.FieldExpr{Pkt: pkt, Field: fi.Temp[v]},
+		}})
+	}
+	return out, fi, nil
+}
+
+// stateReadsOf lists state variables read by e, in syntactic order.
+func stateReadsOf(info *sema.Info, e ast.Expr) []string {
+	var vars []string
+	seen := map[string]bool{}
+	ast.Walk(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if _, ok := info.Scalars[x.Name]; ok && !seen[x.Name] {
+				seen[x.Name] = true
+				vars = append(vars, x.Name)
+			}
+		case *ast.IndexExpr:
+			if _, ok := info.Arrays[x.Name]; ok && !seen[x.Name] {
+				seen[x.Name] = true
+				vars = append(vars, x.Name)
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// stateWriteOf returns the state variable written by an lvalue, if any.
+func stateWriteOf(info *sema.Info, lhs ast.Expr) (string, bool) {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		_, ok := info.Scalars[x.Name]
+		return x.Name, ok
+	case *ast.IndexExpr:
+		_, ok := info.Arrays[x.Name]
+		return x.Name, ok
+	}
+	return "", false
+}
+
+// replaceStateReads substitutes pkt.<temp> for every state access in e.
+func replaceStateReads(info *sema.Info, fi *FlankInfo, pkt string, e ast.Expr) ast.Expr {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if t, ok := fi.Temp[x.Name]; ok {
+			return &ast.FieldExpr{Pkt: pkt, Field: t, Position: x.Position}
+		}
+		return x
+	case *ast.IndexExpr:
+		if t, ok := fi.Temp[x.Name]; ok {
+			return &ast.FieldExpr{Pkt: pkt, Field: t, Position: x.Position}
+		}
+		return x
+	case *ast.BinaryExpr:
+		return &ast.BinaryExpr{Op: x.Op,
+			X: replaceStateReads(info, fi, pkt, x.X),
+			Y: replaceStateReads(info, fi, pkt, x.Y), Position: x.Position}
+	case *ast.UnaryExpr:
+		return &ast.UnaryExpr{Op: x.Op, X: replaceStateReads(info, fi, pkt, x.X), Position: x.Position}
+	case *ast.CondExpr:
+		return &ast.CondExpr{
+			Cond:     replaceStateReads(info, fi, pkt, x.Cond),
+			Then:     replaceStateReads(info, fi, pkt, x.Then),
+			Else:     replaceStateReads(info, fi, pkt, x.Else),
+			Position: x.Position}
+	case *ast.CallExpr:
+		args := make([]ast.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = replaceStateReads(info, fi, pkt, a)
+		}
+		return &ast.CallExpr{Fun: x.Fun, Args: args, Position: x.Position}
+	}
+	return e
+}
+
+// checkIndexStability rejects programs that assign to a field used in an
+// array index after that array has been accessed.
+func checkIndexStability(info *sema.Info, stmts []Assign, firstAccess map[string]int) error {
+	for arr, idx := range info.ArrayIndex {
+		fields := map[string]bool{}
+		ast.Walk(idx, func(n ast.Node) bool {
+			if f, ok := n.(*ast.FieldExpr); ok {
+				fields[f.Field] = true
+			}
+			return true
+		})
+		first, accessed := firstAccess[arr]
+		if !accessed {
+			continue
+		}
+		for i := first + 1; i < len(stmts); i++ {
+			if f, ok := stmts[i].Stmt.LHS.(*ast.FieldExpr); ok && fields[f.Field] {
+				return fmt.Errorf("%s: field %q is used as the index of array %q but is reassigned after the array is accessed; array indices must be constant for each transaction execution (paper Table 1)",
+					stmts[i].Stmt.Position, f.Field, arr)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package passes
+
+import (
+	"fmt"
+
+	"domino/internal/ast"
+	"domino/internal/ir"
+	"domino/internal/sema"
+	"domino/internal/token"
+)
+
+// Flatten converts straight-line SSA code into three-address code (paper
+// §4.1, Figure 8). Compound expressions are decomposed with fresh
+// temporaries; unary operators are lowered to binary forms a hardware ALU
+// provides (-x → 0-x, !x → x==0, ~x → x^-1); an intrinsic call with one
+// folded binary operation (hash % size) stays a single statement, the shape
+// the paper's three-address code allows.
+func Flatten(info *sema.Info, stmts []Assign, ng *NameGen, finals map[string]string) (*ir.Program, error) {
+	f := &flattener{info: info, ng: ng}
+	for _, a := range stmts {
+		if err := f.stmt(a.Stmt); err != nil {
+			return nil, err
+		}
+	}
+
+	prog := &ir.Program{Stmts: f.out}
+
+	// Record the field universe in first-use order.
+	seen := map[string]bool{}
+	addField := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			prog.Fields = append(prog.Fields, name)
+		}
+	}
+	for _, s := range f.out {
+		for _, r := range s.Reads() {
+			if !ir.IsStateVar(r) {
+				addField(r[len("pkt."):])
+			}
+		}
+		if w := s.Writes(); !ir.IsStateVar(w) {
+			addField(w[len("pkt."):])
+		}
+		switch st := s.(type) {
+		case *ir.ReadState:
+			prog.StateReads = append(prog.StateReads, st.State)
+		case *ir.WriteState:
+			prog.StateWrites = append(prog.StateWrites, st.State)
+		}
+	}
+
+	prog.FinalVersion = map[string]string{}
+	for _, fld := range info.Fields {
+		if v, ok := finals[fld]; ok {
+			prog.FinalVersion[fld] = v
+		} else {
+			prog.FinalVersion[fld] = fld
+		}
+	}
+	return prog, nil
+}
+
+type flattener struct {
+	info *sema.Info
+	ng   *NameGen
+	out  []ir.Stmt
+}
+
+func (f *flattener) emit(s ir.Stmt) { f.out = append(f.out, s) }
+
+func (f *flattener) temp() string { return f.ng.FreshSeq("t") }
+
+// stmt lowers one assignment.
+func (f *flattener) stmt(a *ast.AssignStmt) error {
+	// Write flank: state = field.
+	if name, isState := stateWriteOf(f.info, a.LHS); isState {
+		src, err := f.operand(a.RHS)
+		if err != nil {
+			return err
+		}
+		var idx *ir.Operand
+		if ix, ok := a.LHS.(*ast.IndexExpr); ok {
+			iop, err := f.operand(ix.Index)
+			if err != nil {
+				return err
+			}
+			idx = &iop
+		}
+		f.emit(&ir.WriteState{State: name, Index: idx, Src: src})
+		return nil
+	}
+
+	lhs, ok := a.LHS.(*ast.FieldExpr)
+	if !ok {
+		return fmt.Errorf("flatten: unexpected lvalue %s", a.LHS)
+	}
+	return f.assignTo(lhs.Field, a.RHS)
+}
+
+// assignTo lowers "pkt.dst = e" writing the result directly into dst.
+func (f *flattener) assignTo(dst string, e ast.Expr) error {
+	switch x := e.(type) {
+	case *ast.IntLit, *ast.FieldExpr:
+		op, err := f.operand(x)
+		if err != nil {
+			return err
+		}
+		f.emit(&ir.Move{Dst: dst, Src: op})
+		return nil
+	case *ast.Ident: // read flank of a scalar
+		if _, ok := f.info.Scalars[x.Name]; ok {
+			f.emit(&ir.ReadState{Dst: dst, State: x.Name})
+			return nil
+		}
+		return fmt.Errorf("flatten: unresolved identifier %q", x.Name)
+	case *ast.IndexExpr: // read flank of an array
+		if _, ok := f.info.Arrays[x.Name]; !ok {
+			return fmt.Errorf("flatten: unresolved array %q", x.Name)
+		}
+		iop, err := f.operand(x.Index)
+		if err != nil {
+			return err
+		}
+		f.emit(&ir.ReadState{Dst: dst, State: x.Name, Index: &iop})
+		return nil
+	case *ast.UnaryExpr:
+		op, aop, b, err := f.lowerUnary(x)
+		if err != nil {
+			return err
+		}
+		f.emit(&ir.BinOp{Dst: dst, Op: op, A: aop, B: b})
+		return nil
+	case *ast.BinaryExpr:
+		// Intrinsic call with one folded op: hash2(...) % 8000.
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			args, err := f.operands(call.Args)
+			if err != nil {
+				return err
+			}
+			bop, err := f.operand(x.Y)
+			if err != nil {
+				return err
+			}
+			f.emit(&ir.Call{Dst: dst, Fun: call.Fun, Args: args, Op: x.Op, B: bop})
+			return nil
+		}
+		aop, err := f.operand(x.X)
+		if err != nil {
+			return err
+		}
+		bop, err := f.operand(x.Y)
+		if err != nil {
+			return err
+		}
+		f.emit(&ir.BinOp{Dst: dst, Op: x.Op, A: aop, B: bop})
+		return nil
+	case *ast.CondExpr:
+		c, err := f.operand(x.Cond)
+		if err != nil {
+			return err
+		}
+		a, err := f.operand(x.Then)
+		if err != nil {
+			return err
+		}
+		b, err := f.operand(x.Else)
+		if err != nil {
+			return err
+		}
+		f.emit(&ir.CondMove{Dst: dst, Cond: c, A: a, B: b})
+		return nil
+	case *ast.CallExpr:
+		args, err := f.operands(x.Args)
+		if err != nil {
+			return err
+		}
+		f.emit(&ir.Call{Dst: dst, Fun: x.Fun, Args: args, Op: token.Illegal})
+		return nil
+	}
+	return fmt.Errorf("flatten: unexpected expression %T", e)
+}
+
+// operand reduces e to a single operand, emitting temporaries as needed.
+func (f *flattener) operand(e ast.Expr) (ir.Operand, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return ir.C(x.Value), nil
+	case *ast.FieldExpr:
+		return ir.F(x.Field), nil
+	}
+	t := f.temp()
+	if err := f.assignTo(t, e); err != nil {
+		return ir.Operand{}, err
+	}
+	return ir.F(t), nil
+}
+
+func (f *flattener) operands(es []ast.Expr) ([]ir.Operand, error) {
+	ops := make([]ir.Operand, len(es))
+	for i, e := range es {
+		op, err := f.operand(e)
+		if err != nil {
+			return nil, err
+		}
+		ops[i] = op
+	}
+	return ops, nil
+}
+
+// lowerUnary rewrites a unary operator as an equivalent binary one.
+func (f *flattener) lowerUnary(x *ast.UnaryExpr) (token.Kind, ir.Operand, ir.Operand, error) {
+	v, err := f.operand(x.X)
+	if err != nil {
+		return token.Illegal, ir.Operand{}, ir.Operand{}, err
+	}
+	switch x.Op {
+	case token.Minus:
+		return token.Minus, ir.C(0), v, nil
+	case token.Not:
+		return token.Eq, v, ir.C(0), nil
+	case token.BitNot:
+		return token.Xor, v, ir.C(-1), nil
+	}
+	return token.Illegal, ir.Operand{}, ir.Operand{}, fmt.Errorf("flatten: unexpected unary operator %s", x.Op)
+}

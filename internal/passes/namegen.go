@@ -1,0 +1,63 @@
+// Package passes implements the Domino compiler's normalization passes
+// (paper §4.1): branch removal, state-variable flank rewriting, conversion
+// to static single-assignment form, flattening to three-address code, and a
+// cleanup pass (copy propagation, constant folding, dead-code elimination)
+// that keeps the codelet pipeline minimal.
+//
+// Every pass consumes and produces straight-line code and is independently
+// semantics-preserving, which the test suite verifies by interpreting
+// before/after on random packets.
+package passes
+
+import "fmt"
+
+// NameGen hands out fresh packet-field names that cannot collide with
+// declared fields, state variables, or names it has already issued.
+type NameGen struct {
+	taken map[string]bool
+}
+
+// NewNameGen creates a generator with the given names reserved.
+func NewNameGen(reserved ...[]string) *NameGen {
+	ng := &NameGen{taken: map[string]bool{}}
+	for _, group := range reserved {
+		for _, n := range group {
+			ng.taken[n] = true
+		}
+	}
+	return ng
+}
+
+// Reserve marks a name as taken.
+func (ng *NameGen) Reserve(name string) { ng.taken[name] = true }
+
+// Taken reports whether name is already in use.
+func (ng *NameGen) Taken(name string) bool { return ng.taken[name] }
+
+// Fresh returns base if free, otherwise base with the smallest integer
+// suffix that makes it free, and reserves the result.
+func (ng *NameGen) Fresh(base string) string {
+	if !ng.taken[base] {
+		ng.taken[base] = true
+		return base
+	}
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("%s_%d", base, i)
+		if !ng.taken[cand] {
+			ng.taken[cand] = true
+			return cand
+		}
+	}
+}
+
+// FreshSeq returns base+<n> for the smallest free n (tmp0, tmp1, ...),
+// matching the paper's temporary-naming style.
+func (ng *NameGen) FreshSeq(base string) string {
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("%s%d", base, i)
+		if !ng.taken[cand] {
+			ng.taken[cand] = true
+			return cand
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package passes
+
+import (
+	"strings"
+
+	"domino/internal/sema"
+
+	"domino/internal/ir"
+)
+
+// NormResult carries the output of every normalization stage, so tools and
+// tests can inspect the intermediate forms the paper illustrates in Figures
+// 5–8 as well as the final three-address code.
+type NormResult struct {
+	Info *sema.Info
+
+	// Straight is the program after branch removal (Figure 5).
+	Straight []Assign
+	// Flanked is the program after state read/write flank insertion
+	// (Figure 6).
+	Flanked []Assign
+	// SSA is the program in static single-assignment form (Figure 7).
+	SSA []Assign
+	// Raw is the three-address code before cleanup.
+	Raw *ir.Program
+	// IR is the final, cleaned three-address code (Figure 8).
+	IR *ir.Program
+	// Flanks describes the state-variable temporaries.
+	Flanks *FlankInfo
+}
+
+// Normalize runs the full §4.1 pass sequence on a checked program.
+func Normalize(info *sema.Info) (*NormResult, error) {
+	// Packet fields and state variables are distinct namespaces (pkt.x vs
+	// x), so flank temporaries may reuse the state variable's name — the
+	// paper's pkt.last_time style. Only field names need uniquifying.
+	ng := NewNameGen(info.Fields)
+	res := &NormResult{Info: info}
+
+	res.Straight = BranchRemoval(info, ng)
+
+	flanked, fi, err := RewriteFlanks(info, res.Straight, ng)
+	if err != nil {
+		return nil, err
+	}
+	res.Flanked = flanked
+	res.Flanks = fi
+
+	ssa, finals := ToSSA(info, flanked, ng)
+	res.SSA = ssa
+
+	raw, err := Flatten(info, ssa, ng, finals)
+	if err != nil {
+		return nil, err
+	}
+	res.Raw = raw
+
+	res.IR = Cleanup(raw)
+	if err := res.IR.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Print renders a straight-line stage as source text, one statement per
+// line, for golden tests and the -figure output of cmd/paper-eval.
+func Print(stmts []Assign) string {
+	var b strings.Builder
+	for _, a := range stmts {
+		b.WriteString(a.Stmt.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package passes
+
+import (
+	"domino/internal/ast"
+	"domino/internal/sema"
+)
+
+// ToSSA converts straight-line code to static single-assignment form
+// (paper §4.1, Figure 7): every packet field is assigned at most once.
+// Each assignment to field f introduces a fresh version f0, f1, ...;
+// subsequent reads refer to the latest version. A field read before any
+// assignment keeps its original name (it is the value parsed from the
+// packet).
+//
+// Because branch removal already produced straight-line code, no φ-functions
+// are needed — the simplification over Cytron et al. the paper calls out in
+// Table 2.
+//
+// The returned map gives, for every field that was assigned, the final SSA
+// version: the name under which the field's value leaves the pipeline.
+func ToSSA(info *sema.Info, stmts []Assign, ng *NameGen) ([]Assign, map[string]string) {
+	cur := map[string]string{} // original/base field → current version name
+	base := map[string]string{}
+
+	rename := func(e ast.Expr) ast.Expr { return renameReads(cur, e) }
+
+	out := make([]Assign, 0, len(stmts))
+	for _, a := range stmts {
+		rhs := rename(a.Stmt.RHS)
+		var lhs ast.Expr
+		switch lv := a.Stmt.LHS.(type) {
+		case *ast.FieldExpr:
+			v := ng.FreshSeq(lv.Field)
+			cur[lv.Field] = v
+			base[v] = lv.Field
+			lhs = &ast.FieldExpr{Pkt: lv.Pkt, Field: v, Position: lv.Position}
+		case *ast.IndexExpr: // write flank; index fields are read, not written
+			lhs = &ast.IndexExpr{Name: lv.Name, Index: rename(lv.Index), Position: lv.Position}
+		case *ast.Ident: // scalar write flank
+			lhs = lv
+		default:
+			lhs = a.Stmt.LHS
+		}
+		out = append(out, Assign{Stmt: &ast.AssignStmt{LHS: lhs, RHS: rhs, Position: a.Stmt.Position}, CondTemp: a.CondTemp})
+	}
+
+	finals := make(map[string]string, len(cur))
+	for f, v := range cur {
+		finals[f] = v
+	}
+	return out, finals
+}
+
+func renameReads(cur map[string]string, e ast.Expr) ast.Expr {
+	switch x := e.(type) {
+	case *ast.FieldExpr:
+		if v, ok := cur[x.Field]; ok {
+			return &ast.FieldExpr{Pkt: x.Pkt, Field: v, Position: x.Position}
+		}
+		return x
+	case *ast.IndexExpr:
+		return &ast.IndexExpr{Name: x.Name, Index: renameReads(cur, x.Index), Position: x.Position}
+	case *ast.BinaryExpr:
+		return &ast.BinaryExpr{Op: x.Op, X: renameReads(cur, x.X), Y: renameReads(cur, x.Y), Position: x.Position}
+	case *ast.UnaryExpr:
+		return &ast.UnaryExpr{Op: x.Op, X: renameReads(cur, x.X), Position: x.Position}
+	case *ast.CondExpr:
+		return &ast.CondExpr{
+			Cond:     renameReads(cur, x.Cond),
+			Then:     renameReads(cur, x.Then),
+			Else:     renameReads(cur, x.Else),
+			Position: x.Position}
+	case *ast.CallExpr:
+		args := make([]ast.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = renameReads(cur, a)
+		}
+		return &ast.CallExpr{Fun: x.Fun, Args: args, Position: x.Position}
+	}
+	return e
+}

@@ -1,0 +1,412 @@
+// Package pvsm implements the Pipelined Virtual Switch Machine, the Domino
+// compiler's intermediate representation (paper §4.2). It turns normalized
+// three-address code into a pipeline of codelets:
+//
+//  1. build a dependency graph over statements — read-after-write edges for
+//     packet fields, plus a pair of edges between each state variable's read
+//     and write flanks so that state stays internal to one codelet;
+//  2. condense strongly connected components (Tarjan) into a DAG;
+//  3. schedule the DAG with critical-path scheduling: a codelet's stage is
+//     one past the latest stage among its dependencies.
+//
+// PVSM places no computational or resource limits on the pipeline — those
+// are applied during code generation — exactly as LLVM places no limit on
+// virtual registers.
+package pvsm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"domino/internal/ir"
+)
+
+// Codelet is a sequential block of three-address code statements that must
+// execute atomically within one pipeline stage. A codelet owning state
+// corresponds to a stateful atom; one without state to a stateless atom.
+type Codelet struct {
+	// Stmts in original program order.
+	Stmts []ir.Stmt
+	// StateVars are the state variables confined to this codelet (empty for
+	// stateless codelets).
+	StateVars []string
+}
+
+// Stateful reports whether the codelet owns persistent state.
+func (c *Codelet) Stateful() bool { return len(c.StateVars) > 0 }
+
+// Reads returns the packet fields the codelet reads from earlier stages
+// (excluding fields it defines itself).
+func (c *Codelet) Reads() []string {
+	defined := map[string]bool{}
+	for _, s := range c.Stmts {
+		defined[s.Writes()] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range c.Stmts {
+		for _, r := range s.Reads() {
+			if ir.IsStateVar(r) || defined[r] || seen[r] {
+				continue
+			}
+			seen[r] = true
+			out = append(out, strings.TrimPrefix(r, "pkt."))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Writes returns the packet fields the codelet defines.
+func (c *Codelet) Writes() []string {
+	var out []string
+	for _, s := range c.Stmts {
+		if w := s.Writes(); !ir.IsStateVar(w) {
+			out = append(out, strings.TrimPrefix(w, "pkt."))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *Codelet) String() string {
+	var b strings.Builder
+	for i, s := range c.Stmts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// Pipeline is the codelet pipeline: Stages[i] is the vector of codelets
+// executing in stage i. Within a stage, codelets are independent.
+type Pipeline struct {
+	Stages [][]*Codelet
+	// Program is the normalized code the pipeline was built from.
+	Program *ir.Program
+}
+
+// NumStages returns the pipeline depth.
+func (p *Pipeline) NumStages() int { return len(p.Stages) }
+
+// MaxAtomsPerStage returns the widest stage's codelet count.
+func (p *Pipeline) MaxAtomsPerStage() int {
+	max := 0
+	for _, st := range p.Stages {
+		if len(st) > max {
+			max = len(st)
+		}
+	}
+	return max
+}
+
+// NumCodelets returns the total codelet count.
+func (p *Pipeline) NumCodelets() int {
+	n := 0
+	for _, st := range p.Stages {
+		n += len(st)
+	}
+	return n
+}
+
+// MaxStatefulPerStage returns the largest number of stateful codelets in
+// any one stage.
+func (p *Pipeline) MaxStatefulPerStage() int {
+	max := 0
+	for _, st := range p.Stages {
+		n := 0
+		for _, c := range st {
+			if c.Stateful() {
+				n++
+			}
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+func (p *Pipeline) String() string {
+	var b strings.Builder
+	for i, st := range p.Stages {
+		fmt.Fprintf(&b, "Stage %d:\n", i+1)
+		for _, c := range st {
+			tag := "  [stateless] "
+			if c.Stateful() {
+				tag = "  [stateful:" + strings.Join(c.StateVars, ",") + "] "
+			}
+			b.WriteString(tag)
+			for j, s := range c.Stmts {
+				if j > 0 {
+					b.WriteString("; ")
+				}
+				b.WriteString(strings.TrimSuffix(s.String(), ";"))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Graph is the statement dependency graph (paper Figure 9a): nodes are
+// statement indices into the program, edges are dependencies.
+type Graph struct {
+	Stmts []ir.Stmt
+	Adj   [][]int
+}
+
+// BuildGraph constructs the dependency graph: read-after-write edges on
+// packet fields, and read↔write edge pairs on each state variable.
+func BuildGraph(p *ir.Program) *Graph {
+	n := len(p.Stmts)
+	g := &Graph{Stmts: p.Stmts, Adj: make([][]int, n)}
+
+	addEdge := func(a, b int) { g.Adj[a] = append(g.Adj[a], b) }
+
+	// Field RAW edges: SSA guarantees a unique writer per field.
+	writer := map[string]int{}
+	for i, s := range p.Stmts {
+		if w := s.Writes(); !ir.IsStateVar(w) {
+			writer[w] = i
+		}
+	}
+	for j, s := range p.Stmts {
+		for _, r := range s.Reads() {
+			if ir.IsStateVar(r) {
+				continue
+			}
+			if i, ok := writer[r]; ok && i != j {
+				addEdge(i, j)
+			}
+		}
+	}
+
+	// State read↔write pairing (both directions), forcing the flanks of
+	// each state variable into one SCC.
+	readOf := map[string]int{}
+	writeOf := map[string]int{}
+	for i, s := range p.Stmts {
+		switch st := s.(type) {
+		case *ir.ReadState:
+			readOf[st.State] = i
+		case *ir.WriteState:
+			writeOf[st.State] = i
+		}
+	}
+	for v, r := range readOf {
+		if w, ok := writeOf[v]; ok {
+			addEdge(r, w)
+			addEdge(w, r)
+		}
+	}
+	return g
+}
+
+// SCCs returns the strongly connected components of g in reverse
+// topological order of the condensation (Tarjan's algorithm, iterative).
+func (g *Graph) SCCs() [][]int {
+	n := len(g.Adj)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack, comps = []int{}, [][]int{}
+	next := 0
+
+	type frame struct {
+		v, ei int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		frames := []frame{{start, 0}}
+		index[start], low[start] = next, next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(g.Adj[f.v]) {
+				w := g.Adj[f.v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Post-visit.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// Build produces the codelet pipeline for a normalized program (paper
+// Figure 3b for the flowlet example).
+func Build(p *ir.Program) (*Pipeline, error) {
+	g := BuildGraph(p)
+	comps := g.SCCs()
+
+	// Map statement → component.
+	compOf := make([]int, len(p.Stmts))
+	for ci, comp := range comps {
+		for _, s := range comp {
+			compOf[s] = ci
+		}
+	}
+
+	// Condensed DAG edges.
+	succ := make([]map[int]bool, len(comps))
+	pred := make([]map[int]bool, len(comps))
+	for i := range comps {
+		succ[i] = map[int]bool{}
+		pred[i] = map[int]bool{}
+	}
+	for v, outs := range g.Adj {
+		for _, w := range outs {
+			a, b := compOf[v], compOf[w]
+			if a != b {
+				succ[a][b] = true
+				pred[b][a] = true
+			}
+		}
+	}
+
+	// Critical-path schedule via longest path from sources.
+	stage := make([]int, len(comps))
+	state := make([]int, len(comps)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(c int) error
+	visit = func(c int) error {
+		switch state[c] {
+		case 1:
+			return fmt.Errorf("pvsm: dependency cycle across codelets (compiler bug)")
+		case 2:
+			return nil
+		}
+		state[c] = 1
+		s := 0
+		for pc := range pred[c] {
+			if err := visit(pc); err != nil {
+				return err
+			}
+			if stage[pc]+1 > s {
+				s = stage[pc] + 1
+			}
+		}
+		stage[c] = s
+		state[c] = 2
+		return nil
+	}
+	for c := range comps {
+		if err := visit(c); err != nil {
+			return nil, err
+		}
+	}
+
+	depth := 0
+	for _, s := range stage {
+		if s+1 > depth {
+			depth = s + 1
+		}
+	}
+
+	pl := &Pipeline{Stages: make([][]*Codelet, depth), Program: p}
+
+	// Emit codelets in a deterministic order: by stage, then by first
+	// statement index.
+	order := make([]int, len(comps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := order[a], order[b]
+		if stage[ca] != stage[cb] {
+			return stage[ca] < stage[cb]
+		}
+		return comps[ca][0] < comps[cb][0]
+	})
+	for _, ci := range order {
+		c := &Codelet{}
+		seenState := map[string]bool{}
+		for _, si := range comps[ci] {
+			st := p.Stmts[si]
+			c.Stmts = append(c.Stmts, st)
+			var sv string
+			switch x := st.(type) {
+			case *ir.ReadState:
+				sv = x.State
+			case *ir.WriteState:
+				sv = x.State
+			}
+			if sv != "" && !seenState[sv] {
+				seenState[sv] = true
+				c.StateVars = append(c.StateVars, sv)
+			}
+		}
+		pl.Stages[stage[ci]] = append(pl.Stages[stage[ci]], c)
+	}
+	return pl, nil
+}
+
+// Dot renders the statement dependency graph in Graphviz format (paper
+// Figure 9a), with SCCs clustered (Figure 9b).
+func Dot(p *ir.Program) string {
+	g := BuildGraph(p)
+	comps := g.SCCs()
+	var b strings.Builder
+	b.WriteString("digraph pvsm {\n  node [shape=box, fontname=\"monospace\"];\n")
+	for ci, comp := range comps {
+		if len(comp) > 1 {
+			fmt.Fprintf(&b, "  subgraph cluster_%d {\n    style=filled; color=lightgrey;\n", ci)
+			for _, s := range comp {
+				fmt.Fprintf(&b, "    n%d [label=%q];\n", s, g.Stmts[s].String())
+			}
+			b.WriteString("  }\n")
+		} else {
+			s := comp[0]
+			fmt.Fprintf(&b, "  n%d [label=%q];\n", s, g.Stmts[s].String())
+		}
+	}
+	for v, outs := range g.Adj {
+		for _, w := range outs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", v, w)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,315 @@
+package pvsm
+
+import (
+	"strings"
+	"testing"
+
+	"domino/internal/ir"
+	"domino/internal/parser"
+	"domino/internal/passes"
+	"domino/internal/sema"
+)
+
+const flowletSrc = `
+#define NUM_FLOWLETS 8000
+#define THRESHOLD 5
+#define NUM_HOPS 10
+struct Packet {
+  int sport; int dport; int new_hop; int arrival; int next_hop; int id;
+};
+int last_time[NUM_FLOWLETS] = {0};
+int saved_hop[NUM_FLOWLETS] = {0};
+void flowlet(struct Packet pkt) {
+  pkt.new_hop = hash3(pkt.sport, pkt.dport, pkt.arrival) % NUM_HOPS;
+  pkt.id = hash2(pkt.sport, pkt.dport) % NUM_FLOWLETS;
+  if (pkt.arrival - last_time[pkt.id] > THRESHOLD) {
+    saved_hop[pkt.id] = pkt.new_hop;
+  }
+  last_time[pkt.id] = pkt.arrival;
+  pkt.next_hop = saved_hop[pkt.id];
+}
+`
+
+func compileIR(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	res, err := passes.Normalize(info)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return res.IR
+}
+
+func buildPipeline(t *testing.T, src string) *Pipeline {
+	t.Helper()
+	pl, err := Build(compileIR(t, src))
+	if err != nil {
+		t.Fatalf("pvsm: %v", err)
+	}
+	return pl
+}
+
+// TestFlowletPipelineShape reproduces paper Figure 3b: flowlet switching
+// compiles to a 6-stage pipeline with at most 2 codelets per stage, with
+// the last_time read/write fused in stage 2 and the saved_hop
+// read/modify/write fused in stage 5.
+func TestFlowletPipelineShape(t *testing.T) {
+	pl := buildPipeline(t, flowletSrc)
+	if got := pl.NumStages(); got != 6 {
+		t.Fatalf("stages = %d, want 6 (Figure 3b)\n%s", got, pl)
+	}
+	if got := pl.MaxAtomsPerStage(); got != 2 {
+		t.Fatalf("max atoms/stage = %d, want 2 (Table 4)\n%s", got, pl)
+	}
+
+	// Stage 1: the two hash codelets, stateless.
+	s1 := pl.Stages[0]
+	if len(s1) != 2 || s1[0].Stateful() || s1[1].Stateful() {
+		t.Fatalf("stage 1 = %v, want two stateless hash codelets", s1)
+	}
+
+	// Stage 2: the fused last_time atom {read; write}.
+	s2 := pl.Stages[1]
+	if len(s2) != 1 || !s2[0].Stateful() || s2[0].StateVars[0] != "last_time" {
+		t.Fatalf("stage 2 = %v, want the last_time atom", s2)
+	}
+	if len(s2[0].Stmts) != 2 {
+		t.Fatalf("last_time atom has %d stmts, want read+write:\n%s", len(s2[0].Stmts), s2[0])
+	}
+
+	// Stage 5: the fused saved_hop atom {read; conditional update; write}.
+	s5 := pl.Stages[4]
+	if len(s5) != 1 || !s5[0].Stateful() || s5[0].StateVars[0] != "saved_hop" {
+		t.Fatalf("stage 5 = %v, want the saved_hop atom", s5)
+	}
+	if len(s5[0].Stmts) != 3 {
+		t.Fatalf("saved_hop atom has %d stmts, want read+cond+write:\n%s", len(s5[0].Stmts), s5[0])
+	}
+
+	// Stage 6: the next_hop output move, stateless.
+	s6 := pl.Stages[5]
+	if len(s6) != 1 || s6[0].Stateful() {
+		t.Fatalf("stage 6 = %v, want one stateless codelet", s6)
+	}
+}
+
+func TestCounterSingleSCC(t *testing.T) {
+	pl := buildPipeline(t, `
+struct Packet { int f; };
+int counter = 0;
+void t(struct Packet pkt) {
+  if (counter < 99) { counter = counter + 1; }
+  else { counter = 0; }
+  pkt.f = counter;
+}
+`)
+	// All counter manipulation must fuse into one stateful codelet; the
+	// output move depends on it, for 2 stages total.
+	if got := pl.NumStages(); got != 2 {
+		t.Fatalf("stages = %d, want 2:\n%s", got, pl)
+	}
+	c := pl.Stages[0][0]
+	if !c.Stateful() || len(c.StateVars) != 1 || c.StateVars[0] != "counter" {
+		t.Fatalf("stage 1 codelet = %v, want counter atom", c)
+	}
+	if len(c.Stmts) < 4 {
+		t.Fatalf("counter atom has %d stmts, want read + compare + updates + write:\n%s", len(c.Stmts), c)
+	}
+}
+
+func TestStateVarInExactlyOneCodelet(t *testing.T) {
+	for _, src := range []string{flowletSrc} {
+		pl := buildPipeline(t, src)
+		owner := map[string]int{}
+		for _, st := range pl.Stages {
+			for _, c := range st {
+				for _, v := range c.StateVars {
+					owner[v]++
+				}
+			}
+		}
+		for v, n := range owner {
+			if n != 1 {
+				t.Errorf("state %q owned by %d codelets, want 1", v, n)
+			}
+		}
+	}
+}
+
+// TestSchedulingRespectsDependencies checks that every packet field read by
+// a codelet is produced in a strictly earlier stage (or is a packet input).
+func TestSchedulingRespectsDependencies(t *testing.T) {
+	pl := buildPipeline(t, flowletSrc)
+	producedAt := map[string]int{}
+	for si, st := range pl.Stages {
+		for _, c := range st {
+			for _, w := range c.Writes() {
+				producedAt[w] = si
+			}
+		}
+	}
+	for si, st := range pl.Stages {
+		for _, c := range st {
+			for _, r := range c.Reads() {
+				if p, ok := producedAt[r]; ok && p >= si {
+					t.Errorf("stage %d codelet reads %q produced at stage %d", si+1, r, p+1)
+				}
+			}
+		}
+	}
+}
+
+func TestReadOnlyStateIsSingletonAtom(t *testing.T) {
+	pl := buildPipeline(t, `
+struct Packet { int f; };
+int threshold = 10;
+void t(struct Packet pkt) { pkt.f = pkt.f + threshold; }
+`)
+	found := false
+	for _, st := range pl.Stages {
+		for _, c := range st {
+			if c.Stateful() && c.StateVars[0] == "threshold" {
+				found = true
+				if len(c.Stmts) != 1 {
+					t.Errorf("read-only atom has %d stmts, want 1", len(c.Stmts))
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no threshold atom found")
+	}
+}
+
+func TestWriteOnlyStateIsSingletonAtom(t *testing.T) {
+	pl := buildPipeline(t, `
+struct Packet { int v; int i; };
+#define N 8
+int log[N];
+void t(struct Packet pkt) {
+  pkt.i = hash1(pkt.v) % N;
+  log[pkt.i] = pkt.v;
+}
+`)
+	if pl.NumStages() != 2 {
+		t.Fatalf("stages = %d, want 2:\n%s", pl.NumStages(), pl)
+	}
+	c := pl.Stages[1][0]
+	if !c.Stateful() || len(c.Stmts) != 1 {
+		t.Fatalf("write-only atom = %v", c)
+	}
+	if _, ok := c.Stmts[0].(*ir.WriteState); !ok {
+		t.Fatalf("stmt = %T, want WriteState", c.Stmts[0])
+	}
+}
+
+func TestTwoStateVarsStayInSeparateAtoms(t *testing.T) {
+	// Two independent counters must land in separate codelets (they can
+	// run in the same stage, but not the same atom).
+	pl := buildPipeline(t, `
+struct Packet { int a; int b; };
+int x = 0;
+int y = 0;
+void t(struct Packet pkt) {
+  x = x + pkt.a;
+  y = y + pkt.b;
+}
+`)
+	for _, st := range pl.Stages {
+		for _, c := range st {
+			if len(c.StateVars) > 1 {
+				t.Fatalf("codelet owns %v; independent state must not fuse", c.StateVars)
+			}
+		}
+	}
+}
+
+func TestCrossDependentStateFusesIntoOneAtom(t *testing.T) {
+	// CONGA's pattern (paper §5.3): two state variables whose updates
+	// condition on each other must fuse into a single codelet, the shape
+	// only the Pairs atom can implement.
+	pl := buildPipeline(t, `
+struct Packet { int util; int path; int src; };
+#define N 64
+int best_util[N];
+int best_path[N];
+void conga(struct Packet pkt) {
+  pkt.src = pkt.src % N;
+  if (pkt.util < best_util[pkt.src]) {
+    best_util[pkt.src] = pkt.util;
+    best_path[pkt.src] = pkt.path;
+  } else if (pkt.path == best_path[pkt.src]) {
+    best_util[pkt.src] = pkt.util;
+  }
+}
+`)
+	var pair *Codelet
+	for _, st := range pl.Stages {
+		for _, c := range st {
+			if len(c.StateVars) == 2 {
+				pair = c
+			}
+		}
+	}
+	if pair == nil {
+		t.Fatalf("no fused pair codelet found:\n%s", pl)
+	}
+	has := map[string]bool{}
+	for _, v := range pair.StateVars {
+		has[v] = true
+	}
+	if !has["best_util"] || !has["best_path"] {
+		t.Fatalf("pair codelet owns %v, want best_util+best_path", pair.StateVars)
+	}
+}
+
+func TestSCCsOfKnownGraph(t *testing.T) {
+	// 0→1→2→0 cycle plus 3 hanging off 2.
+	g := &Graph{
+		Stmts: make([]ir.Stmt, 4),
+		Adj:   [][]int{{1}, {2}, {0, 3}, {}},
+	}
+	comps := g.SCCs()
+	if len(comps) != 2 {
+		t.Fatalf("got %d SCCs, want 2: %v", len(comps), comps)
+	}
+	var sizes []int
+	for _, c := range comps {
+		sizes = append(sizes, len(c))
+	}
+	if !(sizes[0] == 1 && sizes[1] == 3) && !(sizes[0] == 3 && sizes[1] == 1) {
+		t.Fatalf("SCC sizes = %v, want {3,1}", sizes)
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	irProg := compileIR(t, flowletSrc)
+	dot := Dot(irProg)
+	if !strings.Contains(dot, "digraph pvsm") {
+		t.Error("missing digraph header")
+	}
+	if !strings.Contains(dot, "cluster_") {
+		t.Error("expected at least one SCC cluster (fused state atom)")
+	}
+	if !strings.Contains(dot, "->") {
+		t.Error("expected edges")
+	}
+}
+
+func TestPipelineStringHasStages(t *testing.T) {
+	pl := buildPipeline(t, flowletSrc)
+	s := pl.String()
+	if !strings.Contains(s, "Stage 1:") || !strings.Contains(s, "Stage 6:") {
+		t.Errorf("pipeline rendering missing stages:\n%s", s)
+	}
+	if !strings.Contains(s, "[stateful:last_time]") {
+		t.Errorf("pipeline rendering missing stateful tag:\n%s", s)
+	}
+}

@@ -1,0 +1,321 @@
+// Package sema performs semantic analysis of a parsed Domino program.
+//
+// It classifies every identifier as a packet field, state scalar, or state
+// array; validates intrinsic calls against their signatures; and enforces
+// the language restrictions of paper Table 1 that are semantic rather than
+// syntactic — most importantly that all accesses to a given state array
+// within one transaction execution use the same index expression, mirroring
+// the single read/write address a memory bank supports per clock cycle.
+package sema
+
+import (
+	"fmt"
+
+	"domino/internal/ast"
+	"domino/internal/intrinsics"
+	"domino/internal/token"
+)
+
+// Error is a semantic error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList collects semantic errors.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+// Info is the result of semantic analysis: the symbol tables the rest of the
+// compiler works from.
+type Info struct {
+	Prog *ast.Program
+
+	// PacketStruct is the struct declaration named by the transaction's
+	// parameter type.
+	PacketStruct *ast.StructDecl
+	// Fields lists the declared packet fields in declaration order.
+	Fields []string
+
+	// Scalars and Arrays are the persistent state variables by name.
+	Scalars map[string]*ast.GlobalVar
+	Arrays  map[string]*ast.GlobalVar
+	// StateOrder lists all state variable names in declaration order.
+	StateOrder []string
+
+	// ArrayIndex maps each accessed array to its (single) index expression.
+	ArrayIndex map[string]ast.Expr
+
+	// IntrinsicsUsed lists the distinct intrinsic names called.
+	IntrinsicsUsed []string
+
+	fieldSet map[string]bool
+}
+
+// IsField reports whether name is a declared packet field.
+func (in *Info) IsField(name string) bool { return in.fieldSet[name] }
+
+// StateVar returns the declaration of a state variable (scalar or array).
+func (in *Info) StateVar(name string) (*ast.GlobalVar, bool) {
+	if g, ok := in.Scalars[name]; ok {
+		return g, true
+	}
+	g, ok := in.Arrays[name]
+	return g, ok
+}
+
+type checker struct {
+	info *Info
+	errs ErrorList
+	seen map[string]bool // intrinsic names used
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Check analyzes prog and returns the symbol information, or an ErrorList.
+func Check(prog *ast.Program) (*Info, error) {
+	info := &Info{
+		Prog:       prog,
+		Scalars:    map[string]*ast.GlobalVar{},
+		Arrays:     map[string]*ast.GlobalVar{},
+		ArrayIndex: map[string]ast.Expr{},
+		fieldSet:   map[string]bool{},
+	}
+	c := &checker{info: info, seen: map[string]bool{}}
+
+	if prog.Func == nil {
+		c.errorf(token.Pos{}, "program contains no packet transaction function")
+		return info, c.errs
+	}
+
+	// Resolve the packet struct.
+	for _, s := range prog.Structs {
+		if s.Name == prog.Func.ParamType {
+			info.PacketStruct = s
+		}
+	}
+	if info.PacketStruct == nil {
+		c.errorf(prog.Func.Position, "packet struct %q is not declared", prog.Func.ParamType)
+	} else {
+		for _, f := range info.PacketStruct.Fields {
+			if info.fieldSet[f] {
+				c.errorf(info.PacketStruct.Position, "duplicate packet field %q", f)
+				continue
+			}
+			info.fieldSet[f] = true
+			info.Fields = append(info.Fields, f)
+		}
+	}
+
+	// Collect state variables.
+	for _, g := range prog.Globals {
+		if _, dup := info.Scalars[g.Name]; dup {
+			c.errorf(g.Position, "state variable %q redeclared", g.Name)
+			continue
+		}
+		if _, dup := info.Arrays[g.Name]; dup {
+			c.errorf(g.Position, "state variable %q redeclared", g.Name)
+			continue
+		}
+		if info.fieldSet[g.Name] {
+			c.errorf(g.Position, "state variable %q shadows a packet field", g.Name)
+		}
+		if g.IsArray() {
+			info.Arrays[g.Name] = g
+		} else {
+			info.Scalars[g.Name] = g
+		}
+		info.StateOrder = append(info.StateOrder, g.Name)
+	}
+
+	c.checkStmt(prog.Func.Body)
+
+	for name := range c.seen {
+		info.IntrinsicsUsed = append(info.IntrinsicsUsed, name)
+	}
+	sortStrings(info.IntrinsicsUsed)
+
+	if len(c.errs) > 0 {
+		return info, c.errs
+	}
+	return info, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range st.List {
+			c.checkStmt(inner)
+		}
+	case *ast.AssignStmt:
+		c.checkLValue(st.LHS)
+		c.checkExpr(st.RHS, false)
+	case *ast.IfStmt:
+		c.checkExpr(st.Cond, false)
+		c.checkStmt(st.Then)
+		if st.Else != nil {
+			c.checkStmt(st.Else)
+		}
+	}
+}
+
+func (c *checker) checkLValue(e ast.Expr) {
+	switch lv := e.(type) {
+	case *ast.FieldExpr:
+		c.checkFieldExpr(lv)
+	case *ast.Ident:
+		if _, ok := c.info.Scalars[lv.Name]; !ok {
+			if _, isArr := c.info.Arrays[lv.Name]; isArr {
+				c.errorf(lv.Position, "state array %q must be indexed", lv.Name)
+			} else {
+				c.errorf(lv.Position, "assignment to undeclared variable %q", lv.Name)
+			}
+		}
+	case *ast.IndexExpr:
+		c.checkIndexExpr(lv)
+	default:
+		c.errorf(e.Pos(), "invalid assignment target %s", e)
+	}
+}
+
+func (c *checker) checkFieldExpr(fe *ast.FieldExpr) {
+	if c.info.Prog.Func != nil && fe.Pkt != c.info.Prog.Func.ParamName {
+		c.errorf(fe.Position, "unknown packet variable %q (the transaction parameter is %q)",
+			fe.Pkt, c.info.Prog.Func.ParamName)
+		return
+	}
+	if !c.info.fieldSet[fe.Field] {
+		switch fe.Field {
+		case "payload", "data":
+			c.errorf(fe.Position, "access to the unparsed packet payload is not allowed (paper Table 1)")
+		default:
+			c.errorf(fe.Position, "packet field %q is not declared in struct %s",
+				fe.Field, c.info.Prog.Func.ParamType)
+		}
+	}
+}
+
+func (c *checker) checkIndexExpr(ix *ast.IndexExpr) {
+	g, ok := c.info.Arrays[ix.Name]
+	if !ok {
+		if _, isScalar := c.info.Scalars[ix.Name]; isScalar {
+			c.errorf(ix.Position, "state variable %q is a scalar, not an array", ix.Name)
+		} else {
+			c.errorf(ix.Position, "unknown state array %q", ix.Name)
+		}
+		return
+	}
+	_ = g
+	// The index must not itself touch state (a second memory access).
+	ast.Walk(ix.Index, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if _, isState := c.info.StateVar(x.Name); isState {
+				c.errorf(x.Position, "array index may not read state variable %q; copy it to a packet field first", x.Name)
+			} else {
+				c.errorf(x.Position, "undeclared variable %q in array index", x.Name)
+			}
+		case *ast.IndexExpr:
+			if x != ix {
+				c.errorf(x.Position, "array index may not access another state array (%q)", x.Name)
+				return false
+			}
+		}
+		return true
+	})
+	c.checkExprOperandsOnly(ix.Index)
+
+	// Enforce one index expression per array per transaction (Table 1).
+	if prev, ok := c.info.ArrayIndex[ix.Name]; ok {
+		if !ast.EqualExpr(prev, ix.Index) {
+			c.errorf(ix.Position,
+				"array %q is accessed with index %s but was earlier accessed with %s; all accesses within a transaction must use the same index (paper Table 1)",
+				ix.Name, ix.Index, prev)
+		}
+	} else {
+		c.info.ArrayIndex[ix.Name] = ix.Index
+	}
+}
+
+// checkExprOperandsOnly validates leaf references in an index expression
+// without re-reporting state reads (already reported by checkIndexExpr).
+func (c *checker) checkExprOperandsOnly(e ast.Expr) {
+	ast.Walk(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FieldExpr:
+			c.checkFieldExpr(x)
+		case *ast.CallExpr:
+			c.checkCall(x)
+		}
+		return true
+	})
+}
+
+func (c *checker) checkExpr(e ast.Expr, insideCall bool) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+	case *ast.Ident:
+		if _, ok := c.info.Scalars[x.Name]; !ok {
+			if _, isArr := c.info.Arrays[x.Name]; isArr {
+				c.errorf(x.Position, "state array %q must be indexed", x.Name)
+			} else {
+				c.errorf(x.Position, "undeclared variable %q", x.Name)
+			}
+		}
+	case *ast.FieldExpr:
+		c.checkFieldExpr(x)
+	case *ast.IndexExpr:
+		c.checkIndexExpr(x)
+	case *ast.BinaryExpr:
+		c.checkExpr(x.X, insideCall)
+		c.checkExpr(x.Y, insideCall)
+	case *ast.UnaryExpr:
+		c.checkExpr(x.X, insideCall)
+	case *ast.CondExpr:
+		c.checkExpr(x.Cond, insideCall)
+		c.checkExpr(x.Then, insideCall)
+		c.checkExpr(x.Else, insideCall)
+	case *ast.CallExpr:
+		c.checkCall(x)
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	sig, ok := intrinsics.Lookup(call.Fun)
+	if !ok {
+		c.errorf(call.Position, "unknown function %q; Domino has no user-defined functions, only intrinsics", call.Fun)
+		return
+	}
+	if len(call.Args) != sig.Args {
+		c.errorf(call.Position, "intrinsic %s expects %d arguments, got %d", call.Fun, sig.Args, len(call.Args))
+	}
+	c.seen[call.Fun] = true
+	for _, a := range call.Args {
+		if _, nested := a.(*ast.CallExpr); nested {
+			c.errorf(a.Pos(), "intrinsic arguments may not be intrinsic calls; assign to a packet field first")
+			continue
+		}
+		c.checkExpr(a, true)
+	}
+}

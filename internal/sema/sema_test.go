@@ -1,0 +1,241 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"domino/internal/parser"
+)
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	return info
+}
+
+func expectSemaError(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not mention %q", err.Error(), wantSubstr)
+	}
+}
+
+const flowletSrc = `
+#define NUM_FLOWLETS 8000
+#define THRESHOLD 5
+#define NUM_HOPS 10
+struct Packet {
+  int sport; int dport; int new_hop; int arrival; int next_hop; int id;
+};
+int last_time[NUM_FLOWLETS] = {0};
+int saved_hop[NUM_FLOWLETS] = {0};
+void flowlet(struct Packet pkt) {
+  pkt.new_hop = hash3(pkt.sport, pkt.dport, pkt.arrival) % NUM_HOPS;
+  pkt.id = hash2(pkt.sport, pkt.dport) % NUM_FLOWLETS;
+  if (pkt.arrival - last_time[pkt.id] > THRESHOLD) {
+    saved_hop[pkt.id] = pkt.new_hop;
+  }
+  last_time[pkt.id] = pkt.arrival;
+  pkt.next_hop = saved_hop[pkt.id];
+}
+`
+
+func TestFlowletSymbols(t *testing.T) {
+	info := mustCheck(t, flowletSrc)
+	if len(info.Fields) != 6 {
+		t.Errorf("fields = %v, want 6 entries", info.Fields)
+	}
+	if !info.IsField("sport") || info.IsField("nonexistent") {
+		t.Error("IsField misclassifies")
+	}
+	if len(info.Arrays) != 2 || len(info.Scalars) != 0 {
+		t.Errorf("arrays=%d scalars=%d, want 2/0", len(info.Arrays), len(info.Scalars))
+	}
+	if idx, ok := info.ArrayIndex["last_time"]; !ok || idx.String() != "pkt.id" {
+		t.Errorf("last_time index = %v, want pkt.id", idx)
+	}
+	if len(info.IntrinsicsUsed) != 2 {
+		t.Errorf("intrinsics = %v, want [hash2 hash3]", info.IntrinsicsUsed)
+	}
+}
+
+func TestScalarState(t *testing.T) {
+	info := mustCheck(t, `
+struct Packet { int f; };
+int counter = 7;
+void t(struct Packet pkt) { counter = counter + 1; pkt.f = counter; }
+`)
+	g, ok := info.StateVar("counter")
+	if !ok || g.IsArray() || g.Init != 7 {
+		t.Fatalf("counter = %+v", g)
+	}
+}
+
+func TestUndeclaredField(t *testing.T) {
+	expectSemaError(t, `
+struct Packet { int f; };
+void t(struct Packet pkt) { pkt.g = 1; }
+`, `packet field "g" is not declared`)
+}
+
+func TestPayloadAccessRejected(t *testing.T) {
+	expectSemaError(t, `
+struct Packet { int f; };
+void t(struct Packet pkt) { pkt.f = pkt.payload; }
+`, "unparsed packet payload")
+}
+
+func TestWrongPacketVariable(t *testing.T) {
+	expectSemaError(t, `
+struct Packet { int f; };
+void t(struct Packet pkt) { q.f = 1; }
+`, `unknown packet variable "q"`)
+}
+
+func TestUndeclaredState(t *testing.T) {
+	expectSemaError(t, `
+struct Packet { int f; };
+void t(struct Packet pkt) { pkt.f = missing; }
+`, `undeclared variable "missing"`)
+}
+
+func TestArrayUsedAsScalar(t *testing.T) {
+	expectSemaError(t, `
+struct Packet { int f; };
+int arr[8];
+void t(struct Packet pkt) { pkt.f = arr; }
+`, "must be indexed")
+}
+
+func TestScalarIndexed(t *testing.T) {
+	expectSemaError(t, `
+struct Packet { int f; };
+int x;
+void t(struct Packet pkt) { pkt.f = x[0]; }
+`, "is a scalar, not an array")
+}
+
+func TestSameIndexRule(t *testing.T) {
+	expectSemaError(t, `
+struct Packet { int a; int b; int f; };
+int arr[16];
+void t(struct Packet pkt) {
+  pkt.f = arr[pkt.a];
+  arr[pkt.b] = pkt.f;
+}
+`, "all accesses within a transaction must use the same index")
+}
+
+func TestSameIndexAllowsRepeats(t *testing.T) {
+	mustCheck(t, `
+struct Packet { int a; int f; };
+int arr[16];
+void t(struct Packet pkt) {
+  pkt.f = arr[pkt.a];
+  arr[pkt.a] = pkt.f + 1;
+}
+`)
+}
+
+func TestDistinctArraysDistinctIndices(t *testing.T) {
+	// Different arrays may use different indices.
+	mustCheck(t, `
+struct Packet { int a; int b; int f; };
+int arr1[16];
+int arr2[16];
+void t(struct Packet pkt) {
+  pkt.f = arr1[pkt.a] + arr2[pkt.b];
+}
+`)
+}
+
+func TestIndexMayNotReadState(t *testing.T) {
+	expectSemaError(t, `
+struct Packet { int f; };
+int cursor;
+int arr[16];
+void t(struct Packet pkt) { pkt.f = arr[cursor]; }
+`, "array index may not read state")
+}
+
+func TestIndexMayNotNestArrays(t *testing.T) {
+	expectSemaError(t, `
+struct Packet { int f; };
+int a[4];
+int b[4];
+void t(struct Packet pkt) { pkt.f = a[b[pkt.f]]; }
+`, "array index may not access another state array")
+}
+
+func TestIntrinsicArity(t *testing.T) {
+	expectSemaError(t, `
+struct Packet { int f; };
+void t(struct Packet pkt) { pkt.f = hash2(pkt.f); }
+`, "expects 2 arguments, got 1")
+}
+
+func TestUnknownFunction(t *testing.T) {
+	expectSemaError(t, `
+struct Packet { int f; };
+void t(struct Packet pkt) { pkt.f = frobnicate(pkt.f); }
+`, `unknown function "frobnicate"`)
+}
+
+func TestNestedIntrinsicCallRejected(t *testing.T) {
+	expectSemaError(t, `
+struct Packet { int f; };
+void t(struct Packet pkt) { pkt.f = hash2(hash1(pkt.f), pkt.f); }
+`, "may not be intrinsic calls")
+}
+
+func TestStateShadowsField(t *testing.T) {
+	expectSemaError(t, `
+struct Packet { int f; };
+int f;
+void t(struct Packet pkt) { pkt.f = 1; }
+`, "shadows a packet field")
+}
+
+func TestRedeclaredState(t *testing.T) {
+	expectSemaError(t, `
+struct Packet { int f; };
+int x;
+int x;
+void t(struct Packet pkt) { pkt.f = x; }
+`, "redeclared")
+}
+
+func TestMissingStruct(t *testing.T) {
+	expectSemaError(t, `
+struct Other { int f; };
+void t(struct Packet pkt) { pkt.f = 1; }
+`, `packet struct "Packet" is not declared`)
+}
+
+func TestSqrtAccepted(t *testing.T) {
+	// sqrt is a valid intrinsic at the language level; rejection happens at
+	// code generation (paper §5.3, CoDel).
+	info := mustCheck(t, `
+struct Packet { int f; };
+void t(struct Packet pkt) { pkt.f = sqrt(pkt.f); }
+`)
+	if len(info.IntrinsicsUsed) != 1 || info.IntrinsicsUsed[0] != "sqrt" {
+		t.Errorf("intrinsics = %v, want [sqrt]", info.IntrinsicsUsed)
+	}
+}

@@ -1,0 +1,148 @@
+package switchsim
+
+import (
+	"testing"
+
+	"domino/internal/algorithms"
+	"domino/internal/codegen"
+	"domino/internal/interp"
+	"domino/internal/parser"
+	"domino/internal/passes"
+	"domino/internal/sema"
+	"domino/internal/workload"
+)
+
+func compileAlg(t *testing.T, name string) *codegen.Program {
+	t.Helper()
+	a, err := algorithms.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parser.Parse(a.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := passes.Normalize(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok, err := codegen.LeastTarget(info, res.IR)
+	if !ok {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFlowletSwitchRouting(t *testing.T) {
+	prog := compileAlg(t, "flowlets")
+	sw, err := New(prog, Config{
+		Ports:               10,
+		ServiceBytesPerTick: 3000,
+		RouteField:          "next_hop",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := workload.FlowletTrace(1, 50, 20000, 10, 50)
+	for _, pkt := range trace {
+		if _, port, _, err := sw.Inject(pkt, 1000); err != nil {
+			t.Fatal(err)
+		} else if port < 0 || port >= 10 {
+			t.Fatalf("port %d out of range", port)
+		}
+		sw.Tick()
+	}
+	deps := sw.Drain()
+
+	// No packet within a flow may be reordered: flowlet gaps exceed any
+	// queueing delay here, and within a burst the hop is pinned.
+	reordered := CountReordering(deps, func(p interp.Packet) int64 {
+		return int64(p["sport"])<<32 | int64(uint32(p["dport"]))
+	})
+	if reordered != 0 {
+		t.Errorf("flowlet switching reordered %d packets", reordered)
+	}
+
+	// Load should reach every port.
+	busy := 0
+	for _, st := range sw.Stats() {
+		if st.Packets > 0 {
+			busy++
+		}
+	}
+	if busy < 8 {
+		t.Errorf("only %d/10 ports carried traffic", busy)
+	}
+}
+
+func TestQueueDropsWhenOverCapacity(t *testing.T) {
+	prog := compileAlg(t, "flowlets")
+	sw, err := New(prog, Config{
+		Ports:               1,
+		QueueCapBytes:       5000,
+		ServiceBytesPerTick: 1,
+		RouteField:          "next_hop",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := 0
+	for i := 0; i < 20; i++ {
+		pkt := interp.Packet{"sport": 1, "dport": 2, "arrival": int32(i)}
+		if _, _, dropped, err := sw.Inject(pkt, 1000); err != nil {
+			t.Fatal(err)
+		} else if dropped {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Fatal("no tail drops despite 4× oversubscription")
+	}
+	if sw.Stats()[0].Drops != int64(drops) {
+		t.Fatal("drop accounting mismatch")
+	}
+}
+
+func TestServiceRate(t *testing.T) {
+	prog := compileAlg(t, "flowlets")
+	sw, err := New(prog, Config{Ports: 1, ServiceBytesPerTick: 2000, RouteField: "next_hop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		sw.Inject(interp.Packet{"sport": 1, "dport": 2, "arrival": int32(i)}, 1000)
+	}
+	deps := sw.Tick()
+	if len(deps) != 2 {
+		t.Fatalf("served %d packets in one tick at 2000 B/tick with 1000 B packets, want 2", len(deps))
+	}
+}
+
+func TestLoadImbalanceMetric(t *testing.T) {
+	prog := compileAlg(t, "flowlets")
+	sw, _ := New(prog, Config{Ports: 4, ServiceBytesPerTick: 1 << 20})
+	// Round-robin spray (no route field) is perfectly balanced.
+	for i := 0; i < 400; i++ {
+		sw.Inject(interp.Packet{"sport": int32(i), "dport": 1, "arrival": int32(i)}, 100)
+	}
+	if im := sw.LoadImbalance(); im != 0 {
+		t.Errorf("round-robin imbalance = %f, want 0", im)
+	}
+}
+
+func TestCountReordering(t *testing.T) {
+	deps := []Departure{
+		{QueuedPacket: QueuedPacket{Seq: 1, Pkt: interp.Packet{"f": 1}}},
+		{QueuedPacket: QueuedPacket{Seq: 3, Pkt: interp.Packet{"f": 1}}},
+		{QueuedPacket: QueuedPacket{Seq: 2, Pkt: interp.Packet{"f": 1}}}, // late
+		{QueuedPacket: QueuedPacket{Seq: 4, Pkt: interp.Packet{"f": 2}}},
+	}
+	n := CountReordering(deps, func(p interp.Packet) int64 { return int64(p["f"]) })
+	if n != 1 {
+		t.Fatalf("reordering count = %d, want 1", n)
+	}
+}

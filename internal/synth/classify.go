@@ -1,0 +1,227 @@
+package synth
+
+import (
+	"fmt"
+
+	"domino/internal/atoms"
+	"domino/internal/token"
+)
+
+// classification is the structural analysis of one state variable's update
+// tree: the capability requirements it imposes on an atom.
+type classification struct {
+	need atoms.Capabilities
+}
+
+// classifyState analyzes the guarded-update tree for state variable sv and
+// accumulates capability requirements into cls. It returns an error if the
+// tree falls outside every template's grammar.
+func classifyState(sv string, tree expr, cls *classification) error {
+	return classifyTree(sv, tree, 0, cls)
+}
+
+func classifyTree(sv string, e expr, depth int, cls *classification) error {
+	if cond, ok := e.(*eCond); ok && depth < 2 {
+		// A guarded update: predicate + two arms.
+		if err := classifyPred(cond.c, sv, cls); err != nil {
+			return err
+		}
+		if depth+1 > cls.need.Depth {
+			cls.need.Depth = depth + 1
+		}
+		if err := classifyTree(sv, cond.a, depth+1, cls); err != nil {
+			return err
+		}
+		// A "leave unchanged" else-arm is PRAW-shaped; anything else needs
+		// the IfElseRAW else-branch capability.
+		if !isUnchanged(cond.b, sv) {
+			cls.need.ElseBranch = true
+		}
+		return classifyTree(sv, cond.b, depth+1, cls)
+	}
+	return classifyLeaf(sv, e, cls)
+}
+
+// classifyLeaf checks an update leaf against the RAW-family update forms:
+// unchanged, set operand, or x ± operand.
+func classifyLeaf(sv string, e expr, cls *classification) error {
+	switch x := e.(type) {
+	case eState:
+		if x.name != sv {
+			// Writing the *other* register's value: only Pairs muxes both.
+			cls.markCross()
+		}
+		return nil
+	case eConst:
+		return constOK(x.v)
+	case eField:
+		return nil
+	case *eBin:
+		if x.op != token.Plus && x.op != token.Minus {
+			return fmt.Errorf("update %s uses operator %s; atoms update state only by add/subtract/write", e, x.op)
+		}
+		if x.op == token.Minus {
+			cls.need.Subtract = true
+		} else {
+			cls.need.Add = true
+		}
+		// One side must be the state variable, the other a simple operand.
+		if st, ok := x.a.(eState); ok && st.name == sv {
+			return operandOK(x.b)
+		}
+		if st, ok := x.b.(eState); ok && st.name == sv && x.op == token.Plus {
+			return operandOK(x.a)
+		}
+		return fmt.Errorf("update %s is not of the form %s ± packet/constant", e, sv)
+	case *eCond:
+		return fmt.Errorf("update for %s nests deeper than 4-way predication: %s", sv, e)
+	}
+	return fmt.Errorf("update %s is outside every atom's grammar", e)
+}
+
+func (cls *classification) markCross() {
+	if cls.need.StateVars < 2 {
+		cls.need.StateVars = 2
+	}
+}
+
+// classifyPred checks a predicate against the template predicate grammar:
+//
+//	term            (a boolean packet field or state variable)
+//	term relop term
+//	(state ± term) relop term
+//
+// where term is a packet field, constant, or state variable. primary names
+// the state variable whose update this predicate guards; referencing any
+// other state variable requires the Pairs atom. Pass primary == "" for
+// packet-output predicates, where any owned register is a legal input.
+func classifyPred(e expr, primary string, cls *classification) error {
+	markState := func(t expr) {
+		if s, ok := t.(eState); ok {
+			cls.need.PredState = true
+			if primary != "" && s.name != primary {
+				cls.markCross()
+			}
+		}
+	}
+	if isSimpleTerm(e) {
+		markState(e)
+		if c, ok := e.(eConst); ok {
+			return constOK(c.v)
+		}
+		return nil
+	}
+	b, ok := e.(*eBin)
+	if !ok {
+		return fmt.Errorf("predicate %s is outside every atom's grammar", e)
+	}
+	switch b.op {
+	case token.Eq, token.Neq, token.Lt, token.Gt, token.Leq, token.Geq:
+	default:
+		return fmt.Errorf("predicate %s must be a relational comparison, not %s", e, b.op)
+	}
+	checkSide := func(t expr) error {
+		if isSimpleTerm(t) {
+			markState(t)
+			if c, ok := t.(eConst); ok {
+				return constOK(c.v)
+			}
+			return nil
+		}
+		// state ± operand: the adder feeding the comparator in the PRAW
+		// circuit (paper Table 6).
+		sb, ok := t.(*eBin)
+		if !ok || (sb.op != token.Plus && sb.op != token.Minus) {
+			return fmt.Errorf("predicate operand %s is outside every atom's grammar", t)
+		}
+		if s, isState := sb.a.(eState); isState && isSimpleTerm(sb.b) {
+			markState(eState{s.name})
+			if sb.op == token.Minus {
+				cls.need.Subtract = true
+			}
+			return operandOK(sb.b)
+		}
+		if s, isState := sb.b.(eState); isState && sb.op == token.Plus && isSimpleTerm(sb.a) {
+			markState(eState{s.name})
+			return operandOK(sb.a)
+		}
+		return fmt.Errorf("predicate operand %s is outside every atom's grammar", t)
+	}
+	if err := checkSide(b.a); err != nil {
+		return err
+	}
+	return checkSide(b.b)
+}
+
+func isUnchanged(e expr, sv string) bool {
+	s, ok := e.(eState)
+	return ok && s.name == sv
+}
+
+func operandOK(e expr) error {
+	switch x := e.(type) {
+	case eField:
+		return nil
+	case eConst:
+		return constOK(x.v)
+	case eState:
+		// Adding the other register of a pair: not in any template.
+		return fmt.Errorf("state variable %s used as an update operand", x.name)
+	}
+	return fmt.Errorf("operand %s must be a packet field or constant", e)
+}
+
+// constOK enforces the synthesizer's constant budget (paper §5.3: SKETCH is
+// limited to 5-bit constants).
+func constOK(v int32) error {
+	if v > atoms.MaxConst || v < -atoms.MaxConst {
+		return fmt.Errorf("constant %d exceeds the %d-bit synthesis budget (|c| ≤ %d)", v, atoms.ConstBits, atoms.MaxConst)
+	}
+	return nil
+}
+
+// outputOK checks that an escaping packet-field expression is a tap of the
+// atom's internal wires: old state, an input passthrough, a subexpression of
+// an update tree, a predicate bit, or a mux tree over such taps.
+func outputOK(e expr, taps []expr, cls *classification) error {
+	for _, t := range taps {
+		if equalExpr(e, t) {
+			return nil
+		}
+	}
+	if isSimpleTerm(e) {
+		if c, ok := e.(eConst); ok {
+			return constOK(c.v)
+		}
+		return nil
+	}
+	switch x := e.(type) {
+	case *eCond:
+		if err := classifyPred(x.c, "", cls); err != nil {
+			return err
+		}
+		if err := outputOK(x.a, taps, cls); err != nil {
+			return err
+		}
+		return outputOK(x.b, taps, cls)
+	case *eBin:
+		switch x.op {
+		case token.Eq, token.Neq, token.Lt, token.Gt, token.Leq, token.Geq:
+			// A predicate bit is a wire.
+			return classifyPred(x, "", cls)
+		case token.Plus, token.Minus:
+			// An ALU result that feeds (or could feed) the register.
+			if err := outputOK(x.a, taps, cls); err != nil {
+				return err
+			}
+			return outputOK(x.b, taps, cls)
+		case token.LAnd, token.LOr:
+			// A gate combining predicate wires.
+			if err := outputOK(x.a, taps, cls); err != nil {
+				return err
+			}
+			return outputOK(x.b, taps, cls)
+		}
+	}
+	return fmt.Errorf("packet output %s is not a tap of any atom wire", e)
+}

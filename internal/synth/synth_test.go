@@ -1,0 +1,424 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"domino/internal/atoms"
+	"domino/internal/parser"
+	"domino/internal/passes"
+	"domino/internal/pvsm"
+	"domino/internal/sema"
+)
+
+// pipelineOf compiles a source program down to its codelet pipeline.
+func pipelineOf(t *testing.T, src string) *pvsm.Pipeline {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	res, err := passes.Normalize(info)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	pl, err := pvsm.Build(res.IR)
+	if err != nil {
+		t.Fatalf("pvsm: %v", err)
+	}
+	return pl
+}
+
+// statefulAtomOf maps every codelet of the program and returns the atom kind
+// required for the named state variable's codelet.
+func statefulAtomOf(t *testing.T, src, state string) atoms.Kind {
+	t.Helper()
+	pl := pipelineOf(t, src)
+	for _, st := range pl.Stages {
+		for _, c := range st {
+			for _, v := range c.StateVars {
+				if v == state {
+					res, err := MapCodelet(c, Options{})
+					if err != nil {
+						t.Fatalf("MapCodelet(%s): %v", c, err)
+					}
+					return res.Config.Atom
+				}
+			}
+		}
+	}
+	t.Fatalf("no codelet owns state %q", state)
+	return 0
+}
+
+// mapAll maps every codelet, failing the test on any error.
+func mapAll(t *testing.T, src string) []*Result {
+	t.Helper()
+	pl := pipelineOf(t, src)
+	var out []*Result
+	for _, st := range pl.Stages {
+		for _, c := range st {
+			res, err := MapCodelet(c, Options{})
+			if err != nil {
+				t.Fatalf("MapCodelet(%s): %v", c, err)
+			}
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// expectReject asserts that some codelet of the program fails to map, with
+// an error mentioning wantSubstr.
+func expectReject(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	pl := pipelineOf(t, src)
+	for _, st := range pl.Stages {
+		for _, c := range st {
+			if _, err := MapCodelet(c, Options{}); err != nil {
+				if !strings.Contains(err.Error(), wantSubstr) {
+					t.Fatalf("rejection %q does not mention %q", err, wantSubstr)
+				}
+				return
+			}
+		}
+	}
+	t.Fatalf("every codelet mapped; expected a rejection mentioning %q", wantSubstr)
+}
+
+// --- The paper's running examples -----------------------------------------
+
+func TestPaperExampleIncrementMapsToRAW(t *testing.T) {
+	// §4.3: "assume we want to map the codelet x=x+1 to the atom template...
+	// SKETCH finds the solution with choice=0 and constant=1."
+	got := statefulAtomOf(t, `
+struct Packet { int f; };
+int x = 0;
+void t(struct Packet pkt) { x = x + 1; pkt.f = x; }
+`, "x")
+	if got != atoms.ReadAddWrite {
+		t.Fatalf("x=x+1 maps to %s, want ReadAddWrite", got)
+	}
+}
+
+func TestPaperExampleSquareRejected(t *testing.T) {
+	// §4.3: "if the codelet x=x*x was supplied as the specification, SKETCH
+	// will return an error as no parameters exist."
+	expectReject(t, `
+struct Packet { int f; };
+int x = 2;
+void t(struct Packet pkt) { pkt.f = x; x = x * x; }
+`, "add/subtract/write")
+}
+
+// --- One test per hierarchy level -----------------------------------------
+
+func TestWriteLevel(t *testing.T) {
+	got := statefulAtomOf(t, `
+struct Packet { int v; int old; };
+int x = 0;
+void t(struct Packet pkt) { pkt.old = x; x = pkt.v; }
+`, "x")
+	if got != atoms.Write {
+		t.Fatalf("read+overwrite maps to %s, want Write", got)
+	}
+}
+
+func TestWriteLevelConstant(t *testing.T) {
+	got := statefulAtomOf(t, `
+struct Packet { int i; int member; };
+#define N 16
+int bloom[N];
+void t(struct Packet pkt) {
+  pkt.i = hash1(pkt.member) % N;
+  pkt.member = bloom[pkt.i];
+  bloom[pkt.i] = 1;
+}
+`, "bloom")
+	if got != atoms.Write {
+		t.Fatalf("bloom set-bit maps to %s, want Write", got)
+	}
+}
+
+func TestRAWLevel(t *testing.T) {
+	got := statefulAtomOf(t, `
+struct Packet { int len; int total; };
+int bytes = 0;
+void t(struct Packet pkt) { bytes = bytes + pkt.len; pkt.total = bytes; }
+`, "bytes")
+	if got != atoms.ReadAddWrite {
+		t.Fatalf("accumulate maps to %s, want ReadAddWrite", got)
+	}
+}
+
+func TestPRAWLevel(t *testing.T) {
+	// Predicated accumulate, unchanged otherwise — RCP's shape.
+	got := statefulAtomOf(t, `
+struct Packet { int rtt; };
+int rtt_sum = 0;
+void t(struct Packet pkt) {
+  if (pkt.rtt < 30) { rtt_sum = rtt_sum + pkt.rtt; }
+}
+`, "rtt_sum")
+	if got != atoms.PRAW {
+		t.Fatalf("predicated add maps to %s, want PRAW", got)
+	}
+}
+
+func TestPRAWLevelPacketPredicate(t *testing.T) {
+	// Flowlet's saved_hop shape: predicate on a packet field.
+	got := statefulAtomOf(t, `
+struct Packet { int go; int hop; };
+int saved = 0;
+void t(struct Packet pkt) {
+  if (pkt.go == 1) { saved = pkt.hop; }
+  pkt.hop = saved;
+}
+`, "saved")
+	if got != atoms.PRAW {
+		t.Fatalf("predicated write maps to %s, want PRAW", got)
+	}
+}
+
+func TestIfElseRAWLevel(t *testing.T) {
+	// Sampled NetFlow's shape: reset-or-increment.
+	got := statefulAtomOf(t, `
+struct Packet { int sample; };
+int count = 0;
+void t(struct Packet pkt) {
+  if (count == 29) { count = 0; pkt.sample = 1; }
+  else { count = count + 1; pkt.sample = 0; }
+}
+`, "count")
+	if got != atoms.IfElseRAW {
+		t.Fatalf("reset-or-increment maps to %s, want IfElseRAW", got)
+	}
+}
+
+func TestSubLevel(t *testing.T) {
+	// HULL's phantom-queue shape: drain (subtract) or reset.
+	got := statefulAtomOf(t, `
+struct Packet { int drained; int size; };
+int vq = 0;
+void t(struct Packet pkt) {
+  if (vq < pkt.drained) { vq = pkt.size; }
+  else { vq = vq - pkt.drained; }
+}
+`, "vq")
+	if got != atoms.Sub {
+		t.Fatalf("drain-or-reset maps to %s, want Sub", got)
+	}
+}
+
+func TestNestedLevel(t *testing.T) {
+	got := statefulAtomOf(t, `
+struct Packet { int fresh; int v; };
+int ctr = 0;
+void t(struct Packet pkt) {
+  if (pkt.fresh == 1) {
+    if (ctr < 31) { ctr = ctr + 1; }
+  } else {
+    ctr = 0;
+  }
+}
+`, "ctr")
+	if got != atoms.Nested {
+		t.Fatalf("nested predication maps to %s, want Nested", got)
+	}
+}
+
+func TestPairsLevel(t *testing.T) {
+	src := `
+struct Packet { int util; int path; int src; };
+#define N 64
+int best_util[N];
+int best_path[N];
+void conga(struct Packet pkt) {
+  pkt.src = pkt.src % N;
+  if (pkt.util < best_util[pkt.src]) {
+    best_util[pkt.src] = pkt.util;
+    best_path[pkt.src] = pkt.path;
+  } else if (pkt.path == best_path[pkt.src]) {
+    best_util[pkt.src] = pkt.util;
+  }
+}
+`
+	pl := pipelineOf(t, src)
+	var pair *pvsm.Codelet
+	for _, st := range pl.Stages {
+		for _, c := range st {
+			if len(c.StateVars) == 2 {
+				pair = c
+			}
+		}
+	}
+	if pair == nil {
+		t.Fatal("CONGA did not produce a fused pair codelet")
+	}
+	res, err := MapCodelet(pair, Options{})
+	if err != nil {
+		t.Fatalf("MapCodelet(CONGA pair): %v", err)
+	}
+	if res.Config.Atom != atoms.Pairs {
+		t.Fatalf("CONGA pair maps to %s, want Pairs", res.Config.Atom)
+	}
+}
+
+// --- Rejections ------------------------------------------------------------
+
+func TestThreeStateVarsRejected(t *testing.T) {
+	expectReject(t, `
+struct Packet { int v; };
+int a = 0;
+int b = 0;
+int c = 0;
+void t(struct Packet pkt) {
+  if (pkt.v > a) { b = b + 1; }
+  if (b > 5) { c = c + 1; a = c; }
+}
+`, "more than a pair")
+}
+
+func TestConstantBudgetRejected(t *testing.T) {
+	// 100 needs 7 bits; the synthesizer searches 5 (paper §5.3).
+	expectReject(t, `
+struct Packet { int f; };
+int counter = 0;
+void t(struct Packet pkt) {
+  if (counter < 99) { counter = counter + 1; }
+  else { counter = 0; }
+  pkt.f = counter;
+}
+`, "5-bit synthesis budget")
+}
+
+func TestSqrtRejected(t *testing.T) {
+	// CoDel's fate (paper §5.3).
+	expectReject(t, `
+struct Packet { int count; int interval; };
+void t(struct Packet pkt) {
+  pkt.interval = sqrt(pkt.count);
+}
+`, "not provided by any compiler target")
+}
+
+func TestStatelessMultiplyRejected(t *testing.T) {
+	expectReject(t, `
+struct Packet { int a; int b; int f; };
+void t(struct Packet pkt) { pkt.f = pkt.a * pkt.b; }
+`, "not provided by the stateless atom")
+}
+
+func TestStatelessPow2MultiplyAccepted(t *testing.T) {
+	results := mapAll(t, `
+struct Packet { int a; int f; };
+void t(struct Packet pkt) { pkt.f = pkt.a * 8; }
+`)
+	if len(results) != 1 || results[0].Config.Atom != atoms.Stateless {
+		t.Fatalf("pow2 multiply should map to the stateless atom (shift), got %v", results)
+	}
+}
+
+func TestHashOfStateRejected(t *testing.T) {
+	expectReject(t, `
+struct Packet { int f; };
+int x = 1;
+void t(struct Packet pkt) {
+  pkt.f = hash1(x);
+  x = pkt.f;
+}
+`, "no atom provides intrinsics on state")
+}
+
+// --- Flowlet end-to-end ----------------------------------------------------
+
+const flowletSrc = `
+#define NUM_FLOWLETS 8000
+#define THRESHOLD 5
+#define NUM_HOPS 10
+struct Packet {
+  int sport; int dport; int new_hop; int arrival; int next_hop; int id;
+};
+int last_time[NUM_FLOWLETS] = {0};
+int saved_hop[NUM_FLOWLETS] = {0};
+void flowlet(struct Packet pkt) {
+  pkt.new_hop = hash3(pkt.sport, pkt.dport, pkt.arrival) % NUM_HOPS;
+  pkt.id = hash2(pkt.sport, pkt.dport) % NUM_FLOWLETS;
+  if (pkt.arrival - last_time[pkt.id] > THRESHOLD) {
+    saved_hop[pkt.id] = pkt.new_hop;
+  }
+  last_time[pkt.id] = pkt.arrival;
+  pkt.next_hop = saved_hop[pkt.id];
+}
+`
+
+func TestFlowletAtoms(t *testing.T) {
+	if got := statefulAtomOf(t, flowletSrc, "last_time"); got != atoms.Write {
+		t.Errorf("last_time atom = %s, want Write", got)
+	}
+	if got := statefulAtomOf(t, flowletSrc, "saved_hop"); got != atoms.PRAW {
+		t.Errorf("saved_hop atom = %s, want PRAW (Table 4)", got)
+	}
+	// Every codelet maps (the algorithm runs at line rate on a PRAW target).
+	results := mapAll(t, flowletSrc)
+	for _, r := range results {
+		if r.Config.Atom.IsStateful() && r.Config.Atom > atoms.PRAW {
+			t.Errorf("codelet needs %s, above PRAW", r.Config.Atom)
+		}
+	}
+}
+
+// --- Hierarchy properties ---------------------------------------------------
+
+func TestHierarchyContainment(t *testing.T) {
+	h := atoms.StatefulHierarchy
+	for i, k := range h {
+		for j, other := range h {
+			want := j <= i
+			if got := k.Contains(other); got != want {
+				t.Errorf("%s.Contains(%s) = %v, want %v", k, other, got, want)
+			}
+		}
+	}
+	if atoms.Stateless.Contains(atoms.Write) || atoms.Write.Contains(atoms.Stateless) {
+		t.Error("Stateless must be incomparable with stateful kinds")
+	}
+}
+
+func TestVerificationRuns(t *testing.T) {
+	pl := pipelineOf(t, flowletSrc)
+	for _, st := range pl.Stages {
+		for _, c := range st {
+			if !c.Stateful() {
+				continue
+			}
+			res, err := MapCodelet(c, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verified < 1000 {
+				t.Errorf("only %d vectors verified for %s", res.Verified, c)
+			}
+		}
+	}
+}
+
+func TestConfigReportsUpdates(t *testing.T) {
+	pl := pipelineOf(t, `
+struct Packet { int v; };
+int x = 0;
+void t(struct Packet pkt) { x = x + pkt.v; }
+`)
+	res, err := MapCodelet(pl.Stages[0][0], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := res.Config.StateUpdate["x"]
+	if !strings.Contains(upd, "x") || !strings.Contains(upd, "pkt.v") {
+		t.Errorf("update rendering %q should mention x and pkt.v", upd)
+	}
+}

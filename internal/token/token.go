@@ -1,0 +1,282 @@
+// Package token defines the lexical tokens of the Domino language and
+// source positions used in diagnostics.
+//
+// Domino is the C-like DSL of the paper "Packet Transactions: High-level
+// Programming for Line-Rate Switches" (SIGCOMM 2016). Its token set is a
+// small subset of C: integer arithmetic, logical and relational operators,
+// the conditional operator, assignment (plain and compound), braces,
+// brackets and the handful of keywords needed for packet transactions.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The token kinds. Keywords are listed after the operators; KeywordBeg and
+// KeywordEnd bracket them so IsKeyword can be a range test.
+const (
+	Illegal Kind = iota
+	EOF
+
+	Ident  // flowlet, pkt, last_time
+	Int    // 8000
+	Define // #define
+
+	// Operators and delimiters.
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+	Shl     // <<
+	Shr     // >>
+	And     // &
+	Or      // |
+	Xor     // ^
+	Not     // !
+	BitNot  // ~
+	LAnd    // &&
+	LOr     // ||
+
+	Eq  // ==
+	Neq // !=
+	Lt  // <
+	Gt  // >
+	Leq // <=
+	Geq // >=
+
+	Assign    // =
+	AddAssign // +=
+	SubAssign // -=
+	OrAssign  // |=
+	AndAssign // &=
+	XorAssign // ^=
+	Inc       // ++
+	Dec       // --
+
+	Question  // ?
+	Colon     // :
+	Semicolon // ;
+	Comma     // ,
+	Dot       // .
+
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+
+	KeywordBeg
+	KwIf     // if
+	KwElse   // else
+	KwInt    // int
+	KwBit    // bit
+	KwVoid   // void
+	KwStruct // struct
+	// Forbidden keywords (paper Table 1). The lexer recognizes them so the
+	// parser can report a precise "not allowed in Domino" diagnostic instead
+	// of a generic syntax error.
+	KwWhile    // while
+	KwFor      // for
+	KwDo       // do
+	KwGoto     // goto
+	KwBreak    // break
+	KwContinue // continue
+	KwReturn   // return
+	KeywordEnd
+)
+
+var kindNames = map[Kind]string{
+	Illegal:    "ILLEGAL",
+	EOF:        "EOF",
+	Ident:      "IDENT",
+	Int:        "INT",
+	Define:     "#define",
+	Plus:       "+",
+	Minus:      "-",
+	Star:       "*",
+	Slash:      "/",
+	Percent:    "%",
+	Shl:        "<<",
+	Shr:        ">>",
+	And:        "&",
+	Or:         "|",
+	Xor:        "^",
+	Not:        "!",
+	BitNot:     "~",
+	LAnd:       "&&",
+	LOr:        "||",
+	Eq:         "==",
+	Neq:        "!=",
+	Lt:         "<",
+	Gt:         ">",
+	Leq:        "<=",
+	Geq:        ">=",
+	Assign:     "=",
+	AddAssign:  "+=",
+	SubAssign:  "-=",
+	OrAssign:   "|=",
+	AndAssign:  "&=",
+	XorAssign:  "^=",
+	Inc:        "++",
+	Dec:        "--",
+	Question:   "?",
+	Colon:      ":",
+	Semicolon:  ";",
+	Comma:      ",",
+	Dot:        ".",
+	LParen:     "(",
+	RParen:     ")",
+	LBrace:     "{",
+	RBrace:     "}",
+	LBracket:   "[",
+	RBracket:   "]",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwInt:      "int",
+	KwBit:      "bit",
+	KwVoid:     "void",
+	KwStruct:   "struct",
+	KwWhile:    "while",
+	KwFor:      "for",
+	KwDo:       "do",
+	KwGoto:     "goto",
+	KwBreak:    "break",
+	KwContinue: "continue",
+	KwReturn:   "return",
+}
+
+// String returns the literal spelling for operators/keywords and an
+// upper-case class name for variable-content tokens.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"if":       KwIf,
+	"else":     KwElse,
+	"int":      KwInt,
+	"bit":      KwBit,
+	"void":     KwVoid,
+	"struct":   KwStruct,
+	"while":    KwWhile,
+	"for":      KwFor,
+	"do":       KwDo,
+	"goto":     KwGoto,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"return":   KwReturn,
+}
+
+// Lookup maps an identifier to its keyword kind, or Ident if it is not a
+// keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return Ident
+}
+
+// IsKeyword reports whether k is a keyword kind.
+func (k Kind) IsKeyword() bool { return k > KeywordBeg && k < KeywordEnd }
+
+// IsForbidden reports whether k is a C keyword that Domino rejects
+// (paper Table 1: no iteration, no unstructured control flow).
+func (k Kind) IsForbidden() bool {
+	switch k {
+	case KwWhile, KwFor, KwDo, KwGoto, KwBreak, KwContinue, KwReturn:
+		return true
+	}
+	return false
+}
+
+// IsAssignOp reports whether k is an assignment operator (plain or
+// compound).
+func (k Kind) IsAssignOp() bool {
+	switch k {
+	case Assign, AddAssign, SubAssign, OrAssign, AndAssign, XorAssign:
+		return true
+	}
+	return false
+}
+
+// CompoundBase returns the underlying binary operator of a compound
+// assignment (e.g. AddAssign → Plus). It returns Illegal for plain Assign.
+func (k Kind) CompoundBase() Kind {
+	switch k {
+	case AddAssign:
+		return Plus
+	case SubAssign:
+		return Minus
+	case OrAssign:
+		return Or
+	case AndAssign:
+		return And
+	case XorAssign:
+		return Xor
+	}
+	return Illegal
+}
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a lexical token: its kind, literal text, and position.
+type Token struct {
+	Kind Kind
+	Lit  string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Int, Illegal:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}
+
+// Precedence returns the binary-operator precedence of k (higher binds
+// tighter), or 0 if k is not a binary operator. The ladder mirrors C:
+//
+//	|| < && < | < ^ < & < == != < relational < shift < additive < multiplicative
+func (k Kind) Precedence() int {
+	switch k {
+	case LOr:
+		return 1
+	case LAnd:
+		return 2
+	case Or:
+		return 3
+	case Xor:
+		return 4
+	case And:
+		return 5
+	case Eq, Neq:
+		return 6
+	case Lt, Gt, Leq, Geq:
+		return 7
+	case Shl, Shr:
+		return 8
+	case Plus, Minus:
+		return 9
+	case Star, Slash, Percent:
+		return 10
+	}
+	return 0
+}

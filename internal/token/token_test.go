@@ -1,0 +1,104 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	if Lookup("if") != KwIf || Lookup("while") != KwWhile {
+		t.Error("keyword lookup broken")
+	}
+	if Lookup("flowlet") != Ident {
+		t.Error("identifier misclassified")
+	}
+}
+
+func TestIsKeywordRange(t *testing.T) {
+	for _, k := range []Kind{KwIf, KwElse, KwInt, KwVoid, KwStruct, KwWhile, KwReturn} {
+		if !k.IsKeyword() {
+			t.Errorf("%s not recognized as keyword", k)
+		}
+	}
+	for _, k := range []Kind{Ident, Int, Plus, LBrace, EOF} {
+		if k.IsKeyword() {
+			t.Errorf("%s wrongly recognized as keyword", k)
+		}
+	}
+}
+
+func TestIsForbidden(t *testing.T) {
+	for _, k := range []Kind{KwWhile, KwFor, KwDo, KwGoto, KwBreak, KwContinue, KwReturn} {
+		if !k.IsForbidden() {
+			t.Errorf("%s should be forbidden (Table 1)", k)
+		}
+	}
+	for _, k := range []Kind{KwIf, KwElse, KwInt} {
+		if k.IsForbidden() {
+			t.Errorf("%s should be allowed", k)
+		}
+	}
+}
+
+func TestCompoundBase(t *testing.T) {
+	cases := map[Kind]Kind{
+		AddAssign: Plus, SubAssign: Minus, OrAssign: Or, AndAssign: And, XorAssign: Xor,
+		Assign: Illegal,
+	}
+	for in, want := range cases {
+		if got := in.CompoundBase(); got != want {
+			t.Errorf("CompoundBase(%s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestIsAssignOp(t *testing.T) {
+	for _, k := range []Kind{Assign, AddAssign, SubAssign, OrAssign, AndAssign, XorAssign} {
+		if !k.IsAssignOp() {
+			t.Errorf("%s should be an assignment operator", k)
+		}
+	}
+	if Eq.IsAssignOp() {
+		t.Error("== is not an assignment operator")
+	}
+}
+
+func TestPrecedenceLadder(t *testing.T) {
+	// Multiplicative > additive > shift > relational > equality > bitwise >
+	// logical, mirroring C.
+	order := [][]Kind{
+		{LOr}, {LAnd}, {Or}, {Xor}, {And},
+		{Eq, Neq}, {Lt, Gt, Leq, Geq}, {Shl, Shr},
+		{Plus, Minus}, {Star, Slash, Percent},
+	}
+	for i := 1; i < len(order); i++ {
+		for _, lo := range order[i-1] {
+			for _, hi := range order[i] {
+				if lo.Precedence() >= hi.Precedence() {
+					t.Errorf("prec(%s)=%d should be < prec(%s)=%d",
+						lo, lo.Precedence(), hi, hi.Precedence())
+				}
+			}
+		}
+	}
+	if Assign.Precedence() != 0 || LBrace.Precedence() != 0 {
+		t.Error("non-binary tokens must have precedence 0")
+	}
+}
+
+func TestPosString(t *testing.T) {
+	p := Pos{Line: 3, Col: 14}
+	if p.String() != "3:14" {
+		t.Errorf("Pos.String() = %q", p.String())
+	}
+	if !p.IsValid() || (Pos{}).IsValid() {
+		t.Error("IsValid broken")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: Ident, Lit: "pkt"}
+	if tok.String() != `IDENT("pkt")` {
+		t.Errorf("Token.String() = %q", tok.String())
+	}
+	if (Token{Kind: Plus}).String() != "+" {
+		t.Error("operator token rendering broken")
+	}
+}

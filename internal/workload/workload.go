@@ -1,0 +1,223 @@
+// Package workload generates the synthetic packet traces that drive the
+// examples and benchmarks: Zipf-popular flows, bursty flowlet arrivals, RTT
+// samples, DNS TTL announcement streams, and path-utilization feedback.
+// Everything is seeded and deterministic, so experiments reproduce exactly.
+//
+// These generators substitute for the production traces the paper's
+// workloads (CONGA, flowlet switching, heavy hitters) were originally
+// motivated by — see DESIGN.md §4 for the substitution rationale.
+package workload
+
+import (
+	"math/rand"
+
+	"domino/internal/interp"
+)
+
+// Flow identifies a transport flow by its port pair (the paper's flowlet
+// example hashes only ports; extendable to the 5-tuple).
+type Flow struct {
+	SrcPort int32
+	DstPort int32
+}
+
+// Zipf draws flows with Zipf-distributed popularity: a few elephant flows
+// and a long tail of mice, the regime heavy-hitter detection targets.
+type Zipf struct {
+	flows []Flow
+	z     *rand.Zipf
+	rng   *rand.Rand
+}
+
+// NewZipf creates a population of n flows with skew s (s > 1; larger is
+// more skewed).
+func NewZipf(seed int64, n int, s float64) *Zipf {
+	rng := rand.New(rand.NewSource(seed))
+	flows := make([]Flow, n)
+	for i := range flows {
+		flows[i] = Flow{
+			SrcPort: int32(1024 + rng.Intn(60000)),
+			DstPort: int32(1024 + rng.Intn(60000)),
+		}
+	}
+	return &Zipf{
+		flows: flows,
+		z:     rand.NewZipf(rng, s, 1, uint64(n-1)),
+		rng:   rng,
+	}
+}
+
+// Next returns the next packet's flow.
+func (z *Zipf) Next() Flow { return z.flows[z.z.Uint64()] }
+
+// Rank returns the i-th most popular flow (rank 0 is the heaviest).
+func (z *Zipf) Rank(i int) Flow { return z.flows[i] }
+
+// FlowletTrace produces a packet stream where each flow alternates between
+// bursts of closely spaced packets and idle gaps longer than the flowlet
+// threshold — the traffic flowlet switching exploits (Sinha et al.).
+//
+// Each packet has fields sport, dport, arrival; arrivals are strictly
+// increasing across the trace.
+func FlowletTrace(seed int64, nFlows, nPackets, meanBurst, gap int) []interp.Packet {
+	rng := rand.New(rand.NewSource(seed))
+	type flowState struct {
+		flow      Flow
+		remaining int // packets left in the current burst
+	}
+	flows := make([]flowState, nFlows)
+	for i := range flows {
+		flows[i] = flowState{
+			flow:      Flow{SrcPort: int32(1000 + i), DstPort: int32(2000 + rng.Intn(500))},
+			remaining: 1 + rng.Intn(2*meanBurst),
+		}
+	}
+	var out []interp.Packet
+	clock := int32(0)
+	for len(out) < nPackets {
+		i := rng.Intn(nFlows)
+		f := &flows[i]
+		if f.remaining == 0 {
+			// Start a new burst after a gap longer than the threshold.
+			clock += int32(gap + rng.Intn(gap))
+			f.remaining = 1 + rng.Intn(2*meanBurst)
+		}
+		clock += int32(1 + rng.Intn(2)) // intra-burst spacing below threshold
+		f.remaining--
+		out = append(out, interp.Packet{
+			"sport":   f.flow.SrcPort,
+			"dport":   f.flow.DstPort,
+			"arrival": clock,
+		})
+	}
+	return out
+}
+
+// HeavyHitterTrace draws nPackets from a Zipf population and also returns
+// the ground-truth per-flow counts for comparing against the sketch.
+func HeavyHitterTrace(seed int64, nFlows, nPackets int, skew float64) ([]interp.Packet, map[Flow]int) {
+	z := NewZipf(seed, nFlows, skew)
+	truth := map[Flow]int{}
+	var out []interp.Packet
+	for i := 0; i < nPackets; i++ {
+		f := z.Next()
+		truth[f]++
+		out = append(out, interp.Packet{"sport": f.SrcPort, "dport": f.DstPort})
+	}
+	return out, truth
+}
+
+// RTTTrace produces RCP's input: packet sizes and RTT samples. A fraction
+// of packets carry an outlier RTT above the maximum-allowable cutoff, which
+// RCP must exclude from its average.
+func RTTTrace(seed int64, n int, meanRTT, cutoff int32) []interp.Packet {
+	rng := rand.New(rand.NewSource(seed))
+	var out []interp.Packet
+	for i := 0; i < n; i++ {
+		rtt := 1 + rng.Int31n(2*meanRTT)
+		if rng.Intn(10) == 0 {
+			rtt = cutoff + 1 + rng.Int31n(100) // stale/outlier sample
+		}
+		out = append(out, interp.Packet{
+			"size_bytes": 64 + rng.Int31n(1436),
+			"rtt":        rtt,
+		})
+	}
+	return out
+}
+
+// DNSTrace produces DNS responses: domain IDs and announced TTLs. Benign
+// domains keep a stable TTL; a marked subset ("fast-flux" style) changes
+// TTL frequently. Returns the trace and the set of misbehaving domain IDs.
+func DNSTrace(seed int64, nDomains, n int, fluxFraction float64) ([]interp.Packet, map[int32]bool) {
+	rng := rand.New(rand.NewSource(seed))
+	ttl := make([]int32, nDomains)
+	flux := map[int32]bool{}
+	for d := range ttl {
+		ttl[d] = 300 + rng.Int31n(3)*300
+		if rng.Float64() < fluxFraction {
+			flux[int32(d)] = true
+		}
+	}
+	var out []interp.Packet
+	for i := 0; i < n; i++ {
+		d := int32(rng.Intn(nDomains))
+		if flux[d] && rng.Intn(2) == 0 {
+			ttl[d] = 30 + rng.Int31n(1000)
+		}
+		out = append(out, interp.Packet{"domain": d, "ttl": ttl[d]})
+	}
+	return out, flux
+}
+
+// CongaTrace produces path-utilization feedback packets: each reports the
+// utilization of the path it travelled. True per-path utilizations drift
+// over time; the trace and the evolving truth series are returned.
+func CongaTrace(seed int64, nPaths, nDsts, n int) []interp.Packet {
+	rng := rand.New(rand.NewSource(seed))
+	util := make([]int32, nPaths)
+	for p := range util {
+		util[p] = rng.Int31n(1000)
+	}
+	var out []interp.Packet
+	for i := 0; i < n; i++ {
+		p := rng.Intn(nPaths)
+		// Utilization random walk.
+		util[p] += rng.Int31n(41) - 20
+		if util[p] < 0 {
+			util[p] = 0
+		}
+		out = append(out, interp.Packet{
+			"util":    util[p],
+			"path_id": int32(p),
+			"src":     int32(rng.Intn(nDsts)),
+		})
+	}
+	return out
+}
+
+// AQMTrace produces arrivals for HULL/AVQ: packet sizes, arrival times with
+// on/off bursts, and an instantaneous queue-length observation.
+func AQMTrace(seed int64, n int) []interp.Packet {
+	rng := rand.New(rand.NewSource(seed))
+	var out []interp.Packet
+	clock := int32(0)
+	qlen := int32(0)
+	for i := 0; i < n; i++ {
+		if rng.Intn(50) == 0 {
+			clock += 200 + rng.Int31n(400) // idle period
+			qlen = 0
+		} else {
+			clock += 1 + rng.Int31n(4)
+			qlen += rng.Int31n(7) - 3
+			if qlen < 0 {
+				qlen = 0
+			}
+		}
+		out = append(out, interp.Packet{
+			"size_bytes": 1 + rng.Int31n(30),
+			"arrival":    clock,
+			"qlen":       qlen,
+		})
+	}
+	return out
+}
+
+// STFQTrace produces packets with flow IDs, lengths and the current round
+// number (advancing slowly), for the WFQ priority computation.
+func STFQTrace(seed int64, nFlows, n int) []interp.Packet {
+	rng := rand.New(rand.NewSource(seed))
+	round := int32(0)
+	var out []interp.Packet
+	for i := 0; i < n; i++ {
+		if i%4 == 3 {
+			round += rng.Int31n(3)
+		}
+		out = append(out, interp.Packet{
+			"flow":  int32(rng.Intn(nFlows)),
+			"len":   1 + rng.Int31n(15),
+			"round": round,
+		})
+	}
+	return out
+}

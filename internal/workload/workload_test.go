@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1, 1000, 1.3)
+	counts := map[Flow]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	top := counts[z.Rank(0)]
+	if top < n/50 {
+		t.Errorf("heaviest flow has %d of %d packets; expected a pronounced elephant", top, n)
+	}
+	if len(counts) < 100 {
+		t.Errorf("only %d distinct flows; expected a long tail", len(counts))
+	}
+}
+
+func TestZipfDeterminism(t *testing.T) {
+	a, b := NewZipf(7, 100, 1.2), NewZipf(7, 100, 1.2)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+func TestFlowletTraceMonotoneArrivals(t *testing.T) {
+	tr := FlowletTrace(3, 20, 5000, 10, 50)
+	if len(tr) != 5000 {
+		t.Fatalf("trace length %d, want 5000", len(tr))
+	}
+	last := int32(-1)
+	for i, p := range tr {
+		if p["arrival"] <= last {
+			t.Fatalf("packet %d: arrival %d not after %d", i, p["arrival"], last)
+		}
+		last = p["arrival"]
+		if p["sport"] == 0 || p["dport"] == 0 {
+			t.Fatalf("packet %d missing flow fields", i)
+		}
+	}
+}
+
+func TestHeavyHitterTruthMatchesTrace(t *testing.T) {
+	tr, truth := HeavyHitterTrace(5, 500, 20000, 1.3)
+	total := 0
+	for _, n := range truth {
+		total += n
+	}
+	if total != len(tr) {
+		t.Fatalf("truth sums to %d, trace has %d packets", total, len(tr))
+	}
+}
+
+func TestRTTTraceHasOutliers(t *testing.T) {
+	tr := RTTTrace(11, 10000, 15, 30)
+	over, under := 0, 0
+	for _, p := range tr {
+		if p["rtt"] > 30 {
+			over++
+		} else {
+			under++
+		}
+		if p["size_bytes"] < 64 || p["size_bytes"] > 1500 {
+			t.Fatalf("implausible packet size %d", p["size_bytes"])
+		}
+	}
+	if over == 0 || under == 0 {
+		t.Fatalf("trace lacks both RTT classes (over=%d under=%d)", over, under)
+	}
+	if over > under {
+		t.Fatalf("outliers dominate (over=%d under=%d); they should be ~10%%", over, under)
+	}
+}
+
+func TestDNSTraceFluxDomainsChange(t *testing.T) {
+	tr, flux := DNSTrace(13, 200, 20000, 0.1)
+	if len(flux) == 0 {
+		t.Fatal("no flux domains generated")
+	}
+	seen := map[int32]map[int32]bool{}
+	for _, p := range tr {
+		d := p["domain"]
+		if seen[d] == nil {
+			seen[d] = map[int32]bool{}
+		}
+		seen[d][p["ttl"]] = true
+	}
+	// Flux domains should show many TTL values; benign ones exactly one.
+	for d, ttls := range seen {
+		if !flux[d] && len(ttls) != 1 {
+			t.Fatalf("benign domain %d changed TTL %d times", d, len(ttls)-1)
+		}
+	}
+	changed := 0
+	for d := range flux {
+		if len(seen[d]) > 1 {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("no flux domain actually changed TTL")
+	}
+}
+
+func TestCongaTraceFields(t *testing.T) {
+	tr := CongaTrace(17, 8, 64, 5000)
+	for _, p := range tr {
+		if p["util"] < 0 {
+			t.Fatal("negative utilization")
+		}
+		if p["path_id"] < 0 || p["path_id"] >= 8 {
+			t.Fatalf("path_id %d out of range", p["path_id"])
+		}
+	}
+}
+
+func TestAQMTraceQuiescence(t *testing.T) {
+	tr := AQMTrace(19, 10000)
+	idle := 0
+	last := int32(0)
+	for _, p := range tr {
+		if p["arrival"]-last > 100 {
+			idle++
+		}
+		last = p["arrival"]
+	}
+	if idle == 0 {
+		t.Fatal("AQM trace has no idle periods; HULL's drain path would go unexercised")
+	}
+}
+
+func TestSTFQTraceRoundsAdvance(t *testing.T) {
+	tr := STFQTrace(23, 50, 10000)
+	first, last := tr[0]["round"], tr[len(tr)-1]["round"]
+	if last <= first {
+		t.Fatalf("round did not advance (%d → %d)", first, last)
+	}
+}
