@@ -253,17 +253,110 @@ void t(struct Packet pkt) {
 	}
 }
 
-// BenchmarkMachineThroughput measures simulated packets per second through
-// the compiled Banzai pipeline for each compiling algorithm.
-func BenchmarkMachineThroughput(b *testing.B) {
-	traces := map[string][]interp.Packet{
-		"flowlets":      workload.FlowletTrace(1, 100, 4096, 10, 50),
-		"heavy_hitters": firstOf(workload.HeavyHitterTrace(1, 1000, 4096, 1.2)),
-		"conga":         workload.CongaTrace(1, 16, 64, 4096),
+// throughputCase wires one catalog algorithm to its trace generators in
+// both packet representations.
+type throughputCase struct {
+	name    string
+	trace   []interp.Packet
+	headers func(l *Layout) []Header
+}
+
+func throughputCases() []throughputCase {
+	return []throughputCase{
+		{
+			name:    "flowlets",
+			trace:   workload.FlowletTrace(1, 100, 4096, 10, 50),
+			headers: func(l *Layout) []Header { return workload.FlowletTraceHeaders(l, 1, 100, 4096, 10, 50) },
+		},
+		{
+			name:  "heavy_hitters",
+			trace: firstOf(workload.HeavyHitterTrace(1, 1000, 4096, 1.2)),
+			headers: func(l *Layout) []Header {
+				hs, _ := workload.HeavyHitterTraceHeaders(l, 1, 1000, 4096, 1.2)
+				return hs
+			},
+		},
+		{
+			name:    "conga",
+			trace:   workload.CongaTrace(1, 16, 64, 4096),
+			headers: func(l *Layout) []Header { return workload.CongaTraceHeaders(l, 1, 16, 64, 4096) },
+		},
 	}
-	for name, trace := range traces {
-		b.Run(name, func(b *testing.B) {
-			src, err := CatalogSource(name)
+}
+
+func throughputMachine(b *testing.B, name string) *Machine {
+	b.Helper()
+	src, err := CatalogSource(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := CompileLeast(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := prog.NewMachine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkMachineThroughput measures simulated packets per second through
+// the compiled Banzai pipeline for each compiling algorithm, with the
+// map-based slow path and the slot-vector header fast path side by side.
+// The header paths must show 0 allocs/op at steady state; allocs/op is
+// reported so regressions show up in BENCH_*.json snapshots.
+func BenchmarkMachineThroughput(b *testing.B) {
+	for _, tc := range throughputCases() {
+		// Map path: the interp.Packet codec runs per packet.
+		b.Run(tc.name+"/map", func(b *testing.B) {
+			m := throughputMachine(b, tc.name)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Tick(tc.trace[i&4095])
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		})
+		// Header path: slot vectors end to end, one TickH per cycle.
+		// Departing headers rotate back in as later inputs, so the steady
+		// state touches the pool and the codec not at all.
+		b.Run(tc.name+"/header", func(b *testing.B) {
+			m := throughputMachine(b, tc.name)
+			hs := tc.headers(m.Layout())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.TickH(hs[i&4095])
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		})
+		// Batch path: whole-pipeline execution per header, amortized
+		// bookkeeping, batches of 1024.
+		b.Run(tc.name+"/batch", func(b *testing.B) {
+			m := throughputMachine(b, tc.name)
+			hs := tc.headers(m.Layout())
+			const batch = 1024
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := (i & 3) * batch
+				if err := m.ProcessBatch(hs[off : off+batch]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
+// BenchmarkShardedThroughput measures the RSS-style multi-pipeline
+// simulator: one ShardedMachine with per-shard state, steering by flow key,
+// batches of 4096 fanned out to the shard goroutines.
+func BenchmarkShardedThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("flowlets/shards=%d", shards), func(b *testing.B) {
+			src, err := CatalogSource("flowlets")
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -271,15 +364,22 @@ func BenchmarkMachineThroughput(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			m, err := prog.NewMachine()
+			sm, err := prog.NewSharded(shards, "sport", "dport")
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer sm.Close()
+			const batch = 4096
+			hs := workload.FlowletTraceHeaders(sm.Layout(), 1, 256, batch, 10, 50)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				m.Tick(trace[i&4095])
+				if err := sm.ProcessBatch(hs); err != nil {
+					b.Fatal(err)
+				}
 			}
-			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "pkts/s")
+			b.ReportMetric(float64(shards), "shards")
 		})
 	}
 }
@@ -298,6 +398,7 @@ func BenchmarkInterpreterThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	trace := workload.FlowletTrace(1, 100, 4096, 10, 50)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := ip.Run(trace[i&4095].Clone()); err != nil {

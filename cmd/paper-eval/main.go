@@ -7,17 +7,20 @@
 //	paper-eval                 # everything
 //	paper-eval -table 4        # one table (3, 4, 5, 6, compile-time, resources)
 //	paper-eval -figure 3       # one figure (3, passes, 9)
+//	paper-eval -throughput     # simulator data-path throughput comparison
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"domino/internal/algorithms"
 	"domino/internal/ast"
 	"domino/internal/atoms"
+	"domino/internal/banzai"
 	"domino/internal/codegen"
 	"domino/internal/hw"
 	"domino/internal/p4gen"
@@ -25,13 +28,21 @@ import (
 	"domino/internal/passes"
 	"domino/internal/pvsm"
 	"domino/internal/sema"
+	"domino/internal/workload"
 )
 
 func main() {
 	table := flag.String("table", "", "table to regenerate: 3, 4, 5, 6, compile-time, resources")
 	figure := flag.String("figure", "", "figure to regenerate: 3, passes, 9")
+	tput := flag.Bool("throughput", false, "measure simulator data-path throughput (map vs header vs sharded)")
 	flag.Parse()
 
+	if *tput {
+		throughput()
+		if *table == "" && *figure == "" {
+			return
+		}
+	}
 	if *table == "" && *figure == "" {
 		table3()
 		table4()
@@ -222,6 +233,77 @@ func figurePasses() {
 	fmt.Print(passes.Print(norm.SSA))
 	fmt.Println("-- three-address code (Figure 8) --")
 	fmt.Print(norm.IR.String())
+}
+
+// throughput measures the simulator's data-path rates on flowlet
+// switching: the map-based wrapper, the slot-vector header fast path, the
+// batched path, and the sharded multi-pipeline (paper §2's one packet per
+// clock, here in software packets per wall-second). Sharded speedup needs
+// >1 CPU; on a single core it only demonstrates dispatch overhead.
+func throughput() {
+	fmt.Printf("== Simulator throughput (flowlet switching, GOMAXPROCS=%d) ==\n", runtime.GOMAXPROCS(0))
+	a, _ := algorithms.ByName("flowlets")
+	info, norm := build(a)
+	p, ok, err := codegen.LeastTarget(info, norm.IR)
+	if !ok {
+		fatal(err)
+	}
+	const n = 1 << 20
+	rate := func(pkts int, dt time.Duration) string {
+		return fmt.Sprintf("%10.2f Mpkts/s", float64(pkts)/dt.Seconds()/1e6)
+	}
+
+	m, err := banzai.New(p)
+	if err != nil {
+		fatal(err)
+	}
+	trace := workload.FlowletTrace(1, 256, 4096, 10, 50)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		m.Tick(trace[i&4095])
+	}
+	fmt.Printf("%-28s %s\n", "map Tick (codec per packet)", rate(n, time.Since(start)))
+
+	m2, err := banzai.New(p)
+	if err != nil {
+		fatal(err)
+	}
+	hs := workload.FlowletTraceHeaders(m2.Layout(), 1, 256, 4096, 10, 50)
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		m2.TickH(hs[i&4095])
+	}
+	fmt.Printf("%-28s %s\n", "header TickH (zero-alloc)", rate(n, time.Since(start)))
+
+	m3, err := banzai.New(p)
+	if err != nil {
+		fatal(err)
+	}
+	hs3 := workload.FlowletTraceHeaders(m3.Layout(), 1, 256, 4096, 10, 50)
+	start = time.Now()
+	for i := 0; i < n/4096; i++ {
+		if err := m3.ProcessBatch(hs3); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("%-28s %s\n", "header ProcessBatch", rate(n, time.Since(start)))
+
+	for _, shards := range []int{2, 4} {
+		sm, err := banzai.NewSharded(p, shards, "sport", "dport")
+		if err != nil {
+			fatal(err)
+		}
+		hss := workload.FlowletTraceHeaders(sm.Layout(), 1, 256, 4096, 10, 50)
+		start = time.Now()
+		for i := 0; i < n/4096; i++ {
+			if err := sm.ProcessBatch(hss); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("%-28s %s\n", fmt.Sprintf("sharded ×%d ProcessBatch", shards), rate(n, time.Since(start)))
+		sm.Close()
+	}
+	fmt.Println()
 }
 
 func figure9() {

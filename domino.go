@@ -162,6 +162,23 @@ func (p *Program) NewMachine() (*Machine, error) {
 	return &Machine{m: m}, nil
 }
 
+// NewSharded instantiates the pipeline n times, each shard with its own
+// state on its own goroutine, with RSS-style steering by the named key
+// fields (see banzai.ShardedMachine for the state-consistency contract).
+func (p *Program) NewSharded(n int, keyFields ...string) (*ShardedMachine, error) {
+	return banzai.NewSharded(p.inner, n, keyFields...)
+}
+
+// Header is the allocation-free slot-vector packet representation the
+// compiled data path runs on; Layout maps field names to its slots.
+type Header = banzai.Header
+
+// Layout maps packet field names to Header slots for one compiled program.
+type Layout = banzai.Layout
+
+// ShardedMachine is a pipeline replicated across shards with flow steering.
+type ShardedMachine = banzai.ShardedMachine
+
 // Machine is an instantiated Banzai pipeline executing a compiled program,
 // one packet per clock cycle.
 type Machine struct {
@@ -179,6 +196,31 @@ func (m *Machine) Tick(in Packet) (Packet, bool) { return m.m.Tick(in) }
 
 // Drain flushes in-flight packets, returning them in departure order.
 func (m *Machine) Drain() []Packet { return m.m.Drain() }
+
+// Layout returns the machine's field↔slot mapping, for building Headers.
+func (m *Machine) Layout() *Layout { return m.m.Layout() }
+
+// AcquireHeader draws a zeroed header from the machine's free list;
+// ReleaseHeader returns it. The header path never allocates at steady
+// state.
+func (m *Machine) AcquireHeader() Header  { return m.m.AcquireHeader() }
+func (m *Machine) ReleaseHeader(h Header) { m.m.ReleaseHeader(h) }
+
+// ProcessH pushes a header through the whole pipeline in place — the
+// allocation-free equivalent of Process (read results via Layout.Output or
+// Layout.OutputSlot).
+func (m *Machine) ProcessH(h Header) error { return m.m.ProcessH(h) }
+
+// ProcessBatch runs a batch of headers through the pipeline back-to-back,
+// each mutated in place.
+func (m *Machine) ProcessBatch(hs []Header) error { return m.m.ProcessBatch(hs) }
+
+// TickH is the header-path Tick: ownership of in passes to the machine and
+// ownership of the departing header passes to the caller.
+func (m *Machine) TickH(in Header) (Header, bool) { return m.m.TickH(in) }
+
+// DrainH flushes in-flight headers, returning them in departure order.
+func (m *Machine) DrainH() []Header { return m.m.DrainH() }
 
 // Depth returns the pipeline depth in stages.
 func (m *Machine) Depth() int { return m.m.Depth() }

@@ -1,0 +1,3 @@
+module domino
+
+go 1.24

@@ -8,6 +8,13 @@
 // pipeline's outputs and final state are identical to running the original
 // transaction serially, one packet at a time (verified by the test suite,
 // including the property tests in banzai_test.go).
+//
+// The data path is allocation-free: packets travel as slot-vector Headers
+// (see header.go) drawn from a per-machine free list, and the compiled
+// micro-ops carry preallocated scratch, so the steady-state header path
+// (TickH/ProcessH/ProcessBatch) performs no heap allocation per packet.
+// The map-based Tick/Process API remains as a thin codec wrapper for
+// callers that want interp.Packet in and out.
 package banzai
 
 import (
@@ -62,6 +69,7 @@ type mop struct {
 	a, b, c operand // c is the condition (opCond) or array index (opRead/opWrite)
 	fun     string
 	args    []operand
+	argv    []int32 // preallocated opCall scratch, sized to args at compile time
 	cell    *cell
 	indexed bool
 }
@@ -76,12 +84,14 @@ type atom struct {
 type Machine struct {
 	prog   *codegen.Program
 	stages [][]*atom
+	layout *Layout
+	pool   headerPool
 
-	fieldSlot map[string]int
-	slotField []string
-
-	// pipe holds the in-flight packet of each stage (nil bubble).
-	pipe []([]int32)
+	// pipe holds the in-flight packet of each stage (nil bubble) as a ring:
+	// the packet resident in stage i lives at pipe[(head+i)%depth], so a
+	// pipeline advance is a head rotation, not an O(depth) slice shift.
+	pipe []Header
+	head int
 
 	cycles  int64
 	packets int64
@@ -90,36 +100,23 @@ type Machine struct {
 // New instantiates a machine for a compiled program, allocating atom-local
 // state initialized from the program's global declarations.
 func New(p *codegen.Program) (*Machine, error) {
-	m := &Machine{
-		prog:      p,
-		fieldSlot: map[string]int{},
-		pipe:      make([]([]int32), len(p.Stages)),
-	}
-	slotOf := func(field string) int {
-		if s, ok := m.fieldSlot[field]; ok {
-			return s
-		}
-		s := len(m.slotField)
-		m.fieldSlot[field] = s
-		m.slotField = append(m.slotField, field)
-		return s
-	}
-	// Declared fields first so inputs always have slots.
-	for _, f := range p.Info.Fields {
-		slotOf(f)
-	}
-	for _, f := range p.IR.Fields {
-		slotOf(f)
-	}
-	for _, v := range p.IR.FinalVersion {
-		slotOf(v)
-	}
+	return NewWithLayout(p, NewLayout(p))
+}
 
+// NewWithLayout instantiates a machine that shares an existing layout —
+// the layout must have been built for the same program (ShardedMachine
+// uses this so every shard agrees on slot numbering).
+func NewWithLayout(p *codegen.Program, l *Layout) (*Machine, error) {
+	m := &Machine{
+		prog:   p,
+		layout: l,
+		pipe:   make([]Header, len(p.Stages)),
+	}
 	compileOperand := func(o ir.Operand) operand {
 		if o.IsConst() {
 			return operand{imm: o.Value, isConst: true}
 		}
-		return operand{slot: slotOf(o.Name)}
+		return operand{slot: l.slotOf(o.Name)}
 	}
 
 	for _, st := range p.Stages {
@@ -152,18 +149,19 @@ func New(p *codegen.Program) (*Machine, error) {
 				var op mop
 				switch x := s.(type) {
 				case *ir.Move:
-					op = mop{kind: opMove, dst: slotOf(x.Dst), a: compileOperand(x.Src)}
+					op = mop{kind: opMove, dst: l.slotOf(x.Dst), a: compileOperand(x.Src)}
 				case *ir.BinOp:
-					op = mop{kind: opBin, dst: slotOf(x.Dst), op: x.Op,
+					op = mop{kind: opBin, dst: l.slotOf(x.Dst), op: x.Op,
 						a: compileOperand(x.A), b: compileOperand(x.B)}
 				case *ir.CondMove:
-					op = mop{kind: opCond, dst: slotOf(x.Dst),
+					op = mop{kind: opCond, dst: l.slotOf(x.Dst),
 						a: compileOperand(x.A), b: compileOperand(x.B), c: compileOperand(x.Cond)}
 				case *ir.Call:
-					op = mop{kind: opCall, dst: slotOf(x.Dst), fun: x.Fun, op: x.Op}
+					op = mop{kind: opCall, dst: l.slotOf(x.Dst), fun: x.Fun, op: x.Op}
 					for _, arg := range x.Args {
 						op.args = append(op.args, compileOperand(arg))
 					}
+					op.argv = make([]int32, len(op.args))
 					if x.Op != token.Illegal {
 						op.b = compileOperand(x.B)
 					}
@@ -172,7 +170,7 @@ func New(p *codegen.Program) (*Machine, error) {
 					if c == nil {
 						return nil, fmt.Errorf("banzai: unknown state %q", x.State)
 					}
-					op = mop{kind: opRead, dst: slotOf(x.Dst), cell: c}
+					op = mop{kind: opRead, dst: l.slotOf(x.Dst), cell: c}
 					if x.Index != nil {
 						op.indexed = true
 						op.c = compileOperand(*x.Index)
@@ -196,11 +194,15 @@ func New(p *codegen.Program) (*Machine, error) {
 		}
 		m.stages = append(m.stages, row)
 	}
+	m.pool.width = l.NumSlots()
 	return m, nil
 }
 
+// Layout returns the machine's field↔slot mapping, for building headers.
+func (m *Machine) Layout() *Layout { return m.layout }
+
 // NumSlots returns the packet header vector width (fields incl. temps).
-func (m *Machine) NumSlots() int { return len(m.slotField) }
+func (m *Machine) NumSlots() int { return m.layout.NumSlots() }
 
 // Depth returns the pipeline depth.
 func (m *Machine) Depth() int { return len(m.stages) }
@@ -210,27 +212,6 @@ func (m *Machine) Cycles() int64 { return m.cycles }
 
 // Packets returns the packets that have entered the pipeline.
 func (m *Machine) Packets() int64 { return m.packets }
-
-// newSlots builds the in-pipeline representation of a parsed packet.
-func (m *Machine) newSlots(pkt interp.Packet) []int32 {
-	s := make([]int32, len(m.slotField))
-	for f, v := range pkt {
-		if slot, ok := m.fieldSlot[f]; ok {
-			s[slot] = v
-		}
-	}
-	return s
-}
-
-// output converts a departing header vector to a packet carrying the final
-// version of every declared field.
-func (m *Machine) output(s []int32) interp.Packet {
-	out := make(interp.Packet, len(m.prog.IR.FinalVersion))
-	for orig, fin := range m.prog.IR.FinalVersion {
-		out[orig] = s[m.fieldSlot[fin]]
-	}
-	return out
-}
 
 // execAtom runs one atom's micro-ops to completion on a packet — the
 // single-cycle atomic execution of paper §2.3.
@@ -256,7 +237,7 @@ func (m *Machine) execAtom(a *atom, p []int32) {
 				p[op.dst] = op.b.value(p)
 			}
 		case opCall:
-			args := make([]int32, len(op.args))
+			args := op.argv
 			for j, ar := range op.args {
 				args[j] = ar.value(p)
 			}
@@ -301,41 +282,112 @@ func mask(idx int32, n int) int {
 	return i
 }
 
-// Tick advances the machine one clock cycle. in is the packet entering
-// stage 1 this cycle (nil for a bubble); the returned packet is the one
-// leaving the pipeline this cycle, if any.
+// TickH advances the machine one clock cycle on the header fast path. in is
+// the header entering stage 1 this cycle (nil for a bubble); ownership of
+// in passes to the machine. The returned header is the one leaving the
+// pipeline this cycle, if any; ownership passes to the caller, who should
+// hand it back via ReleaseHeader once done with it.
 //
 // Every stage processes its resident packet in parallel this cycle; the
 // atoms of a stage run concurrently on disjoint state, so intra-cycle order
 // is immaterial.
-func (m *Machine) Tick(in interp.Packet) (interp.Packet, bool) {
+func (m *Machine) TickH(in Header) (Header, bool) {
 	m.cycles++
-	for i, pkt := range m.pipe {
-		if pkt != nil {
+	depth := len(m.pipe)
+	if depth == 0 {
+		if in == nil {
+			return nil, false
+		}
+		m.packets++
+		return in, true
+	}
+	for i := 0; i < depth; i++ {
+		if h := m.pipe[(m.head+i)%depth]; h != nil {
 			for _, a := range m.stages[i] {
-				m.execAtom(a, pkt)
+				m.execAtom(a, h)
 			}
 		}
 	}
-	depth := len(m.pipe)
-	var out interp.Packet
-	ok := false
-	if depth > 0 && m.pipe[depth-1] != nil {
-		out = m.output(m.pipe[depth-1])
-		ok = true
-	}
-	copy(m.pipe[1:], m.pipe[:depth-1])
-	if depth > 0 {
-		m.pipe[0] = nil
-	}
+	// Rotate: the slot that held the departing stage-(depth-1) packet
+	// becomes the new stage-0 slot, so every resident moves down one stage
+	// without copying.
+	last := (m.head + depth - 1) % depth
+	out := m.pipe[last]
+	m.pipe[last] = nil
+	m.head = last
 	if in != nil {
 		m.packets++
-		if depth == 0 {
-			return m.output(m.newSlots(in)), true
-		}
-		m.pipe[0] = m.newSlots(in)
+		m.pipe[m.head] = in
 	}
-	return out, ok
+	return out, out != nil
+}
+
+// Tick advances the machine one clock cycle. in is the packet entering
+// stage 1 this cycle (nil for a bubble); the returned packet is the one
+// leaving the pipeline this cycle, if any. This is the map-based wrapper
+// over TickH; the codec runs only at the edges.
+func (m *Machine) Tick(in interp.Packet) (interp.Packet, bool) {
+	var hin Header
+	if in != nil {
+		hin = m.EncodeHeader(in)
+	}
+	hout, ok := m.TickH(hin)
+	if !ok {
+		return nil, false
+	}
+	out := m.layout.Output(hout)
+	m.pool.put(hout)
+	return out, true
+}
+
+// busy reports whether any stage holds an in-flight packet.
+func (m *Machine) busy() bool {
+	for _, h := range m.pipe {
+		if h != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ProcessH pushes one header through every stage back-to-back, mutating it
+// in place (the departing field values land in the final-version slots; use
+// Layout.Output or Layout.OutputSlot to read them). It must not be
+// interleaved with Tick/TickH while packets are in flight (ErrBusy
+// otherwise); state effects are identical to ticking the header through
+// with bubbles behind it. ProcessH performs no allocation.
+func (m *Machine) ProcessH(h Header) error {
+	if m.busy() {
+		return ErrBusy
+	}
+	m.packets++
+	m.cycles += int64(len(m.stages))
+	for _, st := range m.stages {
+		for _, a := range st {
+			m.execAtom(a, h)
+		}
+	}
+	return nil
+}
+
+// ProcessBatch runs every header of a batch through the full pipeline, in
+// order, each mutated in place. Semantically it equals calling ProcessH per
+// header (serial, one packet at a time), but hoists the busy check and the
+// accounting out of the per-packet loop.
+func (m *Machine) ProcessBatch(hs []Header) error {
+	if m.busy() {
+		return ErrBusy
+	}
+	m.packets += int64(len(hs))
+	m.cycles += int64(len(m.stages)) * int64(len(hs))
+	for _, h := range hs {
+		for _, st := range m.stages {
+			for _, a := range st {
+				m.execAtom(a, h)
+			}
+		}
+	}
+	return nil
 }
 
 // Process pushes a packet through every stage back-to-back and returns the
@@ -343,20 +395,14 @@ func (m *Machine) Tick(in interp.Packet) (interp.Packet, bool) {
 // are in flight (ErrBusy otherwise); state effects are identical to ticking
 // the packet through with bubbles behind it.
 func (m *Machine) Process(pkt interp.Packet) (interp.Packet, error) {
-	for _, p := range m.pipe {
-		if p != nil {
-			return nil, ErrBusy
-		}
+	h := m.EncodeHeader(pkt)
+	if err := m.ProcessH(h); err != nil {
+		m.pool.put(h)
+		return nil, err
 	}
-	m.packets++
-	m.cycles += int64(len(m.stages))
-	s := m.newSlots(pkt)
-	for _, st := range m.stages {
-		for _, a := range st {
-			m.execAtom(a, s)
-		}
-	}
-	return m.output(s), nil
+	out := m.layout.Output(h)
+	m.pool.put(h)
+	return out, nil
 }
 
 // ErrBusy reports Process called with packets in flight.
@@ -369,6 +415,19 @@ func (m *Machine) Drain() []interp.Packet {
 	for i := 0; i < len(m.pipe); i++ {
 		if p, ok := m.Tick(nil); ok {
 			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DrainH ticks bubbles until every in-flight header has exited, returning
+// them in departure order. Ownership of the returned headers passes to the
+// caller (release them when done).
+func (m *Machine) DrainH() []Header {
+	var out []Header
+	for i := 0; i < len(m.pipe); i++ {
+		if h, ok := m.TickH(nil); ok {
+			out = append(out, h)
 		}
 	}
 	return out

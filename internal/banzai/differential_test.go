@@ -1,0 +1,277 @@
+package banzai
+
+import (
+	"math/rand"
+	"testing"
+
+	"domino/internal/interp"
+)
+
+// TestDifferentialExecutionPaths runs one random packet sequence through
+// every execution path — the reference interpreter, the map-based Process,
+// the header-based ProcessH, ProcessBatch, and a 4-shard ShardedMachine —
+// and requires bit-identical outputs and final state from all five.
+//
+// The first declared field is held constant across the sequence (a single
+// flow) and used as the sharding key, so every packet pins to one shard
+// and the sharded run must reproduce serial transaction semantics exactly.
+func TestDifferentialExecutionPaths(t *testing.T) {
+	const n = 512
+	const batch = 64
+	for name, tc := range corpus {
+		t.Run(name, func(t *testing.T) {
+			info, p := compile(t, tc.src, tc.atom)
+			ref := interp.New(info)
+			mProc, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mHdr, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mBatch, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := info.Fields[0]
+			sharded, err := NewSharded(p, 4, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sharded.Close()
+
+			rng := rand.New(rand.NewSource(99))
+			trace := make([]interp.Packet, n)
+			for i := range trace {
+				pkt := interp.Packet{}
+				for _, f := range info.Fields {
+					pkt[f] = int32(rng.Intn(1001))
+				}
+				pkt[key] = 7 // single flow: pin the steering key
+				trace[i] = pkt
+			}
+
+			// Path 1: reference interpreter.
+			want := make([]interp.Packet, n)
+			for i, pkt := range trace {
+				w := pkt.Clone()
+				if err := ref.Run(w); err != nil {
+					t.Fatalf("interpreter: %v", err)
+				}
+				want[i] = w
+			}
+
+			check := func(path string, i int, out interp.Packet) {
+				t.Helper()
+				for _, f := range info.Fields {
+					if out[f] != want[i][f] {
+						t.Fatalf("%s: packet %d field %s = %d, interpreter says %d",
+							path, i, f, out[f], want[i][f])
+					}
+				}
+			}
+
+			// Path 2: map-based Process.
+			for i, pkt := range trace {
+				out, err := mProc.Process(pkt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				check("Process", i, out)
+			}
+
+			// Path 3: header-based ProcessH.
+			hl := mHdr.Layout()
+			for i, pkt := range trace {
+				h := mHdr.AcquireHeader()
+				hl.Encode(pkt, h)
+				if err := mHdr.ProcessH(h); err != nil {
+					t.Fatal(err)
+				}
+				check("ProcessH", i, hl.Output(h))
+				mHdr.ReleaseHeader(h)
+			}
+
+			// Path 4: ProcessBatch.
+			bl := mBatch.Layout()
+			for start := 0; start < n; start += batch {
+				hs := make([]Header, batch)
+				for j := range hs {
+					hs[j] = bl.NewHeader()
+					bl.Encode(trace[start+j], hs[j])
+				}
+				if err := mBatch.ProcessBatch(hs); err != nil {
+					t.Fatal(err)
+				}
+				for j, h := range hs {
+					check("ProcessBatch", start+j, bl.Output(h))
+				}
+			}
+
+			// Path 5: 4-shard ShardedMachine, whole trace in one batch.
+			sl := sharded.Layout()
+			hs := make([]Header, n)
+			for i := range hs {
+				hs[i] = sl.NewHeader()
+				sl.Encode(trace[i], hs[i])
+			}
+			active := sharded.ShardFor(hs[0])
+			if err := sharded.ProcessBatch(hs); err != nil {
+				t.Fatal(err)
+			}
+			for i, h := range hs {
+				check("Sharded", i, sl.Output(h))
+			}
+			for i := 0; i < sharded.NumShards(); i++ {
+				wantPkts := int64(0)
+				if i == active {
+					wantPkts = n
+				}
+				if got := sharded.Shard(i).Packets(); got != wantPkts {
+					t.Fatalf("shard %d processed %d packets, want %d (single flow must pin to shard %d)",
+						i, got, wantPkts, active)
+				}
+			}
+
+			// Final state must agree everywhere.
+			st := ref.State()
+			for path, got := range map[string]*interp.State{
+				"Process":          mProc.State(),
+				"ProcessH":         mHdr.State(),
+				"ProcessBatch":     mBatch.State(),
+				"Sharded (active)": sharded.Shard(active).State(),
+				"Sharded (agg)":    sharded.AggregateState(),
+			} {
+				if !st.Equal(got) {
+					t.Errorf("%s: final state diverged from interpreter", path)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedAggregateState spreads many flows across shards and checks the
+// additive-state contract: the sum of per-shard deltas equals serial
+// execution's state for a pure counter transaction, even though no single
+// shard saw the whole trace.
+func TestShardedAggregateState(t *testing.T) {
+	src := `
+struct Packet { int len; int total; };
+int bytes = 0;
+void t(struct Packet pkt) { bytes = bytes + pkt.len; pkt.total = bytes; }
+`
+	info, p := compile(t, src, corpus["accumulator"].atom)
+	ref := interp.New(info)
+	sharded, err := NewSharded(p, 4, "len")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	l := sharded.Layout()
+	lenSlot, _ := l.Slot("len")
+	const n = 2048
+	hs := make([]Header, n)
+	for i := range hs {
+		v := int32(rng.Intn(1500))
+		hs[i] = l.NewHeader()
+		hs[i][lenSlot] = v
+		if err := ref.Run(interp.Packet{"len": v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sharded.ProcessBatch(hs); err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for i := 0; i < sharded.NumShards(); i++ {
+		if sharded.Shard(i).Packets() > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("steering used %d/4 shards; want the load spread", busy)
+	}
+	if got, want := sharded.Packets(), int64(n); got != want {
+		t.Fatalf("sharded machine processed %d packets, want %d", got, want)
+	}
+	if !sharded.AggregateState().Equal(ref.State()) {
+		t.Fatalf("aggregate bytes = %d, serial execution says %d",
+			sharded.AggregateState().Scalars["bytes"], ref.State().Scalars["bytes"])
+	}
+}
+
+// TestHeaderPoolReuse checks the pooling contract: a released header comes
+// back zeroed on the next acquire, without a fresh allocation.
+func TestHeaderPoolReuse(t *testing.T) {
+	_, m := machine(t, flowletSrc, corpus["flowlet"].atom)
+	h := m.AcquireHeader()
+	for i := range h {
+		h[i] = int32(i + 1)
+	}
+	m.ReleaseHeader(h)
+	h2 := m.AcquireHeader()
+	if &h[0] != &h2[0] {
+		t.Error("pool did not reuse the released header's storage")
+	}
+	for i, v := range h2 {
+		if v != 0 {
+			t.Fatalf("reacquired header slot %d = %d, want 0", i, v)
+		}
+	}
+}
+
+// TestTickHMatchesTick drives the same sequence through the map Tick and
+// the header TickH on separate machines (random bubbles included) and
+// requires identical outputs and state — the wrapper and the fast path are
+// the same pipeline.
+func TestTickHMatchesTick(t *testing.T) {
+	info, mMap := machine(t, flowletSrc, corpus["flowlet"].atom)
+	_, mHdr := machine(t, flowletSrc, corpus["flowlet"].atom)
+	rng := rand.New(rand.NewSource(21))
+	l := mHdr.Layout()
+
+	var fromMap, fromHdr []interp.Packet
+	step := func(in interp.Packet) {
+		if out, ok := mMap.Tick(in); ok {
+			fromMap = append(fromMap, out)
+		}
+		var h Header
+		if in != nil {
+			h = mHdr.AcquireHeader()
+			l.Encode(in, h)
+		}
+		if out, ok := mHdr.TickH(h); ok {
+			fromHdr = append(fromHdr, l.Output(out))
+			mHdr.ReleaseHeader(out)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		in := interp.Packet{}
+		for _, f := range info.Fields {
+			in[f] = int32(rng.Intn(4000))
+		}
+		for rng.Intn(4) == 0 {
+			step(nil)
+		}
+		step(in)
+	}
+	for i := 0; i < mMap.Depth(); i++ {
+		step(nil)
+	}
+	if len(fromMap) != len(fromHdr) || len(fromMap) != 300 {
+		t.Fatalf("map path emitted %d, header path %d, want 300", len(fromMap), len(fromHdr))
+	}
+	for i := range fromMap {
+		for _, f := range info.Fields {
+			if fromMap[i][f] != fromHdr[i][f] {
+				t.Fatalf("packet %d field %s: Tick=%d TickH=%d", i, f, fromMap[i][f], fromHdr[i][f])
+			}
+		}
+	}
+	if !mMap.State().Equal(mHdr.State()) {
+		t.Fatal("state diverged between Tick and TickH")
+	}
+}

@@ -1,0 +1,166 @@
+package banzai
+
+import (
+	"sort"
+
+	"domino/internal/codegen"
+	"domino/internal/interp"
+)
+
+// Header is the in-pipeline slot-vector representation of a packet: one
+// int32 per field (declared fields, SSA temporaries and final versions),
+// with the field↔slot mapping held by a shared Layout. The compiled data
+// path operates exclusively on Headers; the map-based interp.Packet form
+// exists only at the edges, via the Layout codec.
+type Header []int32
+
+// Layout maps packet field names to header slots for one compiled program.
+// All machines instantiated from the same program share one Layout (see
+// NewWithLayout), so headers can move between a traffic generator, a
+// machine, and the shards of a ShardedMachine without translation.
+type Layout struct {
+	fieldSlot map[string]int
+	slotField []string
+	// finals maps each original packet field to the slot of its final SSA
+	// version — the value that leaves the pipeline (sorted by field name).
+	finals []finalPair
+}
+
+type finalPair struct {
+	field string
+	slot  int
+}
+
+// NewLayout computes the slot assignment for a compiled program: declared
+// fields first (so inputs always have slots), then IR temporaries, then
+// final versions. The assignment is deterministic for a given program.
+func NewLayout(p *codegen.Program) *Layout {
+	l := &Layout{fieldSlot: map[string]int{}}
+	for _, f := range p.Info.Fields {
+		l.slotOf(f)
+	}
+	for _, f := range p.IR.Fields {
+		l.slotOf(f)
+	}
+	origs := make([]string, 0, len(p.IR.FinalVersion))
+	for orig := range p.IR.FinalVersion {
+		origs = append(origs, orig)
+	}
+	sort.Strings(origs)
+	for _, orig := range origs {
+		l.finals = append(l.finals, finalPair{field: orig, slot: l.slotOf(p.IR.FinalVersion[orig])})
+	}
+	return l
+}
+
+// slotOf returns the slot of a field, assigning the next free slot on first
+// use.
+func (l *Layout) slotOf(field string) int {
+	if s, ok := l.fieldSlot[field]; ok {
+		return s
+	}
+	s := len(l.slotField)
+	l.fieldSlot[field] = s
+	l.slotField = append(l.slotField, field)
+	return s
+}
+
+// NumSlots returns the header width (fields including temporaries).
+func (l *Layout) NumSlots() int { return len(l.slotField) }
+
+// Slot returns the slot of a field name, if it has one.
+func (l *Layout) Slot(field string) (int, bool) {
+	s, ok := l.fieldSlot[field]
+	return s, ok
+}
+
+// OutputSlot returns the slot holding the departing value of an original
+// packet field (its final SSA version).
+func (l *Layout) OutputSlot(field string) (int, bool) {
+	for _, fp := range l.finals {
+		if fp.field == field {
+			return fp.slot, true
+		}
+	}
+	return 0, false
+}
+
+// NewHeader allocates a zeroed header of this layout's width. The hot path
+// should draw headers from a Machine's pool instead (AcquireHeader).
+func (l *Layout) NewHeader() Header { return make(Header, len(l.slotField)) }
+
+// Encode writes a parsed packet into h (zeroing it first). Fields without a
+// slot are ignored, matching the map-based API's behavior.
+func (l *Layout) Encode(pkt interp.Packet, h Header) {
+	clear(h)
+	for f, v := range pkt {
+		if slot, ok := l.fieldSlot[f]; ok {
+			h[slot] = v
+		}
+	}
+}
+
+// Output converts a departing header to a packet carrying the final version
+// of every declared field under its original name. It allocates; use it
+// only at the edge of the data path.
+func (l *Layout) Output(h Header) interp.Packet {
+	out := make(interp.Packet, len(l.finals))
+	for _, fp := range l.finals {
+		out[fp.field] = h[fp.slot]
+	}
+	return out
+}
+
+// headerPool is a free list of headers for one machine. Acquire/release is
+// not safe for concurrent use — each Machine (and each shard of a
+// ShardedMachine) owns its pool, matching the machine's own single-caller
+// contract.
+type headerPool struct {
+	width int
+	free  []Header
+}
+
+// get returns a pooled header without zeroing it — for codec paths where
+// Layout.Encode clears the header anyway. Reused headers carry stale slots.
+func (p *headerPool) get() Header {
+	if n := len(p.free); n > 0 {
+		h := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return h
+	}
+	return make(Header, p.width)
+}
+
+func (p *headerPool) put(h Header) {
+	if cap(h) >= p.width {
+		p.free = append(p.free, h[:p.width])
+	}
+}
+
+// AcquireHeader returns a zeroed header from the machine's free list,
+// allocating only when the list is empty. Ownership passes to the caller;
+// return it with ReleaseHeader when done (pooling contract: whoever ends up
+// holding a header after it leaves the pipeline releases it — TickH hands
+// the departing header to its caller, so the caller releases).
+func (m *Machine) AcquireHeader() Header {
+	h := m.pool.get()
+	clear(h)
+	return h
+}
+
+// ReleaseHeader returns a header to the machine's free list. The caller
+// must not retain h afterwards. Only pool- or NewHeader-allocated headers
+// belong here: a header carved from a trace slab (workload's generators)
+// keeps its entire slab reachable for as long as it sits in the free list,
+// so hand those back to their trace instead of pooling them.
+func (m *Machine) ReleaseHeader(h Header) { m.pool.put(h) }
+
+// EncodeHeader encodes a packet into a header drawn from the machine's
+// free list — the codec-path acquire. It skips AcquireHeader's zeroing
+// because Encode clears the header itself.
+func (m *Machine) EncodeHeader(pkt interp.Packet) Header {
+	h := m.pool.get()
+	m.layout.Encode(pkt, h)
+	return h
+}

@@ -4,6 +4,12 @@
 // are steered to an output port (possibly by a field the algorithm
 // computed, e.g. flowlet switching's next_hop), queue there, and drain at
 // the port's service rate.
+//
+// Internally the switch runs on the banzai header fast path: packets sit
+// in the output queues as slot-vector headers inside ring buffers (no
+// per-dequeue slice shifting, no per-packet map), and headers are recycled
+// through the embedded machine's free list when they depart or drop. The
+// interp.Packet codec runs only at the Inject/Departure edges.
 package switchsim
 
 import (
@@ -52,15 +58,59 @@ type PortStats struct {
 	QueueBytes int64
 }
 
+// queuedHeader is the in-queue representation: the processed header plus
+// its queueing metadata. The header is owned by the queue and returns to
+// the machine's free list on departure or drop.
+type queuedHeader struct {
+	h       banzai.Header
+	size    int64
+	arrived int64
+	seq     int64
+}
+
+// ring is a growable circular FIFO of queuedHeaders: enqueue at the tail,
+// dequeue at the head, no element shifting.
+type ring struct {
+	buf  []queuedHeader
+	head int
+	n    int
+}
+
+func (r *ring) len() int { return r.n }
+
+func (r *ring) push(q queuedHeader) {
+	if r.n == len(r.buf) {
+		grown := make([]queuedHeader, max(8, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = q
+	r.n++
+}
+
+func (r *ring) front() *queuedHeader { return &r.buf[r.head] }
+
+func (r *ring) pop() queuedHeader {
+	q := r.buf[r.head]
+	r.buf[r.head] = queuedHeader{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return q
+}
+
 // Switch is an output-queued switch with a Banzai ingress pipeline.
 type Switch struct {
-	cfg     Config
-	machine *banzai.Machine
-	queues  [][]QueuedPacket
-	stats   []PortStats
-	now     int64
-	seq     int64
-	rr      int
+	cfg       Config
+	machine   *banzai.Machine
+	routeSlot int // slot of RouteField's departing value; -1 → round-robin
+	queues    []ring
+	stats     []PortStats
+	now       int64
+	seq       int64
+	rr        int
 }
 
 // New builds a switch around a compiled program.
@@ -78,11 +128,20 @@ func New(prog *codegen.Program, cfg Config) (*Switch, error) {
 	if err != nil {
 		return nil, err
 	}
+	routeSlot := -1
+	if cfg.RouteField != "" {
+		slot, ok := m.Layout().OutputSlot(cfg.RouteField)
+		if !ok {
+			return nil, fmt.Errorf("switchsim: program has no packet field %q to route by", cfg.RouteField)
+		}
+		routeSlot = slot
+	}
 	return &Switch{
-		cfg:     cfg,
-		machine: m,
-		queues:  make([][]QueuedPacket, cfg.Ports),
-		stats:   make([]PortStats, cfg.Ports),
+		cfg:       cfg,
+		machine:   m,
+		routeSlot: routeSlot,
+		queues:    make([]ring, cfg.Ports),
+		stats:     make([]PortStats, cfg.Ports),
 	}, nil
 }
 
@@ -92,16 +151,38 @@ func (s *Switch) Machine() *banzai.Machine { return s.machine }
 // Now returns the current tick.
 func (s *Switch) Now() int64 { return s.now }
 
-// Inject runs a packet through the ingress pipeline and enqueues it at its
-// output port. It returns the processed packet and the chosen port, or
+// InjectH runs a header through the ingress pipeline (in place) and
+// enqueues it at its output port — the allocation-free fast path.
+// Ownership of h passes to the switch: it is recycled into the machine's
+// free list when the packet departs or drops, so acquire it from
+// Machine().AcquireHeader(). Avoid injecting slab-backed trace headers:
+// once pooled, one of them keeps its whole trace slab reachable (copy
+// into an acquired header instead). Returns the chosen port, or
 // dropped=true if the queue was full.
-func (s *Switch) Inject(pkt interp.Packet, size int64) (out interp.Packet, port int, dropped bool, err error) {
-	out, err = s.machine.Process(pkt)
-	if err != nil {
-		return nil, 0, false, err
+func (s *Switch) InjectH(h banzai.Header, size int64) (port int, dropped bool, err error) {
+	if err := s.process(h); err != nil {
+		return 0, false, err
 	}
-	if s.cfg.RouteField != "" {
-		port = int(out[s.cfg.RouteField]) % s.cfg.Ports
+	port, dropped = s.enqueue(h, size)
+	return port, dropped, nil
+}
+
+// process runs a header through the ingress pipeline, recycling it into
+// the pool on failure — the one place the ProcessH error path lives, so
+// Inject and InjectH cannot diverge.
+func (s *Switch) process(h banzai.Header) error {
+	if err := s.machine.ProcessH(h); err != nil {
+		s.machine.ReleaseHeader(h)
+		return err
+	}
+	return nil
+}
+
+// enqueue steers a processed header to its port and queues or drops it,
+// taking ownership of h either way.
+func (s *Switch) enqueue(h banzai.Header, size int64) (port int, dropped bool) {
+	if s.routeSlot >= 0 {
+		port = int(h[s.routeSlot]) % s.cfg.Ports
 		if port < 0 {
 			port += s.cfg.Ports
 		}
@@ -112,19 +193,32 @@ func (s *Switch) Inject(pkt interp.Packet, size int64) (out interp.Packet, port 
 	st := &s.stats[port]
 	if st.QueueBytes+size > s.cfg.QueueCapBytes {
 		st.Drops++
-		return out, port, true, nil
+		s.machine.ReleaseHeader(h)
+		return port, true
 	}
 	s.seq++
-	s.queues[port] = append(s.queues[port], QueuedPacket{
-		Pkt: out, Size: size, Arrived: s.now, Seq: s.seq,
-	})
+	s.queues[port].push(queuedHeader{h: h, size: size, arrived: s.now, seq: s.seq})
 	st.Packets++
 	st.Bytes += size
 	st.QueueBytes += size
 	if st.QueueBytes > st.MaxQueue {
 		st.MaxQueue = st.QueueBytes
 	}
-	return out, port, false, nil
+	return port, false
+}
+
+// Inject runs a packet through the ingress pipeline and enqueues it at its
+// output port. It returns the processed packet and the chosen port, or
+// dropped=true if the queue was full. This is the map-based wrapper over
+// InjectH; the codec runs only here, at the edge.
+func (s *Switch) Inject(pkt interp.Packet, size int64) (out interp.Packet, port int, dropped bool, err error) {
+	h := s.machine.EncodeHeader(pkt)
+	if err := s.process(h); err != nil {
+		return nil, 0, false, err
+	}
+	out = s.machine.Layout().Output(h)
+	port, dropped = s.enqueue(h, size)
+	return out, port, dropped, nil
 }
 
 // Tick advances time one unit: each port drains up to its service rate.
@@ -132,13 +226,23 @@ func (s *Switch) Tick() []Departure {
 	s.now++
 	var deps []Departure
 	for p := range s.queues {
+		q := &s.queues[p]
 		budget := s.cfg.ServiceBytesPerTick
-		for len(s.queues[p]) > 0 && budget >= s.queues[p][0].Size {
-			qp := s.queues[p][0]
-			s.queues[p] = s.queues[p][1:]
-			budget -= qp.Size
-			s.stats[p].QueueBytes -= qp.Size
-			deps = append(deps, Departure{QueuedPacket: qp, Port: p, Departed: s.now})
+		for q.len() > 0 && budget >= q.front().size {
+			qh := q.pop()
+			budget -= qh.size
+			s.stats[p].QueueBytes -= qh.size
+			deps = append(deps, Departure{
+				QueuedPacket: QueuedPacket{
+					Pkt:     s.machine.Layout().Output(qh.h),
+					Size:    qh.size,
+					Arrived: qh.arrived,
+					Seq:     qh.seq,
+				},
+				Port:     p,
+				Departed: s.now,
+			})
+			s.machine.ReleaseHeader(qh.h)
 		}
 	}
 	return deps
@@ -150,7 +254,7 @@ func (s *Switch) Drain() []Departure {
 	for {
 		empty := true
 		for p := range s.queues {
-			if len(s.queues[p]) > 0 {
+			if s.queues[p].len() > 0 {
 				empty = false
 			}
 		}

@@ -1,0 +1,93 @@
+package workload
+
+// Header-native trace generation: the generators below write traffic
+// directly into slot-vector banzai.Headers, skipping the map[string]int32
+// form entirely. Each trace draws the same random sequence as its
+// interp.Packet counterpart (same seed → field-for-field identical
+// packets), so the two representations are interchangeable in differential
+// tests.
+//
+// Headers are carved out of one contiguous slab per trace, keeping the hot
+// loop cache-friendly and the generation cost at one allocation per trace
+// rather than one per packet.
+
+import (
+	"domino/internal/banzai"
+	"domino/internal/interp"
+)
+
+// headerSlab allocates n headers of the layout's width backed by one slab.
+func headerSlab(l *banzai.Layout, n int) []banzai.Header {
+	width := l.NumSlots()
+	slab := make([]int32, n*width)
+	hs := make([]banzai.Header, n)
+	for i := range hs {
+		hs[i] = banzai.Header(slab[i*width : (i+1)*width : (i+1)*width])
+	}
+	return hs
+}
+
+// slot resolves a field slot, panicking on a layout/trace mismatch — the
+// trace generators are only meaningful for programs that declare their
+// fields.
+func slot(l *banzai.Layout, field string) int {
+	s, ok := l.Slot(field)
+	if !ok {
+		panic("workload: layout has no field " + field)
+	}
+	return s
+}
+
+// FlowletTraceHeaders is FlowletTrace generated directly into headers of
+// the given layout (fields sport, dport, arrival).
+func FlowletTraceHeaders(l *banzai.Layout, seed int64, nFlows, nPackets, meanBurst, gap int) []banzai.Header {
+	hs := headerSlab(l, nPackets)
+	sportS, dportS, arrS := slot(l, "sport"), slot(l, "dport"), slot(l, "arrival")
+	i := 0
+	flowletGen(seed, nFlows, nPackets, meanBurst, gap, func(sport, dport, arrival int32) {
+		h := hs[i]
+		h[sportS], h[dportS], h[arrS] = sport, dport, arrival
+		i++
+	})
+	return hs
+}
+
+// HeavyHitterTraceHeaders is HeavyHitterTrace generated directly into
+// headers (fields sport, dport), with the same ground-truth counts.
+func HeavyHitterTraceHeaders(l *banzai.Layout, seed int64, nFlows, nPackets int, skew float64) ([]banzai.Header, map[Flow]int) {
+	z := NewZipf(seed, nFlows, skew)
+	truth := map[Flow]int{}
+	hs := headerSlab(l, nPackets)
+	sportS, dportS := slot(l, "sport"), slot(l, "dport")
+	for i := 0; i < nPackets; i++ {
+		f := z.Next()
+		truth[f]++
+		hs[i][sportS], hs[i][dportS] = f.SrcPort, f.DstPort
+	}
+	return hs, truth
+}
+
+// CongaTraceHeaders is CongaTrace generated directly into headers (fields
+// util, path_id, src).
+func CongaTraceHeaders(l *banzai.Layout, seed int64, nPaths, nDsts, n int) []banzai.Header {
+	hs := headerSlab(l, n)
+	utilS, pathS, srcS := slot(l, "util"), slot(l, "path_id"), slot(l, "src")
+	i := 0
+	congaGen(seed, nPaths, nDsts, n, func(util, pathID, src int32) {
+		h := hs[i]
+		h[utilS], h[pathS], h[srcS] = util, pathID, src
+		i++
+	})
+	return hs
+}
+
+// EncodeTrace converts a map-based trace into headers of the layout, one
+// slab allocation for the whole trace — the bridge for generators that have
+// no header-native form yet.
+func EncodeTrace(l *banzai.Layout, tr []interp.Packet) []banzai.Header {
+	hs := headerSlab(l, len(tr))
+	for i, pkt := range tr {
+		l.Encode(pkt, hs[i])
+	}
+	return hs
+}

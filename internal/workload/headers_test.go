@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"testing"
+
+	"domino/internal/algorithms"
+	"domino/internal/banzai"
+	"domino/internal/codegen"
+	"domino/internal/interp"
+	"domino/internal/parser"
+	"domino/internal/passes"
+	"domino/internal/sema"
+)
+
+func layoutFor(t *testing.T, alg string) *banzai.Layout {
+	t.Helper()
+	a, err := algorithms.ByName(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parser.Parse(a.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := passes.Normalize(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok, err := codegen.LeastTarget(info, res.IR)
+	if !ok {
+		t.Fatal(err)
+	}
+	return banzai.NewLayout(p)
+}
+
+// TestHeaderTracesMatchMapTraces requires the header-native generators to
+// emit exactly the trace their map-based counterparts do, field for field —
+// the property the differential tests build on.
+func TestHeaderTracesMatchMapTraces(t *testing.T) {
+	check := func(t *testing.T, l *banzai.Layout, pkts []interp.Packet, hs []banzai.Header) {
+		t.Helper()
+		if len(pkts) != len(hs) {
+			t.Fatalf("header trace has %d packets, map trace %d", len(hs), len(pkts))
+		}
+		for i, pkt := range pkts {
+			for f, v := range pkt {
+				slot, ok := l.Slot(f)
+				if !ok {
+					t.Fatalf("layout lacks field %q", f)
+				}
+				if hs[i][slot] != v {
+					t.Fatalf("packet %d field %s: header=%d map=%d", i, f, hs[i][slot], v)
+				}
+			}
+		}
+	}
+
+	t.Run("flowlets", func(t *testing.T) {
+		l := layoutFor(t, "flowlets")
+		check(t, l, FlowletTrace(42, 30, 2000, 10, 50), FlowletTraceHeaders(l, 42, 30, 2000, 10, 50))
+	})
+	t.Run("heavy_hitters", func(t *testing.T) {
+		l := layoutFor(t, "heavy_hitters")
+		pkts, truthM := HeavyHitterTrace(42, 500, 2000, 1.2)
+		hs, truthH := HeavyHitterTraceHeaders(l, 42, 500, 2000, 1.2)
+		check(t, l, pkts, hs)
+		if len(truthM) != len(truthH) {
+			t.Fatalf("truth maps differ: %d vs %d flows", len(truthM), len(truthH))
+		}
+		for f, n := range truthM {
+			if truthH[f] != n {
+				t.Fatalf("flow %v: truth %d vs %d", f, truthH[f], n)
+			}
+		}
+	})
+	t.Run("conga", func(t *testing.T) {
+		l := layoutFor(t, "conga")
+		check(t, l, CongaTrace(42, 16, 64, 2000), CongaTraceHeaders(l, 42, 16, 64, 2000))
+	})
+	t.Run("encode_bridge", func(t *testing.T) {
+		l := layoutFor(t, "flowlets")
+		tr := FlowletTrace(9, 10, 500, 10, 50)
+		check(t, l, tr, EncodeTrace(l, tr))
+	})
+}

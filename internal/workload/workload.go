@@ -53,13 +53,9 @@ func (z *Zipf) Next() Flow { return z.flows[z.z.Uint64()] }
 // Rank returns the i-th most popular flow (rank 0 is the heaviest).
 func (z *Zipf) Rank(i int) Flow { return z.flows[i] }
 
-// FlowletTrace produces a packet stream where each flow alternates between
-// bursts of closely spaced packets and idle gaps longer than the flowlet
-// threshold — the traffic flowlet switching exploits (Sinha et al.).
-//
-// Each packet has fields sport, dport, arrival; arrivals are strictly
-// increasing across the trace.
-func FlowletTrace(seed int64, nFlows, nPackets, meanBurst, gap int) []interp.Packet {
+// flowletGen is the generator core shared by the map- and header-based
+// flowlet traces: identical seeding and draw order, different sinks.
+func flowletGen(seed int64, nFlows, nPackets, meanBurst, gap int, emit func(sport, dport, arrival int32)) {
 	rng := rand.New(rand.NewSource(seed))
 	type flowState struct {
 		flow      Flow
@@ -72,9 +68,8 @@ func FlowletTrace(seed int64, nFlows, nPackets, meanBurst, gap int) []interp.Pac
 			remaining: 1 + rng.Intn(2*meanBurst),
 		}
 	}
-	var out []interp.Packet
 	clock := int32(0)
-	for len(out) < nPackets {
+	for n := 0; n < nPackets; n++ {
 		i := rng.Intn(nFlows)
 		f := &flows[i]
 		if f.remaining == 0 {
@@ -84,12 +79,25 @@ func FlowletTrace(seed int64, nFlows, nPackets, meanBurst, gap int) []interp.Pac
 		}
 		clock += int32(1 + rng.Intn(2)) // intra-burst spacing below threshold
 		f.remaining--
-		out = append(out, interp.Packet{
-			"sport":   f.flow.SrcPort,
-			"dport":   f.flow.DstPort,
-			"arrival": clock,
-		})
+		emit(f.flow.SrcPort, f.flow.DstPort, clock)
 	}
+}
+
+// FlowletTrace produces a packet stream where each flow alternates between
+// bursts of closely spaced packets and idle gaps longer than the flowlet
+// threshold — the traffic flowlet switching exploits (Sinha et al.).
+//
+// Each packet has fields sport, dport, arrival; arrivals are strictly
+// increasing across the trace.
+func FlowletTrace(seed int64, nFlows, nPackets, meanBurst, gap int) []interp.Packet {
+	out := make([]interp.Packet, 0, nPackets)
+	flowletGen(seed, nFlows, nPackets, meanBurst, gap, func(sport, dport, arrival int32) {
+		out = append(out, interp.Packet{
+			"sport":   sport,
+			"dport":   dport,
+			"arrival": arrival,
+		})
+	})
 	return out
 }
 
@@ -150,16 +158,14 @@ func DNSTrace(seed int64, nDomains, n int, fluxFraction float64) ([]interp.Packe
 	return out, flux
 }
 
-// CongaTrace produces path-utilization feedback packets: each reports the
-// utilization of the path it travelled. True per-path utilizations drift
-// over time; the trace and the evolving truth series are returned.
-func CongaTrace(seed int64, nPaths, nDsts, n int) []interp.Packet {
+// congaGen is the generator core shared by the map- and header-based CONGA
+// traces.
+func congaGen(seed int64, nPaths, nDsts, n int, emit func(util, pathID, src int32)) {
 	rng := rand.New(rand.NewSource(seed))
 	util := make([]int32, nPaths)
 	for p := range util {
 		util[p] = rng.Int31n(1000)
 	}
-	var out []interp.Packet
 	for i := 0; i < n; i++ {
 		p := rng.Intn(nPaths)
 		// Utilization random walk.
@@ -167,12 +173,22 @@ func CongaTrace(seed int64, nPaths, nDsts, n int) []interp.Packet {
 		if util[p] < 0 {
 			util[p] = 0
 		}
-		out = append(out, interp.Packet{
-			"util":    util[p],
-			"path_id": int32(p),
-			"src":     int32(rng.Intn(nDsts)),
-		})
+		emit(util[p], int32(p), int32(rng.Intn(nDsts)))
 	}
+}
+
+// CongaTrace produces path-utilization feedback packets: each reports the
+// utilization of the path it travelled. True per-path utilizations drift
+// over time; the trace and the evolving truth series are returned.
+func CongaTrace(seed int64, nPaths, nDsts, n int) []interp.Packet {
+	out := make([]interp.Packet, 0, n)
+	congaGen(seed, nPaths, nDsts, n, func(util, pathID, src int32) {
+		out = append(out, interp.Packet{
+			"util":    util,
+			"path_id": pathID,
+			"src":     src,
+		})
+	})
 	return out
 }
 
