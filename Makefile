@@ -1,6 +1,11 @@
 GO ?= go
+# bash for pipefail in the bench recipe.
+SHELL := /bin/bash
 
-.PHONY: check fmt vet build test bench
+# BENCH_OUT is the committed per-PR benchmark snapshot `make bench` emits.
+BENCH_OUT ?= BENCH_pr2.json
+
+.PHONY: check fmt vet build test bench bench-smoke
 
 check: fmt vet build test
 
@@ -17,5 +22,14 @@ build:
 test:
 	$(GO) test ./...
 
+# bench runs the throughput benchmarks (pkts/s and allocs/op per workload
+# and execution path) and snapshots them to $(BENCH_OUT). pipefail so a
+# failing benchmark run can't silently overwrite the snapshot.
 bench:
-	$(GO) test . -run xxx -bench 'Throughput' -benchtime 1s
+	set -o pipefail; $(GO) test . -run xxx -bench 'Throughput' -benchtime 1s \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+
+# bench-smoke executes every benchmark once so benchmark code can't bitrot;
+# CI runs this.
+bench-smoke:
+	$(GO) test . -run xxx -bench . -benchtime 1x

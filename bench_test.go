@@ -347,6 +347,23 @@ func BenchmarkMachineThroughput(b *testing.B) {
 			}
 			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "pkts/s")
 		})
+		// Stage-major batch: all headers through stage s, then s+1 —
+		// bit-identical results, one stage's op program and state hot at
+		// a time.
+		b.Run(tc.name+"/batch_stage", func(b *testing.B) {
+			m := throughputMachine(b, tc.name)
+			hs := tc.headers(m.Layout())
+			const batch = 1024
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := (i & 3) * batch
+				if err := m.ProcessBatchStageMajor(hs[off : off+batch]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "pkts/s")
+		})
 	}
 }
 

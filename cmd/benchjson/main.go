@@ -1,0 +1,117 @@
+// Command benchjson converts `go test -bench` output into a JSON benchmark
+// snapshot, so throughput numbers can be committed per PR and diffed by
+// machines as well as humans.
+//
+// Usage:
+//
+//	go test . -run xxx -bench Throughput | go run ./cmd/benchjson -o BENCH.json
+//
+// Every input line is echoed to stdout, so piping through benchjson does
+// not hide the benchmark progress. Lines that are not benchmark results
+// are passed through and otherwise ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line: its name, iteration count, and every
+// reported metric (ns/op, pkts/s, B/op, allocs/op, ...).
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON snapshot to this file (default stdout)")
+	flag.Parse()
+
+	results := []result{} // non-nil: an empty run still emits a JSON array
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		r, ok := parseLine(line)
+		if ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// parseLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   123456   1050 ns/op   0 B/op   0 allocs/op   7.1e6 pkts/s
+//
+// i.e. a name, an iteration count, then value/unit pairs.
+func parseLine(line string) (result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return result{}, false
+	}
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	name := f[0]
+	if s := lastDashField(name); s != "" {
+		name = strings.TrimSuffix(name, "-"+s)
+	}
+	r := result{
+		Name:       name,
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(f)-2)/2),
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	return r, true
+}
+
+// lastDashField returns the trailing -N GOMAXPROCS suffix (without the
+// dash) if present, so "Benchmark/x-8" normalizes to "Benchmark/x".
+func lastDashField(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return ""
+	}
+	suffix := name[i+1:]
+	if _, err := strconv.Atoi(suffix); err != nil {
+		return ""
+	}
+	return suffix
+}

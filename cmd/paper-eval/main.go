@@ -288,6 +288,19 @@ func throughput() {
 	}
 	fmt.Printf("%-28s %s\n", "header ProcessBatch", rate(n, time.Since(start)))
 
+	m4, err := banzai.New(p)
+	if err != nil {
+		fatal(err)
+	}
+	hs4 := workload.FlowletTraceHeaders(m4.Layout(), 1, 256, 4096, 10, 50)
+	start = time.Now()
+	for i := 0; i < n/4096; i++ {
+		if err := m4.ProcessBatchStageMajor(hs4); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("%-28s %s\n", "header batch (stage-major)", rate(n, time.Since(start)))
+
 	for _, shards := range []int{2, 4} {
 		sm, err := banzai.NewSharded(p, shards, "sport", "dport")
 		if err != nil {

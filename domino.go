@@ -215,6 +215,13 @@ func (m *Machine) ProcessH(h Header) error { return m.m.ProcessH(h) }
 // each mutated in place.
 func (m *Machine) ProcessBatch(hs []Header) error { return m.m.ProcessBatch(hs) }
 
+// ProcessBatchStageMajor is ProcessBatch in stage-major order (all headers
+// through stage s, then s+1) — bit-identical results, better state and
+// instruction locality for large batches.
+func (m *Machine) ProcessBatchStageMajor(hs []Header) error {
+	return m.m.ProcessBatchStageMajor(hs)
+}
+
 // TickH is the header-path Tick: ownership of in passes to the machine and
 // ownership of the departing header passes to the caller.
 func (m *Machine) TickH(in Header) (Header, bool) { return m.m.TickH(in) }

@@ -6,6 +6,7 @@ import (
 	"domino/internal/ast"
 	"domino/internal/interp"
 	"domino/internal/parser"
+	"domino/internal/token"
 )
 
 // Guard is a predicate over packet fields that triggers a transaction
@@ -16,7 +17,14 @@ import (
 type Guard struct {
 	expr ast.Expr
 	src  string
+	// compiled caches the predicate lowered to a slot-vector closure, one
+	// per layout (EvalH). Guards follow the machines' single-caller
+	// contract; the cache is not synchronized.
+	compiled map[*Layout]guardFn
 }
+
+// guardFn is a guard predicate compiled against a Layout's slots.
+type guardFn func(h Header) int32
 
 // ParseGuard parses a guard predicate, e.g. "pkt.tcp_dst_port == 80".
 // Guards may reference packet fields and constants; they cannot touch
@@ -54,6 +62,75 @@ func (g *Guard) String() string { return g.src }
 // like any unset header field.
 func (g *Guard) Match(pkt Packet) bool {
 	return evalGuard(g.expr, pkt) != 0
+}
+
+// EvalH evaluates the guard against a slot-vector header on the
+// allocation-free fast path, so callers (switchsim, policies) can gate
+// transactions without the map codec. The predicate is compiled against
+// the layout's slots once, on first use per layout, and cached; fields the
+// layout doesn't know read as zero, matching Match on a missing map key.
+// Semantics are identical to Match: same operator table, no short-circuit.
+func (g *Guard) EvalH(l *Layout, h Header) bool {
+	fn, ok := g.compiled[l]
+	if !ok {
+		fn = compileGuard(g.expr, l)
+		if g.compiled == nil {
+			g.compiled = map[*Layout]guardFn{}
+		}
+		g.compiled[l] = fn
+	}
+	return fn(h) != 0
+}
+
+// compileGuard lowers a guard expression to a closure tree over header
+// slots: field→slot resolution, operator selection and constant folding
+// all happen here, once, not per packet.
+func compileGuard(e ast.Expr, l *Layout) guardFn {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		v := x.Value
+		return func(h Header) int32 { return v }
+	case *ast.FieldExpr:
+		slot, ok := l.Slot(x.Field)
+		if !ok {
+			// Unknown to this layout: reads as zero, like a missing map key.
+			return func(h Header) int32 { return 0 }
+		}
+		return func(h Header) int32 { return h[slot] }
+	case *ast.UnaryExpr:
+		sub := compileGuard(x.X, l)
+		switch x.Op {
+		case token.Minus:
+			return func(h Header) int32 { return -sub(h) }
+		case token.Not:
+			return func(h Header) int32 {
+				if sub(h) == 0 {
+					return 1
+				}
+				return 0
+			}
+		case token.BitNot:
+			return func(h Header) int32 { return ^sub(h) }
+		}
+	case *ast.BinaryExpr:
+		fa := compileGuard(x.X, l)
+		fb := compileGuard(x.Y, l)
+		if f, ok := interp.BinFunc(x.Op); ok {
+			return func(h Header) int32 { return f(fa(h), fb(h)) }
+		}
+	case *ast.CondExpr:
+		fc := compileGuard(x.Cond, l)
+		ft := compileGuard(x.Then, l)
+		fe := compileGuard(x.Else, l)
+		return func(h Header) int32 {
+			if fc(h) != 0 {
+				return ft(h)
+			}
+			return fe(h)
+		}
+	}
+	// Anything else evaluates to zero, matching evalGuard's fallthrough.
+	return func(h Header) int32 { return 0 }
 }
 
 func evalGuard(e ast.Expr, pkt Packet) int32 {

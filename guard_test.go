@@ -131,3 +131,81 @@ func TestPolicyValidation(t *testing.T) {
 		t.Error("rule without program accepted")
 	}
 }
+
+// TestGuardEvalHMatchesMatch drives every guard form through both the map
+// evaluator and the compiled header fast path and requires agreement —
+// including on fields the compiled program's layout doesn't know, which
+// must read as zero exactly like a missing map key.
+func TestGuardEvalHMatchesMatch(t *testing.T) {
+	src, _ := CatalogSource("flowlets")
+	prog, err := CompileLeast(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := m.Layout()
+	guards := []string{
+		"pkt.dport == 80",
+		"pkt.sport > 5 && pkt.dport < 3",
+		"pkt.sport > 5 || pkt.dport < 3",
+		"!(pkt.sport == 0)",
+		"(pkt.sport & 255) == 6",
+		"pkt.sport >= 10 ? pkt.dport : pkt.arrival",
+		"-pkt.sport < -3",
+		"~pkt.sport != 0",
+		"pkt.sport % 7 == pkt.dport % 5",
+		"pkt.sport / 4 > pkt.arrival",
+		"pkt.nonexistent_field == 0", // not in the layout: reads as zero
+		"3 < 5",
+	}
+	fields := []string{"sport", "dport", "arrival"}
+	for _, gs := range guards {
+		g, err := ParseGuard(gs)
+		if err != nil {
+			t.Fatalf("%q: %v", gs, err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			pkt := Packet{}
+			h := l.NewHeader()
+			for i, f := range fields {
+				v := int32((trial*31+i*7)%4001 - 2000)
+				pkt[f] = v
+				slot, ok := l.Slot(f)
+				if !ok {
+					t.Fatalf("layout missing %s", f)
+				}
+				h[slot] = v
+			}
+			if got, want := g.EvalH(l, h), g.Match(pkt); got != want {
+				t.Fatalf("%q on %v: EvalH=%v Match=%v", gs, pkt, got, want)
+			}
+		}
+	}
+}
+
+// TestGuardEvalHZeroAlloc checks the steady-state header guard evaluation
+// performs no allocation once compiled.
+func TestGuardEvalHZeroAlloc(t *testing.T) {
+	src, _ := CatalogSource("flowlets")
+	prog, err := CompileLeast(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := prog.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := m.Layout()
+	g, err := ParseGuard("pkt.dport == 80 && pkt.sport > 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := l.NewHeader()
+	g.EvalH(l, h) // compile + cache
+	if n := testing.AllocsPerRun(200, func() { g.EvalH(l, h) }); n != 0 {
+		t.Fatalf("EvalH allocates %.1f per call at steady state", n)
+	}
+}

@@ -15,14 +15,20 @@
 // (TickH/ProcessH/ProcessBatch) performs no heap allocation per packet.
 // The map-based Tick/Process API remains as a thin codec wrapper for
 // callers that want interp.Packet in and out.
+//
+// Execution is threaded code: at machine build time every atom is lowered
+// to specialized closures and each stage's atoms are fused into one flat
+// op program (see exec.go), so the per-packet path makes no dispatch
+// decisions at all — no op-kind switch, no operator switch, no const/slot
+// branches, no intrinsic name lookups.
 package banzai
 
 import (
+	"errors"
 	"fmt"
 
 	"domino/internal/codegen"
 	"domino/internal/interp"
-	"domino/internal/intrinsics"
 	"domino/internal/ir"
 	"domino/internal/token"
 )
@@ -84,6 +90,10 @@ type atom struct {
 type Machine struct {
 	prog   *codegen.Program
 	stages [][]*atom
+	// progs[i] is stage i's fused threaded-code program — the execution
+	// engine behind TickH/ProcessH/ProcessBatch; stages keeps the mop
+	// form for state aggregation and inspection.
+	progs  []stageProg
 	layout *Layout
 	pool   headerPool
 
@@ -194,6 +204,13 @@ func NewWithLayout(p *codegen.Program, l *Layout) (*Machine, error) {
 		}
 		m.stages = append(m.stages, row)
 	}
+	for _, row := range m.stages {
+		prog, err := m.fuseStage(row)
+		if err != nil {
+			return nil, err
+		}
+		m.progs = append(m.progs, prog)
+	}
 	m.pool.width = l.NumSlots()
 	return m, nil
 }
@@ -213,61 +230,6 @@ func (m *Machine) Cycles() int64 { return m.cycles }
 // Packets returns the packets that have entered the pipeline.
 func (m *Machine) Packets() int64 { return m.packets }
 
-// execAtom runs one atom's micro-ops to completion on a packet — the
-// single-cycle atomic execution of paper §2.3.
-func (m *Machine) execAtom(a *atom, p []int32) {
-	for i := range a.ops {
-		op := &a.ops[i]
-		switch op.kind {
-		case opMove:
-			p[op.dst] = op.a.value(p)
-		case opBin:
-			var v int32
-			if op.op == token.Slash && m.prog.Target.LookupTables && !isPow2Const(op.b) {
-				// General division runs on the reciprocal lookup table.
-				v = intrinsics.LUTDiv(op.a.value(p), op.b.value(p))
-			} else {
-				v, _ = interp.EvalBinary(op.op, op.a.value(p), op.b.value(p))
-			}
-			p[op.dst] = v
-		case opCond:
-			if op.c.value(p) != 0 {
-				p[op.dst] = op.a.value(p)
-			} else {
-				p[op.dst] = op.b.value(p)
-			}
-		case opCall:
-			args := op.argv
-			for j, ar := range op.args {
-				args[j] = ar.value(p)
-			}
-			var v int32
-			if op.fun == "sqrt" && m.prog.Target.LookupTables {
-				// The lookup-table unit approximates sqrt (§5.3 extension).
-				v = intrinsics.LUTSqrt(args[0])
-			} else {
-				v, _ = intrinsics.Call(op.fun, args)
-			}
-			if op.op != token.Illegal {
-				v, _ = interp.EvalBinary(op.op, v, op.b.value(p))
-			}
-			p[op.dst] = v
-		case opRead:
-			if op.indexed {
-				p[op.dst] = op.cell.arr[mask(op.c.value(p), len(op.cell.arr))]
-			} else {
-				p[op.dst] = op.cell.scalar
-			}
-		case opWrite:
-			if op.indexed {
-				op.cell.arr[mask(op.c.value(p), len(op.cell.arr))] = op.a.value(p)
-			} else {
-				op.cell.scalar = op.a.value(p)
-			}
-		}
-	}
-}
-
 // isPow2Const reports whether an operand is a positive power-of-two
 // constant: those divisions are exact shifts, not table lookups.
 func isPow2Const(o operand) bool {
@@ -275,6 +237,12 @@ func isPow2Const(o operand) bool {
 }
 
 func mask(idx int32, n int) int {
+	// Compiled programs almost always pre-reduce the index (hash % size),
+	// so the in-range case is the hot one; out-of-range indices wrap
+	// Euclidean-style.
+	if uint32(idx) < uint32(n) {
+		return int(idx)
+	}
 	i := int(idx) % n
 	if i < 0 {
 		i += n
@@ -301,17 +269,22 @@ func (m *Machine) TickH(in Header) (Header, bool) {
 		m.packets++
 		return in, true
 	}
+	slot := m.head
 	for i := 0; i < depth; i++ {
-		if h := m.pipe[(m.head+i)%depth]; h != nil {
-			for _, a := range m.stages[i] {
-				m.execAtom(a, h)
-			}
+		if h := m.pipe[slot]; h != nil {
+			m.progs[i].run(h)
+		}
+		if slot++; slot == depth {
+			slot = 0
 		}
 	}
 	// Rotate: the slot that held the departing stage-(depth-1) packet
 	// becomes the new stage-0 slot, so every resident moves down one stage
 	// without copying.
-	last := (m.head + depth - 1) % depth
+	last := m.head - 1
+	if last < 0 {
+		last = depth - 1
+	}
 	out := m.pipe[last]
 	m.pipe[last] = nil
 	m.head = last
@@ -362,10 +335,8 @@ func (m *Machine) ProcessH(h Header) error {
 	}
 	m.packets++
 	m.cycles += int64(len(m.stages))
-	for _, st := range m.stages {
-		for _, a := range st {
-			m.execAtom(a, h)
-		}
+	for _, prog := range m.progs {
+		prog.run(h)
 	}
 	return nil
 }
@@ -381,10 +352,29 @@ func (m *Machine) ProcessBatch(hs []Header) error {
 	m.packets += int64(len(hs))
 	m.cycles += int64(len(m.stages)) * int64(len(hs))
 	for _, h := range hs {
-		for _, st := range m.stages {
-			for _, a := range st {
-				m.execAtom(a, h)
-			}
+		for _, prog := range m.progs {
+			prog.run(h)
+		}
+	}
+	return nil
+}
+
+// ProcessBatchStageMajor is ProcessBatch with stage-major execution order:
+// every header runs through stage s before any header enters stage s+1, so
+// one stage's op program and state stay hot while the batch streams by.
+// The results are bit-identical to ProcessBatch: state is stage-local, each
+// stage sees the batch's headers in the same order either way, and a
+// header's stage-s inputs are fully written by its earlier stages before
+// stage s runs on it.
+func (m *Machine) ProcessBatchStageMajor(hs []Header) error {
+	if m.busy() {
+		return ErrBusy
+	}
+	m.packets += int64(len(hs))
+	m.cycles += int64(len(m.stages)) * int64(len(hs))
+	for _, prog := range m.progs {
+		for _, h := range hs {
+			prog.run(h)
 		}
 	}
 	return nil
@@ -406,7 +396,7 @@ func (m *Machine) Process(pkt interp.Packet) (interp.Packet, error) {
 }
 
 // ErrBusy reports Process called with packets in flight.
-var ErrBusy = fmt.Errorf("banzai: pipeline has packets in flight; use Tick")
+var ErrBusy = errors.New("banzai: pipeline has packets in flight; use Tick")
 
 // Drain ticks bubbles until every in-flight packet has exited, returning
 // them in departure order.

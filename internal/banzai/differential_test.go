@@ -9,8 +9,12 @@ import (
 
 // TestDifferentialExecutionPaths runs one random packet sequence through
 // every execution path — the reference interpreter, the map-based Process,
-// the header-based ProcessH, ProcessBatch, and a 4-shard ShardedMachine —
-// and requires bit-identical outputs and final state from all five.
+// the header-based ProcessH, ProcessBatch in both packet-major and
+// stage-major order, and a 4-shard ShardedMachine — and requires
+// bit-identical outputs and final state from all of them. Since every
+// machine path executes the build-time-compiled closure programs, this is
+// also the proof that closure specialization and stage fusion preserve the
+// interpreter's semantics exactly.
 //
 // The first declared field is held constant across the sequence (a single
 // flow) and used as the sharding key, so every packet pins to one shard
@@ -31,6 +35,10 @@ func TestDifferentialExecutionPaths(t *testing.T) {
 				t.Fatal(err)
 			}
 			mBatch, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mStage, err := New(p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -109,7 +117,24 @@ func TestDifferentialExecutionPaths(t *testing.T) {
 				}
 			}
 
-			// Path 5: 4-shard ShardedMachine, whole trace in one batch.
+			// Path 5: ProcessBatchStageMajor — stage-major execution order
+			// must be indistinguishable from packet-major.
+			stl := mStage.Layout()
+			for start := 0; start < n; start += batch {
+				hs := make([]Header, batch)
+				for j := range hs {
+					hs[j] = stl.NewHeader()
+					stl.Encode(trace[start+j], hs[j])
+				}
+				if err := mStage.ProcessBatchStageMajor(hs); err != nil {
+					t.Fatal(err)
+				}
+				for j, h := range hs {
+					check("ProcessBatchStageMajor", start+j, stl.Output(h))
+				}
+			}
+
+			// Path 6: 4-shard ShardedMachine, whole trace in one batch.
 			sl := sharded.Layout()
 			hs := make([]Header, n)
 			for i := range hs {
@@ -137,11 +162,12 @@ func TestDifferentialExecutionPaths(t *testing.T) {
 			// Final state must agree everywhere.
 			st := ref.State()
 			for path, got := range map[string]*interp.State{
-				"Process":          mProc.State(),
-				"ProcessH":         mHdr.State(),
-				"ProcessBatch":     mBatch.State(),
-				"Sharded (active)": sharded.Shard(active).State(),
-				"Sharded (agg)":    sharded.AggregateState(),
+				"Process":                mProc.State(),
+				"ProcessH":               mHdr.State(),
+				"ProcessBatch":           mBatch.State(),
+				"ProcessBatchStageMajor": mStage.State(),
+				"Sharded (active)":       sharded.Shard(active).State(),
+				"Sharded (agg)":          sharded.AggregateState(),
 			} {
 				if !st.Equal(got) {
 					t.Errorf("%s: final state diverged from interpreter", path)

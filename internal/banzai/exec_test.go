@@ -1,0 +1,180 @@
+package banzai
+
+import (
+	"math/rand"
+	"testing"
+
+	"domino/internal/interp"
+	"domino/internal/intrinsics"
+	"domino/internal/token"
+)
+
+// binOps is every binary operator the IR can carry.
+var binOps = []token.Kind{
+	token.Plus, token.Minus, token.Star, token.Slash, token.Percent,
+	token.Shl, token.Shr, token.And, token.Or, token.Xor,
+	token.LAnd, token.LOr,
+	token.Eq, token.Neq, token.Lt, token.Gt, token.Leq, token.Geq,
+}
+
+// edgeVals covers the arithmetic corner cases: division/modulo by zero,
+// INT_MIN / -1, shift amounts at and beyond 31, power-of-two and
+// non-power-of-two divisors, and extreme magnitudes.
+var edgeVals = []int32{
+	0, 1, -1, 2, -2, 3, -3, 5, -5, 10, -10,
+	31, 32, 33, -31, -32, -33, 64, 255, 4096, 8000, -8000,
+	1 << 30, -(1 << 30), 1<<31 - 1, -1 << 31, -(1<<31 - 1),
+}
+
+// TestBinClosureMatchesEvalBinary is the specialization contract: for every
+// operator, every const/slot operand shape, and every edge-case operand
+// pair (plus a random sweep), the compiled closure computes exactly what
+// interp.EvalBinary computes.
+func TestBinClosureMatchesEvalBinary(t *testing.T) {
+	check := func(op token.Kind, a, b int32, aConst, bConst bool) {
+		t.Helper()
+		ao := operand{slot: 0, imm: a, isConst: aConst}
+		bo := operand{slot: 1, imm: b, isConst: bConst}
+		f, err := binClosure(op, 2, ao, bo, false)
+		if err != nil {
+			t.Fatalf("binClosure(%s): %v", op, err)
+		}
+		p := []int32{a, b, -999}
+		f(p)
+		want, err := interp.EvalBinary(op, a, b)
+		if err != nil {
+			t.Fatalf("EvalBinary(%s): %v", op, err)
+		}
+		if p[2] != want {
+			t.Fatalf("%s(%d, %d) [aConst=%v bConst=%v] = %d, EvalBinary says %d",
+				op, a, b, aConst, bConst, p[2], want)
+		}
+	}
+	for _, op := range binOps {
+		for _, a := range edgeVals {
+			for _, b := range edgeVals {
+				for _, shape := range [][2]bool{{false, false}, {false, true}, {true, false}, {true, true}} {
+					check(op, a, b, shape[0], shape[1])
+				}
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		op := binOps[rng.Intn(len(binOps))]
+		a, b := int32(rng.Uint32()), int32(rng.Uint32())
+		check(op, a, b, rng.Intn(2) == 0, rng.Intn(2) == 0)
+	}
+}
+
+// TestBinClosureLUTDivision checks the lookup-table target's division
+// rule survives specialization: a power-of-two constant divisor stays
+// exact, everything else matches intrinsics.LUTDiv bit for bit.
+func TestBinClosureLUTDivision(t *testing.T) {
+	for _, b := range edgeVals {
+		for _, a := range edgeVals {
+			for _, bConst := range []bool{true, false} {
+				ao := operand{slot: 0}
+				bo := operand{slot: 1, imm: b, isConst: bConst}
+				f, err := binClosure(token.Slash, 2, ao, bo, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := []int32{a, b, -999}
+				f(p)
+				var want int32
+				if bConst && b > 0 && b&(b-1) == 0 {
+					want, _ = interp.EvalBinary(token.Slash, a, b)
+				} else {
+					want = intrinsics.LUTDiv(a, b)
+				}
+				if p[2] != want {
+					t.Fatalf("lut %d / %d (bConst=%v) = %d, want %d", a, b, bConst, p[2], want)
+				}
+			}
+		}
+	}
+}
+
+// TestMagicDivMod exercises the multiply-shift reciprocal directly across
+// every positive divisor class (1, powers of two, odd, near-2^31) against
+// hardware division, including both extreme dividends.
+func TestMagicDivMod(t *testing.T) {
+	divisors := []int32{1, 2, 3, 5, 7, 10, 24, 1000, 4096, 8000, 65536, 1 << 20, 1<<31 - 1, 1<<30 + 3}
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range divisors {
+		mg := newMagic(d)
+		vals := append([]int32{}, edgeVals...)
+		for i := 0; i < 5000; i++ {
+			vals = append(vals, int32(rng.Uint32()))
+		}
+		for _, v := range vals {
+			wantQ, _ := interp.EvalBinary(token.Slash, v, d)
+			wantR, _ := interp.EvalBinary(token.Percent, v, d)
+			if got := mg.div(v); got != wantQ {
+				t.Fatalf("magic %d / %d = %d, want %d", v, d, got, wantQ)
+			}
+			if got := mg.mod(v); got != wantR {
+				t.Fatalf("magic %d %% %d = %d, want %d", v, d, got, wantR)
+			}
+			if v >= 0 {
+				if got := mg.umod(v); got != wantR {
+					t.Fatalf("magic umod %d %% %d = %d, want %d", v, d, got, wantR)
+				}
+			}
+		}
+	}
+}
+
+// TestStateArrayIndexWrap checks the state-array index paths: a
+// power-of-two array uses the & mask, a non-power-of-two array the general
+// fallback, and both agree with Euclidean wrapping on every index,
+// including negative and extreme ones.
+func TestStateArrayIndexWrap(t *testing.T) {
+	euclid := func(idx int32, n int) int {
+		return int(((int64(idx) % int64(n)) + int64(n)) % int64(n))
+	}
+	for _, n := range []int{16, 24, 100, 8000} {
+		c := &cell{name: "tab", isArray: true, arr: make([]int32, n)}
+		rd := &mop{kind: opRead, dst: 1, cell: c, indexed: true, c: operand{slot: 0}}
+		wr := &mop{kind: opWrite, a: operand{slot: 2}, cell: c, indexed: true, c: operand{slot: 0}}
+		rf, err := readClosure(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf, err := writeClosure(wr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, idx := range []int32{0, 5, int32(n) - 1, int32(n), int32(n) + 3, -1, -int32(n) - 2, 1<<31 - 1, -1 << 31} {
+			want := euclid(idx, n)
+			clear(c.arr)
+			p := []int32{idx, -999, 77}
+			wf(p)
+			if c.arr[want] != 77 {
+				t.Fatalf("n=%d idx=%d: write landed elsewhere (want slot %d)", n, idx, want)
+			}
+			c.arr[want] = 55
+			rf(p)
+			if p[1] != 55 {
+				t.Fatalf("n=%d idx=%d: read %d, want 55 from slot %d", n, idx, p[1], want)
+			}
+		}
+	}
+}
+
+// TestConstIndexStateClosures covers the compile-time-folded index variant.
+func TestConstIndexStateClosures(t *testing.T) {
+	c := &cell{name: "tab", isArray: true, arr: make([]int32, 24)}
+	rd := &mop{kind: opRead, dst: 0, cell: c, indexed: true, c: operand{imm: -1, isConst: true}}
+	rf, err := readClosure(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.arr[23] = 9 // -1 wraps Euclidean to n-1
+	p := []int32{0}
+	rf(p)
+	if p[0] != 9 {
+		t.Fatalf("const index -1 read %d, want 9", p[0])
+	}
+}

@@ -77,7 +77,10 @@ func (s *ShardedMachine) worker(i int) {
 	defer s.done.Done()
 	m := s.shards[i]
 	for batch := range s.in[i] {
-		if err := m.ProcessBatch(batch); err != nil && s.errs[i] == nil {
+		// Stage-major execution keeps each stage's op program and state
+		// hot across the shard's partition; results are bit-identical to
+		// packet-major ProcessBatch.
+		if err := m.ProcessBatchStageMajor(batch); err != nil && s.errs[i] == nil {
 			s.errs[i] = err
 		}
 		s.wg.Done()

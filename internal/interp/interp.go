@@ -104,6 +104,10 @@ func (p Packet) Clone() Packet {
 type Interp struct {
 	info  *sema.Info
 	state *State
+	// calls caches intrinsic resolution per call site, so repeated
+	// execution does one pointer-keyed map lookup instead of two
+	// string-keyed lookups plus string matching per packet.
+	calls map[*ast.CallExpr]func(args []int32) int32
 }
 
 // New creates an interpreter with fresh state.
@@ -268,7 +272,26 @@ func (ip *Interp) eval(e ast.Expr, pkt Packet) (int32, error) {
 			}
 			args[i] = v
 		}
-		return intrinsics.Call(x.Fun, args)
+		fn, ok := ip.calls[x]
+		if !ok {
+			sig, declared := intrinsics.Lookup(x.Fun)
+			if !declared {
+				return 0, fmt.Errorf("interp: unknown intrinsic %q", x.Fun)
+			}
+			if len(args) != sig.Args {
+				return 0, fmt.Errorf("interp: intrinsic %s expects %d arguments, got %d", x.Fun, sig.Args, len(args))
+			}
+			var err error
+			fn, err = intrinsics.Resolve(x.Fun)
+			if err != nil {
+				return 0, err
+			}
+			if ip.calls == nil {
+				ip.calls = map[*ast.CallExpr]func(args []int32) int32{}
+			}
+			ip.calls[x] = fn
+		}
+		return fn(args), nil
 	}
 	return 0, fmt.Errorf("interp: unexpected expression %T", e)
 }
@@ -295,60 +318,65 @@ func EvalUnary(op token.Kind, v int32) (int32, error) {
 	return 0, fmt.Errorf("interp: invalid unary operator %s", op)
 }
 
+// binFuncs is the operator-closure table: one concrete function per Domino
+// binary operator, indexed by token kind. It is the single definition of
+// operator semantics shared by EvalBinary (the reference interpreter), the
+// guard evaluator, and the Banzai closure compiler, which captures entries
+// at machine-build time so the data path never switches on the operator.
+var binFuncs = [token.Geq + 1]func(a, b int32) int32{
+	token.Plus:  func(a, b int32) int32 { return a + b },
+	token.Minus: func(a, b int32) int32 { return a - b },
+	token.Star:  func(a, b int32) int32 { return a * b },
+	token.Slash: func(a, b int32) int32 {
+		if b == 0 {
+			return 0
+		}
+		if a == -1<<31 && b == -1 { // the one overflowing case
+			return a
+		}
+		return a / b
+	},
+	token.Percent: func(a, b int32) int32 {
+		if b == 0 {
+			return 0
+		}
+		if a == -1<<31 && b == -1 {
+			return 0
+		}
+		return a % b
+	},
+	token.Shl:  func(a, b int32) int32 { return a << (uint32(b) & 31) },
+	token.Shr:  func(a, b int32) int32 { return a >> (uint32(b) & 31) },
+	token.And:  func(a, b int32) int32 { return a & b },
+	token.Or:   func(a, b int32) int32 { return a | b },
+	token.Xor:  func(a, b int32) int32 { return a ^ b },
+	token.LAnd: func(a, b int32) int32 { return boolToInt(a != 0 && b != 0) },
+	token.LOr:  func(a, b int32) int32 { return boolToInt(a != 0 || b != 0) },
+	token.Eq:   func(a, b int32) int32 { return boolToInt(a == b) },
+	token.Neq:  func(a, b int32) int32 { return boolToInt(a != b) },
+	token.Lt:   func(a, b int32) int32 { return boolToInt(a < b) },
+	token.Gt:   func(a, b int32) int32 { return boolToInt(a > b) },
+	token.Leq:  func(a, b int32) int32 { return boolToInt(a <= b) },
+	token.Geq:  func(a, b int32) int32 { return boolToInt(a >= b) },
+}
+
+// BinFunc returns the closure implementing a Domino binary operator, or
+// ok=false for a kind that is not a binary operator. The closure applies
+// int32 wraparound semantics identical to EvalBinary.
+func BinFunc(op token.Kind) (func(a, b int32) int32, bool) {
+	if op < 0 || int(op) >= len(binFuncs) || binFuncs[op] == nil {
+		return nil, false
+	}
+	return binFuncs[op], true
+}
+
 // EvalBinary applies a Domino binary operator with int32 wraparound
 // semantics. Division and modulo by zero yield zero (hardware ALU
 // convention) rather than trapping; shifts use the low five bits of the
 // shift count, as 32-bit barrel shifters do.
 func EvalBinary(op token.Kind, a, b int32) (int32, error) {
-	switch op {
-	case token.Plus:
-		return a + b, nil
-	case token.Minus:
-		return a - b, nil
-	case token.Star:
-		return a * b, nil
-	case token.Slash:
-		if b == 0 {
-			return 0, nil
-		}
-		if a == -1<<31 && b == -1 { // the one overflowing case
-			return a, nil
-		}
-		return a / b, nil
-	case token.Percent:
-		if b == 0 {
-			return 0, nil
-		}
-		if a == -1<<31 && b == -1 {
-			return 0, nil
-		}
-		return a % b, nil
-	case token.Shl:
-		return a << (uint32(b) & 31), nil
-	case token.Shr:
-		return a >> (uint32(b) & 31), nil
-	case token.And:
-		return a & b, nil
-	case token.Or:
-		return a | b, nil
-	case token.Xor:
-		return a ^ b, nil
-	case token.LAnd:
-		return boolToInt(a != 0 && b != 0), nil
-	case token.LOr:
-		return boolToInt(a != 0 || b != 0), nil
-	case token.Eq:
-		return boolToInt(a == b), nil
-	case token.Neq:
-		return boolToInt(a != b), nil
-	case token.Lt:
-		return boolToInt(a < b), nil
-	case token.Gt:
-		return boolToInt(a > b), nil
-	case token.Leq:
-		return boolToInt(a <= b), nil
-	case token.Geq:
-		return boolToInt(a >= b), nil
+	if f, ok := BinFunc(op); ok {
+		return f(a, b), nil
 	}
 	return 0, fmt.Errorf("interp: invalid binary operator %s", op)
 }

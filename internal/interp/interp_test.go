@@ -261,3 +261,41 @@ void t(struct Packet pkt) { pkt.f = pkt.a > pkt.b ? pkt.a : pkt.b; }
 		t.Fatalf("max = %d, want 9", pkt["f"])
 	}
 }
+
+// TestBinFuncMatchesEvalBinary: the shared operator-closure table is the
+// same function as EvalBinary for every operator, and rejects non-binary
+// kinds.
+func TestBinFuncMatchesEvalBinary(t *testing.T) {
+	ops := []token.Kind{
+		token.Plus, token.Minus, token.Star, token.Slash, token.Percent,
+		token.Shl, token.Shr, token.And, token.Or, token.Xor,
+		token.LAnd, token.LOr,
+		token.Eq, token.Neq, token.Lt, token.Gt, token.Leq, token.Geq,
+	}
+	vals := []int32{0, 1, -1, 2, -2, 31, 32, -32, 1<<31 - 1, -1 << 31, 8000}
+	for _, op := range ops {
+		f, ok := BinFunc(op)
+		if !ok {
+			t.Fatalf("BinFunc(%s) missing", op)
+		}
+		for _, a := range vals {
+			for _, b := range vals {
+				want, err := EvalBinary(op, a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := f(a, b); got != want {
+					t.Fatalf("%s(%d,%d): table %d, EvalBinary %d", op, a, b, got, want)
+				}
+			}
+		}
+	}
+	for _, op := range []token.Kind{token.Illegal, token.Not, token.BitNot, token.Assign, token.Ident} {
+		if _, ok := BinFunc(op); ok {
+			t.Errorf("BinFunc(%s) should not resolve", op)
+		}
+	}
+	if _, err := EvalBinary(token.Not, 1, 2); err == nil {
+		t.Error("EvalBinary accepted a unary operator")
+	}
+}

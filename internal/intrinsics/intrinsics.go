@@ -53,16 +53,48 @@ const (
 // hash2 and hash3 behave like independently seeded hardware hash units. The
 // result is non-negative so that "hash % tablesize" is a valid array index.
 func Hash(salt uint32, args ...int32) int32 {
-	h := fnvOffset ^ (salt*0x9e3779b9 + 0x85ebca6b)
+	h := hashSeed(salt)
 	for _, a := range args {
-		v := uint32(a)
-		for i := 0; i < 4; i++ {
-			h ^= v & 0xff
-			h *= fnvPrime
-			v >>= 8
-		}
+		h = hashWord(h, uint32(a))
 	}
-	// Final avalanche, then clear the sign bit.
+	return hashFinish(h)
+}
+
+// Hash1, Hash2 and Hash3 are Hash for fixed arities — identical results,
+// no variadic slice or argument loop, for per-packet callers.
+
+// Hash1 is Hash(salt, a).
+func Hash1(salt uint32, a int32) int32 {
+	return hashFinish(hashWord(hashSeed(salt), uint32(a)))
+}
+
+// Hash2 is Hash(salt, a, b).
+func Hash2(salt uint32, a, b int32) int32 {
+	return hashFinish(hashWord(hashWord(hashSeed(salt), uint32(a)), uint32(b)))
+}
+
+// Hash3 is Hash(salt, a, b, c).
+func Hash3(salt uint32, a, b, c int32) int32 {
+	return hashFinish(hashWord(hashWord(hashWord(hashSeed(salt), uint32(a)), uint32(b)), uint32(c)))
+}
+
+func hashSeed(salt uint32) uint32 {
+	return fnvOffset ^ (salt*0x9e3779b9 + 0x85ebca6b)
+}
+
+// hashWord folds one 32-bit word into the running FNV-1a state, a byte at
+// a time (unrolled: this is the innermost loop of every hash intrinsic).
+func hashWord(h, v uint32) uint32 {
+	h = (h ^ (v & 0xff)) * fnvPrime
+	h = (h ^ ((v >> 8) & 0xff)) * fnvPrime
+	h = (h ^ ((v >> 16) & 0xff)) * fnvPrime
+	h = (h ^ (v >> 24)) * fnvPrime
+	return h
+}
+
+// hashFinish is the final avalanche; the sign bit is cleared so that
+// "hash % tablesize" is a valid array index.
+func hashFinish(h uint32) int32 {
 	h ^= h >> 16
 	h *= 0x7feb352d
 	h ^= h >> 15
@@ -84,8 +116,44 @@ func Sqrt(x int32) int32 {
 	return int32(r)
 }
 
-// Call evaluates intrinsic name on args. The salt for hash intrinsics is
-// derived from the arity so each hashN is an independent function.
+// impls holds the pre-bound runtime implementation of every intrinsic, so
+// Resolve is a single map lookup and the returned function does no name
+// dispatch at all.
+var impls = map[string]func(args []int32) int32{}
+
+func init() {
+	for name, sig := range Table {
+		if IsHash(name) {
+			salt := uint32(sig.Args)
+			impls[name] = func(args []int32) int32 { return Hash(salt, args...) }
+			continue
+		}
+		if name == "sqrt" {
+			impls[name] = func(args []int32) int32 { return Sqrt(args[0]) }
+		}
+	}
+}
+
+// Resolve returns the concrete runtime implementation of intrinsic name,
+// for callers that execute intrinsics per packet: resolve once at
+// build/compile time, then call with no map lookup or string matching on
+// the hot path. The returned function assumes len(args) == Sig.Args; the
+// resolver's caller checks arity once (the compiler and sema already
+// enforce it for compiled programs).
+func Resolve(name string) (func(args []int32) int32, error) {
+	fn, ok := impls[name]
+	if !ok {
+		if _, declared := Table[name]; declared {
+			return nil, fmt.Errorf("intrinsic %q has no runtime implementation", name)
+		}
+		return nil, fmt.Errorf("unknown intrinsic %q", name)
+	}
+	return fn, nil
+}
+
+// Call evaluates intrinsic name on args, validating the name and arity per
+// call. It is the thin compatibility wrapper over Resolve; hot paths should
+// resolve once instead.
 func Call(name string, args []int32) (int32, error) {
 	sig, ok := Table[name]
 	if !ok {
@@ -94,11 +162,9 @@ func Call(name string, args []int32) (int32, error) {
 	if len(args) != sig.Args {
 		return 0, fmt.Errorf("intrinsic %s expects %d arguments, got %d", name, sig.Args, len(args))
 	}
-	if IsHash(name) {
-		return Hash(uint32(sig.Args), args...), nil
+	fn, err := Resolve(name)
+	if err != nil {
+		return 0, err
 	}
-	if name == "sqrt" {
-		return Sqrt(args[0]), nil
-	}
-	return 0, fmt.Errorf("intrinsic %q has no runtime implementation", name)
+	return fn(args), nil
 }

@@ -1,0 +1,62 @@
+package intrinsics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestResolveMatchesCall: the pre-resolved function pointers must compute
+// exactly what the validating Call wrapper computes, for every declared
+// intrinsic with a runtime implementation.
+func TestResolveMatchesCall(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for name, sig := range Table {
+		fn, err := Resolve(name)
+		if err != nil {
+			t.Fatalf("Resolve(%s): %v", name, err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			args := make([]int32, sig.Args)
+			for i := range args {
+				args[i] = int32(rng.Uint32())
+			}
+			want, err := Call(name, args)
+			if err != nil {
+				t.Fatalf("Call(%s): %v", name, err)
+			}
+			if got := fn(args); got != want {
+				t.Fatalf("%s%v: Resolve path %d, Call path %d", name, args, got, want)
+			}
+		}
+	}
+}
+
+func TestResolveUnknown(t *testing.T) {
+	if _, err := Resolve("nope"); err == nil {
+		t.Error("unknown intrinsic resolved")
+	}
+	if _, err := Call("nope", nil); err == nil {
+		t.Error("unknown intrinsic callable")
+	}
+	if _, err := Call("hash2", []int32{1}); err == nil {
+		t.Error("arity mismatch not reported by Call")
+	}
+}
+
+// TestFixedArityHashes: Hash1/2/3 are exactly Hash at the same arity.
+func TestFixedArityHashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 1000; trial++ {
+		salt := rng.Uint32() % 8
+		a, b, c := int32(rng.Uint32()), int32(rng.Uint32()), int32(rng.Uint32())
+		if got, want := Hash1(salt, a), Hash(salt, a); got != want {
+			t.Fatalf("Hash1(%d,%d) = %d, Hash = %d", salt, a, got, want)
+		}
+		if got, want := Hash2(salt, a, b), Hash(salt, a, b); got != want {
+			t.Fatalf("Hash2 mismatch: %d vs %d", got, want)
+		}
+		if got, want := Hash3(salt, a, b, c), Hash(salt, a, b, c); got != want {
+			t.Fatalf("Hash3 mismatch: %d vs %d", got, want)
+		}
+	}
+}
