@@ -3,11 +3,11 @@ GO ?= go
 SHELL := /bin/bash
 
 # BENCH_OUT is the committed per-PR benchmark snapshot `make bench` emits.
-BENCH_OUT ?= BENCH_pr2.json
+BENCH_OUT ?= BENCH_pr3.json
 
-.PHONY: check fmt vet build test bench bench-smoke
+.PHONY: check fmt vet build test race bench bench-smoke
 
-check: fmt vet build test
+check: fmt vet build test race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -21,6 +21,10 @@ build:
 
 test:
 	$(GO) test ./...
+
+# race covers the packages with mutable queue/scheduler state; CI runs this.
+race:
+	$(GO) test -race ./internal/pifo/... ./internal/switchsim/...
 
 # bench runs the throughput benchmarks (pkts/s and allocs/op per workload
 # and execution path) and snapshots them to $(BENCH_OUT). pipefail so a

@@ -23,14 +23,17 @@ import (
 	"domino/internal/algorithms"
 	"domino/internal/ast"
 	"domino/internal/atoms"
+	"domino/internal/banzai"
 	"domino/internal/codegen"
 	"domino/internal/hw"
 	"domino/internal/interp"
 	"domino/internal/p4gen"
 	"domino/internal/parser"
 	"domino/internal/passes"
+	"domino/internal/pifo"
 	"domino/internal/pvsm"
 	"domino/internal/sema"
+	"domino/internal/switchsim"
 	"domino/internal/synth"
 	"domino/internal/workload"
 )
@@ -402,6 +405,126 @@ func BenchmarkShardedThroughput(b *testing.B) {
 }
 
 func firstOf(tr []interp.Packet, _ map[workload.Flow]int) []interp.Packet { return tr }
+
+// BenchmarkSchedulerThroughput measures the PIFO scheduling subsystem's
+// hot path: compiled rank transaction → PIFO push → PIFO pop, per packet,
+// on the multi-tenant workload. Steady state is a 1:1 enqueue/dequeue
+// cycle over a prefilled queue; allocs/op must stay 0 (the acceptance bar
+// for the scheduler data path), and pkts/s is reported for BENCH_*.json.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	ingress := func(b *testing.B) *codegen.Program {
+		b.Helper()
+		p, err := codegen.CompileLeastSource(algorithms.SchedIngress)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		tree func(b *testing.B) *pifo.Tree
+	}{
+		{"fifo_const_rank", func(b *testing.B) *pifo.Tree {
+			return pifo.Flat(pifo.RankSpec{Source: algorithms.ConstRank})
+		}},
+		{"stfq", func(b *testing.B) *pifo.Tree {
+			return pifo.Flat(mustNamedSpec(b, "stfq_rank"))
+		}},
+		{"strict_priority", func(b *testing.B) *pifo.Tree {
+			return pifo.Flat(mustNamedSpec(b, "strict_priority_rank"))
+		}},
+		{"wrr", func(b *testing.B) *pifo.Tree {
+			return pifo.Flat(mustNamedSpec(b, "wrr_rank"))
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			prog := ingress(b)
+			m, err := banzai.New(prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			qs, err := tc.tree(b).Build(m.Layout(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := qs[0]
+			tenants := []workload.TenantSpec{
+				{Weight: 1, Flows: 4}, {Weight: 2, Flows: 4}, {Weight: 4, Flows: 4},
+			}
+			hs, _ := workload.MultiTenantTraceHeaders(m.Layout(), 1, tenants, 4096, 4)
+			for i := 0; i < 512; i++ {
+				q.Enqueue(switchsim.QueuedHeader{H: hs[i], Size: 256, Arrived: int64(i), Seq: int64(i)})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Enqueue(switchsim.QueuedHeader{H: hs[(512+i)&4095], Size: 256, Arrived: int64(i), Seq: int64(i)})
+				if _, ok := q.Dequeue(int64(i)); !ok {
+					b.Fatal("dequeue failed")
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
+// BenchmarkSwitchSchedulerThroughput measures the end-to-end switch data
+// path (ingress pipeline → rank transaction → PIFO → drain) with FIFO and
+// STFQ egress schedulers side by side, on the header fast path.
+func BenchmarkSwitchSchedulerThroughput(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		sched func(b *testing.B) switchsim.Scheduler
+	}{
+		{"fifo", func(b *testing.B) switchsim.Scheduler { return nil }},
+		{"pifo_stfq", func(b *testing.B) switchsim.Scheduler {
+			return pifo.Flat(mustNamedSpec(b, "stfq_rank"))
+		}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			prog, err := codegen.CompileLeastSource(algorithms.SchedIngress)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sw, err := switchsim.New(prog, switchsim.Config{
+				Ports:               4,
+				ServiceBytesPerTick: 2048,
+				QueueCapBytes:       1 << 24,
+				Scheduler:           tc.sched(b),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tenants := []workload.TenantSpec{
+				{Weight: 1, Flows: 4}, {Weight: 2, Flows: 4}, {Weight: 4, Flows: 4},
+			}
+			hs, _ := workload.MultiTenantTraceHeaders(sw.Machine().Layout(), 1, tenants, 4096, 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := sw.Machine().AcquireHeader()
+				copy(h, hs[i&4095])
+				if _, _, err := sw.InjectH(h, 256); err != nil {
+					b.Fatal(err)
+				}
+				if i&7 == 7 {
+					sw.Tick()
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
+func mustNamedSpec(b *testing.B, name string) pifo.RankSpec {
+	b.Helper()
+	spec, err := pifo.NamedSpec(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spec
+}
 
 // BenchmarkInterpreterThroughput is the sequential reference semantics —
 // the software-router baseline the compiled pipeline is compared against.

@@ -8,6 +8,7 @@
 //	paper-eval -table 4        # one table (3, 4, 5, 6, compile-time, resources)
 //	paper-eval -figure 3       # one figure (3, passes, 9)
 //	paper-eval -throughput     # simulator data-path throughput comparison
+//	paper-eval -sched          # PIFO scheduling: weighted shares + port stats
 package main
 
 import (
@@ -23,11 +24,14 @@ import (
 	"domino/internal/banzai"
 	"domino/internal/codegen"
 	"domino/internal/hw"
+	"domino/internal/interp"
 	"domino/internal/p4gen"
 	"domino/internal/parser"
 	"domino/internal/passes"
+	"domino/internal/pifo"
 	"domino/internal/pvsm"
 	"domino/internal/sema"
+	"domino/internal/switchsim"
 	"domino/internal/workload"
 )
 
@@ -35,10 +39,17 @@ func main() {
 	table := flag.String("table", "", "table to regenerate: 3, 4, 5, 6, compile-time, resources")
 	figure := flag.String("figure", "", "figure to regenerate: 3, passes, 9")
 	tput := flag.Bool("throughput", false, "measure simulator data-path throughput (map vs header vs sharded)")
+	schedFlag := flag.Bool("sched", false, "run the PIFO egress schedulers over the multi-tenant trace")
 	flag.Parse()
 
 	if *tput {
 		throughput()
+		if *table == "" && *figure == "" && !*schedFlag {
+			return
+		}
+	}
+	if *schedFlag {
+		sched()
 		if *table == "" && *figure == "" {
 			return
 		}
@@ -315,6 +326,147 @@ func throughput() {
 		}
 		fmt.Printf("%-28s %s\n", fmt.Sprintf("sharded ×%d ProcessBatch", shards), rate(n, time.Since(start)))
 		sm.Close()
+	}
+	fmt.Println()
+}
+
+// sched exercises the PIFO scheduling subsystem: the multi-tenant
+// weighted-flow trace saturates one egress port under each scheduler in
+// the catalog, and the tenants' departed-byte shares show what each rank
+// transaction enforces. A token-bucket-shaped run and the per-port
+// statistics (the switch's observability surface) close the report.
+func sched() {
+	fmt.Println("== PIFO egress scheduling (multi-tenant trace, one saturated port) ==")
+	tenants := []workload.TenantSpec{
+		{Weight: 1, Flows: 4},
+		{Weight: 2, Flows: 4},
+		{Weight: 4, Flows: 4},
+	}
+	ingress, err := codegen.CompileLeastSource(algorithms.SchedIngress)
+	if err != nil {
+		fatal(err)
+	}
+
+	schedulers := []struct {
+		name  string
+		build func() (switchsim.Scheduler, error)
+	}{
+		{"fifo (default)", func() (switchsim.Scheduler, error) { return nil, nil }},
+		{"stfq_rank", func() (switchsim.Scheduler, error) {
+			spec, err := pifo.NamedSpec("stfq_rank")
+			return pifo.Flat(spec), err
+		}},
+		{"strict_priority_rank", func() (switchsim.Scheduler, error) {
+			spec, err := pifo.NamedSpec("strict_priority_rank")
+			return pifo.Flat(spec), err
+		}},
+		{"wrr_rank", func() (switchsim.Scheduler, error) {
+			spec, err := pifo.NamedSpec("wrr_rank")
+			return pifo.Flat(spec), err
+		}},
+	}
+
+	fmt.Printf("%-22s %28s   %s\n", "scheduler", "tenant shares (w=1,2,4)", "weighted ideal 0.143,0.286,0.571")
+	for _, s := range schedulers {
+		sc, err := s.build()
+		if err != nil {
+			fatal(err)
+		}
+		sw, err := switchsim.New(ingress, switchsim.Config{
+			Ports:               1,
+			QueueCapBytes:       1 << 24,
+			ServiceBytesPerTick: 600,
+			Scheduler:           sc,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		trace, _ := workload.MultiTenantTrace(5, tenants, 30000, 5)
+		bytes := make([]int64, len(tenants))
+		var total int64
+		for _, pkt := range trace {
+			for sw.Now() < int64(pkt["arrival"]) {
+				for _, d := range sw.Tick() {
+					if d.Departed > 1000 { // warmup
+						bytes[d.Pkt["tenant"]] += d.Size
+						total += d.Size
+					}
+				}
+			}
+			if _, _, _, err := sw.Inject(pkt, int64(pkt["size_bytes"])); err != nil {
+				fatal(err)
+			}
+		}
+		if total == 0 {
+			fatal(fmt.Errorf("scheduler %s served nothing", s.name))
+		}
+		fmt.Printf("%-22s %9.3f %9.3f %9.3f\n", s.name,
+			float64(bytes[0])/float64(total),
+			float64(bytes[1])/float64(total),
+			float64(bytes[2])/float64(total))
+	}
+
+	// Shaping: a burst through a token-bucket-shaped node leaves paced at
+	// the bucket rate no matter how fast the port drains.
+	spec, err := pifo.NamedSpec("token_bucket_shape")
+	if err != nil {
+		fatal(err)
+	}
+	shaped := &pifo.Tree{Root: pifo.NodeSpec{
+		Name:     "root",
+		Children: []pifo.NodeSpec{{Name: "shaped", Shaper: &spec}},
+	}}
+	sw, err := switchsim.New(ingress, switchsim.Config{
+		Ports:               1,
+		ServiceBytesPerTick: 1 << 20,
+		Scheduler:           shaped,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	const burst = 40
+	for i := 0; i < burst; i++ {
+		pkt := interp.Packet{"tenant": 0, "flow": 0, "prio": 0, "size_bytes": 64, "cost": 64, "arrival": 0}
+		if _, _, _, err := sw.Inject(pkt, 64); err != nil {
+			fatal(err)
+		}
+	}
+	deps := sw.Drain()
+	fmt.Printf("\ntoken_bucket_shape: %d-packet burst (64 B each) drained over %d ticks (bucket rate 8 B/tick)\n",
+		burst, deps[len(deps)-1].Departed)
+
+	// The per-port statistics satellite: a 4-port STFQ switch under the
+	// same trace, routed by flow.
+	spec, err = pifo.NamedSpec("stfq_rank")
+	if err != nil {
+		fatal(err)
+	}
+	sw4, err := switchsim.New(ingress, switchsim.Config{
+		Ports:               4,
+		QueueCapBytes:       64 << 10,
+		ServiceBytesPerTick: 600,
+		RouteField:          "flow",
+		Scheduler:           pifo.Flat(spec),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	trace, _ := workload.MultiTenantTrace(7, tenants, 30000, 5)
+	for _, pkt := range trace {
+		for sw4.Now() < int64(pkt["arrival"]) {
+			sw4.Tick()
+		}
+		if _, _, _, err := sw4.Inject(pkt, int64(pkt["size_bytes"])); err != nil {
+			fatal(err)
+		}
+	}
+	sw4.Drain()
+	fmt.Println("\nper-port stats (4-port STFQ switch, routed by flow):")
+	fmt.Printf("%4s %10s %12s %8s %12s %14s %12s %10s\n",
+		"port", "enqueues", "bytes", "drops", "departures", "departed B", "max queue B", "max depth")
+	for p, st := range sw4.Stats() {
+		fmt.Printf("%4d %10d %12d %8d %12d %14d %12d %10d\n",
+			p, st.Enqueues, st.Bytes, st.Drops, st.Departures, st.DepartedBytes, st.MaxQueue, st.MaxDepth)
 	}
 	fmt.Println()
 }

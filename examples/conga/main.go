@@ -49,7 +49,14 @@ func main() {
 		nDsts  = 64
 		n      = 100000
 	)
-	trace := workload.CongaTrace(3, nPaths, nDsts, n)
+	// Header fast path: the trace is generated straight into slab-backed
+	// headers; inputs are read from their slots before ProcessH rewrites
+	// the header in place.
+	hs := workload.CongaTraceHeaders(m.Layout(), 3, nPaths, nDsts, n)
+	utilS, _ := m.Layout().Slot("util")
+	pathS, _ := m.Layout().Slot("path_id")
+	srcS, _ := m.Layout().Slot("src")
+	bestS, _ := m.Layout().OutputSlot("best")
 
 	// Track the reference update rule (zero-initialized, like the switch
 	// registers) and the true instantaneous per-path utilization.
@@ -60,11 +67,11 @@ func main() {
 	truth := map[int32]*best{}
 	lastUtil := make([]int32, nPaths)
 	agree, nearOpt, total := 0, 0, 0
-	for _, pkt := range trace {
-		dst := pkt["src"] % nDsts
-		lastUtil[pkt["path_id"]] = pkt["util"]
-		out, err := m.Process(pkt)
-		if err != nil {
+	for _, h := range hs {
+		util, pathID, src := h[utilS], h[pathS], h[srcS]
+		dst := src % nDsts
+		lastUtil[pathID] = util
+		if err := m.ProcessH(h); err != nil {
 			log.Fatal(err)
 		}
 		b := truth[dst]
@@ -74,13 +81,14 @@ func main() {
 		}
 		// Mirror CONGA's own update rule exactly (it is the spec).
 		switch {
-		case pkt["util"] < b.util:
-			b.util, b.path = pkt["util"], pkt["path_id"]
-		case pkt["path_id"] == b.path:
-			b.util = pkt["util"]
+		case util < b.util:
+			b.util, b.path = util, pathID
+		case pathID == b.path:
+			b.util = util
 		}
 		total++
-		if out["best"] == b.path {
+		chosen := h[bestS]
+		if chosen == b.path {
 			agree++
 		}
 		// How good is the tracked choice? Compare the chosen path's last
@@ -91,7 +99,7 @@ func main() {
 				min = u
 			}
 		}
-		if lastUtil[out["best"]] <= min+100 {
+		if lastUtil[chosen] <= min+100 {
 			nearOpt++
 		}
 	}

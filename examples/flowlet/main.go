@@ -15,9 +15,6 @@ import (
 	"domino"
 	"domino/internal/codegen"
 	"domino/internal/interp"
-	"domino/internal/parser"
-	"domino/internal/passes"
-	"domino/internal/sema"
 	"domino/internal/switchsim"
 	"domino/internal/workload"
 )
@@ -37,26 +34,10 @@ void ecmp(struct Packet pkt) {
 `
 
 func compileInternal(src string) (*codegen.Program, error) {
-	prog, err := parser.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	info, err := sema.Check(prog)
-	if err != nil {
-		return nil, err
-	}
-	norm, err := passes.Normalize(info)
-	if err != nil {
-		return nil, err
-	}
-	p, ok, err := codegen.LeastTarget(info, norm.IR)
-	if !ok {
-		return nil, err
-	}
-	return p, nil
+	return codegen.CompileLeastSource(src)
 }
 
-func run(name, src string, trace []interp.Packet) {
+func run(name, src string, trace []interp.Packet) []switchsim.PortStats {
 	prog, err := compileInternal(src)
 	if err != nil {
 		log.Fatalf("%s: %v", name, err)
@@ -69,8 +50,14 @@ func run(name, src string, trace []interp.Packet) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Header fast path: inject slot-vector headers drawn from the
+	// machine's pool (InjectH takes ownership and recycles them on
+	// departure), with the map codec only at trace-encode time.
+	l := sw.Machine().Layout()
 	for _, pkt := range trace {
-		if _, _, _, err := sw.Inject(pkt.Clone(), 1000); err != nil {
+		h := sw.Machine().AcquireHeader()
+		l.Encode(pkt, h)
+		if _, _, err := sw.InjectH(h, 1000); err != nil {
 			log.Fatal(err)
 		}
 		sw.Tick()
@@ -81,6 +68,7 @@ func run(name, src string, trace []interp.Packet) {
 	})
 	fmt.Printf("%-18s least atom %-6s  load imbalance %.3f  reordered packets %d\n",
 		name, prog.LeastAtom, sw.LoadImbalance(), reordered)
+	return sw.Stats()
 }
 
 func main() {
@@ -94,7 +82,15 @@ func main() {
 
 	fmt.Println("policy              atom           balance (lower=better)   reordering")
 	run("per-flow ECMP", ecmpSrc, trace)
-	run("flowlet switching", flowletSrc, trace)
+	stats := run("flowlet switching", flowletSrc, trace)
 	fmt.Println("\nflowlet switching re-balances at burst boundaries while keeping")
 	fmt.Println("within-burst packets on one path, so nothing is reordered.")
+
+	fmt.Println("\nper-port stats (flowlet switching):")
+	fmt.Printf("%4s %10s %12s %8s %12s %12s %10s\n",
+		"port", "enqueues", "bytes", "drops", "departed B", "max queue B", "max depth")
+	for p, st := range stats {
+		fmt.Printf("%4d %10d %12d %8d %12d %12d %10d\n",
+			p, st.Enqueues, st.Bytes, st.Drops, st.DepartedBytes, st.MaxQueue, st.MaxDepth)
+	}
 }

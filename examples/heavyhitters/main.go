@@ -38,16 +38,22 @@ func main() {
 		nPackets  = 200000
 		threshold = 25 // HH_THRESHOLD in the Domino source
 	)
-	trace, truth := workload.HeavyHitterTrace(7, nFlows, nPackets, 1.25)
+	// Header fast path: the trace is generated straight into slab-backed
+	// slot-vector headers and ProcessH mutates each in place — no
+	// per-packet map, no steady-state allocation.
+	hs, truth := workload.HeavyHitterTraceHeaders(m.Layout(), 7, nFlows, nPackets, 1.25)
+	sportS, _ := m.Layout().Slot("sport")
+	dportS, _ := m.Layout().Slot("dport")
+	heavyS, _ := m.Layout().OutputSlot("heavy")
 
 	flagged := map[workload.Flow]bool{}
-	for _, pkt := range trace {
-		out, err := m.Process(pkt)
-		if err != nil {
+	for _, h := range hs {
+		f := workload.Flow{SrcPort: h[sportS], DstPort: h[dportS]}
+		if err := m.ProcessH(h); err != nil {
 			log.Fatal(err)
 		}
-		if out["heavy"] == 1 {
-			flagged[workload.Flow{SrcPort: out["sport"], DstPort: out["dport"]}] = true
+		if h[heavyS] == 1 {
+			flagged[f] = true
 		}
 	}
 

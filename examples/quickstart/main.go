@@ -30,18 +30,31 @@ func main() {
 		fmt.Printf("\non a Write-atom machine: %v\n\n", err)
 	}
 
-	// Run packets: two of the same flow back to back share a hop; after a
-	// long gap the flowlet may be rerouted.
+	// Run packets on the header fast path: a packet is a slot-vector
+	// Header (no per-packet map, no allocation at steady state), fields
+	// are written through the machine's Layout, and ProcessH mutates the
+	// header in place. Two packets of the same flow back to back share a
+	// hop; after a long gap the flowlet may be rerouted.
 	m, err := prog.NewMachine()
 	if err != nil {
 		log.Fatal(err)
 	}
+	l := m.Layout()
+	sport, _ := l.Slot("sport")
+	dport, _ := l.Slot("dport")
+	arrivalSlot, _ := l.Slot("arrival")
+	nextHop, _ := l.OutputSlot("next_hop")
+	id, _ := l.OutputSlot("id")
+
+	h := m.AcquireHeader()
+	defer m.ReleaseHeader(h)
 	for _, arrival := range []int32{100, 103, 5000} {
-		out, err := m.Process(domino.Packet{"sport": 10, "dport": 20, "arrival": arrival})
-		if err != nil {
+		clear(h)
+		h[sport], h[dport], h[arrivalSlot] = 10, 20, arrival
+		if err := m.ProcessH(h); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("packet at t=%-5d → next_hop %d (flowlet id %d)\n",
-			arrival, out["next_hop"], out["id"])
+			arrival, h[nextHop], h[id])
 	}
 }

@@ -1,0 +1,258 @@
+package algorithms
+
+// Scheduler rank transactions: the Domino programs that drive the PIFO
+// scheduling subsystem (internal/pifo), per the companion paper
+// "Programmable Packet Scheduling at Line Rate" (Sivaraman et al.). Each
+// computes a packet's rank — the PIFO push priority — or, for shaping
+// transactions, the wall-clock time at which the packet's subtree may next
+// be visited. Ranks run on the same compiled Banzai engine as the ingress
+// algorithms above, so each scheduler program is subject to the same
+// all-or-nothing line-rate guarantee.
+//
+// Field conventions (see internal/pifo for the wiring contract): input
+// fields are fed by name from the ingress pipeline's departing header;
+// SizeField/TimeField name inputs the scheduler fills with the packet's
+// byte size and the current tick.
+
+import (
+	"fmt"
+
+	"domino/internal/atoms"
+)
+
+// SchedulerAlg is one registry entry of the scheduler catalog.
+type SchedulerAlg struct {
+	// Name is the registry key (lower_snake).
+	Name string
+	// Title is the display name.
+	Title string
+	// Description summarizes the scheduling policy the rank encodes.
+	Description string
+	// Source is the Domino rank transaction.
+	Source string
+	// RankField is the packet field whose final value is the rank (or the
+	// send time, for shaping transactions).
+	RankField string
+	// SizeField, if set, names the input field the scheduler feeds with
+	// the packet's size in bytes.
+	SizeField string
+	// TimeField, if set, names the input field the scheduler feeds with
+	// the current tick (virtual-time input).
+	TimeField string
+	// Shaping marks transactions whose rank is a wall-clock send time
+	// (token bucket) rather than a priority.
+	Shaping bool
+	// LeastAtom is the least expressive stateful atom that runs the
+	// transaction at line rate.
+	LeastAtom atoms.Kind
+}
+
+// STFQRank computes start-time fair queueing ranks with weighted flows.
+// The per-packet virtual cost (size/weight, fixed-point) arrives
+// precomputed in pkt.cost — Banzai atoms cannot divide by a packet field,
+// which is the same reason hardware STFQ implementations precompute the
+// weighted length at the end host or in the parser.
+//
+// Flows are indexed directly (flow % N_FLOWS) rather than hashed, so
+// distinct small flow ids never collide on a virtual-time bucket.
+const STFQRank = `
+// Weighted start-time fair queueing: rank = virtual start time.
+#define N_FLOWS 1024
+
+struct Packet {
+  int flow;
+  int cost;
+  int vtime;
+  int idx;
+  int vfin;
+  int rank;
+};
+
+int last_finish[N_FLOWS] = {0};
+
+void stfq_rank(struct Packet pkt) {
+  pkt.idx = pkt.flow % N_FLOWS;
+  pkt.vfin = pkt.vtime + pkt.cost;
+  if (last_finish[pkt.idx] > pkt.vtime) {
+    // Flow is backlogged: start when the previous packet finishes.
+    pkt.rank = last_finish[pkt.idx];
+    last_finish[pkt.idx] = last_finish[pkt.idx] + pkt.cost;
+  } else {
+    // Flow is idle (or new): restart at the current virtual time.
+    pkt.rank = pkt.vtime;
+    last_finish[pkt.idx] = pkt.vfin;
+  }
+}
+`
+
+// StrictPriorityRank maps a packet's priority class straight to its rank:
+// lower class departs first, classes drain in FIFO order internally.
+const StrictPriorityRank = `
+// Strict priority: rank = priority class (0 departs first).
+struct Packet {
+  int prio;
+  int rank;
+};
+
+void strict_priority_rank(struct Packet pkt) {
+  pkt.rank = pkt.prio;
+}
+`
+
+// WRRRank is weighted round-robin via per-flow virtual time (stride
+// scheduling): each flow's pass advances by its precomputed stride
+// (quantum/weight, reusing the cost field), and the packet's rank is the
+// flow's pass before the advance. Backlogged flows interleave in
+// proportion to their weights.
+const WRRRank = `
+// Weighted round-robin as stride scheduling: rank = per-flow pass value.
+#define N_FLOWS 1024
+
+struct Packet {
+  int flow;
+  int cost;
+  int idx;
+  int rank;
+};
+
+int pass[N_FLOWS] = {0};
+
+void wrr_rank(struct Packet pkt) {
+  pkt.idx = pkt.flow % N_FLOWS;
+  pkt.rank = pass[pkt.idx];
+  pass[pkt.idx] = pass[pkt.idx] + pkt.cost;
+}
+`
+
+// TokenBucketShape computes each packet's earliest send time from a token
+// bucket, formulated as HULL's phantom queue: the bucket's backlog drains
+// at RATE bytes/tick and the packet may depart once the bytes ahead of it
+// have drained. The result (send_time) is a wall-clock tick, so this is a
+// shaping transaction: the PIFO tree holds the subtree's next element
+// until the tick arrives.
+const TokenBucketShape = `
+// Token-bucket shaper: send_time = arrival + backlog ahead / rate.
+#define RATE_SHIFT 3   // drain rate: 8 bytes per tick
+
+struct Packet {
+  int arrival;
+  int size_bytes;
+  int last;
+  int elapsed;
+  int drained;
+  int net;
+  int q;
+  int qahead;
+  int delay;
+  int send_time;
+};
+
+int last_update = 0;
+int vq = 0;
+
+void token_bucket(struct Packet pkt) {
+  pkt.last = last_update;
+  last_update = pkt.arrival;
+  pkt.elapsed = pkt.arrival - pkt.last;
+  pkt.drained = pkt.elapsed << RATE_SHIFT;
+  pkt.net = pkt.drained - pkt.size_bytes;
+  if (vq < pkt.drained) {
+    // Bucket idled long enough to empty: restart at this packet.
+    vq = pkt.size_bytes;
+  } else {
+    // Drain the gap's worth, then add this packet's bytes.
+    vq = vq - pkt.net;
+  }
+  pkt.q = vq;
+  pkt.qahead = pkt.q - pkt.size_bytes;
+  pkt.delay = pkt.qahead >> RATE_SHIFT;
+  pkt.send_time = pkt.arrival + pkt.delay;
+}
+`
+
+// SchedIngress is the pass-through ingress transaction the scheduling
+// demos and tests run in front of the PIFO: it declares every field the
+// scheduler catalog's rank transactions read (so the departing header
+// carries them) and keeps a packet count as its only state.
+const SchedIngress = `
+// Scheduling demo ingress: declare scheduler inputs, count packets.
+struct Packet {
+  int tenant;
+  int flow;
+  int prio;
+  int size_bytes;
+  int cost;
+  int arrival;
+};
+
+int total_pkts = 0;
+
+void sched_ingress(struct Packet pkt) {
+  total_pkts = total_pkts + 1;
+}
+`
+
+// ConstRank ranks every packet 0 — with FIFO tie-breaking, a PIFO running
+// it is exactly a FIFO queue (the differential-test anchor).
+const ConstRank = `
+// Constant rank: PIFO degenerates to FIFO.
+struct Packet {
+  int rank;
+};
+
+void const_rank(struct Packet pkt) {
+  pkt.rank = 0;
+}
+`
+
+// Schedulers returns the scheduler-transaction catalog.
+func Schedulers() []SchedulerAlg {
+	return []SchedulerAlg{
+		{
+			Name:        "stfq_rank",
+			Title:       "Start-time fair queueing",
+			Description: "Weighted max-min fair sharing: rank = per-flow virtual start time",
+			Source:      STFQRank,
+			RankField:   "rank",
+			TimeField:   "vtime",
+			LeastAtom:   atoms.IfElseRAW,
+		},
+		{
+			Name:        "strict_priority_rank",
+			Title:       "Strict priority",
+			Description: "Lower priority class always departs first",
+			Source:      StrictPriorityRank,
+			RankField:   "rank",
+			LeastAtom:   atoms.Stateless,
+		},
+		{
+			Name:        "wrr_rank",
+			Title:       "Weighted round-robin",
+			Description: "Stride scheduling: rank = per-flow pass, advancing by quantum/weight",
+			Source:      WRRRank,
+			RankField:   "rank",
+			LeastAtom:   atoms.ReadAddWrite,
+		},
+		{
+			Name:        "token_bucket_shape",
+			Title:       "Token-bucket shaper",
+			Description: "Shaping: send time from a phantom-queue token bucket",
+			Source:      TokenBucketShape,
+			RankField:   "send_time",
+			SizeField:   "size_bytes",
+			TimeField:   "arrival",
+			Shaping:     true,
+			LeastAtom:   atoms.Sub,
+		},
+	}
+}
+
+// SchedulerByName returns the named scheduler transaction.
+func SchedulerByName(name string) (SchedulerAlg, error) {
+	for _, s := range Schedulers() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return SchedulerAlg{}, fmt.Errorf("algorithms: unknown scheduler %q", name)
+}

@@ -1,0 +1,67 @@
+package algorithms
+
+import (
+	"testing"
+
+	"domino/internal/codegen"
+)
+
+func compileScheduler(t *testing.T, src string) *codegen.Program {
+	t.Helper()
+	p, err := codegen.CompileLeastSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSchedulersCompile proves every scheduler transaction maps to a Banzai
+// target (the PIFO paper's premise: rank computations are packet
+// transactions, so they get the same line-rate guarantee), and that each
+// declares the rank/feed fields its registry entry names.
+func TestSchedulersCompile(t *testing.T) {
+	for _, s := range Schedulers() {
+		t.Run(s.Name, func(t *testing.T) {
+			p := compileScheduler(t, s.Source)
+			if p.LeastAtom != s.LeastAtom {
+				t.Errorf("least atom %s, want %s", p.LeastAtom, s.LeastAtom)
+			}
+			declared := map[string]bool{}
+			for _, f := range p.Info.Fields {
+				declared[f] = true
+			}
+			if !declared[s.RankField] {
+				t.Errorf("rank field %q not declared", s.RankField)
+			}
+			if s.SizeField != "" && !declared[s.SizeField] {
+				t.Errorf("size field %q not declared", s.SizeField)
+			}
+			if s.TimeField != "" && !declared[s.TimeField] {
+				t.Errorf("time field %q not declared", s.TimeField)
+			}
+		})
+	}
+}
+
+// TestSchedulerHelpersCompile covers the demo ingress and the differential
+// anchor, which are compiled by tests and examples rather than the
+// registry.
+func TestSchedulerHelpersCompile(t *testing.T) {
+	for name, src := range map[string]string{
+		"sched_ingress": SchedIngress,
+		"const_rank":    ConstRank,
+	} {
+		t.Run(name, func(t *testing.T) {
+			compileScheduler(t, src)
+		})
+	}
+}
+
+func TestSchedulerByName(t *testing.T) {
+	if _, err := SchedulerByName("stfq_rank"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SchedulerByName("nope"); err == nil {
+		t.Fatal("expected error for unknown scheduler")
+	}
+}

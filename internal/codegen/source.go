@@ -1,0 +1,35 @@
+package codegen
+
+import (
+	"fmt"
+
+	"domino/internal/parser"
+	"domino/internal/passes"
+	"domino/internal/sema"
+)
+
+// CompileLeastSource runs the whole compiler on Domino source — parse,
+// typecheck, normalize, then LeastTarget — returning the program for the
+// least expressive target that runs it at line rate. It is the one-call
+// form of the front end for callers that need no intermediate results
+// (rank transactions, tests, demos); callers that inspect the IR or
+// choose targets themselves keep using the individual passes.
+func CompileLeastSource(src string) (*Program, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := passes.Normalize(info)
+	if err != nil {
+		return nil, err
+	}
+	p, ok, lastErr := LeastTarget(info, norm.IR)
+	if !ok {
+		return nil, fmt.Errorf("codegen: program cannot run at line rate on any target: %w", lastErr)
+	}
+	return p, nil
+}

@@ -1,0 +1,119 @@
+// Package pifo implements programmable packet scheduling with Push-In
+// First-Out queues, the model of the Packet Transactions companion paper
+// "Programmable Packet Scheduling at Line Rate" (Sivaraman et al.): each
+// packet's scheduling order is decided at enqueue by a *rank* that a
+// Domino packet transaction computes, the PIFO inserts the packet in rank
+// order, and dequeue always takes the head. Hierarchical policies compose
+// as a small tree of scheduling and shaping nodes (tree.go).
+//
+// Ranks are real compiled code, not callbacks: every rank or shaping
+// transaction is compiled through the banzai closure engine and runs on
+// the allocation-free header fast path (rank.go), so the PIFO subsystem
+// inherits the line-rate, all-or-nothing guarantee of the ingress
+// pipeline — a scheduling policy either maps to an atom pipeline or is
+// rejected at build time.
+package pifo
+
+import "domino/internal/banzai"
+
+// Item is one element of a PIFO block: a packet (at a leaf node) or a
+// reference to a child node (at an internal node), ordered by Rank with
+// FIFO tie-breaking on push order.
+type Item struct {
+	Rank int32
+	seq  uint64
+
+	// Leaf payload: the queued header and its metadata.
+	H       banzai.Header
+	Size    int64
+	Arrived int64
+	Seq     int64
+
+	// Internal-node payload: the child the element refers to.
+	Child int
+}
+
+// Block is one PIFO: push inserts in rank order, pop removes the minimum
+// rank, equal ranks leave in push order (FIFO tie-break). It is a binary
+// min-heap over (Rank, push sequence) backed by one growable slice, so
+// steady-state push/pop performs no allocation.
+type Block struct {
+	heap   []Item
+	pushes uint64
+}
+
+// itemLess orders a Block's heap by rank, then by push sequence.
+func itemLess(a, b Item) bool {
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	return a.seq < b.seq
+}
+
+// Len returns the number of queued items.
+func (b *Block) Len() int { return len(b.heap) }
+
+// Push inserts an item by its Rank.
+func (b *Block) Push(it Item) {
+	b.pushes++
+	it.seq = b.pushes
+	b.heap = append(b.heap, it)
+	siftUp(b.heap, itemLess)
+}
+
+// Peek returns the head (minimum rank, earliest push) without removing it.
+func (b *Block) Peek() (Item, bool) {
+	if len(b.heap) == 0 {
+		return Item{}, false
+	}
+	return b.heap[0], true
+}
+
+// Pop removes and returns the head.
+func (b *Block) Pop() (Item, bool) {
+	n := len(b.heap)
+	if n == 0 {
+		return Item{}, false
+	}
+	head := b.heap[0]
+	b.heap[0] = b.heap[n-1]
+	b.heap[n-1] = Item{} // drop the header reference
+	b.heap = b.heap[:n-1]
+	siftDown(b.heap, itemLess)
+	return head, true
+}
+
+// siftUp restores the min-heap order after an append at the tail.
+func siftUp[T any](h []T, less func(a, b T) bool) {
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// siftDown restores the min-heap order after the root was replaced by the
+// former tail.
+func siftDown[T any](h []T, less func(a, b T) bool) {
+	n := len(h)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && less(h[l], h[least]) {
+			least = l
+		}
+		if r < n && less(h[r], h[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}

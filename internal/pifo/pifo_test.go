@@ -1,0 +1,114 @@
+package pifo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refPIFO is the obviously-correct reference: a slice kept in insertion
+// order, popped by scanning for the minimum rank (first occurrence wins,
+// which is exactly FIFO tie-breaking).
+type refPIFO struct {
+	items []Item
+}
+
+func (r *refPIFO) push(it Item) { r.items = append(r.items, it) }
+
+func (r *refPIFO) pop() (Item, bool) {
+	if len(r.items) == 0 {
+		return Item{}, false
+	}
+	best := 0
+	for i, it := range r.items {
+		if it.Rank < r.items[best].Rank {
+			best = i
+		}
+		_ = it
+	}
+	out := r.items[best]
+	r.items = append(r.items[:best], r.items[best+1:]...)
+	return out, true
+}
+
+// TestBlockMatchesReference drives a Block and the reference with the same
+// interleaved random push/pop sequence and demands identical pops — which
+// simultaneously proves rank-order pops and FIFO tie-breaking.
+func TestBlockMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var b Block
+	var ref refPIFO
+	seq := int64(0)
+	for step := 0; step < 20000; step++ {
+		if ref.itemsLen() == 0 || rng.Intn(3) != 0 {
+			seq++
+			it := Item{Rank: int32(rng.Intn(16)), Seq: seq} // narrow rank range → many ties
+			b.Push(it)
+			ref.push(it)
+		} else {
+			got, okG := b.Pop()
+			want, okW := ref.pop()
+			if okG != okW {
+				t.Fatalf("step %d: pop ok=%v, reference ok=%v", step, okG, okW)
+			}
+			if got.Rank != want.Rank || got.Seq != want.Seq {
+				t.Fatalf("step %d: popped rank=%d seq=%d, reference rank=%d seq=%d",
+					step, got.Rank, got.Seq, want.Rank, want.Seq)
+			}
+		}
+	}
+}
+
+func (r *refPIFO) itemsLen() int { return len(r.items) }
+
+// TestBlockPopOrderNonDecreasing is the satellite property stated
+// directly: draining any pushed population pops ranks in non-decreasing
+// order, and equal ranks pop in push order.
+func TestBlockPopOrderNonDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var b Block
+	for i := 0; i < 5000; i++ {
+		b.Push(Item{Rank: rng.Int31n(64), Seq: int64(i)})
+	}
+	lastRank := int32(-1 << 31)
+	lastSeqAtRank := int64(-1)
+	for b.Len() > 0 {
+		it, _ := b.Pop()
+		if it.Rank < lastRank {
+			t.Fatalf("rank decreased: %d after %d", it.Rank, lastRank)
+		}
+		if it.Rank == lastRank && it.Seq < lastSeqAtRank {
+			t.Fatalf("FIFO tie-break violated at rank %d: seq %d after %d",
+				it.Rank, it.Seq, lastSeqAtRank)
+		}
+		if it.Rank != lastRank {
+			lastRank = it.Rank
+			lastSeqAtRank = -1
+		}
+		if it.Seq > lastSeqAtRank {
+			lastSeqAtRank = it.Seq
+		}
+	}
+}
+
+// TestBlockZeroAlloc proves the steady-state push/pop cycle allocates
+// nothing once the backing slice has grown.
+func TestBlockZeroAlloc(t *testing.T) {
+	var b Block
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 512; i++ {
+		b.Push(Item{Rank: rng.Int31n(100)})
+	}
+	ranks := make([]int32, 1024)
+	for i := range ranks {
+		ranks[i] = rng.Int31n(100)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		b.Push(Item{Rank: ranks[i&1023]})
+		b.Pop()
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocates %.1f per op, want 0", allocs)
+	}
+}

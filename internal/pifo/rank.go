@@ -1,0 +1,139 @@
+package pifo
+
+// The rank engine: a compiled Domino transaction that maps each packet to
+// its PIFO rank (or, for shaping transactions, its earliest send tick).
+//
+// The rank transaction is an independent Banzai machine with its own
+// layout and its own atom-local state, living next to the ingress
+// pipeline. The two layouts are bridged by name at build time: every
+// packet field the rank program declares is fed from the ingress header's
+// departing value of the same field (final SSA version, falling back to
+// the input slot for fields the ingress never writes). Fields the ingress
+// does not carry stay zero unless they are the declared SizeField or
+// TimeField, which the scheduler fills with the packet's byte size and
+// the current tick.
+//
+// The hot path is allocation-free: the engine owns one scratch header,
+// clears it, copies the precomputed slot pairs, runs ProcessH (the
+// compiled closure engine), and reads the rank's final-version slot.
+
+import (
+	"fmt"
+
+	"domino/internal/banzai"
+	"domino/internal/codegen"
+)
+
+// RankSpec describes one rank or shaping transaction.
+type RankSpec struct {
+	// Source is the Domino program computing the rank.
+	Source string
+	// Field is the packet field whose departing value is the rank
+	// (defaults to "rank").
+	Field string
+	// SizeField, if set, names the input field fed with the packet's size
+	// in bytes.
+	SizeField string
+	// TimeField, if set, names the input field fed with the current tick
+	// (the virtual-time input of STFQ-style ranks, or the wall clock of
+	// shaping transactions).
+	TimeField string
+}
+
+// slotPair copies one ingress header slot into one rank header slot.
+type slotPair struct {
+	src, dst int
+}
+
+// rankEngine executes one compiled rank transaction.
+type rankEngine struct {
+	m        *banzai.Machine
+	scratch  banzai.Header
+	copies   []slotPair
+	sizeSlot int // rank-layout slot fed with the packet size; -1 unused
+	timeSlot int // rank-layout slot fed with the current tick; -1 unused
+	rankSlot int // rank-layout slot holding the departing rank
+}
+
+// newRankEngine compiles the spec (least expressive target, the same
+// all-or-nothing contract as the ingress pipeline) and precomputes the
+// ingress→rank slot bridge against the ingress pipeline's layout.
+func newRankEngine(spec RankSpec, ingress *banzai.Layout) (*rankEngine, error) {
+	field := spec.Field
+	if field == "" {
+		field = "rank"
+	}
+	p, err := codegen.CompileLeastSource(spec.Source)
+	if err != nil {
+		return nil, fmt.Errorf("rank transaction: %w", err)
+	}
+	m, err := banzai.New(p)
+	if err != nil {
+		return nil, err
+	}
+	l := m.Layout()
+	e := &rankEngine{
+		m:        m,
+		scratch:  m.AcquireHeader(),
+		sizeSlot: -1,
+		timeSlot: -1,
+	}
+	rankSlot, ok := l.OutputSlot(field)
+	if !ok {
+		return nil, fmt.Errorf("rank transaction has no packet field %q", field)
+	}
+	e.rankSlot = rankSlot
+	for _, f := range p.Info.Fields {
+		dst, ok := l.Slot(f)
+		if !ok {
+			continue
+		}
+		switch f {
+		case spec.SizeField:
+			e.sizeSlot = dst
+			continue
+		case spec.TimeField:
+			e.timeSlot = dst
+			continue
+		}
+		// Prefer the ingress pipeline's departing value; fall back to the
+		// input slot for fields the ingress declares but never rewrites.
+		if src, ok := ingress.OutputSlot(f); ok {
+			e.copies = append(e.copies, slotPair{src: src, dst: dst})
+		} else if src, ok := ingress.Slot(f); ok {
+			e.copies = append(e.copies, slotPair{src: src, dst: dst})
+		}
+	}
+	if spec.SizeField != "" && e.sizeSlot < 0 {
+		return nil, fmt.Errorf("rank transaction has no size field %q", spec.SizeField)
+	}
+	if spec.TimeField != "" && e.timeSlot < 0 {
+		return nil, fmt.Errorf("rank transaction has no time field %q", spec.TimeField)
+	}
+	return e, nil
+}
+
+// rank runs the transaction on one packet and returns its rank. h is the
+// ingress-processed header (read only); size and now feed the declared
+// Size/Time fields. The engine's state (virtual times, token buckets, …)
+// advances exactly as if the transaction ran serially per packet.
+func (e *rankEngine) rank(h banzai.Header, size, now int64) int32 {
+	clear(e.scratch)
+	for _, c := range e.copies {
+		e.scratch[c.dst] = h[c.src]
+	}
+	if e.sizeSlot >= 0 {
+		e.scratch[e.sizeSlot] = int32(size)
+	}
+	if e.timeSlot >= 0 {
+		e.scratch[e.timeSlot] = int32(now)
+	}
+	// ProcessH can only fail with packets in flight; this machine is never
+	// ticked, so the busy case cannot arise.
+	_ = e.m.ProcessH(e.scratch)
+	return e.scratch[e.rankSlot]
+}
+
+// Machine exposes the rank transaction's compiled pipeline (for state
+// inspection in tests and demos).
+func (e *rankEngine) Machine() *banzai.Machine { return e.m }

@@ -1,0 +1,338 @@
+package pifo
+
+// The PIFO tree: hierarchical composition of scheduling and shaping
+// policies (the paper's "PIFO block" mesh, restricted to a tree).
+//
+// Composition rules:
+//
+//   - Every node owns one PIFO. A leaf's PIFO holds packets; an internal
+//     node's PIFO holds one anonymous reference to a child per packet
+//     queued beneath it. Pop walks refs from the root down and yields the
+//     leaf packet, so each node's rank transaction decides the order among
+//     its own elements only.
+//   - Packets descend from the root to a leaf by each internal node's
+//     ClassField (a packet field reduced modulo the child count).
+//   - All ranks on the path are computed at enqueue time, bottom-up, by
+//     each node's scheduling transaction (nil = constant 0 = FIFO).
+//   - A node's shaping transaction computes a wall-clock send tick. The
+//     reference push into the node's *parent* (and transitively above) is
+//     deferred until that tick: the subtree stays popped-through at most
+//     at the shaped rate, while its internal order keeps following the
+//     scheduling ranks. References are anonymous, so shaping rate-limits
+//     the subtree, not individual packets — exactly the paper's model.
+//
+// Each port gets its own tree instance with private rank-transaction
+// state, mirroring a physical per-port scheduler.
+
+import (
+	"fmt"
+	"math"
+
+	"domino/internal/algorithms"
+	"domino/internal/banzai"
+	"domino/internal/switchsim"
+)
+
+// MaxDepth bounds the PIFO tree height (root to leaf, inclusive).
+const MaxDepth = 8
+
+// NodeSpec describes one node of a PIFO tree.
+type NodeSpec struct {
+	// Name labels the node in errors and inspection output.
+	Name string
+	// Rank is the node's scheduling transaction; nil ranks every element
+	// 0, which with FIFO tie-breaking is plain FIFO order.
+	Rank *RankSpec
+	// Shaper is the node's optional shaping transaction; its rank field
+	// is interpreted as the earliest tick at which the node's next
+	// element may become visible to the parent.
+	Shaper *RankSpec
+	// ClassField selects the child a packet descends to (reduced modulo
+	// len(Children)). Required when the node has more than one child.
+	ClassField string
+	// Children are the node's subtrees; empty marks a leaf.
+	Children []NodeSpec
+}
+
+// Tree is a switchsim.Scheduler that instantiates one PIFO tree per
+// output port.
+type Tree struct {
+	Root NodeSpec
+}
+
+// Flat returns the degenerate one-node tree: a single PIFO ordered by the
+// given rank transaction.
+func Flat(rank RankSpec) *Tree {
+	return &Tree{Root: NodeSpec{Name: "root", Rank: &rank}}
+}
+
+// SpecFor adapts a scheduler-catalog entry (algorithms.Schedulers) to a
+// RankSpec.
+func SpecFor(s algorithms.SchedulerAlg) RankSpec {
+	return RankSpec{
+		Source:    s.Source,
+		Field:     s.RankField,
+		SizeField: s.SizeField,
+		TimeField: s.TimeField,
+	}
+}
+
+// NamedSpec looks up a catalog scheduler transaction by name.
+func NamedSpec(name string) (RankSpec, error) {
+	s, err := algorithms.SchedulerByName(name)
+	if err != nil {
+		return RankSpec{}, err
+	}
+	return SpecFor(s), nil
+}
+
+// Build compiles every node's transactions against the ingress layout and
+// returns one independent scheduler per port.
+func (t *Tree) Build(l *banzai.Layout, ports int) ([]switchsim.PortScheduler, error) {
+	out := make([]switchsim.PortScheduler, ports)
+	for p := range out {
+		s := &portScheduler{lastRelease: math.MinInt64}
+		root, err := buildNode(&t.Root, l, nil, 1, s)
+		if err != nil {
+			return nil, err
+		}
+		s.root = root
+		out[p] = s
+	}
+	return out, nil
+}
+
+// node is one instantiated tree node.
+type node struct {
+	name      string
+	rank      *rankEngine // nil → constant rank 0
+	shaper    *rankEngine // nil → pushes to the parent are immediate
+	classSlot int         // ingress slot classifying the child; -1 → child 0
+	pifo      Block
+	cal       calHeap // deferred reference pushes, keyed by send tick
+	parent    *node
+	selfIdx   int // index in parent.children
+	children  []*node
+}
+
+func buildNode(spec *NodeSpec, l *banzai.Layout, parent *node, depth int, s *portScheduler) (*node, error) {
+	name := spec.Name
+	if name == "" {
+		name = "node"
+	}
+	if depth > MaxDepth {
+		return nil, fmt.Errorf("pifo: tree deeper than %d at node %q", MaxDepth, name)
+	}
+	n := &node{name: name, parent: parent, classSlot: -1}
+	var err error
+	if spec.Rank != nil {
+		if n.rank, err = newRankEngine(*spec.Rank, l); err != nil {
+			return nil, fmt.Errorf("pifo: node %q rank: %w", name, err)
+		}
+	}
+	if spec.Shaper != nil {
+		if parent == nil {
+			return nil, fmt.Errorf("pifo: node %q: a shaper defers pushes into the parent, so the root cannot have one", name)
+		}
+		if n.shaper, err = newRankEngine(*spec.Shaper, l); err != nil {
+			return nil, fmt.Errorf("pifo: node %q shaper: %w", name, err)
+		}
+		s.shaped = append(s.shaped, n)
+	}
+	if len(spec.Children) > 1 {
+		if spec.ClassField == "" {
+			return nil, fmt.Errorf("pifo: node %q has %d children but no ClassField", name, len(spec.Children))
+		}
+		slot, ok := l.OutputSlot(spec.ClassField)
+		if !ok {
+			slot, ok = l.Slot(spec.ClassField)
+		}
+		if !ok {
+			return nil, fmt.Errorf("pifo: node %q: ingress program has no packet field %q to classify by", name, spec.ClassField)
+		}
+		n.classSlot = slot
+	}
+	for i := range spec.Children {
+		c, err := buildNode(&spec.Children[i], l, n, depth+1, s)
+		if err != nil {
+			return nil, err
+		}
+		c.selfIdx = i
+		n.children = append(n.children, c)
+	}
+	return n, nil
+}
+
+// calItem is one deferred reference push: at tick send, the element of
+// path[hop] becomes visible to its parent. The precomputed path ranks and
+// send ticks ride along so the upward walk can resume (and re-defer at a
+// higher shaped node if needed).
+type calItem struct {
+	send  int32
+	seq   uint64
+	hop   int
+	ranks [MaxDepth]int32
+	sends [MaxDepth]int32
+}
+
+// calHeap is a min-heap of calItems by (send, push order) — the shaping
+// calendar queue. It shares the sift logic with Block.
+type calHeap struct {
+	heap   []calItem
+	pushes uint64
+}
+
+// calLess orders the calendar by send tick, then by push sequence.
+func calLess(a, b calItem) bool {
+	if a.send != b.send {
+		return a.send < b.send
+	}
+	return a.seq < b.seq
+}
+
+func (c *calHeap) len() int { return len(c.heap) }
+
+func (c *calHeap) push(it calItem) {
+	c.pushes++
+	it.seq = c.pushes
+	c.heap = append(c.heap, it)
+	siftUp(c.heap, calLess)
+}
+
+func (c *calHeap) peekSend() int32 { return c.heap[0].send }
+
+func (c *calHeap) pop() calItem {
+	head := c.heap[0]
+	n := len(c.heap)
+	c.heap[0] = c.heap[n-1]
+	c.heap = c.heap[:n-1]
+	siftDown(c.heap, calLess)
+	return head
+}
+
+// portScheduler is one port's PIFO tree; it implements
+// switchsim.PortScheduler. All scratch lives inline, so the steady-state
+// enqueue/dequeue path performs no allocation.
+type portScheduler struct {
+	root   *node
+	shaped []*node
+	count  int
+	path   [MaxDepth]*node
+	ranks  [MaxDepth]int32
+	sends  [MaxDepth]int32
+	// lastRelease is the most recent tick release ran at, so the
+	// Head-then-Dequeue pattern scans the calendars once per tick.
+	lastRelease int64
+}
+
+// Enqueue classifies the packet to a leaf, runs every scheduling and
+// shaping transaction on its root-to-leaf path, pushes the packet into
+// the leaf PIFO and reference elements into each ancestor — deferring at
+// the first shaped hop whose send tick is still in the future.
+func (s *portScheduler) Enqueue(q switchsim.QueuedHeader) {
+	// Descend by classification.
+	n := s.root
+	for len(n.children) > 0 {
+		c := 0
+		if n.classSlot >= 0 {
+			c = int(q.H[n.classSlot]) % len(n.children)
+			if c < 0 {
+				c += len(n.children)
+			}
+		}
+		n = n.children[c]
+	}
+	// Collect the leaf-to-root path and compute all ranks and send ticks
+	// now, while the packet is in hand (the paper computes every
+	// transaction at enqueue; shaping only delays pushes).
+	depth := 0
+	for x := n; x != nil; x = x.parent {
+		s.path[depth] = x
+		depth++
+	}
+	for i := 0; i < depth; i++ {
+		x := s.path[i]
+		if x.rank != nil {
+			s.ranks[i] = x.rank.rank(q.H, q.Size, q.Arrived)
+		} else {
+			s.ranks[i] = 0
+		}
+		if x.shaper != nil {
+			s.sends[i] = x.shaper.rank(q.H, q.Size, q.Arrived)
+		}
+	}
+	n.pifo.Push(Item{Rank: s.ranks[0], H: q.H, Size: q.Size, Arrived: q.Arrived, Seq: q.Seq})
+	s.count++
+	s.pushRefs(n, &s.ranks, &s.sends, 0, q.Arrived)
+}
+
+// pushRefs walks from node x (at path position hop) toward the root,
+// pushing one reference per ancestor; a shaped hop whose send tick is
+// still in the future parks the remainder of the walk in that node's
+// calendar.
+func (s *portScheduler) pushRefs(x *node, ranks, sends *[MaxDepth]int32, hop int, now int64) {
+	for x.parent != nil {
+		if x.shaper != nil && int64(sends[hop]) > now {
+			x.cal.push(calItem{send: sends[hop], hop: hop, ranks: *ranks, sends: *sends})
+			return
+		}
+		x.parent.pifo.Push(Item{Rank: ranks[hop+1], Child: x.selfIdx})
+		x = x.parent
+		hop++
+	}
+}
+
+// release performs every deferred push whose send tick has arrived. A
+// released walk re-evaluates higher shaped hops and may re-defer there.
+// Repeat calls at one tick are no-ops: any calendar entry added after the
+// tick's first scan carries a send tick in the future (the enqueue gate
+// pushes due refs inline), so there is nothing new to release — Head
+// followed by Dequeue pays for one scan, not two. Ticks are assumed
+// non-decreasing, per the single-caller switch contract.
+func (s *portScheduler) release(now int64) {
+	if now == s.lastRelease {
+		return
+	}
+	s.lastRelease = now
+	for _, sn := range s.shaped {
+		for sn.cal.len() > 0 && int64(sn.cal.peekSend()) <= now {
+			it := sn.cal.pop()
+			s.pushRefs(sn, &it.ranks, &it.sends, it.hop, now)
+		}
+	}
+}
+
+// Head returns the packet the next Dequeue would serve at tick now.
+func (s *portScheduler) Head(now int64) (switchsim.QueuedHeader, bool) {
+	s.release(now)
+	n := s.root
+	for {
+		it, ok := n.pifo.Peek()
+		if !ok {
+			return switchsim.QueuedHeader{}, false
+		}
+		if len(n.children) == 0 {
+			return switchsim.QueuedHeader{H: it.H, Size: it.Size, Arrived: it.Arrived, Seq: it.Seq}, true
+		}
+		n = n.children[it.Child]
+	}
+}
+
+// Dequeue pops the root's head reference chain down to a leaf packet.
+func (s *portScheduler) Dequeue(now int64) (switchsim.QueuedHeader, bool) {
+	s.release(now)
+	n := s.root
+	if n.pifo.Len() == 0 {
+		return switchsim.QueuedHeader{}, false
+	}
+	for len(n.children) > 0 {
+		it, _ := n.pifo.Pop()
+		n = n.children[it.Child]
+	}
+	it, _ := n.pifo.Pop()
+	s.count--
+	return switchsim.QueuedHeader{H: it.H, Size: it.Size, Arrived: it.Arrived, Seq: it.Seq}, true
+}
+
+// Len counts every packet held, including ones shaping currently hides.
+func (s *portScheduler) Len() int { return s.count }

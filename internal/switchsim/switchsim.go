@@ -6,10 +6,15 @@
 // the port's service rate.
 //
 // Internally the switch runs on the banzai header fast path: packets sit
-// in the output queues as slot-vector headers inside ring buffers (no
-// per-dequeue slice shifting, no per-packet map), and headers are recycled
-// through the embedded machine's free list when they depart or drop. The
-// interp.Packet codec runs only at the Inject/Departure edges.
+// in the output queues as slot-vector headers (no per-dequeue slice
+// shifting, no per-packet map), and headers are recycled through the
+// embedded machine's free list when they depart or drop. The interp.Packet
+// codec runs only at the Inject/Departure edges.
+//
+// Each output port's service order is pluggable (Config.Scheduler): the
+// default is a FIFO ring with tail drop, and internal/pifo provides PIFO
+// scheduling trees whose ranks are computed by compiled Domino
+// transactions (the "Programmable Packet Scheduling" companion model).
 package switchsim
 
 import (
@@ -32,9 +37,45 @@ type Config struct {
 	// selects the output port, reduced modulo Ports. Empty routes by a
 	// round-robin spray.
 	RouteField string
+	// Scheduler chooses each port's service order. Nil means FIFO with
+	// tail drop (the pre-PIFO behavior). The byte cap (QueueCapBytes) is
+	// enforced by the switch regardless of scheduler.
+	Scheduler Scheduler
 }
 
-// QueuedPacket is a packet waiting in an output queue.
+// QueuedHeader is a header waiting in an output queue plus its queueing
+// metadata. The header stays owned by the switch: it returns to the
+// machine's free list when the packet departs or drops.
+type QueuedHeader struct {
+	H       banzai.Header
+	Size    int64
+	Arrived int64 // tick of enqueue
+	Seq     int64 // injection sequence number, for reordering analysis
+}
+
+// PortScheduler orders one output port's packets. Implementations are
+// single-caller (the switch) and must be FIFO among equal-priority
+// packets. Enqueue never rejects — admission (the byte cap) is the
+// switch's job. Head/Dequeue take the current tick so shaping schedulers
+// can hold packets until their send time; Head must return exactly the
+// packet the next Dequeue at the same tick would remove. Len counts every
+// packet held, including ones a shaper is currently hiding.
+type PortScheduler interface {
+	Enqueue(q QueuedHeader)
+	Head(now int64) (QueuedHeader, bool)
+	Dequeue(now int64) (QueuedHeader, bool)
+	Len() int
+}
+
+// Scheduler builds one PortScheduler per output port at switch
+// construction time. The ingress machine's layout is passed so rank
+// computations can locate packet fields in the departing headers.
+type Scheduler interface {
+	Build(l *banzai.Layout, ports int) ([]PortScheduler, error)
+}
+
+// QueuedPacket is a packet waiting in an output queue, in map form (the
+// Departure edge representation).
 type QueuedPacket struct {
 	Pkt     interp.Packet
 	Size    int64
@@ -51,36 +92,35 @@ type Departure struct {
 
 // PortStats accumulates per-port load figures.
 type PortStats struct {
-	Packets    int64
-	Bytes      int64
-	Drops      int64
-	MaxQueue   int64
+	// Enqueues and Bytes count packets/bytes accepted into the queue.
+	Enqueues int64
+	Bytes    int64
+	// Drops counts arrivals rejected by the byte cap.
+	Drops int64
+	// Departures and DepartedBytes count packets/bytes served.
+	Departures    int64
+	DepartedBytes int64
+	// MaxQueue is the peak queued bytes; MaxDepth the peak queued packets.
+	MaxQueue int64
+	MaxDepth int64
+	// QueueBytes is the bytes currently queued.
 	QueueBytes int64
 }
 
-// queuedHeader is the in-queue representation: the processed header plus
-// its queueing metadata. The header is owned by the queue and returns to
-// the machine's free list on departure or drop.
-type queuedHeader struct {
-	h       banzai.Header
-	size    int64
-	arrived int64
-	seq     int64
-}
-
-// ring is a growable circular FIFO of queuedHeaders: enqueue at the tail,
-// dequeue at the head, no element shifting.
-type ring struct {
-	buf  []queuedHeader
+// fifoRing is the default port scheduler: a growable circular FIFO of
+// QueuedHeaders — enqueue at the tail, dequeue at the head, no element
+// shifting, no rank computation.
+type fifoRing struct {
+	buf  []QueuedHeader
 	head int
 	n    int
 }
 
-func (r *ring) len() int { return r.n }
+func (r *fifoRing) Len() int { return r.n }
 
-func (r *ring) push(q queuedHeader) {
+func (r *fifoRing) Enqueue(q QueuedHeader) {
 	if r.n == len(r.buf) {
-		grown := make([]queuedHeader, max(8, 2*len(r.buf)))
+		grown := make([]QueuedHeader, max(8, 2*len(r.buf)))
 		for i := 0; i < r.n; i++ {
 			grown[i] = r.buf[(r.head+i)%len(r.buf)]
 		}
@@ -91,14 +131,33 @@ func (r *ring) push(q queuedHeader) {
 	r.n++
 }
 
-func (r *ring) front() *queuedHeader { return &r.buf[r.head] }
+func (r *fifoRing) Head(now int64) (QueuedHeader, bool) {
+	if r.n == 0 {
+		return QueuedHeader{}, false
+	}
+	return r.buf[r.head], true
+}
 
-func (r *ring) pop() queuedHeader {
+func (r *fifoRing) Dequeue(now int64) (QueuedHeader, bool) {
+	if r.n == 0 {
+		return QueuedHeader{}, false
+	}
 	q := r.buf[r.head]
-	r.buf[r.head] = queuedHeader{}
+	r.buf[r.head] = QueuedHeader{}
 	r.head = (r.head + 1) % len(r.buf)
 	r.n--
-	return q
+	return q, true
+}
+
+// fifoScheduler builds the default FIFO rings.
+type fifoScheduler struct{}
+
+func (fifoScheduler) Build(l *banzai.Layout, ports int) ([]PortScheduler, error) {
+	out := make([]PortScheduler, ports)
+	for i := range out {
+		out[i] = &fifoRing{}
+	}
+	return out, nil
 }
 
 // Switch is an output-queued switch with a Banzai ingress pipeline.
@@ -106,7 +165,7 @@ type Switch struct {
 	cfg       Config
 	machine   *banzai.Machine
 	routeSlot int // slot of RouteField's departing value; -1 → round-robin
-	queues    []ring
+	queues    []PortScheduler
 	stats     []PortStats
 	now       int64
 	seq       int64
@@ -136,11 +195,22 @@ func New(prog *codegen.Program, cfg Config) (*Switch, error) {
 		}
 		routeSlot = slot
 	}
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = fifoScheduler{}
+	}
+	queues, err := sched.Build(m.Layout(), cfg.Ports)
+	if err != nil {
+		return nil, fmt.Errorf("switchsim: building scheduler: %w", err)
+	}
+	if len(queues) != cfg.Ports {
+		return nil, fmt.Errorf("switchsim: scheduler built %d port queues, want %d", len(queues), cfg.Ports)
+	}
 	return &Switch{
 		cfg:       cfg,
 		machine:   m,
 		routeSlot: routeSlot,
-		queues:    make([]ring, cfg.Ports),
+		queues:    queues,
 		stats:     make([]PortStats, cfg.Ports),
 	}, nil
 }
@@ -197,12 +267,15 @@ func (s *Switch) enqueue(h banzai.Header, size int64) (port int, dropped bool) {
 		return port, true
 	}
 	s.seq++
-	s.queues[port].push(queuedHeader{h: h, size: size, arrived: s.now, seq: s.seq})
-	st.Packets++
+	s.queues[port].Enqueue(QueuedHeader{H: h, Size: size, Arrived: s.now, Seq: s.seq})
+	st.Enqueues++
 	st.Bytes += size
 	st.QueueBytes += size
 	if st.QueueBytes > st.MaxQueue {
 		st.MaxQueue = st.QueueBytes
+	}
+	if depth := int64(s.queues[port].Len()); depth > st.MaxDepth {
+		st.MaxDepth = depth
 	}
 	return port, false
 }
@@ -221,40 +294,50 @@ func (s *Switch) Inject(pkt interp.Packet, size int64) (out interp.Packet, port 
 	return out, port, dropped, nil
 }
 
-// Tick advances time one unit: each port drains up to its service rate.
+// Tick advances time one unit: each port drains up to its service rate in
+// the order its scheduler dictates.
 func (s *Switch) Tick() []Departure {
 	s.now++
 	var deps []Departure
 	for p := range s.queues {
-		q := &s.queues[p]
+		q := s.queues[p]
 		budget := s.cfg.ServiceBytesPerTick
-		for q.len() > 0 && budget >= q.front().size {
-			qh := q.pop()
-			budget -= qh.size
-			s.stats[p].QueueBytes -= qh.size
+		for {
+			head, ok := q.Head(s.now)
+			if !ok || head.Size > budget {
+				break
+			}
+			qh, _ := q.Dequeue(s.now)
+			budget -= qh.Size
+			st := &s.stats[p]
+			st.QueueBytes -= qh.Size
+			st.Departures++
+			st.DepartedBytes += qh.Size
 			deps = append(deps, Departure{
 				QueuedPacket: QueuedPacket{
-					Pkt:     s.machine.Layout().Output(qh.h),
-					Size:    qh.size,
-					Arrived: qh.arrived,
-					Seq:     qh.seq,
+					Pkt:     s.machine.Layout().Output(qh.H),
+					Size:    qh.Size,
+					Arrived: qh.Arrived,
+					Seq:     qh.Seq,
 				},
 				Port:     p,
 				Departed: s.now,
 			})
-			s.machine.ReleaseHeader(qh.h)
+			s.machine.ReleaseHeader(qh.H)
 		}
 	}
 	return deps
 }
 
-// Drain ticks until every queue is empty, returning all departures.
+// Drain ticks until every queue is empty, returning all departures. With a
+// shaping scheduler this includes idle ticks spent waiting for send times
+// to arrive.
 func (s *Switch) Drain() []Departure {
 	var deps []Departure
 	for {
 		empty := true
 		for p := range s.queues {
-			if s.queues[p].len() > 0 {
+			if s.queues[p].Len() > 0 {
 				empty = false
 			}
 		}

@@ -6,9 +6,6 @@ import (
 	"domino/internal/algorithms"
 	"domino/internal/codegen"
 	"domino/internal/interp"
-	"domino/internal/parser"
-	"domino/internal/passes"
-	"domino/internal/sema"
 	"domino/internal/workload"
 )
 
@@ -18,20 +15,8 @@ func compileAlg(t *testing.T, name string) *codegen.Program {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := parser.Parse(a.Source)
+	p, err := codegen.CompileLeastSource(a.Source)
 	if err != nil {
-		t.Fatal(err)
-	}
-	info, err := sema.Check(prog)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := passes.Normalize(info)
-	if err != nil {
-		t.Fatal(err)
-	}
-	p, ok, err := codegen.LeastTarget(info, res.IR)
-	if !ok {
 		t.Fatal(err)
 	}
 	return p
@@ -70,7 +55,7 @@ func TestFlowletSwitchRouting(t *testing.T) {
 	// Load should reach every port.
 	busy := 0
 	for _, st := range sw.Stats() {
-		if st.Packets > 0 {
+		if st.Enqueues > 0 {
 			busy++
 		}
 	}

@@ -81,6 +81,25 @@ func CongaTraceHeaders(l *banzai.Layout, seed int64, nPaths, nDsts, n int) []ban
 	return hs
 }
 
+// MultiTenantTraceHeaders is MultiTenantTrace generated directly into
+// headers of the given layout (fields tenant, flow, prio, size_bytes,
+// cost, arrival), with the same per-tenant offered-bytes truth.
+func MultiTenantTraceHeaders(l *banzai.Layout, seed int64, tenants []TenantSpec, nPackets, pktsPerTick int) ([]banzai.Header, []int64) {
+	hs := headerSlab(l, nPackets)
+	tenantS, flowS, prioS := slot(l, "tenant"), slot(l, "flow"), slot(l, "prio")
+	sizeS, costS, arrS := slot(l, "size_bytes"), slot(l, "cost"), slot(l, "arrival")
+	offered := make([]int64, len(tenants))
+	i := 0
+	multiTenantGen(seed, tenants, nPackets, pktsPerTick, func(tenant, flow, prio, size, cost, arrival int32) {
+		offered[tenant] += int64(size)
+		h := hs[i]
+		h[tenantS], h[flowS], h[prioS] = tenant, flow, prio
+		h[sizeS], h[costS], h[arrS] = size, cost, arrival
+		i++
+	})
+	return hs, offered
+}
+
 // EncodeTrace converts a map-based trace into headers of the layout, one
 // slab allocation for the whole trace — the bridge for generators that have
 // no header-native form yet.

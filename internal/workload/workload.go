@@ -219,6 +219,77 @@ func AQMTrace(seed int64, n int) []interp.Packet {
 	return out
 }
 
+// TenantSpec describes one tenant of the multi-tenant scheduling trace: a
+// fair-share weight and a number of concurrent flows.
+type TenantSpec struct {
+	Weight int32
+	Flows  int
+}
+
+// CostScale is the fixed-point scale of the per-packet virtual cost the
+// multi-tenant trace precomputes (cost = size_bytes*CostScale/weight).
+// Banzai atoms cannot divide by a packet field, so the division happens at
+// trace time — the same reason hardware STFQ precomputes weighted lengths
+// outside the rank transaction. 60 divides evenly by weights 1..6, keeping
+// small-weight shares exact.
+const CostScale = 60
+
+// multiTenantGen is the generator core shared by the map- and
+// header-based multi-tenant traces. Each packet draws a tenant uniformly
+// (equal offered load per tenant, so scheduling alone decides shares), a
+// flow within the tenant, and a size; pktsPerTick packets share each
+// arrival tick, pacing the offered rate against a port's service rate.
+func multiTenantGen(seed int64, tenants []TenantSpec, nPackets, pktsPerTick int,
+	emit func(tenant, flow, prio, size, cost, arrival int32)) {
+	rng := rand.New(rand.NewSource(seed))
+	base := make([]int32, len(tenants))
+	next := int32(0)
+	for t, spec := range tenants {
+		if spec.Weight <= 0 {
+			panic("workload: tenant weight must be positive")
+		}
+		if spec.Flows <= 0 {
+			panic("workload: tenant needs at least one flow")
+		}
+		base[t] = next
+		next += int32(spec.Flows)
+	}
+	if pktsPerTick < 1 {
+		pktsPerTick = 1
+	}
+	for n := 0; n < nPackets; n++ {
+		t := rng.Intn(len(tenants))
+		spec := tenants[t]
+		flow := base[t] + int32(rng.Intn(spec.Flows))
+		size := 64 + 32*rng.Int31n(15) // 64..512 bytes
+		cost := size * CostScale / spec.Weight
+		emit(int32(t), flow, int32(t), size, cost, int32(n/pktsPerTick))
+	}
+}
+
+// MultiTenantTrace produces the multi-tenant weighted-flow workload the
+// PIFO schedulers are evaluated on. Each packet carries tenant (= its
+// priority class prio), a globally unique flow id, size_bytes, the
+// precomputed virtual cost (size_bytes*CostScale/weight — STFQ's and
+// WRR's per-packet charge), and an arrival tick. It also returns the
+// per-tenant offered bytes, the denominator of fairness measurements.
+func MultiTenantTrace(seed int64, tenants []TenantSpec, nPackets, pktsPerTick int) ([]interp.Packet, []int64) {
+	out := make([]interp.Packet, 0, nPackets)
+	offered := make([]int64, len(tenants))
+	multiTenantGen(seed, tenants, nPackets, pktsPerTick, func(tenant, flow, prio, size, cost, arrival int32) {
+		offered[tenant] += int64(size)
+		out = append(out, interp.Packet{
+			"tenant":     tenant,
+			"flow":       flow,
+			"prio":       prio,
+			"size_bytes": size,
+			"cost":       cost,
+			"arrival":    arrival,
+		})
+	})
+	return out, offered
+}
+
 // STFQTrace produces packets with flow IDs, lengths and the current round
 // number (advancing slowly), for the WFQ priority computation.
 func STFQTrace(seed int64, nFlows, n int) []interp.Packet {
