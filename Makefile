@@ -2,10 +2,12 @@ GO ?= go
 # bash for pipefail in the bench recipe.
 SHELL := /bin/bash
 
-# BENCH_OUT is the committed per-PR benchmark snapshot `make bench` emits.
-BENCH_OUT ?= BENCH_pr3.json
+# BENCH_OUT is the committed per-PR benchmark snapshot `make bench` emits;
+# BENCH_BASE is the previous PR's snapshot bench-delta compares against.
+BENCH_OUT ?= BENCH_pr4.json
+BENCH_BASE ?= BENCH_pr3.json
 
-.PHONY: check fmt vet build test race bench bench-smoke
+.PHONY: check fmt vet build test race bench bench-smoke bench-delta
 
 check: fmt vet build test race
 
@@ -37,3 +39,8 @@ bench:
 # CI runs this.
 bench-smoke:
 	$(GO) test . -run xxx -bench . -benchtime 1x
+
+# bench-delta prints per-benchmark pkts/s ratios between the previous
+# PR's snapshot and the current one (new/old; >1 is faster).
+bench-delta:
+	$(GO) run ./cmd/benchjson -delta $(BENCH_BASE) $(BENCH_OUT)

@@ -563,6 +563,58 @@ func BenchmarkP4Generation(b *testing.B) {
 	b.ReportMetric(float64(prog.DominoLOC()), "domino_loc")
 }
 
+// BenchmarkOptimizer reports what the machine-build-time optimizer does
+// to each compiling catalog algorithm and each scheduler rank transaction
+// (ops and slots before/after, plus the build cost) — the measured, not
+// assumed, payoff of the PR 4 optimizer. Rank transactions build with
+// their liveness roots narrowed to the rank field, exactly as the pifo
+// engines build them.
+func BenchmarkOptimizer(b *testing.B) {
+	report := func(b *testing.B, m *banzai.Machine) {
+		st := m.OptStats()
+		b.ReportMetric(float64(st.OpsBefore), "ops_pre")
+		b.ReportMetric(float64(st.OpsAfter), "ops_post")
+		b.ReportMetric(float64(st.SlotsBefore), "slots_pre")
+		b.ReportMetric(float64(st.SlotsAfter), "slots_post")
+		b.ReportMetric(float64(st.AtomsBefore), "atoms_pre")
+		b.ReportMetric(float64(st.AtomsAfter), "atoms_post")
+	}
+	for _, a := range algorithms.All() {
+		if !a.Maps {
+			continue
+		}
+		b.Run(a.Name, func(b *testing.B) {
+			p, err := codegen.CompileLeastSource(a.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var m *banzai.Machine
+			for i := 0; i < b.N; i++ {
+				if m, err = banzai.New(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, m)
+		})
+	}
+	for _, s := range algorithms.Schedulers() {
+		b.Run(s.Name, func(b *testing.B) {
+			p, err := codegen.CompileLeastSource(s.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var m *banzai.Machine
+			for i := 0; i < b.N; i++ {
+				m, err = banzai.NewWith(p, banzai.Options{OutputFields: []string{s.RankField}})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, m)
+		})
+	}
+}
+
 // BenchmarkAblationCleanupPass quantifies what the cleanup pass buys: stage
 // count with and without copy propagation/DCE (the DESIGN.md ablation).
 func BenchmarkAblationCleanupPass(b *testing.B) {

@@ -5,10 +5,13 @@
 // Usage:
 //
 //	go test . -run xxx -bench Throughput | go run ./cmd/benchjson -o BENCH.json
+//	go run ./cmd/benchjson -delta BENCH_pr3.json BENCH_pr4.json
 //
-// Every input line is echoed to stdout, so piping through benchjson does
-// not hide the benchmark progress. Lines that are not benchmark results
-// are passed through and otherwise ignored.
+// In the default (pipe) mode, every input line is echoed to stdout, so
+// piping through benchjson does not hide the benchmark progress; lines
+// that are not benchmark results are passed through and otherwise
+// ignored. -delta compares two snapshots, printing the pkts/s ratio per
+// benchmark (new/old; >1 is faster) plus ns/op and allocs/op movement.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -31,7 +35,20 @@ type result struct {
 
 func main() {
 	out := flag.String("o", "", "write the JSON snapshot to this file (default stdout)")
+	delta := flag.Bool("delta", false, "compare two snapshots: benchjson -delta old.json new.json")
 	flag.Parse()
+
+	if *delta {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -delta needs exactly two snapshot files: old.json new.json")
+			os.Exit(2)
+		}
+		if err := printDelta(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	results := []result{} // non-nil: an empty run still emits a JSON array
 	sc := bufio.NewScanner(os.Stdin)
@@ -100,6 +117,71 @@ func parseLine(line string) (result, bool) {
 		r.Metrics[f[i+1]] = v
 	}
 	return r, true
+}
+
+// printDelta loads two snapshots and prints per-benchmark movement. The
+// pkts/s ratio (new/old) is the headline; benchmarks present in only one
+// snapshot are listed so added or removed cases are visible.
+func printDelta(oldPath, newPath string) error {
+	load := func(path string) (map[string]result, []string, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		var rs []result
+		if err := json.Unmarshal(data, &rs); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		m := make(map[string]result, len(rs))
+		var names []string
+		for _, r := range rs {
+			if _, dup := m[r.Name]; !dup {
+				names = append(names, r.Name)
+			}
+			m[r.Name] = r
+		}
+		return m, names, nil
+	}
+	oldR, _, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, newNames, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-55s %12s %12s %8s %9s\n", "benchmark", "old pkts/s", "new pkts/s", "ratio", "ns/op")
+	for _, name := range newNames {
+		n := newR[name]
+		o, ok := oldR[name]
+		if !ok {
+			fmt.Printf("%-55s %12s %12.3g %8s %9.4g  (new)\n", name, "-", n.Metrics["pkts/s"], "-", n.Metrics["ns/op"])
+			continue
+		}
+		line := fmt.Sprintf("%-55s %12.4g %12.4g", name, o.Metrics["pkts/s"], n.Metrics["pkts/s"])
+		if op, np := o.Metrics["pkts/s"], n.Metrics["pkts/s"]; op > 0 && np > 0 {
+			line += fmt.Sprintf(" %7.2fx", np/op)
+		} else {
+			line += fmt.Sprintf(" %8s", "-")
+		}
+		line += fmt.Sprintf(" %9.4g", n.Metrics["ns/op"])
+		if oa, na := o.Metrics["allocs/op"], n.Metrics["allocs/op"]; na != oa {
+			line += fmt.Sprintf("  allocs %g->%g", oa, na)
+		}
+		fmt.Println(line)
+	}
+	var removed []string
+	for name := range oldR {
+		if _, ok := newR[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Printf("%-55s  (removed)\n", name)
+	}
+	return nil
 }
 
 // lastDashField returns the trailing -N GOMAXPROCS suffix (without the

@@ -9,6 +9,7 @@
 //	paper-eval -figure 3       # one figure (3, passes, 9)
 //	paper-eval -throughput     # simulator data-path throughput comparison
 //	paper-eval -sched          # PIFO scheduling: weighted shares + port stats
+//	paper-eval -opt            # build-time optimizer report per algorithm
 package main
 
 import (
@@ -40,10 +41,17 @@ func main() {
 	figure := flag.String("figure", "", "figure to regenerate: 3, passes, 9")
 	tput := flag.Bool("throughput", false, "measure simulator data-path throughput (map vs header vs sharded)")
 	schedFlag := flag.Bool("sched", false, "run the PIFO egress schedulers over the multi-tenant trace")
+	optFlag := flag.Bool("opt", false, "report what the build-time optimizer does to each algorithm")
 	flag.Parse()
 
 	if *tput {
 		throughput()
+		optReport() // the optimizer's effect belongs next to the throughput it buys
+		if *table == "" && *figure == "" && !*schedFlag {
+			return
+		}
+	} else if *optFlag {
+		optReport()
 		if *table == "" && *figure == "" && !*schedFlag {
 			return
 		}
@@ -326,6 +334,50 @@ func throughput() {
 		}
 		fmt.Printf("%-28s %s\n", fmt.Sprintf("sharded ×%d ProcessBatch", shards), rate(n, time.Since(start)))
 		sm.Close()
+	}
+	fmt.Println()
+}
+
+// optReport prints, for every compiling catalog algorithm and every
+// scheduler rank transaction, what the machine-build-time optimizer
+// removed: configured atoms, micro-ops and header slots before and after
+// (rank transactions build with liveness narrowed to the rank field,
+// exactly as the pifo engines build them).
+func optReport() {
+	fmt.Println("== Build-time program optimizer (constant folding, copy coalescing, DCE, layout compaction) ==")
+	fmt.Printf("%-22s %12s %12s %12s %8s %8s %8s %6s\n",
+		"program", "atoms", "ops", "slots", "folded", "propag", "coalesce", "dead")
+	row := func(name string, m *banzai.Machine) {
+		st := m.OptStats()
+		fmt.Printf("%-22s %6d->%-5d %6d->%-5d %6d->%-5d %8d %8d %8d %6d\n",
+			name, st.AtomsBefore, st.AtomsAfter, st.OpsBefore, st.OpsAfter,
+			st.SlotsBefore, st.SlotsAfter, st.Folded, st.Propagated, st.Coalesced, st.Dead)
+	}
+	for _, a := range algorithms.All() {
+		if !a.Maps {
+			continue
+		}
+		p, err := codegen.CompileLeastSource(a.Source)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", a.Name, err))
+		}
+		m, err := banzai.New(p)
+		if err != nil {
+			fatal(err)
+		}
+		row(a.Name, m)
+	}
+	fmt.Println("-- scheduler rank transactions (roots narrowed to the rank field) --")
+	for _, s := range algorithms.Schedulers() {
+		p, err := codegen.CompileLeastSource(s.Source)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", s.Name, err))
+		}
+		m, err := banzai.NewWith(p, banzai.Options{OutputFields: []string{s.RankField}})
+		if err != nil {
+			fatal(err)
+		}
+		row(s.Name, m)
 	}
 	fmt.Println()
 }

@@ -91,45 +91,95 @@ type Machine struct {
 	prog   *codegen.Program
 	stages [][]*atom
 	// progs[i] is stage i's fused threaded-code program — the execution
-	// engine behind TickH/ProcessH/ProcessBatch; stages keeps the mop
-	// form for state aggregation and inspection.
+	// engine behind TickH and the stage-major batch path; stages keeps
+	// the mop form for state aggregation and inspection. flat is every
+	// stage's program concatenated, which is what ProcessH/ProcessBatch
+	// run: whole-pipeline execution applies the stages back-to-back to
+	// one header anyway, so one flat closure walk replaces the
+	// stage-loop dispatch.
 	progs  []stageProg
+	flat   stageProg
 	layout *Layout
 	pool   headerPool
+
+	// optStats records what the build-time optimizer did; written and
+	// mustZero are the slot analyses scratch-header reusers (the pifo
+	// rank engines) key off (see slotAnalysis in exec.go).
+	optStats OptStats
+	written  []int
+	mustZero []int
 
 	// pipe holds the in-flight packet of each stage (nil bubble) as a ring:
 	// the packet resident in stage i lives at pipe[(head+i)%depth], so a
 	// pipeline advance is a head rotation, not an O(depth) slice shift.
-	pipe []Header
-	head int
+	// inflight counts the resident packets, so the whole-pipeline paths'
+	// busy check is a compare, not a scan.
+	pipe     []Header
+	head     int
+	inflight int
 
 	cycles  int64
 	packets int64
 }
 
 // New instantiates a machine for a compiled program, allocating atom-local
-// state initialized from the program's global declarations.
+// state initialized from the program's global declarations. The build-time
+// optimizer runs first (see opt.go); use NewWith to disable it or narrow
+// its liveness roots.
 func New(p *codegen.Program) (*Machine, error) {
-	return NewWithLayout(p, NewLayout(p))
+	return NewWith(p, Options{})
+}
+
+// NewWith instantiates a machine under explicit build options.
+func NewWith(p *codegen.Program, opts Options) (*Machine, error) {
+	l, err := NewLayoutWith(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithLayout(p, l)
 }
 
 // NewWithLayout instantiates a machine that shares an existing layout —
 // the layout must have been built for the same program (ShardedMachine
-// uses this so every shard agrees on slot numbering).
+// uses this so every shard agrees on slot numbering). The machine lowers
+// the optimized statements the layout was computed from.
 func NewWithLayout(p *codegen.Program, l *Layout) (*Machine, error) {
+	oprog := l.opt
+	if oprog == nil || oprog.prog != p {
+		// A layout built for another program (or by hand): recompute the
+		// default optimization so statements and slots agree.
+		var err error
+		if oprog, err = optimize(p, Options{}); err != nil {
+			return nil, err
+		}
+	}
 	m := &Machine{
-		prog:   p,
-		layout: l,
-		pipe:   make([]Header, len(p.Stages)),
+		prog:     p,
+		layout:   l,
+		pipe:     make([]Header, len(oprog.stages)),
+		optStats: oprog.stats,
 	}
 	compileOperand := func(o ir.Operand) operand {
 		if o.IsConst() {
 			return operand{imm: o.Value, isConst: true}
 		}
-		return operand{slot: l.slotOf(o.Name)}
+		// Every field a surviving statement touches is live and therefore
+		// slotted; a miss would be an optimizer bug, not a user error.
+		s, ok := l.Slot(o.Name)
+		if !ok {
+			panic(fmt.Sprintf("banzai: internal: live field %q has no slot", o.Name))
+		}
+		return operand{slot: s}
+	}
+	dstSlot := func(name string) int {
+		s, ok := l.Slot(name)
+		if !ok {
+			panic(fmt.Sprintf("banzai: internal: live field %q has no slot", name))
+		}
+		return s
 	}
 
-	for _, st := range p.Stages {
+	for _, st := range oprog.stages {
 		var row []*atom
 		for _, catom := range st {
 			a := &atom{}
@@ -155,19 +205,19 @@ func NewWithLayout(p *codegen.Program, l *Layout) (*Machine, error) {
 				a.cells = append(a.cells, c)
 				return c
 			}
-			for _, s := range catom.Codelet.Stmts {
+			for _, s := range catom.stmts {
 				var op mop
 				switch x := s.(type) {
 				case *ir.Move:
-					op = mop{kind: opMove, dst: l.slotOf(x.Dst), a: compileOperand(x.Src)}
+					op = mop{kind: opMove, dst: dstSlot(x.Dst), a: compileOperand(x.Src)}
 				case *ir.BinOp:
-					op = mop{kind: opBin, dst: l.slotOf(x.Dst), op: x.Op,
+					op = mop{kind: opBin, dst: dstSlot(x.Dst), op: x.Op,
 						a: compileOperand(x.A), b: compileOperand(x.B)}
 				case *ir.CondMove:
-					op = mop{kind: opCond, dst: l.slotOf(x.Dst),
+					op = mop{kind: opCond, dst: dstSlot(x.Dst),
 						a: compileOperand(x.A), b: compileOperand(x.B), c: compileOperand(x.Cond)}
 				case *ir.Call:
-					op = mop{kind: opCall, dst: l.slotOf(x.Dst), fun: x.Fun, op: x.Op}
+					op = mop{kind: opCall, dst: dstSlot(x.Dst), fun: x.Fun, op: x.Op}
 					for _, arg := range x.Args {
 						op.args = append(op.args, compileOperand(arg))
 					}
@@ -180,7 +230,7 @@ func NewWithLayout(p *codegen.Program, l *Layout) (*Machine, error) {
 					if c == nil {
 						return nil, fmt.Errorf("banzai: unknown state %q", x.State)
 					}
-					op = mop{kind: opRead, dst: l.slotOf(x.Dst), cell: c}
+					op = mop{kind: opRead, dst: dstSlot(x.Dst), cell: c}
 					if x.Index != nil {
 						op.indexed = true
 						op.c = compileOperand(*x.Index)
@@ -210,13 +260,30 @@ func NewWithLayout(p *codegen.Program, l *Layout) (*Machine, error) {
 			return nil, err
 		}
 		m.progs = append(m.progs, prog)
+		m.flat = append(m.flat, prog...)
 	}
 	m.pool.width = l.NumSlots()
+	m.written, m.mustZero = slotAnalysis(m.stages, l.NumSlots())
 	return m, nil
 }
 
 // Layout returns the machine's field↔slot mapping, for building headers.
 func (m *Machine) Layout() *Layout { return m.layout }
+
+// OptStats reports what the build-time optimizer did to this machine's
+// program (before/after atom, op and slot counts).
+func (m *Machine) OptStats() OptStats { return m.optStats }
+
+// WrittenSlots returns the sorted header slots the compiled program
+// writes. Every other slot passes through the pipeline untouched.
+func (m *Machine) WrittenSlots() []int { return m.written }
+
+// MustZeroSlots returns the written slots the program may read before it
+// writes them. A caller reusing one header across runs (the pifo rank
+// engines' scratch) must zero exactly these between runs to match a
+// freshly zeroed header; for SSA-lowered programs, whose definitions
+// precede every use, the set is empty and no per-run clearing is needed.
+func (m *Machine) MustZeroSlots() []int { return m.mustZero }
 
 // NumSlots returns the packet header vector width (fields incl. temps).
 func (m *Machine) NumSlots() int { return m.layout.NumSlots() }
@@ -288,8 +355,12 @@ func (m *Machine) TickH(in Header) (Header, bool) {
 	out := m.pipe[last]
 	m.pipe[last] = nil
 	m.head = last
+	if out != nil {
+		m.inflight--
+	}
 	if in != nil {
 		m.packets++
+		m.inflight++
 		m.pipe[m.head] = in
 	}
 	return out, out != nil
@@ -314,14 +385,7 @@ func (m *Machine) Tick(in interp.Packet) (interp.Packet, bool) {
 }
 
 // busy reports whether any stage holds an in-flight packet.
-func (m *Machine) busy() bool {
-	for _, h := range m.pipe {
-		if h != nil {
-			return true
-		}
-	}
-	return false
-}
+func (m *Machine) busy() bool { return m.inflight != 0 }
 
 // ProcessH pushes one header through every stage back-to-back, mutating it
 // in place (the departing field values land in the final-version slots; use
@@ -335,9 +399,7 @@ func (m *Machine) ProcessH(h Header) error {
 	}
 	m.packets++
 	m.cycles += int64(len(m.stages))
-	for _, prog := range m.progs {
-		prog.run(h)
-	}
+	m.flat.run(h)
 	return nil
 }
 
@@ -352,9 +414,7 @@ func (m *Machine) ProcessBatch(hs []Header) error {
 	m.packets += int64(len(hs))
 	m.cycles += int64(len(m.stages)) * int64(len(hs))
 	for _, h := range hs {
-		for _, prog := range m.progs {
-			prog.run(h)
-		}
+		m.flat.run(h)
 	}
 	return nil
 }

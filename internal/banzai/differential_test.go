@@ -42,6 +42,10 @@ func TestDifferentialExecutionPaths(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			mNoOpt, err := NewWith(p, Options{DisableOptimizer: true})
+			if err != nil {
+				t.Fatal(err)
+			}
 			key := info.Fields[0]
 			sharded, err := NewSharded(p, 4, key)
 			if err != nil {
@@ -99,6 +103,20 @@ func TestDifferentialExecutionPaths(t *testing.T) {
 				}
 				check("ProcessH", i, hl.Output(h))
 				mHdr.ReleaseHeader(h)
+			}
+
+			// Path 3b: ProcessH with the build-time optimizer disabled —
+			// the optimized machines above must be indistinguishable from
+			// the direct lowering (and both from the interpreter).
+			nl := mNoOpt.Layout()
+			for i, pkt := range trace {
+				h := mNoOpt.AcquireHeader()
+				nl.Encode(pkt, h)
+				if err := mNoOpt.ProcessH(h); err != nil {
+					t.Fatal(err)
+				}
+				check("ProcessH (unoptimized)", i, nl.Output(h))
+				mNoOpt.ReleaseHeader(h)
 			}
 
 			// Path 4: ProcessBatch.
@@ -164,6 +182,7 @@ func TestDifferentialExecutionPaths(t *testing.T) {
 			for path, got := range map[string]*interp.State{
 				"Process":                mProc.State(),
 				"ProcessH":               mHdr.State(),
+				"ProcessH (unoptimized)": mNoOpt.State(),
 				"ProcessBatch":           mBatch.State(),
 				"ProcessBatchStageMajor": mStage.State(),
 				"Sharded (active)":       sharded.Shard(active).State(),

@@ -965,3 +965,66 @@ func b2i(b bool) int32 {
 	}
 	return 0
 }
+
+// slotAnalysis scans the compiled micro-ops in execution order (stage,
+// then atom, then op) and reports which header slots the program writes,
+// and which of those it reads before first writing — the set a caller
+// must zero between runs when reusing one header as scratch. For SSA
+// input (definitions before uses) mustZero comes out empty: original
+// packet fields are never written, and every temporary is written before
+// it is read.
+func slotAnalysis(stages [][]*atom, width int) (written, mustZero []int) {
+	wr := make([]bool, width)
+	early := make([]bool, width) // read before any write
+	read := func(o operand) {
+		if !o.isConst && !wr[o.slot] {
+			early[o.slot] = true
+		}
+	}
+	for _, row := range stages {
+		for _, a := range row {
+			for i := range a.ops {
+				op := &a.ops[i]
+				switch op.kind {
+				case opMove:
+					read(op.a)
+				case opBin:
+					read(op.a)
+					read(op.b)
+				case opCond:
+					read(op.a)
+					read(op.b)
+					read(op.c)
+				case opCall:
+					for _, ar := range op.args {
+						read(ar)
+					}
+					if op.op != token.Illegal {
+						read(op.b)
+					}
+				case opRead:
+					if op.indexed {
+						read(op.c)
+					}
+				case opWrite:
+					read(op.a)
+					if op.indexed {
+						read(op.c)
+					}
+				}
+				if op.kind != opWrite {
+					wr[op.dst] = true
+				}
+			}
+		}
+	}
+	for s := 0; s < width; s++ {
+		if wr[s] {
+			written = append(written, s)
+			if early[s] {
+				mustZero = append(mustZero, s)
+			}
+		}
+	}
+	return written, mustZero
+}

@@ -1,8 +1,6 @@
 package banzai
 
 import (
-	"sort"
-
 	"domino/internal/codegen"
 	"domino/internal/interp"
 )
@@ -24,6 +22,11 @@ type Layout struct {
 	// finals maps each original packet field to the slot of its final SSA
 	// version — the value that leaves the pipeline (sorted by field name).
 	finals []finalPair
+	// opt is the optimizer result the layout was computed from; machines
+	// built against this layout (NewWithLayout) lower exactly these
+	// statements, so shards and their shared layout cannot disagree on
+	// slot numbering.
+	opt *optProgram
 }
 
 type finalPair struct {
@@ -31,26 +34,29 @@ type finalPair struct {
 	slot  int
 }
 
-// NewLayout computes the slot assignment for a compiled program: declared
-// fields first (so inputs always have slots), then IR temporaries, then
-// final versions. The assignment is deterministic for a given program.
+// NewLayout computes the slot assignment for a compiled program under the
+// default build options: declared fields first (so inputs always have
+// slots), then surviving IR temporaries, then final versions. Slots are
+// compacted — SSA temporaries the build-time optimizer proves dead get no
+// slot. The assignment is deterministic for a given program.
 func NewLayout(p *codegen.Program) *Layout {
-	l := &Layout{fieldSlot: map[string]int{}}
-	for _, f := range p.Info.Fields {
-		l.slotOf(f)
-	}
-	for _, f := range p.IR.Fields {
-		l.slotOf(f)
-	}
-	origs := make([]string, 0, len(p.IR.FinalVersion))
-	for orig := range p.IR.FinalVersion {
-		origs = append(origs, orig)
-	}
-	sort.Strings(origs)
-	for _, orig := range origs {
-		l.finals = append(l.finals, finalPair{field: orig, slot: l.slotOf(p.IR.FinalVersion[orig])})
+	l, err := NewLayoutWith(p, Options{})
+	if err != nil {
+		// Default options cannot fail (no OutputFields to misname).
+		panic("banzai: " + err.Error())
 	}
 	return l
+}
+
+// NewLayoutWith computes the slot assignment under explicit build
+// options (see Options; OutputFields narrows which departing values keep
+// slots, DisableOptimizer reproduces the full unoptimized layout).
+func NewLayoutWith(p *codegen.Program, opts Options) (*Layout, error) {
+	o, err := optimize(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newLayoutFromOpt(o), nil
 }
 
 // slotOf returns the slot of a field, assigning the next free slot on first

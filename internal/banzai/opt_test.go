@@ -1,0 +1,437 @@
+package banzai
+
+// Tests for the build-time program optimizer (opt.go). The load-bearing
+// property: a machine built with the optimizer is bit-identical — outputs
+// and final state — to a machine built without it, over randomized
+// transactions (the fuzz generator) and the hand-written corpus. The
+// remaining tests pin the individual passes: constant folding, copy
+// coalescing, dead-code elimination under narrowed roots, layout
+// compaction, and target-faithful folding on lookup-table targets.
+
+import (
+	"math/rand"
+	"testing"
+
+	"domino/internal/atoms"
+	"domino/internal/codegen"
+	"domino/internal/interp"
+	"domino/internal/parser"
+	"domino/internal/passes"
+	"domino/internal/sema"
+)
+
+// compileRaw compiles a program's pre-cleanup IR (passes.NormResult.Raw).
+// The front end's cleanup pass already folds and copy-propagates the
+// cleaned IR, so the raw form is where the machine-level optimizer's
+// folding and coalescing passes have visible work to do.
+func compileRaw(t *testing.T, src string, k atoms.Kind) (*sema.Info, *codegen.Program) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	res, err := passes.Normalize(info)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	p, err := codegen.Compile(info, res.Raw, codegen.NewTarget(k))
+	if err != nil {
+		t.Fatalf("codegen (raw IR): %v", err)
+	}
+	return info, p
+}
+
+// optPair builds one optimized and one unoptimized machine for a program.
+func optPair(t *testing.T, p *codegen.Program, opts Options) (*Machine, *Machine) {
+	t.Helper()
+	opt, err := NewWith(p, opts)
+	if err != nil {
+		t.Fatalf("optimized build: %v", err)
+	}
+	noOpts := opts
+	noOpts.DisableOptimizer = true
+	unopt, err := NewWith(p, noOpts)
+	if err != nil {
+		t.Fatalf("unoptimized build: %v", err)
+	}
+	return opt, unopt
+}
+
+// runBoth pushes the same packet through both machines with ProcessH and
+// compares every retained output field.
+func runBoth(t *testing.T, opt, unopt *Machine, pkt interp.Packet, tag string) {
+	t.Helper()
+	ho := opt.AcquireHeader()
+	opt.Layout().Encode(pkt, ho)
+	if err := opt.ProcessH(ho); err != nil {
+		t.Fatal(err)
+	}
+	hu := unopt.AcquireHeader()
+	unopt.Layout().Encode(pkt, hu)
+	if err := unopt.ProcessH(hu); err != nil {
+		t.Fatal(err)
+	}
+	outO := opt.Layout().Output(ho)
+	outU := unopt.Layout().Output(hu)
+	for f, v := range outO {
+		if outU[f] != v {
+			t.Fatalf("%s: output field %s: optimized=%d unoptimized=%d", tag, f, v, outU[f])
+		}
+	}
+	opt.ReleaseHeader(ho)
+	unopt.ReleaseHeader(hu)
+}
+
+// TestOptimizerDifferentialFuzz is the property test: for randomized
+// transactions from the fuzz generator, the optimized machine's outputs
+// and final state are bit-identical to the unoptimized machine's, both
+// with the default roots (every output observable) and with the roots
+// narrowed to a single field (the rank-engine configuration, compared on
+// that field only).
+func TestOptimizerDifferentialFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	g := &progGen{rng: rng}
+	compiled := 0
+	for pi := 0; pi < 200; pi++ {
+		src := g.generate()
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := sema.Check(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm, err := passes.Normalize(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := codegen.Compile(info, norm.IR, codegen.NewTarget(atoms.Pairs))
+		if err != nil {
+			continue // rejected programs are the compiler's concern, not ours
+		}
+		compiled++
+
+		opt, unopt := optPair(t, cp, Options{})
+		// Narrowed roots: observe only t0's departing value, like a rank
+		// engine observing only the rank.
+		nOpt, nUnopt := optPair(t, cp, Options{OutputFields: []string{"t0"}})
+		t0Opt, ok := nOpt.Layout().OutputSlot("t0")
+		if !ok {
+			t.Fatalf("program %d: narrowed layout lost its root output\n%s", pi, src)
+		}
+		t0Unopt, _ := nUnopt.Layout().OutputSlot("t0")
+
+		for round := 0; round < 60; round++ {
+			pkt := interp.Packet{}
+			for _, f := range info.Fields {
+				pkt[f] = int32(rng.Intn(64) - 16)
+			}
+			runBoth(t, opt, unopt, pkt, src)
+
+			hn := nOpt.AcquireHeader()
+			nOpt.Layout().Encode(pkt, hn)
+			if err := nOpt.ProcessH(hn); err != nil {
+				t.Fatal(err)
+			}
+			hu := nUnopt.AcquireHeader()
+			nUnopt.Layout().Encode(pkt, hu)
+			if err := nUnopt.ProcessH(hu); err != nil {
+				t.Fatal(err)
+			}
+			if hn[t0Opt] != hu[t0Unopt] {
+				t.Fatalf("program %d round %d: narrowed t0 optimized=%d unoptimized=%d\n%s",
+					pi, round, hn[t0Opt], hu[t0Unopt], src)
+			}
+			nOpt.ReleaseHeader(hn)
+			nUnopt.ReleaseHeader(hu)
+		}
+		if !opt.State().Equal(unopt.State()) {
+			t.Fatalf("program %d: final state diverged under the optimizer\n%s", pi, src)
+		}
+		if !nOpt.State().Equal(nUnopt.State()) {
+			t.Fatalf("program %d: final state diverged under narrowed roots\n%s", pi, src)
+		}
+
+		// The raw (pre-cleanup) IR carries the copies and constants the
+		// front end would have cleaned — the shapes that exercise the
+		// machine optimizer's folding and coalescing passes.
+		if rp, err := codegen.Compile(info, norm.Raw, codegen.NewTarget(atoms.Pairs)); err == nil {
+			rOpt, rUnopt := optPair(t, rp, Options{})
+			for round := 0; round < 40; round++ {
+				pkt := interp.Packet{}
+				for _, f := range info.Fields {
+					pkt[f] = int32(rng.Intn(64) - 16)
+				}
+				runBoth(t, rOpt, rUnopt, pkt, "raw IR: "+src)
+			}
+			if !rOpt.State().Equal(rUnopt.State()) {
+				t.Fatalf("program %d: raw-IR state diverged under the optimizer\n%s", pi, src)
+			}
+		}
+	}
+	if compiled < 20 {
+		t.Fatalf("only %d fuzz programs compiled; the property needs more coverage", compiled)
+	}
+}
+
+// TestOptimizerDifferentialCorpus runs the corpus programs (every atom
+// level) through optimized and unoptimized machines on a shared random
+// trace.
+func TestOptimizerDifferentialCorpus(t *testing.T) {
+	for name, tc := range corpus {
+		t.Run(name, func(t *testing.T) {
+			info, p := compile(t, tc.src, tc.atom)
+			opt, unopt := optPair(t, p, Options{})
+			rng := rand.New(rand.NewSource(7))
+			for round := 0; round < 300; round++ {
+				pkt := interp.Packet{}
+				for _, f := range info.Fields {
+					pkt[f] = int32(rng.Intn(1001))
+				}
+				runBoth(t, opt, unopt, pkt, name)
+			}
+			if !opt.State().Equal(unopt.State()) {
+				t.Fatal("final state diverged under the optimizer")
+			}
+		})
+	}
+}
+
+// TestOptimizerConstantFolding: constant expressions collapse at build
+// time and propagate through conditional moves, leaving fewer ops. The
+// program compiles from raw (pre-cleanup) IR, where the folding is the
+// machine optimizer's to do.
+func TestOptimizerConstantFolding(t *testing.T) {
+	src := `
+struct Packet { int x; int out; };
+void t(struct Packet pkt) {
+  pkt.x = 3 + 4;
+  pkt.out = (pkt.x > 5) ? (pkt.x + 2) : 0;
+}
+`
+	_, p := compileRaw(t, src, atoms.Pairs)
+	opt, unopt := optPair(t, p, Options{})
+	st := opt.OptStats()
+	if st.Folded < 2 {
+		t.Fatalf("want the add, compare and conditional folded: %+v", st)
+	}
+	if st.OpsAfter >= st.OpsBefore {
+		t.Fatalf("folding did not shrink the program: %+v", st)
+	}
+	out, err := opt.Process(interp.Packet{"x": 0, "out": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["out"] != 9 || out["x"] != 7 {
+		t.Fatalf("folded program computed out=%d x=%d, want 9, 7", out["out"], out["x"])
+	}
+	runBoth(t, opt, unopt, interp.Packet{"x": 9, "out": 9}, "const fold")
+}
+
+// TestOptimizerDeadCodeNarrowedRoots: with roots narrowed to one output,
+// computations feeding only other outputs disappear, and the layout
+// compacts with them — while state effects always survive.
+func TestOptimizerDeadCodeNarrowedRoots(t *testing.T) {
+	src := `
+struct Packet { int a; int rank; int debug; };
+int total = 0;
+void t(struct Packet pkt) {
+  total = total + pkt.a;
+  pkt.rank = pkt.a + 1;
+  pkt.debug = pkt.a << 3;
+}
+`
+	info, p := compile(t, src, atoms.Pairs)
+	opt, err := NewWith(p, Options{OutputFields: []string{"rank"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := opt.OptStats()
+	if st.Dead == 0 {
+		t.Fatalf("the debug computation should be dead under narrowed roots: %+v", st)
+	}
+	if st.SlotsAfter >= st.SlotsBefore {
+		t.Fatalf("dead slots not compacted: %+v", st)
+	}
+	if _, ok := opt.Layout().OutputSlot("rank"); !ok {
+		t.Fatal("narrowed layout lost the root output")
+	}
+	if _, ok := opt.Layout().Slot("debug"); ok {
+		t.Fatal("dead output field kept a slot")
+	}
+	// State effects must survive narrowing.
+	h := opt.AcquireHeader()
+	opt.Layout().Encode(interp.Packet{"a": 5}, h)
+	if err := opt.ProcessH(h); err != nil {
+		t.Fatal(err)
+	}
+	rankSlot, _ := opt.Layout().OutputSlot("rank")
+	if h[rankSlot] != 6 {
+		t.Fatalf("rank = %d, want 6", h[rankSlot])
+	}
+	if got := opt.State().Scalars["total"]; got != 5 {
+		t.Fatalf("state total = %d, want 5 (state writes are liveness roots)", got)
+	}
+	_ = info
+}
+
+// TestOptimizerCopyCoalescing: SSA rename chains (raw IR is full of them)
+// are read through, so the intermediate copies die once nothing needs
+// their names.
+func TestOptimizerCopyCoalescing(t *testing.T) {
+	src := `
+struct Packet { int a; int mid; int rank; };
+void t(struct Packet pkt) {
+  pkt.mid = pkt.a;
+  pkt.rank = pkt.mid + 1;
+}
+`
+	_, p := compileRaw(t, src, atoms.Pairs)
+	opt, err := NewWith(p, Options{OutputFields: []string{"rank"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := opt.OptStats()
+	if st.Coalesced == 0 {
+		t.Fatalf("the rename was not coalesced: %+v", st)
+	}
+	if st.Dead == 0 || st.OpsAfter >= st.OpsBefore {
+		t.Fatalf("the dead copy was not eliminated: %+v", st)
+	}
+	out, err := opt.Process(interp.Packet{"a": 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["rank"] != 42 {
+		t.Fatalf("rank = %d, want 42", out["rank"])
+	}
+}
+
+// TestOptimizerLUTDivisionFolding: on a lookup-table target, folding a
+// constant division must reproduce the LUT approximation the closure
+// engine would compute per packet, not exact division.
+func TestOptimizerLUTDivisionFolding(t *testing.T) {
+	src := `
+struct Packet { int x; int q; };
+void t(struct Packet pkt) {
+  pkt.x = 1000;
+  pkt.q = pkt.x / 48;
+}
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := passes.Normalize(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := codegen.NewTarget(atoms.Pairs)
+	tgt.LookupTables = true
+	p, err := codegen.Compile(info, norm.Raw, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, unopt := optPair(t, p, Options{})
+	if opt.OptStats().Folded == 0 {
+		t.Fatalf("constant division did not fold: %+v", opt.OptStats())
+	}
+	runBoth(t, opt, unopt, interp.Packet{"x": 0, "q": 0}, "lut division")
+}
+
+// TestOptimizerSlotAnalysis pins the scratch-reuse contract the pifo rank
+// engines rely on: SSA programs read nothing before writing it, so
+// MustZeroSlots is empty and WrittenSlots covers exactly the slots the
+// program defines.
+func TestOptimizerSlotAnalysis(t *testing.T) {
+	for name, tc := range corpus {
+		t.Run(name, func(t *testing.T) {
+			_, p := compile(t, tc.src, tc.atom)
+			m, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mz := m.MustZeroSlots(); len(mz) != 0 {
+				t.Fatalf("SSA program has read-before-write slots %v", mz)
+			}
+			if len(m.WrittenSlots()) == 0 {
+				t.Fatal("program writes no slots?")
+			}
+			// Reusing one header across runs must equal using fresh
+			// headers, given the fed inputs are rewritten per run — the
+			// rank engines' scratch pattern.
+			fresh, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, _ := compile(t, tc.src, tc.atom)
+			rng := rand.New(rand.NewSource(11))
+			scratch := m.AcquireHeader()
+			for round := 0; round < 200; round++ {
+				pkt := interp.Packet{}
+				for _, f := range info.Fields {
+					pkt[f] = int32(rng.Intn(1001))
+				}
+				// Scratch path: overwrite only the input fields, like the
+				// bridge copies do; temps keep stale values from last run.
+				for _, f := range info.Fields {
+					if s, ok := m.Layout().Slot(f); ok {
+						scratch[s] = pkt[f]
+					}
+				}
+				if err := m.ProcessH(scratch); err != nil {
+					t.Fatal(err)
+				}
+				hf := fresh.AcquireHeader()
+				fresh.Layout().Encode(pkt, hf)
+				if err := fresh.ProcessH(hf); err != nil {
+					t.Fatal(err)
+				}
+				outS := m.Layout().Output(scratch)
+				outF := fresh.Layout().Output(hf)
+				for f, v := range outF {
+					if outS[f] != v {
+						t.Fatalf("round %d field %s: scratch reuse=%d fresh=%d", round, f, outS[f], v)
+					}
+				}
+				fresh.ReleaseHeader(hf)
+			}
+			if !m.State().Equal(fresh.State()) {
+				t.Fatal("state diverged between scratch reuse and fresh headers")
+			}
+		})
+	}
+}
+
+// TestOptimizerUnknownOutputField: misnaming a root is a build error.
+func TestOptimizerUnknownOutputField(t *testing.T) {
+	_, p := compile(t, flowletSrc, corpus["flowlet"].atom)
+	if _, err := NewWith(p, Options{OutputFields: []string{"no_such_field"}}); err == nil {
+		t.Fatal("want an error for an unknown output field")
+	}
+	if _, err := NewLayoutWith(p, Options{OutputFields: []string{"no_such_field"}}); err == nil {
+		t.Fatal("want an error from NewLayoutWith too")
+	}
+}
+
+// TestOptimizerPreservesDepth: the optimizer must not change pipeline
+// depth (Tick-mode departure timing is observable).
+func TestOptimizerPreservesDepth(t *testing.T) {
+	_, p := compile(t, flowletSrc, corpus["flowlet"].atom)
+	opt, unopt := optPair(t, p, Options{})
+	if opt.Depth() != unopt.Depth() {
+		t.Fatalf("depth changed: optimized %d, unoptimized %d", opt.Depth(), unopt.Depth())
+	}
+	if st := opt.OptStats(); st.Stages != opt.Depth() {
+		t.Fatalf("OptStats.Stages = %d, depth = %d", st.Stages, opt.Depth())
+	}
+}

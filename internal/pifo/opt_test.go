@@ -1,0 +1,236 @@
+package pifo
+
+// Differential tests for the build-time optimizer threaded through the
+// rank engines: for every catalog scheduler (flat, hierarchical, and
+// shaping), a switch whose rank engines are built with the optimizer must
+// produce exactly the departure order, timing and drops of one built with
+// RankSpec.Unoptimized — ranks are observable outputs and must not move.
+// The micro-benchmark at the bottom is the satellite assertion that the
+// optimized bridge (live copies only, no full scratch clear) wins on the
+// scheduler hot path.
+
+import (
+	"testing"
+
+	"domino/internal/algorithms"
+	"domino/internal/banzai"
+	"domino/internal/codegen"
+	"domino/internal/switchsim"
+	"domino/internal/workload"
+)
+
+// unoptimized returns a deep copy of a tree spec with every rank and
+// shaping transaction set to build without the optimizer.
+func unoptimized(n NodeSpec) NodeSpec {
+	if n.Rank != nil {
+		r := *n.Rank
+		r.Unoptimized = true
+		n.Rank = &r
+	}
+	if n.Shaper != nil {
+		s := *n.Shaper
+		s.Unoptimized = true
+		n.Shaper = &s
+	}
+	children := make([]NodeSpec, len(n.Children))
+	for i, c := range n.Children {
+		children[i] = unoptimized(c)
+	}
+	n.Children = children
+	return n
+}
+
+// TestSchedulerOptimizerDifferential runs every scheduler shape with the
+// optimizer on and off and requires identical departures (sequence, port,
+// tick) and drops.
+func TestSchedulerOptimizerDifferential(t *testing.T) {
+	shaped := func(name string) *Tree {
+		spec := mustSpec(t, name)
+		return &Tree{Root: NodeSpec{
+			Name:     "root",
+			Children: []NodeSpec{{Name: "shaped", Shaper: &spec}},
+		}}
+	}
+	hierarchical := func(name string) *Tree {
+		spec := mustSpec(t, name)
+		return &Tree{Root: NodeSpec{
+			Name:       "root",
+			Rank:       &spec,
+			ClassField: "tenant",
+			Children: []NodeSpec{
+				{Name: "left", Rank: &spec},
+				{Name: "right", Rank: &spec},
+			},
+		}}
+	}
+	cases := []struct {
+		name string
+		tree *Tree
+	}{
+		{"const_rank", Flat(RankSpec{Source: algorithms.ConstRank})},
+		{"stfq_rank", Flat(mustSpec(t, "stfq_rank"))},
+		{"strict_priority_rank", Flat(mustSpec(t, "strict_priority_rank"))},
+		{"wrr_rank", Flat(mustSpec(t, "wrr_rank"))},
+		{"token_bucket_shape", shaped("token_bucket_shape")},
+		{"hierarchical_stfq", hierarchical("stfq_rank")},
+	}
+	tenants := []workload.TenantSpec{{Weight: 1, Flows: 4}, {Weight: 3, Flows: 4}}
+	trace, _ := workload.MultiTenantTrace(33, tenants, 6000, 3)
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(root NodeSpec) ([]switchsim.Departure, []switchsim.PortStats) {
+				sw, err := switchsim.New(compileSrc(t, algorithms.SchedIngress), switchsim.Config{
+					Ports:               2,
+					QueueCapBytes:       4096, // tight: the loss path must agree too
+					ServiceBytesPerTick: 600,
+					Scheduler:           &Tree{Root: root},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				deps, _ := injectPaced(t, sw, trace)
+				deps = append(deps, sw.Drain()...)
+				return deps, sw.Stats()
+			}
+			optDeps, optStats := run(tc.tree.Root)
+			rawDeps, rawStats := run(unoptimized(tc.tree.Root))
+			if len(optDeps) != len(rawDeps) {
+				t.Fatalf("departure count: optimized %d, unoptimized %d", len(optDeps), len(rawDeps))
+			}
+			for i := range optDeps {
+				o, r := optDeps[i], rawDeps[i]
+				if o.Seq != r.Seq || o.Port != r.Port || o.Departed != r.Departed {
+					t.Fatalf("departure %d differs: optimized (seq=%d port=%d t=%d), unoptimized (seq=%d port=%d t=%d)",
+						i, o.Seq, o.Port, o.Departed, r.Seq, r.Port, r.Departed)
+				}
+			}
+			for port := range optStats {
+				if optStats[port].Drops != rawStats[port].Drops {
+					t.Fatalf("port %d drops: optimized %d, unoptimized %d",
+						port, optStats[port].Drops, rawStats[port].Drops)
+				}
+			}
+		})
+	}
+}
+
+// TestRankEngineBridgePrecomputed pins the satellite claims at build
+// time: the optimized STFQ engine bridges only the live declared fields
+// (flow and cost; vtime is the time feed), needs no per-call zeroing, and
+// carries a smaller scratch header than the unoptimized engine.
+func TestRankEngineBridgePrecomputed(t *testing.T) {
+	ingress, err := codegen.CompileLeastSource(algorithms.SchedIngress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := banzai.New(ingress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := mustSpec(t, "stfq_rank")
+	opt, err := newRankEngine(spec, m.Layout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Unoptimized = true
+	raw, err := newRankEngine(spec, m.Layout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.zero) != 0 {
+		t.Fatalf("optimized engine needs per-call zeroing of %v; SSA programs should need none", opt.zero)
+	}
+	if opt.clearAll {
+		t.Fatal("optimized engine should not clear the whole scratch")
+	}
+	if !raw.clearAll {
+		t.Fatal("the unoptimized baseline should keep the full clear")
+	}
+	if len(opt.copies) != len(raw.copies) {
+		t.Fatalf("stfq reads every bridged field; copies must agree (optimized %d, baseline %d)",
+			len(opt.copies), len(raw.copies))
+	}
+	if len(opt.scratch) >= len(raw.scratch) {
+		t.Fatalf("optimized scratch %d slots, baseline %d; the layout should compact",
+			len(opt.scratch), len(raw.scratch))
+	}
+	if opt.timeSlot < 0 {
+		t.Fatal("stfq reads vtime; the time feed must survive optimization")
+	}
+
+	// A rank program declaring an ingress field it never reads: the
+	// optimized bridge must not copy it (its slot is compacted away),
+	// while the baseline still bridges every declared field.
+	deadField := RankSpec{Source: `
+// Rank ignores the declared tenant field entirely.
+struct Packet {
+  int tenant;
+  int flow;
+  int rank;
+};
+
+void r(struct Packet pkt) {
+  pkt.rank = pkt.flow + 1;
+}
+`}
+	opt2, err := newRankEngine(deadField, m.Layout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadField.Unoptimized = true
+	raw2, err := newRankEngine(deadField, m.Layout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt2.copies) != 1 || len(raw2.copies) != 2 {
+		t.Fatalf("want the dead tenant bridge dropped: optimized %d copies, baseline %d (want 1 and 2)",
+			len(opt2.copies), len(raw2.copies))
+	}
+	if r1 := opt2.rank(m.AcquireHeader(), 64, 0); r1 != 1 {
+		t.Fatalf("optimized rank = %d, want 1", r1)
+	}
+}
+
+// BenchmarkRankEngine is the dedicated scheduler-win micro-benchmark:
+// rank computation alone (bridge + compiled transaction), optimized
+// versus the unoptimized baseline.
+func BenchmarkRankEngine(b *testing.B) {
+	ingress, err := codegen.CompileLeastSource(algorithms.SchedIngress)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := banzai.New(ingress)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tenants := []workload.TenantSpec{{Weight: 1, Flows: 4}, {Weight: 2, Flows: 4}}
+	hs, _ := workload.MultiTenantTraceHeaders(m.Layout(), 1, tenants, 4096, 4)
+	for _, name := range []string{"stfq_rank", "token_bucket_shape"} {
+		for _, mode := range []struct {
+			label       string
+			unoptimized bool
+		}{{"optimized", false}, {"unoptimized", true}} {
+			b.Run(name+"/"+mode.label, func(b *testing.B) {
+				spec, err := NamedSpec(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				spec.Unoptimized = mode.unoptimized
+				e, err := newRankEngine(spec, m.Layout())
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := e.Machine().OptStats()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.rank(hs[i&4095], 256, int64(i))
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ranks/s")
+				b.ReportMetric(float64(st.OpsAfter), "ops")
+				b.ReportMetric(float64(st.SlotsAfter), "slots")
+			})
+		}
+	}
+}

@@ -35,17 +35,33 @@ type Item struct {
 
 // Block is one PIFO: push inserts in rank order, pop removes the minimum
 // rank, equal ranks leave in push order (FIFO tie-break). It is a binary
-// min-heap over (Rank, push sequence) backed by one growable slice, so
-// steady-state push/pop performs no allocation.
+// min-heap over (Rank, push sequence), split for the scheduler hot path:
+// the heap itself holds compact 16-byte references ordered by rank and
+// push sequence, while the Item payloads (~72 bytes with the header
+// slice) sit in a stable side pool indexed by the references. Sifting
+// therefore compares and moves only the small references — a 512-packet
+// queue's heap stays L1-resident instead of streaming payloads — and a
+// payload is copied exactly once on push and once on pop. Both arrays
+// grow once and are recycled through a free list, so steady-state
+// push/pop performs no allocation.
 type Block struct {
-	heap   []Item
+	heap   []ref
+	items  []Item
+	free   []int32
 	pushes uint64
 }
 
-// itemLess orders a Block's heap by rank, then by push sequence.
-func itemLess(a, b Item) bool {
-	if a.Rank != b.Rank {
-		return a.Rank < b.Rank
+// ref is one heap entry: the ordering key plus the payload's pool index.
+type ref struct {
+	rank int32
+	idx  int32
+	seq  uint64
+}
+
+// refLess orders a Block's heap by rank, then by push sequence.
+func refLess(a, b ref) bool {
+	if a.rank != b.rank {
+		return a.rank < b.rank
 	}
 	return a.seq < b.seq
 }
@@ -57,8 +73,17 @@ func (b *Block) Len() int { return len(b.heap) }
 func (b *Block) Push(it Item) {
 	b.pushes++
 	it.seq = b.pushes
-	b.heap = append(b.heap, it)
-	siftUp(b.heap, itemLess)
+	var idx int32
+	if n := len(b.free); n > 0 {
+		idx = b.free[n-1]
+		b.free = b.free[:n-1]
+	} else {
+		idx = int32(len(b.items))
+		b.items = append(b.items, Item{})
+	}
+	b.items[idx] = it
+	b.heap = append(b.heap, ref{rank: it.Rank, idx: idx, seq: it.seq})
+	b.siftUp()
 }
 
 // Peek returns the head (minimum rank, earliest push) without removing it.
@@ -66,7 +91,7 @@ func (b *Block) Peek() (Item, bool) {
 	if len(b.heap) == 0 {
 		return Item{}, false
 	}
-	return b.heap[0], true
+	return b.items[b.heap[0].idx], true
 }
 
 // Pop removes and returns the head.
@@ -75,45 +100,103 @@ func (b *Block) Pop() (Item, bool) {
 	if n == 0 {
 		return Item{}, false
 	}
-	head := b.heap[0]
+	idx := b.heap[0].idx
+	head := b.items[idx]
+	b.items[idx] = Item{} // drop the header reference
+	b.free = append(b.free, idx)
 	b.heap[0] = b.heap[n-1]
-	b.heap[n-1] = Item{} // drop the header reference
 	b.heap = b.heap[:n-1]
-	siftDown(b.heap, itemLess)
+	b.siftDown()
 	return head, true
 }
 
-// siftUp restores the min-heap order after an append at the tail.
-func siftUp[T any](h []T, less func(a, b T) bool) {
+// siftUp restores heap order after an append at the tail. Hole-based:
+// the new reference rides in a register while parents slide down.
+func (b *Block) siftUp() {
+	h := b.heap
 	i := len(h) - 1
+	it := h[i]
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !less(h[i], h[parent]) {
-			return
+		if !refLess(it, h[parent]) {
+			break
 		}
-		h[i], h[parent] = h[parent], h[i]
+		h[i] = h[parent]
 		i = parent
 	}
+	h[i] = it
+}
+
+// siftDown restores heap order after the root was replaced by the former
+// tail, hole-based like siftUp.
+func (b *Block) siftDown() {
+	h := b.heap
+	n := len(h)
+	if n == 0 {
+		return
+	}
+	it := h[0]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && refLess(h[r], h[c]) {
+			c = r
+		}
+		if !refLess(h[c], it) {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	h[i] = it
+}
+
+// siftUp restores the min-heap order after an append at the tail. It is
+// hole-based: the inserted element is held in a register while parents
+// slide down into the hole, so each level moves one element instead of
+// swapping two. The generic forms serve tree.go's shaping calendar heap
+// (calItem entries, off the per-packet path); Block carries its own
+// monomorphic copies above so the packet hot path inlines refLess.
+func siftUp[T any](h []T, less func(a, b T) bool) {
+	i := len(h) - 1
+	it := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(it, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = it
 }
 
 // siftDown restores the min-heap order after the root was replaced by the
-// former tail.
+// former tail, hole-based like siftUp: the displaced root rides in a
+// register while the smaller child of each level slides up.
 func siftDown[T any](h []T, less func(a, b T) bool) {
 	n := len(h)
+	if n == 0 {
+		return
+	}
+	it := h[0]
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		least := i
-		if l < n && less(h[l], h[least]) {
-			least = l
+		c := 2*i + 1
+		if c >= n {
+			break
 		}
-		if r < n && less(h[r], h[least]) {
-			least = r
+		if r := c + 1; r < n && less(h[r], h[c]) {
+			c = r
 		}
-		if least == i {
-			return
+		if !less(h[c], it) {
+			break
 		}
-		h[i], h[least] = h[least], h[i]
-		i = least
+		h[i] = h[c]
+		i = c
 	}
+	h[i] = it
 }

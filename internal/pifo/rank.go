@@ -13,9 +13,16 @@ package pifo
 // TimeField, which the scheduler fills with the packet's byte size and
 // the current tick.
 //
-// The hot path is allocation-free: the engine owns one scratch header,
-// clears it, copies the precomputed slot pairs, runs ProcessH (the
-// compiled closure engine), and reads the rank's final-version slot.
+// The machine is built with its liveness roots narrowed to the one field
+// the scheduler reads (banzai.Options.OutputFields), so the build-time
+// optimizer eliminates every op and slot that only feeds other outputs,
+// and the bridge shrinks with it: the copy set covers exactly the live
+// declared fields (dead fields have no slot in the compacted layout), and
+// the per-call scratch clear covers exactly banzai.MustZeroSlots — empty
+// for SSA programs, whose written slots are always rewritten before being
+// read, and whose unfed input slots stay zero from construction. The hot
+// path is allocation-free: copy the live slot pairs, stamp size/time, run
+// ProcessH (the compiled closure engine), read the rank's final slot.
 
 import (
 	"fmt"
@@ -32,12 +39,20 @@ type RankSpec struct {
 	// (defaults to "rank").
 	Field string
 	// SizeField, if set, names the input field fed with the packet's size
-	// in bytes.
+	// in bytes. Sizes must fit int32; switchsim rejects out-of-range
+	// sizes at injection, before they reach the bridge.
 	SizeField string
 	// TimeField, if set, names the input field fed with the current tick
 	// (the virtual-time input of STFQ-style ranks, or the wall clock of
-	// shaping transactions).
+	// shaping transactions). Ticks wrap modulo 2^32 into the int32 field
+	// (see rank); rank programs comparing times must tolerate the
+	// wraparound or be re-based within 2^31 ticks.
 	TimeField string
+	// Unoptimized builds the engine without the banzai build-time
+	// optimizer and with the pre-optimizer bridge (full scratch clear,
+	// every declared field copied) — the ablation baseline for the
+	// optimizer's differential tests and benchmarks.
+	Unoptimized bool
 }
 
 // slotPair copies one ingress header slot into one rank header slot.
@@ -50,9 +65,11 @@ type rankEngine struct {
 	m        *banzai.Machine
 	scratch  banzai.Header
 	copies   []slotPair
-	sizeSlot int // rank-layout slot fed with the packet size; -1 unused
-	timeSlot int // rank-layout slot fed with the current tick; -1 unused
-	rankSlot int // rank-layout slot holding the departing rank
+	zero     []int // slots to re-zero per call (MustZeroSlots; normally empty)
+	clearAll bool  // Unoptimized baseline: clear the whole scratch per call
+	sizeSlot int   // rank-layout slot fed with the packet size; -1 unused
+	timeSlot int   // rank-layout slot fed with the current tick; -1 unused
+	rankSlot int   // rank-layout slot holding the departing rank
 }
 
 // newRankEngine compiles the spec (least expressive target, the same
@@ -67,7 +84,11 @@ func newRankEngine(spec RankSpec, ingress *banzai.Layout) (*rankEngine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rank transaction: %w", err)
 	}
-	m, err := banzai.New(p)
+	if _, ok := p.IR.FinalVersion[field]; !ok {
+		return nil, fmt.Errorf("rank transaction has no packet field %q", field)
+	}
+	opts := banzai.Options{OutputFields: []string{field}, DisableOptimizer: spec.Unoptimized}
+	m, err := banzai.NewWith(p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -75,17 +96,26 @@ func newRankEngine(spec RankSpec, ingress *banzai.Layout) (*rankEngine, error) {
 	e := &rankEngine{
 		m:        m,
 		scratch:  m.AcquireHeader(),
+		zero:     m.MustZeroSlots(),
+		clearAll: spec.Unoptimized,
 		sizeSlot: -1,
 		timeSlot: -1,
 	}
-	rankSlot, ok := l.OutputSlot(field)
-	if !ok {
-		return nil, fmt.Errorf("rank transaction has no packet field %q", field)
-	}
-	e.rankSlot = rankSlot
+	// The rank field was validated above and is the build's liveness root,
+	// so its final version always has a slot.
+	e.rankSlot, _ = l.OutputSlot(field)
+	declaredSize, declaredTime := false, false
 	for _, f := range p.Info.Fields {
+		switch f {
+		case spec.SizeField:
+			declaredSize = true
+		case spec.TimeField:
+			declaredTime = true
+		}
 		dst, ok := l.Slot(f)
 		if !ok {
+			// No slot: the optimizer proved the field's input cannot
+			// influence the rank or the engine's state — nothing to feed.
 			continue
 		}
 		switch f {
@@ -104,10 +134,10 @@ func newRankEngine(spec RankSpec, ingress *banzai.Layout) (*rankEngine, error) {
 			e.copies = append(e.copies, slotPair{src: src, dst: dst})
 		}
 	}
-	if spec.SizeField != "" && e.sizeSlot < 0 {
+	if spec.SizeField != "" && !declaredSize {
 		return nil, fmt.Errorf("rank transaction has no size field %q", spec.SizeField)
 	}
-	if spec.TimeField != "" && e.timeSlot < 0 {
+	if spec.TimeField != "" && !declaredTime {
 		return nil, fmt.Errorf("rank transaction has no time field %q", spec.TimeField)
 	}
 	return e, nil
@@ -117,8 +147,22 @@ func newRankEngine(spec RankSpec, ingress *banzai.Layout) (*rankEngine, error) {
 // ingress-processed header (read only); size and now feed the declared
 // Size/Time fields. The engine's state (virtual times, token buckets, …)
 // advances exactly as if the transaction ran serially per packet.
+//
+// The scratch header is reused across calls without a full clear: fed
+// slots are overwritten below, program-written slots are rewritten before
+// any read (SSA definition-before-use; the exceptions are precomputed in
+// e.zero), and unfed input slots were zeroed once at construction and are
+// never written. size must be in [0, 2^31); switchsim enforces this at
+// injection. now wraps into int32 modulo 2^32 — tick arithmetic inside a
+// rank program is correct as long as compared times are within 2^31
+// ticks of each other, the usual sequence-number wraparound contract.
 func (e *rankEngine) rank(h banzai.Header, size, now int64) int32 {
-	clear(e.scratch)
+	if e.clearAll {
+		clear(e.scratch)
+	}
+	for _, s := range e.zero {
+		e.scratch[s] = 0
+	}
 	for _, c := range e.copies {
 		e.scratch[c.dst] = h[c.src]
 	}
@@ -126,7 +170,7 @@ func (e *rankEngine) rank(h banzai.Header, size, now int64) int32 {
 		e.scratch[e.sizeSlot] = int32(size)
 	}
 	if e.timeSlot >= 0 {
-		e.scratch[e.timeSlot] = int32(now)
+		e.scratch[e.timeSlot] = int32(uint32(now)) // explicit 2^32 wrap
 	}
 	// ProcessH can only fail with packets in flight; this machine is never
 	// ticked, so the busy case cannot arise.

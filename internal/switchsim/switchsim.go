@@ -19,6 +19,7 @@ package switchsim
 
 import (
 	"fmt"
+	"math"
 
 	"domino/internal/banzai"
 	"domino/internal/codegen"
@@ -230,11 +231,28 @@ func (s *Switch) Now() int64 { return s.now }
 // into an acquired header instead). Returns the chosen port, or
 // dropped=true if the queue was full.
 func (s *Switch) InjectH(h banzai.Header, size int64) (port int, dropped bool, err error) {
+	if err := checkSize(size); err != nil {
+		s.machine.ReleaseHeader(h)
+		return 0, false, err
+	}
 	if err := s.process(h); err != nil {
 		return 0, false, err
 	}
 	port, dropped = s.enqueue(h, size)
 	return port, dropped, nil
+}
+
+// checkSize rejects packet sizes the scheduler bridge cannot represent:
+// rank transactions stamp the size into an int32 packet field, so a
+// negative or >2^31-1 size would be silently truncated into a wrong (or
+// nonsensical) rank. Rejecting here, at the switch's admission edge,
+// keeps the per-packet rank path free of range checks.
+func checkSize(size int64) error {
+	if size < 0 || size > math.MaxInt32 {
+		return fmt.Errorf("switchsim: packet size %d outside [0, %d] (scheduler rank fields are int32)",
+			size, math.MaxInt32)
+	}
+	return nil
 }
 
 // process runs a header through the ingress pipeline, recycling it into
@@ -285,6 +303,9 @@ func (s *Switch) enqueue(h banzai.Header, size int64) (port int, dropped bool) {
 // dropped=true if the queue was full. This is the map-based wrapper over
 // InjectH; the codec runs only here, at the edge.
 func (s *Switch) Inject(pkt interp.Packet, size int64) (out interp.Packet, port int, dropped bool, err error) {
+	if err := checkSize(size); err != nil {
+		return nil, 0, false, err
+	}
 	h := s.machine.EncodeHeader(pkt)
 	if err := s.process(h); err != nil {
 		return nil, 0, false, err

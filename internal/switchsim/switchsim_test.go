@@ -131,3 +131,33 @@ func TestCountReordering(t *testing.T) {
 		t.Fatalf("reordering count = %d, want 1", n)
 	}
 }
+
+// TestInjectRejectsOutOfRangeSize: the scheduler bridge stamps packet
+// sizes into int32 rank fields, so the switch must reject sizes it would
+// otherwise silently truncate — negative or beyond 2^31-1 — at admission,
+// on both the map and the header path.
+func TestInjectRejectsOutOfRangeSize(t *testing.T) {
+	prog := compileAlg(t, "flowlets")
+	sw, err := New(prog, Config{Ports: 1, ServiceBytesPerTick: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := interp.Packet{"sport": 1, "dport": 2, "arrival": 0}
+	for _, size := range []int64{-1, 1 << 31} {
+		if _, _, _, err := sw.Inject(pkt, size); err == nil {
+			t.Fatalf("Inject accepted size %d", size)
+		}
+		h := sw.Machine().AcquireHeader()
+		if _, _, err := sw.InjectH(h, size); err == nil {
+			t.Fatalf("InjectH accepted size %d", size)
+		}
+	}
+	// In-range sizes still flow, and the rejected headers went back to the
+	// pool rather than leaking.
+	if _, _, _, err := sw.Inject(pkt, 1500); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sw.InjectH(sw.Machine().AcquireHeader(), 0); err != nil {
+		t.Fatal(err)
+	}
+}
