@@ -4,12 +4,12 @@ SHELL := /bin/bash
 
 # BENCH_OUT is the committed per-PR benchmark snapshot `make bench` emits;
 # BENCH_BASE is the previous PR's snapshot bench-delta compares against.
-BENCH_OUT ?= BENCH_pr4.json
-BENCH_BASE ?= BENCH_pr3.json
+BENCH_OUT ?= BENCH_pr5.json
+BENCH_BASE ?= BENCH_pr4.json
 
-.PHONY: check fmt vet build test race bench bench-smoke bench-delta
+.PHONY: check fmt vet build test race bench bench-smoke bench-delta fuzz-smoke cover-net
 
-check: fmt vet build test race
+check: fmt vet build test race fuzz-smoke cover-net
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -24,9 +24,33 @@ build:
 test:
 	$(GO) test ./...
 
-# race covers the packages with mutable queue/scheduler state; CI runs this.
+# race covers the packages with mutable queue/scheduler/network state;
+# CI runs this. netsim's determinism tests run here too, so the sharded
+# flow-pinned data path is exercised under the race detector's schedule
+# perturbation.
 race:
-	$(GO) test -race ./internal/pifo/... ./internal/switchsim/...
+	$(GO) test -race ./internal/pifo/... ./internal/switchsim/... ./internal/netsim/...
+
+# fuzz-smoke replays the checked-in seed corpora (testdata/fuzz/...)
+# through every native fuzz target as ordinary tests — deterministic, so
+# CI can run it. Use `go test -fuzz <name>` in the package for real
+# fuzzing; minimized crashes land in the corpus directories.
+fuzz-smoke:
+	$(GO) test ./internal/banzai -run 'FuzzOptimizerDifferential' -count=1
+	$(GO) test ./internal/netsim -run 'FuzzNetTopology' -count=1
+
+# cover-net gates the switch + network simulator layers: their combined
+# statement coverage (from their own package tests) must stay >= 80%.
+COVER_MIN ?= 80
+cover-net:
+	$(GO) test -coverprofile=cover-net.out \
+		-coverpkg=./internal/switchsim/...,./internal/netsim/... \
+		./internal/switchsim/... ./internal/netsim/...
+	@total=$$($(GO) tool cover -func=cover-net.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	rm -f cover-net.out; \
+	echo "switchsim+netsim combined statement coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { exit (t+0 < m+0) ? 1 : 0 }' \
+		|| { echo "coverage dropped below $(COVER_MIN)%"; exit 1; }
 
 # bench runs the throughput benchmarks (pkts/s and allocs/op per workload
 # and execution path) and snapshots them to $(BENCH_OUT). pipefail so a

@@ -10,6 +10,7 @@
 //	paper-eval -throughput     # simulator data-path throughput comparison
 //	paper-eval -sched          # PIFO scheduling: weighted shares + port stats
 //	paper-eval -opt            # build-time optimizer report per algorithm
+//	paper-eval -net            # leaf-spine ECMP vs flowlet vs CONGA load balance
 package main
 
 import (
@@ -42,7 +43,15 @@ func main() {
 	tput := flag.Bool("throughput", false, "measure simulator data-path throughput (map vs header vs sharded)")
 	schedFlag := flag.Bool("sched", false, "run the PIFO egress schedulers over the multi-tenant trace")
 	optFlag := flag.Bool("opt", false, "report what the build-time optimizer does to each algorithm")
+	netFlag := flag.Bool("net", false, "run the leaf-spine routing experiment (ECMP vs flowlet vs CONGA)")
 	flag.Parse()
+
+	if *netFlag {
+		netExperiment()
+		if *table == "" && *figure == "" && !*schedFlag && !*tput && !*optFlag {
+			return
+		}
+	}
 
 	if *tput {
 		throughput()

@@ -1,0 +1,311 @@
+package algorithms
+
+// Routing transactions: the Domino programs that drive next-hop
+// forwarding in the netsim multi-switch simulator. Each leaf switch of a
+// leaf-spine fabric runs one of these at ingress; the transaction writes
+// RouteOutPort, which the switch reduces modulo its port count to pick
+// the output link — so ECMP hashing, flowlet path pinning and CONGA-style
+// utilization-aware path choice are ordinary packet transactions, not
+// simulator code.
+//
+// Port convention (leaf): ports [0, Spines) are uplinks (port s reaches
+// spine s), ports [Spines, Spines+HostsPerLeaf) are downlinks (port
+// Spines+k reaches the leaf's k-th host). Spine port l reaches leaf l.
+//
+// Field convention (see internal/netsim for the wiring):
+//
+//	sport, dport, arrival        flow identity and arrival tick
+//	src, dst                     global host ids (leaf = id / HostsPerLeaf)
+//	size_bytes, flow             payload size and dense flow id (sink-read)
+//	util                         max path utilization, stamped by links
+//	path_id                      the uplink the source leaf chose (stamped
+//	                             by the leaf so feedback can name the path)
+//	fb, fb_path, fb_util         CONGA feedback: a sink host reflects each
+//	                             data packet's (path_id, util) back to the
+//	                             sender as a small fb=1 packet
+//	out_port                     the routing decision (RouteOutPort)
+//
+// Because every transaction declares the full field set, the departing
+// header always carries what downstream hops, links and sinks read, and
+// all leaf programs are interchangeable in one topology.
+
+import "fmt"
+
+// RouteOutPort is the packet field routing transactions write with the
+// chosen output port; netsim binds it as switchsim's RouteField.
+const RouteOutPort = "out_port"
+
+// RouteParams instantiates a routing transaction for one position in a
+// leaf-spine fabric.
+type RouteParams struct {
+	// LeafID is the leaf's index (leaf of host h is h / HostsPerLeaf).
+	LeafID int
+	// Leaves and Spines size the fabric.
+	Leaves, Spines int
+	// HostsPerLeaf is the number of hosts below each leaf.
+	HostsPerLeaf int
+}
+
+func (p RouteParams) validate() error {
+	if p.Spines <= 0 || p.Leaves <= 0 || p.HostsPerLeaf <= 0 {
+		return fmt.Errorf("algorithms: routing params must be positive: %+v", p)
+	}
+	if p.LeafID < 0 || p.LeafID >= p.Leaves {
+		return fmt.Errorf("algorithms: leaf id %d outside [0, %d)", p.LeafID, p.Leaves)
+	}
+	return nil
+}
+
+// routeHeader is the shared packet struct and fabric defines of every
+// leaf routing transaction.
+const routeHeader = `
+#define SPINES %d
+#define HOSTS_PER_LEAF %d
+#define MY_LEAF %d
+#define DOWN_BASE %d
+
+struct Packet {
+  int sport;
+  int dport;
+  int arrival;
+  int src;
+  int dst;
+  int size_bytes;
+  int flow;
+  int fb;
+  int fb_path;
+  int fb_util;
+  int util;
+  int path_id;
+  int dstleaf;
+  int local;
+%s  int up;
+  int down;
+  int out_port;
+};
+`
+
+func leafHeader(p RouteParams, extraFields string) string {
+	return fmt.Sprintf(routeHeader, p.Spines, p.HostsPerLeaf, p.LeafID, p.Spines, extraFields)
+}
+
+// ECMPRouteSource is per-flow equal-cost multi-path: the uplink is a hash
+// of the flow's ports, so a flow is pinned to one path for its lifetime —
+// elephants that collide stay collided (the baseline CONGA §1 argues
+// against).
+func ECMPRouteSource(p RouteParams) (string, error) {
+	if err := p.validate(); err != nil {
+		return "", err
+	}
+	return leafHeader(p, "") + `
+void ecmp_route(struct Packet pkt) {
+  pkt.dstleaf = pkt.dst / HOSTS_PER_LEAF;
+  pkt.local = pkt.dstleaf == MY_LEAF;
+  pkt.up = hash2(pkt.sport, pkt.dport) % SPINES;
+  pkt.down = DOWN_BASE + (pkt.dst % HOSTS_PER_LEAF);
+  pkt.out_port = pkt.local ? pkt.down : pkt.up;
+  pkt.path_id = pkt.local ? pkt.path_id : pkt.up;
+}
+`, nil
+}
+
+// FlowletRouteSource re-picks the uplink at every flowlet boundary (the
+// paper's Figure 3a running example, embedded in a fabric): packets of a
+// burst reuse the saved hop, and a gap longer than the threshold re-hashes
+// with the arrival time, spreading bursts over paths without intra-burst
+// reordering.
+func FlowletRouteSource(p RouteParams) (string, error) {
+	if err := p.validate(); err != nil {
+		return "", err
+	}
+	return leafHeader(p, "  int new_hop;\n  int fid;\n") + `
+#define NUM_FLOWLETS 8000
+#define THRESHOLD 20
+
+int last_time[NUM_FLOWLETS] = {0};
+int saved_hop[NUM_FLOWLETS] = {0};
+
+void flowlet_route(struct Packet pkt) {
+  pkt.dstleaf = pkt.dst / HOSTS_PER_LEAF;
+  pkt.local = pkt.dstleaf == MY_LEAF;
+  pkt.new_hop = hash3(pkt.sport, pkt.dport, pkt.arrival) % SPINES;
+  pkt.fid = hash2(pkt.sport, pkt.dport) % NUM_FLOWLETS;
+  if (pkt.arrival - last_time[pkt.fid] > THRESHOLD) {
+    saved_hop[pkt.fid] = pkt.new_hop;
+  }
+  last_time[pkt.fid] = pkt.arrival;
+  pkt.up = saved_hop[pkt.fid];
+  pkt.down = DOWN_BASE + (pkt.dst % HOSTS_PER_LEAF);
+  pkt.out_port = pkt.local ? pkt.down : pkt.up;
+  pkt.path_id = pkt.local ? pkt.path_id : pkt.up;
+}
+`, nil
+}
+
+// CongaRouteSource is leaf-to-leaf utilization-aware path choice (CONGA,
+// Alizadeh et al.): per destination leaf, the leaf remembers the least
+// utilized uplink, learned from feedback packets that sink hosts reflect
+// with the forward path's (path_id, max link util). The state update is
+// the paper's §5.3 CONGA snippet (a Pairs-atom two-register update);
+// feedback gating is stateless — non-absorbed packets carry sentinel
+// util/path values (FB_NONE, -1) that can win neither update branch, so
+// the stateful condition keeps the paper's 2-deep shape. best_util starts
+// at FB_INIT (> any real utilization) so the first feedback for a leaf
+// wins immediately.
+//
+// A best-path table alone starves itself of information: once every data
+// packet follows the table, no feedback about the *other* uplinks is ever
+// generated and the table can never flip. CONGA proper explores because
+// it re-picks per flowlet; here a hash-selected 1-in-PROBE slice of data
+// packets takes a random uplink instead (stateless ε-greedy probing), so
+// feedback keeps covering all paths and the table tracks the minimum.
+func CongaRouteSource(p RouteParams) (string, error) {
+	if err := p.validate(); err != nil {
+		return "", err
+	}
+	// The best-path table is a fixed 64-entry state array indexed by leaf
+	// id; a larger fabric would silently alias entries (the pow2 index is
+	// masked), corrupting one leaf's path choice with another's feedback.
+	if p.Leaves > 64 {
+		return "", fmt.Errorf("algorithms: conga_route supports at most 64 leaves (N_LEAVES), got %d", p.Leaves)
+	}
+	return leafHeader(p, "  int fbleaf;\n  int absorb;\n  int key;\n  int gutil;\n  int gpath;\n  int best;\n  int eup;\n  int pup;\n  int probe;\n  int dup;\n") + `
+#define N_LEAVES 64
+#define FB_NONE 1073741824
+#define FB_INIT 536870912
+#define PROBE 4
+
+int best_util[N_LEAVES] = {536870912};
+int best_path[N_LEAVES] = {0};
+
+void conga_route(struct Packet pkt) {
+  pkt.dstleaf = pkt.dst / HOSTS_PER_LEAF;
+  pkt.fbleaf = pkt.src / HOSTS_PER_LEAF;
+  pkt.local = pkt.dstleaf == MY_LEAF;
+
+  // A feedback packet arriving at its home leaf is absorbed: it updates
+  // the table entry for the leaf the feedback's sender sits under.
+  pkt.absorb = pkt.fb && pkt.local;
+  pkt.key = pkt.absorb ? pkt.fbleaf : pkt.dstleaf;
+  pkt.gutil = pkt.absorb ? pkt.fb_util : FB_NONE;
+  pkt.gpath = pkt.absorb ? pkt.fb_path : 0 - 1;
+
+  if (pkt.gutil < best_util[pkt.key]) {
+    best_util[pkt.key] = pkt.gutil;
+    best_path[pkt.key] = pkt.gpath;
+  } else if (pkt.gpath == best_path[pkt.key]) {
+    best_util[pkt.key] = pkt.gutil;
+  }
+  pkt.best = best_path[pkt.key];
+
+  // Data packets follow the best known path, except the probing slice,
+  // which explores a random uplink so its feedback keeps the table fresh;
+  // feedback packets in transit are spread by ECMP (their routing carries
+  // no signal).
+  pkt.pup = hash3(pkt.sport, pkt.dport, pkt.arrival) % SPINES;
+  pkt.probe = hash2(pkt.arrival, pkt.sport) % PROBE;
+  pkt.dup = pkt.probe == 0 ? pkt.pup : pkt.best;
+  pkt.eup = hash2(pkt.sport, pkt.dport) % SPINES;
+  pkt.up = pkt.fb == 1 ? pkt.eup : pkt.dup;
+  pkt.down = DOWN_BASE + (pkt.dst % HOSTS_PER_LEAF);
+  pkt.out_port = pkt.local ? pkt.down : pkt.up;
+  pkt.path_id = pkt.local ? pkt.path_id : pkt.up;
+}
+`, nil
+}
+
+// SpineRouteSource routes down: spine port l connects to leaf l, so the
+// output port is the destination's leaf. The packet count is the spine's
+// only state (netsim reads it in sanity checks).
+func SpineRouteSource(p RouteParams) (string, error) {
+	if err := p.validate(); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf(`
+#define HOSTS_PER_LEAF %d
+
+struct Packet {
+  int sport;
+  int dport;
+  int arrival;
+  int src;
+  int dst;
+  int size_bytes;
+  int flow;
+  int fb;
+  int fb_path;
+  int fb_util;
+  int util;
+  int path_id;
+  int out_port;
+};
+
+int total_pkts = 0;
+
+void spine_route(struct Packet pkt) {
+  pkt.out_port = pkt.dst / HOSTS_PER_LEAF;
+  total_pkts = total_pkts + 1;
+}
+`, p.HostsPerLeaf), nil
+}
+
+// RoutingAlg is one entry of the routing-transaction catalog.
+type RoutingAlg struct {
+	// Name is the registry key (lower_snake).
+	Name string
+	// Title is the display name.
+	Title string
+	// Description summarizes the path-choice policy.
+	Description string
+	// Source instantiates the Domino transaction for a fabric position.
+	Source func(RouteParams) (string, error)
+	// Leaf is true for leaf (sender-side) transactions, false for spine.
+	Leaf bool
+	// Feedback is true when the policy needs sink hosts to reflect
+	// (path_id, util) feedback packets.
+	Feedback bool
+}
+
+// Routings returns the routing-transaction catalog.
+func Routings() []RoutingAlg {
+	return []RoutingAlg{
+		{
+			Name:        "ecmp_route",
+			Title:       "ECMP",
+			Description: "Per-flow equal-cost multi-path: uplink = hash of the flow's ports",
+			Source:      ECMPRouteSource,
+			Leaf:        true,
+		},
+		{
+			Name:        "flowlet_route",
+			Title:       "Flowlet switching",
+			Description: "Re-pick the uplink at every flowlet boundary (paper Figure 3a, in a fabric)",
+			Source:      FlowletRouteSource,
+			Leaf:        true,
+		},
+		{
+			Name:        "conga_route",
+			Title:       "CONGA",
+			Description: "Utilization-aware path choice from reflected leaf-to-leaf feedback",
+			Source:      CongaRouteSource,
+			Leaf:        true,
+			Feedback:    true,
+		},
+		{
+			Name:        "spine_route",
+			Title:       "Spine down-route",
+			Description: "Deterministic down-route: output port = destination leaf",
+			Source:      SpineRouteSource,
+		},
+	}
+}
+
+// RoutingByName returns the named routing transaction.
+func RoutingByName(name string) (RoutingAlg, error) {
+	for _, r := range Routings() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return RoutingAlg{}, fmt.Errorf("algorithms: unknown routing %q", name)
+}

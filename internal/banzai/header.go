@@ -155,6 +155,12 @@ func (m *Machine) AcquireHeader() Header {
 	return h
 }
 
+// AcquireHeaderUnzeroed is AcquireHeader without the clear, for callers
+// that immediately overwrite every slot (e.g. a full-header copy when a
+// packet is re-homed between identically-laid-out machines). Using it and
+// then writing only some slots leaks a recycled packet's stale fields.
+func (m *Machine) AcquireHeaderUnzeroed() Header { return m.pool.get() }
+
 // ReleaseHeader returns a header to the machine's free list. The caller
 // must not retain h afterwards. Only pool- or NewHeader-allocated headers
 // belong here: a header carved from a trace slab (workload's generators)

@@ -46,7 +46,7 @@ func compileRaw(t *testing.T, src string, k atoms.Kind) (*sema.Info, *codegen.Pr
 }
 
 // optPair builds one optimized and one unoptimized machine for a program.
-func optPair(t *testing.T, p *codegen.Program, opts Options) (*Machine, *Machine) {
+func optPair(t testing.TB, p *codegen.Program, opts Options) (*Machine, *Machine) {
 	t.Helper()
 	opt, err := NewWith(p, opts)
 	if err != nil {
@@ -63,7 +63,7 @@ func optPair(t *testing.T, p *codegen.Program, opts Options) (*Machine, *Machine
 
 // runBoth pushes the same packet through both machines with ProcessH and
 // compares every retained output field.
-func runBoth(t *testing.T, opt, unopt *Machine, pkt interp.Packet, tag string) {
+func runBoth(t testing.TB, opt, unopt *Machine, pkt interp.Packet, tag string) {
 	t.Helper()
 	ho := opt.AcquireHeader()
 	opt.Layout().Encode(pkt, ho)
@@ -93,10 +93,33 @@ func runBoth(t *testing.T, opt, unopt *Machine, pkt interp.Packet, tag string) {
 // narrowed to a single field (the rank-engine configuration, compared on
 // that field only).
 func TestOptimizerDifferentialFuzz(t *testing.T) {
-	rng := rand.New(rand.NewSource(20260730))
+	if compiled := optimizerDifferentialProperty(t, 20260730, 200); compiled < 20 {
+		t.Fatalf("only %d fuzz programs compiled; the property needs more coverage", compiled)
+	}
+}
+
+// FuzzOptimizerDifferential is the native-fuzzing entry to the same
+// property: each input seeds the program generator for a short burst, so
+// the fuzzer explores generator seeds rather than raw source text. The
+// checked-in corpus (testdata/fuzz/FuzzOptimizerDifferential) replays
+// the seeds that exercise each optimizer pass; `make fuzz-smoke` runs it.
+func FuzzOptimizerDifferential(f *testing.F) {
+	f.Add(int64(20260730))
+	f.Add(int64(1))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		optimizerDifferentialProperty(t, seed, 4)
+	})
+}
+
+// optimizerDifferentialProperty generates `programs` random transactions
+// from the given seed and requires optimized ≡ unoptimized on each (see
+// TestOptimizerDifferentialFuzz). It returns how many of them the Pairs
+// target accepted, so deterministic callers can assert coverage.
+func optimizerDifferentialProperty(t testing.TB, seed int64, programs int) int {
+	rng := rand.New(rand.NewSource(seed))
 	g := &progGen{rng: rng}
 	compiled := 0
-	for pi := 0; pi < 200; pi++ {
+	for pi := 0; pi < programs; pi++ {
 		src := g.generate()
 		prog, err := parser.Parse(src)
 		if err != nil {
@@ -174,9 +197,7 @@ func TestOptimizerDifferentialFuzz(t *testing.T) {
 			}
 		}
 	}
-	if compiled < 20 {
-		t.Fatalf("only %d fuzz programs compiled; the property needs more coverage", compiled)
-	}
+	return compiled
 }
 
 // TestOptimizerDifferentialCorpus runs the corpus programs (every atom

@@ -1,0 +1,144 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"domino/internal/algorithms"
+	"domino/internal/codegen"
+	"domino/internal/switchsim"
+	"domino/internal/workload"
+)
+
+// FuzzNetTopology builds random small DAG topologies — every switch's
+// ports lead strictly forward (to a higher-indexed switch or to a sink
+// host), so packets cannot loop — drives random traffic through them,
+// and checks the two oracles on every tick:
+//
+//  1. conservation: injected = delivered + dropped + queued + in-flight,
+//     in packets and bytes (an equality, so it also rules out packet
+//     duplication in either direction), and
+//  2. termination: after a bounded drain, nothing remains queued or in
+//     flight, and per-host sink counts sum exactly to the network's
+//     delivered total.
+//
+// The seed corpus lives in testdata/fuzz/FuzzNetTopology; `make
+// fuzz-smoke` replays it.
+func FuzzNetTopology(f *testing.F) {
+	// Every switch runs the positional spine program: out_port = dst,
+	// reduced modulo the switch's port count — a deterministic spray that
+	// exercises every DAG edge without caring about fabric geometry.
+	src, err := algorithms.SpineRouteSource(algorithms.RouteParams{
+		Leaves: 2, Spines: 1, HostsPerLeaf: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	prog, err := codegen.CompileLeastSource(src)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(int64(1), int64(3), int64(60))
+	f.Add(int64(7), int64(0), int64(200))
+	f.Add(int64(20260730), int64(5), int64(31))
+
+	f.Fuzz(func(t *testing.T, seed, shape, load int64) {
+		rng := rand.New(rand.NewSource(seed))
+		nSwitches := 2 + int(uint64(shape)%5) // 2..6 switches
+		nPackets := 1 + int(uint64(load)%512) // 1..512 packets
+		n := New()
+
+		// Edge targets per switch: one sink host each (so every packet
+		// terminates) plus 1..3 forward edges to higher-indexed switches.
+		type edge struct {
+			toSwitch int // -1 → this switch's sink host
+		}
+		edges := make([][]edge, nSwitches)
+		for i := 0; i < nSwitches; i++ {
+			edges[i] = []edge{{toSwitch: -1}}
+			if i < nSwitches-1 {
+				for k := 0; k < 1+rng.Intn(3); k++ {
+					edges[i] = append(edges[i], edge{toSwitch: i + 1 + rng.Intn(nSwitches-1-i)})
+				}
+			}
+			rng.Shuffle(len(edges[i]), func(a, b int) {
+				edges[i][a], edges[i][b] = edges[i][b], edges[i][a]
+			})
+		}
+
+		switches := make([]NodeID, nSwitches)
+		hosts := make([]NodeID, nSwitches)
+		for i := 0; i < nSwitches; i++ {
+			id, err := n.AddSwitch("sw", prog, switchsim.Config{
+				Ports:               len(edges[i]),
+				QueueCapBytes:       2000 + int64(rng.Intn(20000)),
+				ServiceBytesPerTick: 500 + int64(rng.Intn(5000)),
+				RouteField:          algorithms.RouteOutPort,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			switches[i] = id
+			hid, err := n.AddHost("h", id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hosts[i] = hid
+		}
+		for i, es := range edges {
+			for p, e := range es {
+				to := hosts[i]
+				if e.toSwitch >= 0 {
+					to = switches[e.toSwitch]
+				}
+				if err := n.Connect(switches[i], p, to, LinkOptions{
+					Delay:                int64(1 + rng.Intn(4)),
+					CapacityBytesPerTick: int64(500 + rng.Intn(4000)),
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := n.MapHosts(hosts); err != nil {
+			t.Fatal(err)
+		}
+
+		for k := 0; k < nPackets; k++ {
+			if err := n.InjectNow(&workload.NetPacket{
+				Src:  int32(rng.Intn(nSwitches)),
+				Dst:  int32(rng.Intn(1 << 20)),
+				Flow: int32(k),
+				Size: int32(rng.Intn(3000)),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(3) == 0 {
+				n.Tick()
+				checkNet(t, n)
+			}
+		}
+		for i := 0; i < 50000 && !n.idle(); i++ {
+			n.Tick()
+			checkNet(t, n)
+		}
+		tot := n.Totals()
+		if tot.QueuedPkts != 0 || tot.InFlightPkts != 0 {
+			t.Fatalf("DAG did not drain: %d queued, %d in flight", tot.QueuedPkts, tot.InFlightPkts)
+		}
+		if tot.InjectedPkts != int64(nPackets) {
+			t.Fatalf("injected %d, want %d", tot.InjectedPkts, nPackets)
+		}
+		var sunk int64
+		for _, id := range hosts {
+			h, err := n.HostByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sunk += h.RcvdPkts + h.FbPkts
+		}
+		if sunk != tot.DeliveredPkts {
+			t.Fatalf("hosts sank %d packets, network delivered %d", sunk, tot.DeliveredPkts)
+		}
+	})
+}

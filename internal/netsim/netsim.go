@@ -1,0 +1,817 @@
+// Package netsim is a discrete-tick network simulator that wires
+// compiled-pipeline switches (internal/switchsim) into a topology: links
+// with propagation delay and capacity, end hosts that source workload
+// traces and sink departures, and next-hop forwarding driven by a packet
+// field the switch pipeline writes — so ECMP hashing, flowlet path
+// pinning and CONGA-style utilization-aware routing are ordinary Domino
+// transactions, not simulator code (see internal/algorithms/routing.go).
+//
+// The data path is allocation-free end to end: a packet travels
+// host→switch→link→switch as a pooled banzai.Header. Ownership moves
+// with the packet:
+//
+//   - A host injection acquires a header from its leaf's machine pool,
+//     stamps the canonical fields (see FieldSport etc.) and hands it to
+//     Switch.InjectH, which owns it from there.
+//   - A departure is handed to the link by Switch.TickFunc without
+//     decoding. For a switch-to-switch link, the link immediately
+//     re-homes the packet: it acquires a header from the destination
+//     machine's pool, copies the declared fields across (by name, final
+//     SSA version → input slot, precomputed at Connect time), and
+//     releases the source header back to its own pool — so a header in
+//     flight on a link is always owned by the pool of the machine that
+//     will process it next. For a switch-to-host link the header stays
+//     with the sending machine and is released there once the sink has
+//     read it.
+//   - Sinks never decode to interp.Packet; they read the few slots they
+//     need (flow id, feedback fields) directly.
+//
+// Links also model CONGA's DRE: each link keeps a decaying byte counter
+// and stamps max(so-far, local) into the packet's util field, so a
+// delivered packet carries the maximum utilization along its path —
+// which sink hosts can reflect to the sender as feedback packets.
+package netsim
+
+import (
+	"fmt"
+
+	"domino/internal/banzai"
+	"domino/internal/codegen"
+	"domino/internal/switchsim"
+	"domino/internal/workload"
+)
+
+// Canonical packet-field names netsim stamps or reads. A switch program
+// may declare any subset; missing fields are skipped.
+const (
+	FieldSport   = "sport"
+	FieldDport   = "dport"
+	FieldArrival = "arrival"
+	FieldSrc     = "src"
+	FieldDst     = "dst"
+	FieldSize    = "size_bytes"
+	FieldFlow    = "flow"
+	FieldFb      = "fb"
+	FieldFbPath  = "fb_path"
+	FieldFbUtil  = "fb_util"
+	FieldUtil    = "util"
+	FieldPathID  = "path_id"
+)
+
+// dreShift is the links' utilization-estimator decay: every tick the
+// counter loses 1/2^dreShift of itself, so the steady-state estimate is
+// ~2^dreShift × the link's bytes/tick (CONGA's discounting rate
+// estimator, in fixed point).
+const dreShift = 4
+
+// DefaultFeedbackBytes is the size of reflected CONGA feedback packets.
+const DefaultFeedbackBytes = 64
+
+// NodeID names a node (switch or host) of a Network.
+type NodeID int
+
+// LinkOptions configures one directed link.
+type LinkOptions struct {
+	// Delay is the propagation delay in ticks (minimum and default 1): a
+	// packet emitted at tick t is delivered at t+Delay.
+	Delay int64
+	// CapacityBytesPerTick caps the link's rate by overriding the feeding
+	// switch port's service rate. 0 keeps the switch's configured rate.
+	CapacityBytesPerTick int64
+}
+
+// LinkStats is one link's accounting, for utilization and balance reports.
+type LinkStats struct {
+	From, To string
+	Port     int
+	Delay    int64
+	Capacity int64
+	Pkts     int64
+	Bytes    int64
+}
+
+// Utilization returns the link's average utilization over d ticks.
+func (ls LinkStats) Utilization(d int64) float64 {
+	if d <= 0 || ls.Capacity <= 0 {
+		return 0
+	}
+	return float64(ls.Bytes) / float64(ls.Capacity*d)
+}
+
+// node is one topology node: a switch or a host.
+type node struct {
+	name string
+	sw   *netSwitch
+	host *Host
+}
+
+// fieldSlots caches the canonical input slots of one switch layout (-1
+// when the program does not declare the field) — the injection stamp set.
+type fieldSlots struct {
+	sport, dport, arrival, src, dst, size, flow, fb, fbPath, fbUtil int
+}
+
+type netSwitch struct {
+	id    NodeID
+	name  string
+	sw    *switchsim.Switch
+	prog  *codegen.Program
+	links []*link // per output port; nil = unbound
+	in    fieldSlots
+	// emit is the TickFunc callback, built once so ticking allocates
+	// nothing per call.
+	emit func(port int, qh switchsim.QueuedHeader)
+}
+
+// Host is an end host: a traffic source (its packets enter its leaf
+// switch) and a sink (departures on its access link are delivered here).
+type Host struct {
+	id       NodeID
+	name     string
+	leaf     *netSwitch // switch this host injects into
+	net      *Network
+	traceIdx int32 // index in the trace host mapping; -1 outside it
+
+	// Sink accounting (data packets exclude reflected feedback).
+	RcvdPkts  int64
+	RcvdBytes int64
+	FbPkts    int64
+	FbBytes   int64
+}
+
+// inflight is one packet on a link.
+type inflight struct {
+	at   int64 // delivery tick
+	h    banzai.Header
+	size int64
+}
+
+// slotPair copies one source-layout slot into one destination-layout slot.
+type slotPair struct{ src, dst int }
+
+type link struct {
+	from     *netSwitch
+	fromPort int
+	to       *node
+	delay    int64
+	capacity int64
+
+	// Bridge from the sender's layout into the receiver's (switch
+	// destinations only): identical programs take the copy() fast path.
+	bridge   []slotPair
+	samePool bool
+
+	// Sink read slots (host destinations only), resolved against the
+	// sender's layout: departing (final) values for program-written
+	// fields, input slots otherwise. (Size is not among them: sinks take
+	// it from the inflight record, never from the header.)
+	rFlow, rFb, rSrc, rDport, rSport, rPathID, rUtil int
+
+	// utilSlot is where the DRE stamp lands in the in-flight header's
+	// layout (the receiver's for switch links, the sender's for host
+	// links); -1 when the program does not declare util.
+	utilSlot int
+
+	// FIFO ring of in-flight packets (single delay → delivery order is
+	// emission order).
+	ring []inflight
+	head int
+	n    int
+
+	dre   int64
+	pkts  int64
+	bytes int64
+}
+
+// Network is a topology of switches, hosts and links plus the global
+// clock and the trace being replayed.
+type Network struct {
+	nodes    []*node
+	switches []*netSwitch
+	hosts    []*Host
+	links    []*link
+	now      int64
+	ready    bool
+
+	trace     *workload.NetTrace
+	traceHost []*Host // trace host index → Host
+	traceNext int
+
+	// Flow bookkeeping for FCT measurement.
+	flowSeen  []int32
+	flowDone  []int64
+	flowStart []int64
+
+	// Feedback controls CONGA-style reflection: when true, a sink host
+	// answers every delivered data packet with a FeedbackBytes-sized
+	// fb=1 packet to the sender carrying the forward path's id and max
+	// utilization.
+	Feedback      bool
+	FeedbackBytes int64
+
+	// OnDeliver, when set, observes every packet handed to a sink host
+	// (after the host's accounting): the receiving host, the packet's flow
+	// id (or -1 when the program carries none), its size, and whether it
+	// was a feedback packet. Determinism tests record this sequence; the
+	// hook must not retain the header, which is already released.
+	OnDeliver func(host NodeID, flow int32, size int64, fb bool)
+
+	injectedPkts, injectedBytes   int64
+	deliveredPkts, deliveredBytes int64
+}
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{FeedbackBytes: DefaultFeedbackBytes}
+}
+
+// Now returns the current tick.
+func (n *Network) Now() int64 { return n.now }
+
+func slotOr(l *banzai.Layout, field string) int {
+	if s, ok := l.Slot(field); ok {
+		return s
+	}
+	return -1
+}
+
+// outSlot resolves a field's departing value: the final SSA version when
+// the program writes it, the input slot otherwise.
+func outSlot(l *banzai.Layout, field string) int {
+	if s, ok := l.OutputSlot(field); ok {
+		return s
+	}
+	return slotOr(l, field)
+}
+
+// AddSwitch instantiates a switch around a compiled program. The switch's
+// RouteField steers departures to ports; every port must be bound with
+// Connect before the first Tick.
+func (n *Network) AddSwitch(name string, prog *codegen.Program, cfg switchsim.Config) (NodeID, error) {
+	if n.ready {
+		return 0, fmt.Errorf("netsim: cannot add switch %q after the clock started", name)
+	}
+	sw, err := switchsim.New(prog, cfg)
+	if err != nil {
+		return 0, fmt.Errorf("netsim: switch %q: %w", name, err)
+	}
+	l := sw.Machine().Layout()
+	w := &netSwitch{
+		id:    NodeID(len(n.nodes)),
+		name:  name,
+		sw:    sw,
+		prog:  prog,
+		links: make([]*link, cfg.Ports),
+		in: fieldSlots{
+			sport: slotOr(l, FieldSport), dport: slotOr(l, FieldDport),
+			arrival: slotOr(l, FieldArrival), src: slotOr(l, FieldSrc),
+			dst: slotOr(l, FieldDst), size: slotOr(l, FieldSize),
+			flow: slotOr(l, FieldFlow), fb: slotOr(l, FieldFb),
+			fbPath: slotOr(l, FieldFbPath), fbUtil: slotOr(l, FieldFbUtil),
+		},
+	}
+	w.emit = func(port int, qh switchsim.QueuedHeader) { n.transmit(w, port, qh) }
+	n.switches = append(n.switches, w)
+	n.nodes = append(n.nodes, &node{name: name, sw: w})
+	return w.id, nil
+}
+
+// AddHost attaches an end host to its leaf switch: the host's packets are
+// injected there. The reverse direction (leaf to host) is a normal link
+// bound with Connect to one of the leaf's downlink ports.
+func (n *Network) AddHost(name string, leaf NodeID) (NodeID, error) {
+	if n.ready {
+		return 0, fmt.Errorf("netsim: cannot add host %q after the clock started", name)
+	}
+	w, err := n.switchAt(leaf)
+	if err != nil {
+		return 0, fmt.Errorf("netsim: host %q: %w", name, err)
+	}
+	h := &Host{id: NodeID(len(n.nodes)), name: name, leaf: w, net: n, traceIdx: -1}
+	n.hosts = append(n.hosts, h)
+	n.nodes = append(n.nodes, &node{name: name, host: h})
+	return h.id, nil
+}
+
+func (n *Network) switchAt(id NodeID) (*netSwitch, error) {
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		return nil, fmt.Errorf("unknown node %d", id)
+	}
+	w := n.nodes[id].sw
+	if w == nil {
+		return nil, fmt.Errorf("node %q is not a switch", n.nodes[id].name)
+	}
+	return w, nil
+}
+
+// Connect binds a switch's output port to a directed link toward another
+// switch or a host. For switch destinations the field bridge (sender
+// final values → receiver input slots, by name) is precomputed here.
+func (n *Network) Connect(from NodeID, port int, to NodeID, opts LinkOptions) error {
+	if n.ready {
+		return fmt.Errorf("netsim: cannot connect after the clock started")
+	}
+	w, err := n.switchAt(from)
+	if err != nil {
+		return fmt.Errorf("netsim: connect: %w", err)
+	}
+	if port < 0 || port >= len(w.links) {
+		return fmt.Errorf("netsim: switch %q has no port %d", w.name, port)
+	}
+	if w.links[port] != nil {
+		return fmt.Errorf("netsim: switch %q port %d already bound", w.name, port)
+	}
+	if int(to) < 0 || int(to) >= len(n.nodes) {
+		return fmt.Errorf("netsim: connect: unknown node %d", to)
+	}
+	dst := n.nodes[to]
+	if opts.Delay <= 0 {
+		opts.Delay = 1
+	}
+	l := &link{
+		from:     w,
+		fromPort: port,
+		to:       dst,
+		delay:    opts.Delay,
+		capacity: w.sw.PortRate(port),
+		utilSlot: -1,
+	}
+	if opts.CapacityBytesPerTick > 0 {
+		w.sw.SetPortRate(port, opts.CapacityBytesPerTick)
+		l.capacity = opts.CapacityBytesPerTick
+	}
+	src := w.sw.Machine().Layout()
+	if dst.sw != nil {
+		dstL := dst.sw.sw.Machine().Layout()
+		if dst.sw.prog == w.prog {
+			// Same compiled program → identical deterministic layout: the
+			// bridge is a straight slot-vector copy. The receiver's
+			// pipeline run rewrites every program-written slot, so final
+			// values landing in temp slots are harmless.
+			l.samePool = true
+		} else {
+			for _, f := range dst.sw.prog.Info.Fields {
+				d, ok := dstL.Slot(f)
+				if !ok {
+					continue // optimizer proved the input uninfluential
+				}
+				if s := outSlot(src, f); s >= 0 {
+					l.bridge = append(l.bridge, slotPair{src: s, dst: d})
+				}
+			}
+		}
+		l.utilSlot = slotOr(dstL, FieldUtil)
+	} else {
+		l.rFlow = outSlot(src, FieldFlow)
+		l.rFb = outSlot(src, FieldFb)
+		l.rSrc = outSlot(src, FieldSrc)
+		l.rSport = outSlot(src, FieldSport)
+		l.rDport = outSlot(src, FieldDport)
+		l.rPathID = outSlot(src, FieldPathID)
+		l.rUtil = outSlot(src, FieldUtil)
+		l.utilSlot = slotOr(src, FieldUtil)
+	}
+	w.links[port] = l
+	n.links = append(n.links, l)
+	return nil
+}
+
+// MapHosts binds the dense trace-host index space (NetPacket.Src/Dst) to
+// host nodes without installing a trace — the entry point for harnesses
+// that inject packets themselves (benchmarks, topology fuzzing) via
+// InjectNow. SetTrace calls it implicitly.
+func (n *Network) MapHosts(hosts []NodeID) error {
+	th := make([]*Host, len(hosts))
+	for i, id := range hosts {
+		if int(id) < 0 || int(id) >= len(n.nodes) || n.nodes[id].host == nil {
+			return fmt.Errorf("netsim: trace host %d: node %d is not a host", i, id)
+		}
+		th[i] = n.nodes[id].host
+	}
+	for _, h := range n.hosts {
+		h.traceIdx = -1
+	}
+	for i, h := range th {
+		h.traceIdx = int32(i)
+	}
+	n.traceHost = th
+	return nil
+}
+
+// SetTrace arranges for tr's packets to be injected at their arrival
+// ticks; hosts[i] is the node standing in for trace host index i. Flow
+// bookkeeping (for FlowFCTs) is reset to the trace.
+func (n *Network) SetTrace(tr *workload.NetTrace, hosts []NodeID) error {
+	if err := n.MapHosts(hosts); err != nil {
+		return err
+	}
+	for _, p := range tr.Packets {
+		if int(p.Src) >= len(hosts) || int(p.Dst) >= len(hosts) {
+			return fmt.Errorf("netsim: trace references host %d/%d outside the %d mapped hosts",
+				p.Src, p.Dst, len(hosts))
+		}
+	}
+	n.trace = tr
+	n.traceNext = 0
+	n.flowSeen = make([]int32, tr.NumFlows)
+	n.flowDone = make([]int64, tr.NumFlows)
+	for i := range n.flowDone {
+		n.flowDone[i] = -1
+	}
+	n.flowStart = tr.FlowStart
+	return nil
+}
+
+// finalize validates the topology once, before the first tick.
+func (n *Network) finalize() {
+	for _, w := range n.switches {
+		for p, l := range w.links {
+			if l == nil {
+				panic(fmt.Sprintf("netsim: switch %q port %d is unbound; every output port must be connected", w.name, p))
+			}
+		}
+	}
+	n.ready = true
+}
+
+// Tick advances the network one time unit: due link packets are delivered
+// (into the next switch's pipeline, or to their sink host), due trace
+// packets are injected at their source hosts, every switch drains its
+// ports onto its links, and the links' utilization estimators decay.
+func (n *Network) Tick() {
+	if !n.ready {
+		n.finalize()
+	}
+	n.now++
+	for _, l := range n.links {
+		l.deliver(n)
+	}
+	if n.trace != nil {
+		pkts := n.trace.Packets
+		for n.traceNext < len(pkts) && pkts[n.traceNext].Arrival <= n.now {
+			n.injectTrace(&pkts[n.traceNext])
+			n.traceNext++
+		}
+	}
+	for _, w := range n.switches {
+		w.sw.TickFunc(w.emit)
+	}
+	for _, l := range n.links {
+		l.dre -= l.dre >> dreShift
+	}
+}
+
+// Run ticks until the given tick (inclusive).
+func (n *Network) Run(until int64) {
+	for n.now < until {
+		n.Tick()
+	}
+}
+
+// Drain ticks until the trace is fully injected and no packet remains
+// queued in a switch or in flight on a link, or until limit ticks have
+// elapsed (an error). Drops are fine — a dropped packet is gone, not
+// pending.
+func (n *Network) Drain(limit int64) error {
+	for ; limit > 0; limit-- {
+		if n.idle() {
+			return nil
+		}
+		n.Tick()
+	}
+	if !n.idle() {
+		return fmt.Errorf("netsim: network not drained at tick %d", n.now)
+	}
+	return nil
+}
+
+func (n *Network) idle() bool {
+	if n.trace != nil && n.traceNext < len(n.trace.Packets) {
+		return false
+	}
+	for _, l := range n.links {
+		if l.n > 0 {
+			return false
+		}
+	}
+	for _, w := range n.switches {
+		if t := w.sw.Totals(); t.QueuedPkts > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// stamp writes v into slot s of h when the program declares the field.
+func stamp(h banzai.Header, s int, v int32) {
+	if s >= 0 {
+		h[s] = v
+	}
+}
+
+// injectTrace injects one trace packet at its source host's leaf.
+func (n *Network) injectTrace(p *workload.NetPacket) {
+	src := n.traceHost[p.Src]
+	w := src.leaf
+	h := w.sw.Machine().AcquireHeader()
+	in := &w.in
+	stamp(h, in.sport, p.Sport)
+	stamp(h, in.dport, p.Dport)
+	stamp(h, in.arrival, int32(uint32(n.now)))
+	stamp(h, in.src, p.Src)
+	stamp(h, in.dst, p.Dst)
+	stamp(h, in.size, p.Size)
+	stamp(h, in.flow, p.Flow)
+	n.inject(w, h, int64(p.Size))
+}
+
+// InjectNow injects p at its source host's leaf at the current tick
+// (p.Arrival is ignored) — the direct, allocation-free injection path for
+// harnesses that pace traffic themselves instead of replaying a trace.
+// The hosts must have been bound with MapHosts (or SetTrace) first.
+func (n *Network) InjectNow(p *workload.NetPacket) error {
+	if !n.ready {
+		n.finalize()
+	}
+	if int(p.Src) < 0 || int(p.Src) >= len(n.traceHost) {
+		return fmt.Errorf("netsim: InjectNow: source host %d not mapped (call MapHosts)", p.Src)
+	}
+	n.injectTrace(p)
+	return nil
+}
+
+// inject hands a stamped header to a leaf pipeline, counting it into the
+// network conservation identity.
+func (n *Network) inject(w *netSwitch, h banzai.Header, size int64) {
+	if _, _, err := w.sw.InjectH(h, size); err != nil {
+		// The pipeline programs netsim drives are guard-free and sizes
+		// are validated by the trace generators, so a rejection here is a
+		// harness bug, not a data-plane event.
+		panic(fmt.Sprintf("netsim: inject into %q: %v", w.name, err))
+	}
+	n.injectedPkts++
+	n.injectedBytes += size
+}
+
+// transmit is the TickFunc sink: a packet departing switch w on port p
+// enters the bound link.
+func (n *Network) transmit(w *netSwitch, p int, qh switchsim.QueuedHeader) {
+	l := w.links[p]
+	h := qh.H
+	if l.to.sw != nil {
+		// Re-home the header into the receiver's pool (see the package
+		// comment's ownership contract). The copy fast path overwrites
+		// every slot, so it can skip the acquire-time zeroing; the by-name
+		// bridge fills only the declared fields and needs a cleared header.
+		m := l.to.sw.sw.Machine()
+		var nh banzai.Header
+		if l.samePool {
+			nh = m.AcquireHeaderUnzeroed()
+			copy(nh, h)
+		} else {
+			nh = m.AcquireHeader()
+			for _, c := range l.bridge {
+				nh[c.dst] = h[c.src]
+			}
+		}
+		w.sw.Machine().ReleaseHeader(h)
+		h = nh
+	}
+	l.dre += qh.Size
+	if l.utilSlot >= 0 {
+		if u := int32(l.dre); u > h[l.utilSlot] {
+			h[l.utilSlot] = u
+		}
+	}
+	l.pkts++
+	l.bytes += qh.Size
+	l.push(inflight{at: n.now + l.delay, h: h, size: qh.Size})
+}
+
+func (l *link) push(f inflight) {
+	if l.n == len(l.ring) {
+		grown := make([]inflight, max(8, 2*len(l.ring)))
+		for i := 0; i < l.n; i++ {
+			grown[i] = l.ring[(l.head+i)%len(l.ring)]
+		}
+		l.ring = grown
+		l.head = 0
+	}
+	l.ring[(l.head+l.n)%len(l.ring)] = f
+	l.n++
+}
+
+// deliver hands every due in-flight packet to the link's far end.
+func (l *link) deliver(n *Network) {
+	for l.n > 0 && l.ring[l.head].at <= n.now {
+		f := l.ring[l.head]
+		l.ring[l.head] = inflight{}
+		l.head = (l.head + 1) % len(l.ring)
+		l.n--
+		if l.to.sw != nil {
+			n.inject2(l.to.sw, f.h, f.size)
+		} else {
+			l.to.host.sink(l, f.h, f.size)
+		}
+	}
+}
+
+// inject2 is inject without the injected counters: a forwarded packet was
+// already counted when its host sourced it.
+func (n *Network) inject2(w *netSwitch, h banzai.Header, size int64) {
+	if _, _, err := w.sw.InjectH(h, size); err != nil {
+		panic(fmt.Sprintf("netsim: forward into %q: %v", w.name, err))
+	}
+}
+
+// sink consumes a delivered packet at a host: counts it, records flow
+// completion, optionally reflects CONGA feedback, and releases the header
+// back to the sending machine's pool.
+func (h *Host) sink(l *link, hd banzai.Header, size int64) {
+	n := h.net
+	n.deliveredPkts++
+	n.deliveredBytes += size
+	isFb := l.rFb >= 0 && hd[l.rFb] != 0
+	if isFb {
+		h.FbPkts++
+		h.FbBytes += size
+	} else {
+		h.RcvdPkts++
+		h.RcvdBytes += size
+		if l.rFlow >= 0 && n.trace != nil {
+			if flow := hd[l.rFlow]; flow >= 0 && int(flow) < len(n.flowSeen) {
+				n.flowSeen[flow]++
+				if int(n.flowSeen[flow]) == int(n.trace.FlowPkts[flow]) {
+					n.flowDone[flow] = n.now
+				}
+			}
+		}
+		if n.Feedback {
+			h.reflect(l, hd)
+		}
+	}
+	flow := int32(-1)
+	if l.rFlow >= 0 {
+		flow = hd[l.rFlow]
+	}
+	l.from.sw.Machine().ReleaseHeader(hd)
+	if n.OnDeliver != nil {
+		n.OnDeliver(h.id, flow, size, isFb)
+	}
+}
+
+// reflect answers a delivered data packet with a feedback packet to the
+// sender, carrying the forward path's uplink id and max utilization.
+func (h *Host) reflect(l *link, hd banzai.Header) {
+	if l.rSrc < 0 {
+		return
+	}
+	n := h.net
+	dst := hd[l.rSrc]
+	if int(dst) < 0 || int(dst) >= len(n.traceHost) {
+		return
+	}
+	w := h.leaf
+	fb := w.sw.Machine().AcquireHeader()
+	in := &w.in
+	// Reverse the port pair so transit ECMP spreads feedback like reverse
+	// traffic, not like the forward flow.
+	if l.rDport >= 0 {
+		stamp(fb, in.sport, hd[l.rDport])
+	}
+	if l.rSport >= 0 {
+		stamp(fb, in.dport, hd[l.rSport])
+	}
+	stamp(fb, in.arrival, int32(uint32(n.now)))
+	stamp(fb, in.src, h.traceIdx)
+	stamp(fb, in.dst, dst)
+	stamp(fb, in.size, int32(n.FeedbackBytes))
+	stamp(fb, in.flow, -1)
+	stamp(fb, in.fb, 1)
+	if l.rPathID >= 0 {
+		stamp(fb, in.fbPath, hd[l.rPathID])
+	}
+	if l.rUtil >= 0 {
+		stamp(fb, in.fbUtil, hd[l.rUtil])
+	}
+	n.inject(w, fb, n.FeedbackBytes)
+}
+
+// ID returns the host's node id.
+func (h *Host) ID() NodeID { return h.id }
+
+// Name returns the host's node name.
+func (h *Host) Name() string { return h.name }
+
+// NetTotals aggregates the network-wide conservation terms.
+type NetTotals struct {
+	InjectedPkts, InjectedBytes   int64
+	DeliveredPkts, DeliveredBytes int64
+	DroppedPkts, DroppedBytes     int64
+	QueuedPkts, QueuedBytes       int64
+	InFlightPkts, InFlightBytes   int64
+}
+
+// Totals sums the conservation terms over every switch and link.
+func (n *Network) Totals() NetTotals {
+	t := NetTotals{
+		InjectedPkts: n.injectedPkts, InjectedBytes: n.injectedBytes,
+		DeliveredPkts: n.deliveredPkts, DeliveredBytes: n.deliveredBytes,
+	}
+	for _, w := range n.switches {
+		st := w.sw.Totals()
+		t.DroppedPkts += st.DroppedPkts
+		t.DroppedBytes += st.DroppedBytes
+		t.QueuedPkts += st.QueuedPkts
+		t.QueuedBytes += st.QueuedBytes
+	}
+	for _, l := range n.links {
+		t.InFlightPkts += int64(l.n)
+		for i := 0; i < l.n; i++ {
+			t.InFlightBytes += l.ring[(l.head+i)%len(l.ring)].size
+		}
+	}
+	return t
+}
+
+// CheckConservation verifies the network-wide identity — every packet a
+// host injected is delivered at a sink, dropped at a switch byte cap,
+// still queued in a switch, or in flight on a link — plus each switch's
+// local identity. It holds at every tick boundary.
+func (n *Network) CheckConservation() error {
+	for _, w := range n.switches {
+		if err := w.sw.CheckConservation(); err != nil {
+			return fmt.Errorf("switch %q: %w", w.name, err)
+		}
+	}
+	t := n.Totals()
+	if got := t.DeliveredPkts + t.DroppedPkts + t.QueuedPkts + t.InFlightPkts; got != t.InjectedPkts {
+		return fmt.Errorf("netsim packet conservation violated: injected %d != delivered %d + dropped %d + queued %d + in-flight %d (= %d)",
+			t.InjectedPkts, t.DeliveredPkts, t.DroppedPkts, t.QueuedPkts, t.InFlightPkts, got)
+	}
+	if got := t.DeliveredBytes + t.DroppedBytes + t.QueuedBytes + t.InFlightBytes; got != t.InjectedBytes {
+		return fmt.Errorf("netsim byte conservation violated: injected %d != delivered %d + dropped %d + queued %d + in-flight %d (= %d)",
+			t.InjectedBytes, t.DeliveredBytes, t.DroppedBytes, t.QueuedBytes, t.InFlightBytes, got)
+	}
+	return nil
+}
+
+// LinkStats reports every link's accounting in creation order.
+func (n *Network) LinkStats() []LinkStats {
+	out := make([]LinkStats, len(n.links))
+	for i, l := range n.links {
+		out[i] = LinkStats{
+			From: l.from.name, To: l.to.name, Port: l.fromPort,
+			Delay: l.delay, Capacity: l.capacity,
+			Pkts: l.pkts, Bytes: l.bytes,
+		}
+	}
+	return out
+}
+
+// SwitchStats returns a switch's per-port statistics.
+func (n *Network) SwitchStats(id NodeID) ([]switchsim.PortStats, error) {
+	w, err := n.switchAt(id)
+	if err != nil {
+		return nil, err
+	}
+	return w.sw.Stats(), nil
+}
+
+// Switch exposes the underlying switchsim instance (state inspection,
+// conservation checks in tests).
+func (n *Network) Switch(id NodeID) (*switchsim.Switch, error) {
+	w, err := n.switchAt(id)
+	if err != nil {
+		return nil, err
+	}
+	return w.sw, nil
+}
+
+// HostByID returns the host node.
+func (n *Network) HostByID(id NodeID) (*Host, error) {
+	if int(id) < 0 || int(id) >= len(n.nodes) || n.nodes[id].host == nil {
+		return nil, fmt.Errorf("netsim: node %d is not a host", id)
+	}
+	return n.nodes[id].host, nil
+}
+
+// FlowFCTs returns each flow's completion time (last packet's delivery
+// tick minus the flow's first arrival tick), or -1 for flows that lost
+// packets and never completed.
+func (n *Network) FlowFCTs() []int64 {
+	out := make([]int64, len(n.flowDone))
+	for f, done := range n.flowDone {
+		if done < 0 {
+			out[f] = -1
+		} else {
+			out[f] = done - n.flowStart[f]
+		}
+	}
+	return out
+}
+
+// Imbalance summarizes a load spread: (max-min)/mean; 0 is perfectly
+// balanced. It is switchsim's metric applied to arbitrary byte counts —
+// typically parallel links' Bytes.
+func Imbalance(bytes []int64) float64 { return switchsim.Imbalance(bytes) }

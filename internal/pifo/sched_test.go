@@ -73,7 +73,9 @@ func TestConstRankPIFOEqualsFIFO(t *testing.T) {
 			t.Fatal(err)
 		}
 		deps, _ := injectPaced(t, sw, trace)
+		mustConserve(t, sw)
 		deps = append(deps, sw.Drain()...)
+		mustConserve(t, sw)
 		return deps, sw.Stats()
 	}
 
@@ -97,6 +99,17 @@ func TestConstRankPIFOEqualsFIFO(t *testing.T) {
 		if fifoStats[port].Drops == 0 {
 			t.Errorf("port %d saw no drops; the differential should cover the loss path", port)
 		}
+	}
+}
+
+// mustConserve asserts the switch-level conservation identity (injected
+// = departed + dropped + still-queued, packets and bytes) — retrofitted
+// into every scheduling scenario so no PIFO or shaping path can lose or
+// duplicate a packet unnoticed.
+func mustConserve(t *testing.T, sw *switchsim.Switch) {
+	t.Helper()
+	if err := sw.CheckConservation(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -140,6 +153,7 @@ func TestSTFQWeightedShares(t *testing.T) {
 	if drops != 0 {
 		t.Fatalf("%d drops; the shares test needs a lossless run", drops)
 	}
+	mustConserve(t, sw) // mid-run: queued packets balance the identity
 
 	end := sw.Now()
 	got := tenantBytes(deps, len(tenants), 1000, end)
@@ -184,6 +198,7 @@ func TestStrictPriority(t *testing.T) {
 	if drops != 0 {
 		t.Fatalf("%d drops; the starvation test needs a lossless run", drops)
 	}
+	mustConserve(t, sw)
 	got := tenantBytes(deps, len(tenants), 500, sw.Now())
 	total := got[0] + got[1]
 	if total == 0 {
@@ -215,6 +230,7 @@ func TestWRRInterleaves(t *testing.T) {
 	if drops != 0 {
 		t.Fatalf("%d drops; the shares test needs a lossless run", drops)
 	}
+	mustConserve(t, sw)
 	got := tenantBytes(deps, len(tenants), 1000, sw.Now())
 	total := got[0] + got[1]
 	if total == 0 {
@@ -256,6 +272,7 @@ func TestTokenBucketShaping(t *testing.T) {
 		}
 	}
 	deps := sw.Drain()
+	mustConserve(t, sw) // shaping trees hold packets back; none may leak
 	if len(deps) != n {
 		t.Fatalf("%d departures, want %d", len(deps), n)
 	}
@@ -345,8 +362,10 @@ void stfq_tenant(struct Packet pkt) {
 	if drops != 0 {
 		t.Fatalf("%d drops; the shares test needs a lossless run", drops)
 	}
+	mustConserve(t, sw)
 	end := sw.Now()
 	all := append(deps, sw.Drain()...)
+	mustConserve(t, sw)
 
 	// Conservation: every injected packet departs exactly once.
 	seen := map[int64]bool{}

@@ -1,0 +1,294 @@
+package switchsim
+
+import (
+	"reflect"
+	"testing"
+
+	"domino/internal/algorithms"
+	"domino/internal/codegen"
+	"domino/internal/interp"
+)
+
+// compileRoute builds the positional spine program (out_port = dst), the
+// simplest pipeline whose routing decision the test controls directly.
+func compileRoute(t *testing.T) *codegen.Program {
+	t.Helper()
+	src, err := algorithms.SpineRouteSource(algorithms.RouteParams{
+		Leaves: 2, Spines: 1, HostsPerLeaf: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := codegen.CompileLeastSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestMultiPortFanOut: the route field steers to every port, reduced
+// modulo the port count with negative values corrected into range, and
+// per-port stats account each arrival exactly once.
+func TestMultiPortFanOut(t *testing.T) {
+	cases := []struct {
+		name  string
+		ports int
+		dsts  []int32
+		want  []int64 // expected Enqueues per port
+	}{
+		{"each_port_once", 4, []int32{0, 1, 2, 3}, []int64{1, 1, 1, 1}},
+		{"wraps_modulo", 3, []int32{3, 4, 5, 6}, []int64{2, 1, 1}},
+		{"negative_corrected", 4, []int32{-1, -2, -5, -8}, []int64{1, 0, 1, 2}},
+		{"skewed", 2, []int32{0, 2, 4, 6, 1}, []int64{4, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sw, err := New(compileRoute(t), Config{
+				Ports:               tc.ports,
+				ServiceBytesPerTick: 1 << 20,
+				RouteField:          algorithms.RouteOutPort,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, dst := range tc.dsts {
+				_, port, dropped, err := sw.Inject(interp.Packet{"dst": dst}, 100)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dropped {
+					t.Fatalf("dst %d dropped below capacity", dst)
+				}
+				wantPort := int(dst) % tc.ports
+				if wantPort < 0 {
+					wantPort += tc.ports
+				}
+				if port != wantPort {
+					t.Fatalf("dst %d steered to port %d, want %d", dst, port, wantPort)
+				}
+			}
+			for p, st := range sw.Stats() {
+				if st.Enqueues != tc.want[p] {
+					t.Errorf("port %d: %d enqueues, want %d", p, st.Enqueues, tc.want[p])
+				}
+			}
+			mustConserve(t, sw)
+			sw.Drain()
+			mustConserve(t, sw)
+		})
+	}
+}
+
+// TestAdmissionByteCapBoundary: the byte cap admits a queue filled to
+// exactly QueueCapBytes and rejects the first byte beyond it — the
+// boundary the tail-drop comparison must get right.
+func TestAdmissionByteCapBoundary(t *testing.T) {
+	cases := []struct {
+		name    string
+		cap     int64
+		sizes   []int64
+		dropped []bool
+	}{
+		{"exactly_full_then_reject", 3000, []int64{1500, 1500, 1}, []bool{false, false, true}},
+		{"single_packet_fills_cap", 3000, []int64{3000, 1}, []bool{false, true}},
+		{"over_by_one_rejected", 3000, []int64{1500, 1501}, []bool{false, true}},
+		{"zero_size_always_fits", 3000, []int64{3000, 0}, []bool{false, false}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// ServiceBytesPerTick 1 so nothing drains between injections.
+			sw, err := New(compileRoute(t), Config{
+				Ports:               1,
+				QueueCapBytes:       tc.cap,
+				ServiceBytesPerTick: 1,
+				RouteField:          algorithms.RouteOutPort,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wantQueued, wantDropped int64
+			for i, size := range tc.sizes {
+				_, _, dropped, err := sw.Inject(interp.Packet{"dst": 0}, size)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dropped != tc.dropped[i] {
+					t.Fatalf("packet %d (size %d): dropped=%v, want %v", i, size, dropped, tc.dropped[i])
+				}
+				if dropped {
+					wantDropped += size
+				} else {
+					wantQueued += size
+				}
+			}
+			st := sw.Stats()[0]
+			if st.QueueBytes != wantQueued || st.DroppedBytes != wantDropped {
+				t.Fatalf("queued %d dropped %d bytes, want %d/%d",
+					st.QueueBytes, st.DroppedBytes, wantQueued, wantDropped)
+			}
+			mustConserve(t, sw)
+		})
+	}
+}
+
+// TestInjectInjectHEquivalence: the map-form Inject and the header-form
+// InjectH are the same data path — identical departures (seq, port, tick,
+// size, decoded fields) and identical PortStats over a lossy trace.
+func TestInjectInjectHEquivalence(t *testing.T) {
+	prog := compileAlg(t, "flowlets")
+	mkSwitch := func() *Switch {
+		sw, err := New(prog, Config{
+			Ports:               4,
+			QueueCapBytes:       4000, // tight: exercises the drop path too
+			ServiceBytesPerTick: 1500,
+			RouteField:          "next_hop",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+	pkts := make([]interp.Packet, 300)
+	for i := range pkts {
+		pkts[i] = interp.Packet{
+			"sport":   int32(i % 7),
+			"dport":   int32(i % 13),
+			"arrival": int32(i),
+		}
+	}
+	size := func(i int) int64 { return int64(200 + (i%5)*300) }
+
+	swM := mkSwitch()
+	var mDeps []Departure
+	for i, pkt := range pkts {
+		if _, _, _, err := swM.Inject(pkt, size(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			mDeps = append(mDeps, swM.Tick()...)
+		}
+	}
+	mDeps = append(mDeps, swM.Drain()...)
+
+	swH := mkSwitch()
+	var hDeps []Departure
+	for i, pkt := range pkts {
+		h := swH.Machine().EncodeHeader(pkt)
+		if _, _, err := swH.InjectH(h, size(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			hDeps = append(hDeps, swH.Tick()...)
+		}
+	}
+	hDeps = append(hDeps, swH.Drain()...)
+
+	if len(mDeps) != len(hDeps) {
+		t.Fatalf("departure count: Inject %d, InjectH %d", len(mDeps), len(hDeps))
+	}
+	for i := range mDeps {
+		m, h := mDeps[i], hDeps[i]
+		if m.Seq != h.Seq || m.Port != h.Port || m.Departed != h.Departed || m.Size != h.Size {
+			t.Fatalf("departure %d: Inject (seq=%d port=%d t=%d sz=%d) vs InjectH (seq=%d port=%d t=%d sz=%d)",
+				i, m.Seq, m.Port, m.Departed, m.Size, h.Seq, h.Port, h.Departed, h.Size)
+		}
+		if !reflect.DeepEqual(m.Pkt, h.Pkt) {
+			t.Fatalf("departure %d decoded fields differ: %v vs %v", i, m.Pkt, h.Pkt)
+		}
+	}
+	if !reflect.DeepEqual(swM.Stats(), swH.Stats()) {
+		t.Fatalf("PortStats diverged:\nInject:  %+v\nInjectH: %+v", swM.Stats(), swH.Stats())
+	}
+	mustConserve(t, swM)
+	mustConserve(t, swH)
+}
+
+// TestOversizedPacketStoreAndForward: a packet bigger than one tick's
+// service rate departs after ceil(size/rate) ticks on accumulated credit
+// instead of deadlocking, and the credit dies with the blockage.
+func TestOversizedPacketStoreAndForward(t *testing.T) {
+	sw, err := New(compileRoute(t), Config{
+		Ports:               1,
+		ServiceBytesPerTick: 500,
+		RouteField:          algorithms.RouteOutPort,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := sw.Inject(interp.Packet{"dst": 0}, 1600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := sw.Inject(interp.Packet{"dst": 0}, 400); err != nil {
+		t.Fatal(err)
+	}
+	var deps []Departure
+	for i := 0; i < 10 && len(deps) < 2; i++ {
+		deps = append(deps, sw.Tick()...)
+	}
+	if len(deps) != 2 {
+		t.Fatalf("%d departures, want 2", len(deps))
+	}
+	// 500 B/tick: ticks 1..3 accumulate 1500 < 1600; tick 4 has 2000 —
+	// the big packet goes, and the leftover 400 serves the small one.
+	if deps[0].Departed != 4 || deps[0].Size != 1600 {
+		t.Fatalf("oversized packet departed at tick %d (size %d), want tick 4", deps[0].Departed, deps[0].Size)
+	}
+	if deps[1].Departed != 4 || deps[1].Size != 400 {
+		t.Fatalf("trailing packet departed at tick %d, want 4 (leftover credit)", deps[1].Departed)
+	}
+	mustConserve(t, sw)
+
+	// With the queue idle the credit is gone: a fresh in-budget packet
+	// departs on the very next tick, not earlier.
+	if _, _, _, err := sw.Inject(interp.Packet{"dst": 0}, 500); err != nil {
+		t.Fatal(err)
+	}
+	deps = sw.Tick()
+	if len(deps) != 1 || deps[0].Departed != 5 {
+		t.Fatalf("post-idle departure %+v, want one packet at tick 5", deps)
+	}
+	mustConserve(t, sw)
+}
+
+// TestPerPortServiceRates: Config.PortServiceBytesPerTick binds one rate
+// per port (rejecting length mismatches), and SetPortRate/PortRate
+// rebind and report them.
+func TestPerPortServiceRates(t *testing.T) {
+	prog := compileRoute(t)
+	if _, err := New(prog, Config{Ports: 2, PortServiceBytesPerTick: []int64{100}}); err == nil {
+		t.Fatal("per-port rate length mismatch accepted")
+	}
+	sw, err := New(prog, Config{
+		Ports:                   2,
+		ServiceBytesPerTick:     1000,
+		PortServiceBytesPerTick: []int64{0, 300}, // 0 keeps the default
+		RouteField:              algorithms.RouteOutPort,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.PortRate(0) != 1000 || sw.PortRate(1) != 300 {
+		t.Fatalf("port rates %d/%d, want 1000/300", sw.PortRate(0), sw.PortRate(1))
+	}
+	sw.SetPortRate(0, 700)
+	sw.SetPortRate(1, -5) // ignored
+	if sw.PortRate(0) != 700 || sw.PortRate(1) != 300 {
+		t.Fatalf("rebound rates %d/%d, want 700/300", sw.PortRate(0), sw.PortRate(1))
+	}
+	// Both ports serve at their own rate in one tick.
+	for p := int32(0); p < 2; p++ {
+		for i := 0; i < 3; i++ {
+			if _, _, _, err := sw.Inject(interp.Packet{"dst": p}, 300); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	byPort := map[int]int{}
+	for _, d := range sw.Tick() {
+		byPort[d.Port]++
+	}
+	if byPort[0] != 2 || byPort[1] != 1 {
+		t.Fatalf("one tick served %d/%d packets per port, want 2/1", byPort[0], byPort[1])
+	}
+	mustConserve(t, sw)
+}

@@ -38,6 +38,11 @@ type Config struct {
 	// selects the output port, reduced modulo Ports. Empty routes by a
 	// round-robin spray.
 	RouteField string
+	// PortServiceBytesPerTick overrides ServiceBytesPerTick per port (0
+	// entries keep the default). In a network, each output port feeds one
+	// link, so the port's rate is the link's capacity. Must be empty or
+	// Ports long.
+	PortServiceBytesPerTick []int64
 	// Scheduler chooses each port's service order. Nil means FIFO with
 	// tail drop (the pre-PIFO behavior). The byte cap (QueueCapBytes) is
 	// enforced by the switch regardless of scheduler.
@@ -96,8 +101,9 @@ type PortStats struct {
 	// Enqueues and Bytes count packets/bytes accepted into the queue.
 	Enqueues int64
 	Bytes    int64
-	// Drops counts arrivals rejected by the byte cap.
-	Drops int64
+	// Drops and DroppedBytes count arrivals rejected by the byte cap.
+	Drops        int64
+	DroppedBytes int64
 	// Departures and DepartedBytes count packets/bytes served.
 	Departures    int64
 	DepartedBytes int64
@@ -168,9 +174,16 @@ type Switch struct {
 	routeSlot int // slot of RouteField's departing value; -1 → round-robin
 	queues    []PortScheduler
 	stats     []PortStats
+	rates     []int64 // per-port service bytes/tick (link capacity)
+	carry     []int64 // per-port store-and-forward credit (see TickFunc)
 	now       int64
 	seq       int64
 	rr        int
+	// injected counts packets/bytes accepted by Inject/InjectH (enqueued
+	// or byte-cap dropped; pipeline errors and size rejections excluded) —
+	// the left side of the conservation identity.
+	injectedPkts  int64
+	injectedBytes int64
 }
 
 // New builds a switch around a compiled program.
@@ -207,11 +220,27 @@ func New(prog *codegen.Program, cfg Config) (*Switch, error) {
 	if len(queues) != cfg.Ports {
 		return nil, fmt.Errorf("switchsim: scheduler built %d port queues, want %d", len(queues), cfg.Ports)
 	}
+	rates := make([]int64, cfg.Ports)
+	for p := range rates {
+		rates[p] = cfg.ServiceBytesPerTick
+	}
+	if n := len(cfg.PortServiceBytesPerTick); n != 0 {
+		if n != cfg.Ports {
+			return nil, fmt.Errorf("switchsim: %d per-port rates for %d ports", n, cfg.Ports)
+		}
+		for p, r := range cfg.PortServiceBytesPerTick {
+			if r > 0 {
+				rates[p] = r
+			}
+		}
+	}
 	return &Switch{
 		cfg:       cfg,
 		machine:   m,
 		routeSlot: routeSlot,
 		queues:    queues,
+		rates:     rates,
+		carry:     make([]int64, cfg.Ports),
 		stats:     make([]PortStats, cfg.Ports),
 	}, nil
 }
@@ -278,9 +307,12 @@ func (s *Switch) enqueue(h banzai.Header, size int64) (port int, dropped bool) {
 		port = s.rr % s.cfg.Ports
 		s.rr++
 	}
+	s.injectedPkts++
+	s.injectedBytes += size
 	st := &s.stats[port]
 	if st.QueueBytes+size > s.cfg.QueueCapBytes {
 		st.Drops++
+		st.DroppedBytes += size
 		s.machine.ReleaseHeader(h)
 		return port, true
 	}
@@ -315,17 +347,35 @@ func (s *Switch) Inject(pkt interp.Packet, size int64) (out interp.Packet, port 
 	return out, port, dropped, nil
 }
 
-// Tick advances time one unit: each port drains up to its service rate in
-// the order its scheduler dictates.
-func (s *Switch) Tick() []Departure {
+// TickFunc advances time one unit: each port drains up to its service
+// rate in the order its scheduler dictates, handing each departing
+// QueuedHeader to emit without decoding it — the harness-facing step
+// function a network simulator drives. Ownership of qh.H passes to emit,
+// which must eventually hand it back via Machine().ReleaseHeader (or keep
+// it under its own pooling regime).
+//
+// A packet larger than one full tick's service rate is transmitted
+// store-and-forward style: while it sits at the head, the port's unused
+// budget carries over, so it departs after ceil(size/rate) ticks instead
+// of deadlocking the queue. Packets that fit a fresh tick's budget keep
+// the strict fits-or-waits rule (no residual credit), so ordinary
+// scenarios are unchanged; the credit never accumulates past the blocked
+// packet's size and is forfeited when the head no longer needs it.
+func (s *Switch) TickFunc(emit func(port int, qh QueuedHeader)) {
 	s.now++
-	var deps []Departure
 	for p := range s.queues {
 		q := s.queues[p]
-		budget := s.cfg.ServiceBytesPerTick
+		budget := s.rates[p] + s.carry[p]
+		s.carry[p] = 0
 		for {
 			head, ok := q.Head(s.now)
-			if !ok || head.Size > budget {
+			if !ok {
+				break
+			}
+			if head.Size > budget {
+				if head.Size > s.rates[p] {
+					s.carry[p] = budget
+				}
 				break
 			}
 			qh, _ := q.Dequeue(s.now)
@@ -334,19 +384,28 @@ func (s *Switch) Tick() []Departure {
 			st.QueueBytes -= qh.Size
 			st.Departures++
 			st.DepartedBytes += qh.Size
-			deps = append(deps, Departure{
-				QueuedPacket: QueuedPacket{
-					Pkt:     s.machine.Layout().Output(qh.H),
-					Size:    qh.Size,
-					Arrived: qh.Arrived,
-					Seq:     qh.Seq,
-				},
-				Port:     p,
-				Departed: s.now,
-			})
-			s.machine.ReleaseHeader(qh.H)
+			emit(p, qh)
 		}
 	}
+}
+
+// Tick advances time one unit and returns the decoded departures — the
+// map-form wrapper over TickFunc; the codec runs only here, at the edge.
+func (s *Switch) Tick() []Departure {
+	var deps []Departure
+	s.TickFunc(func(port int, qh QueuedHeader) {
+		deps = append(deps, Departure{
+			QueuedPacket: QueuedPacket{
+				Pkt:     s.machine.Layout().Output(qh.H),
+				Size:    qh.Size,
+				Arrived: qh.Arrived,
+				Seq:     qh.Seq,
+			},
+			Port:     port,
+			Departed: s.now,
+		})
+		s.machine.ReleaseHeader(qh.H)
+	})
 	return deps
 }
 
@@ -369,6 +428,19 @@ func (s *Switch) Drain() []Departure {
 	}
 }
 
+// PortRate returns port p's service rate in bytes per tick (the capacity
+// of the link the port feeds).
+func (s *Switch) PortRate(p int) int64 { return s.rates[p] }
+
+// SetPortRate overrides one port's service rate — how a network harness
+// binds a link's capacity to the port that feeds it after construction.
+// Non-positive rates are ignored.
+func (s *Switch) SetPortRate(p int, bytesPerTick int64) {
+	if bytesPerTick > 0 {
+		s.rates[p] = bytesPerTick
+	}
+}
+
 // Stats returns a copy of the per-port statistics.
 func (s *Switch) Stats() []PortStats {
 	out := make([]PortStats, len(s.stats))
@@ -376,27 +448,38 @@ func (s *Switch) Stats() []PortStats {
 	return out
 }
 
-// LoadImbalance summarizes load spread: (max-min)/mean of per-port bytes.
-// 0 is perfectly balanced.
-func (s *Switch) LoadImbalance() float64 {
-	if len(s.stats) == 0 {
+// Imbalance summarizes a load spread: (max-min)/mean over byte counts;
+// 0 is perfectly balanced. Shared by the per-switch port metric below
+// and netsim's link-level balance reports.
+func Imbalance(bytes []int64) float64 {
+	if len(bytes) == 0 {
 		return 0
 	}
-	min, max, sum := s.stats[0].Bytes, s.stats[0].Bytes, int64(0)
-	for _, st := range s.stats {
-		if st.Bytes < min {
-			min = st.Bytes
+	min, max, sum := bytes[0], bytes[0], int64(0)
+	for _, b := range bytes {
+		if b < min {
+			min = b
 		}
-		if st.Bytes > max {
-			max = st.Bytes
+		if b > max {
+			max = b
 		}
-		sum += st.Bytes
+		sum += b
 	}
 	if sum == 0 {
 		return 0
 	}
-	mean := float64(sum) / float64(len(s.stats))
+	mean := float64(sum) / float64(len(bytes))
 	return (float64(max) - float64(min)) / mean
+}
+
+// LoadImbalance summarizes load spread: (max-min)/mean of per-port bytes.
+// 0 is perfectly balanced.
+func (s *Switch) LoadImbalance() float64 {
+	bytes := make([]int64, len(s.stats))
+	for p := range s.stats {
+		bytes[p] = s.stats[p].Bytes
+	}
+	return Imbalance(bytes)
 }
 
 // CountReordering reports, for departures belonging to one flow keyed by

@@ -62,6 +62,17 @@ func TestFlowletSwitchRouting(t *testing.T) {
 	if busy < 8 {
 		t.Errorf("only %d/10 ports carried traffic", busy)
 	}
+	mustConserve(t, sw)
+}
+
+// mustConserve asserts the switch's conservation identity — every
+// scenario test calls it so no path that loses or duplicates packets can
+// slip in.
+func mustConserve(t *testing.T, sw *Switch) {
+	t.Helper()
+	if err := sw.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestQueueDropsWhenOverCapacity(t *testing.T) {
@@ -90,6 +101,9 @@ func TestQueueDropsWhenOverCapacity(t *testing.T) {
 	if sw.Stats()[0].Drops != int64(drops) {
 		t.Fatal("drop accounting mismatch")
 	}
+	mustConserve(t, sw)
+	sw.Drain()
+	mustConserve(t, sw)
 }
 
 func TestServiceRate(t *testing.T) {
@@ -105,6 +119,7 @@ func TestServiceRate(t *testing.T) {
 	if len(deps) != 2 {
 		t.Fatalf("served %d packets in one tick at 2000 B/tick with 1000 B packets, want 2", len(deps))
 	}
+	mustConserve(t, sw)
 }
 
 func TestLoadImbalanceMetric(t *testing.T) {
@@ -117,6 +132,7 @@ func TestLoadImbalanceMetric(t *testing.T) {
 	if im := sw.LoadImbalance(); im != 0 {
 		t.Errorf("round-robin imbalance = %f, want 0", im)
 	}
+	mustConserve(t, sw)
 }
 
 func TestCountReordering(t *testing.T) {
@@ -160,4 +176,8 @@ func TestInjectRejectsOutOfRangeSize(t *testing.T) {
 	if _, _, err := sw.InjectH(sw.Machine().AcquireHeader(), 0); err != nil {
 		t.Fatal(err)
 	}
+	// Rejected sizes never enter the conservation identity.
+	mustConserve(t, sw)
+	sw.Drain()
+	mustConserve(t, sw)
 }

@@ -1,0 +1,177 @@
+package workload
+
+// Network-level traffic: per-host packet schedules for the netsim
+// multi-switch simulator. Unlike the single-switch traces above, these
+// carry explicit source and destination hosts, so a topology harness can
+// inject each packet at its source host and check delivery at its sink.
+//
+// The representation is a plain struct (no map, no header): netsim stamps
+// the fields into a pooled header of the source leaf's layout at
+// injection time, which keeps the trace independent of any particular
+// switch program while still feeding the allocation-free data path.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// NetPacket is one packet of a network trace. Src and Dst index the
+// experiment's host list; Flow is a globally unique flow id, dense in
+// [0, NumFlows), so sinks can track completion in a flat slice.
+type NetPacket struct {
+	Src, Dst     int32
+	Sport, Dport int32
+	Flow         int32
+	Size         int32
+	Arrival      int64
+}
+
+// NetTrace is a network workload: packets sorted by arrival tick, plus
+// the flow bookkeeping sinks need for flow-completion-time measurement.
+type NetTrace struct {
+	Packets []NetPacket
+	// NumFlows is the number of distinct flow ids (dense from 0).
+	NumFlows int
+	// FlowPkts and FlowBytes are each flow's offered packets and bytes.
+	FlowPkts  []int32
+	FlowBytes []int64
+	// FlowStart is each flow's first arrival tick.
+	FlowStart []int64
+}
+
+// PermutationMatrix returns a fixed-point-free permutation of n hosts:
+// host i sends to perm[i], perm[i] != i — the all-to-all stress case the
+// CONGA and flowlet evaluations use (every host both sends and receives,
+// no locality to hide behind).
+func PermutationMatrix(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	// Fix the fixed points by rotating them amongst themselves.
+	var fixed []int
+	for i, p := range perm {
+		if i == p {
+			fixed = append(fixed, i)
+		}
+	}
+	switch len(fixed) {
+	case 0:
+	case 1:
+		// Swap the lone fixed point with its neighbor.
+		j := (fixed[0] + 1) % n
+		perm[fixed[0]], perm[j] = perm[j], perm[fixed[0]]
+	default:
+		for k, i := range fixed {
+			perm[i] = fixed[(k+1)%len(fixed)]
+		}
+	}
+	return perm
+}
+
+// CrossLeafPermutation returns a permutation of leaves*hostsPerLeaf hosts
+// (dense ids: host h sits under leaf h/hostsPerLeaf) in which every
+// host's partner sits under a *different* leaf, so all data traffic
+// crosses the fabric core — the stress matrix the leaf-spine
+// load-balance evaluation uses. It composes a fixed-point-free leaf
+// permutation with a seeded host shuffle inside each destination leaf;
+// all draws come from the seed, so the matrix is reproducible.
+func CrossLeafPermutation(seed int64, leaves, hostsPerLeaf int) []int {
+	if leaves < 2 || hostsPerLeaf < 1 {
+		panic(fmt.Sprintf("workload: cross-leaf permutation needs >=2 leaves and >=1 host per leaf, got %d/%d",
+			leaves, hostsPerLeaf))
+	}
+	leafPerm := PermutationMatrix(seed, leaves)
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed1ea5))
+	out := make([]int, leaves*hostsPerLeaf)
+	for l := 0; l < leaves; l++ {
+		slot := rng.Perm(hostsPerLeaf)
+		for k := 0; k < hostsPerLeaf; k++ {
+			out[l*hostsPerLeaf+k] = leafPerm[l]*hostsPerLeaf + slot[k]
+		}
+	}
+	return out
+}
+
+// PermutationTrace generates a permutation traffic matrix over hosts:
+// each host runs flowsPerHost flows to its permutation partner, every
+// flow carrying pktsPerFlow packets of size bytes each — see
+// HostPairTrace for the arrival structure.
+func PermutationTrace(seed int64, hosts, flowsPerHost, pktsPerFlow int, size int32, meanBurst, gap int) *NetTrace {
+	perm := PermutationMatrix(seed, hosts)
+	pairs := make([][2]int, hosts)
+	for h, p := range perm {
+		pairs[h] = [2]int{h, p}
+	}
+	return HostPairTrace(seed, pairs, flowsPerHost, pktsPerFlow, size, meanBurst, gap)
+}
+
+// HostPairTrace generates flows over an explicit src→dst host-pair list
+// (the general traffic-matrix form; PermutationTrace is the permutation
+// special case). Each pair runs flowsPerPair flows of pktsPerFlow packets
+// of size bytes. Flows arrive staggered over the trace (flow arrivals,
+// not just packet arrivals) and send their packets in bursts of
+// ~meanBurst packets separated by idle gaps longer than gap ticks — the
+// burst structure flowlet switching exploits. Packets are sorted by
+// arrival (stable: injection order at equal ticks follows flow id), and
+// all draws come from the seed, so the trace is byte-identical across
+// runs.
+func HostPairTrace(seed int64, pairs [][2]int, flowsPerPair, pktsPerFlow int, size int32, meanBurst, gap int) *NetTrace {
+	// Degenerate shape parameters clamp to their smallest meaningful
+	// values (single-packet bursts, 1-tick gaps) instead of panicking in
+	// rand.Intn; traces built with in-range parameters are unchanged.
+	if meanBurst < 1 {
+		meanBurst = 1
+	}
+	if gap < 1 {
+		gap = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nFlows := len(pairs) * flowsPerPair
+	tr := &NetTrace{
+		NumFlows:  nFlows,
+		FlowPkts:  make([]int32, nFlows),
+		FlowBytes: make([]int64, nFlows),
+		FlowStart: make([]int64, nFlows),
+	}
+	tr.Packets = make([]NetPacket, 0, nFlows*pktsPerFlow)
+	for pi, pair := range pairs {
+		for f := 0; f < flowsPerPair; f++ {
+			flow := int32(pi*flowsPerPair + f)
+			sport := int32(1024 + flow)
+			dport := int32(9000 + rng.Intn(1000))
+			// Flow arrival: staggered over roughly pktsPerFlow ticks so
+			// early and late flows overlap but not all start at once.
+			clock := int64(rng.Intn(pktsPerFlow + 1))
+			tr.FlowStart[flow] = -1
+			remaining := 0
+			for k := 0; k < pktsPerFlow; k++ {
+				if remaining == 0 {
+					if k > 0 {
+						clock += int64(gap + 1 + rng.Intn(gap))
+					}
+					remaining = 1 + rng.Intn(2*meanBurst)
+				}
+				clock += int64(1 + rng.Intn(2))
+				remaining--
+				if tr.FlowStart[flow] < 0 {
+					tr.FlowStart[flow] = clock
+				}
+				tr.FlowPkts[flow]++
+				tr.FlowBytes[flow] += int64(size)
+				tr.Packets = append(tr.Packets, NetPacket{
+					Src:     int32(pair[0]),
+					Dst:     int32(pair[1]),
+					Sport:   sport,
+					Dport:   dport,
+					Flow:    flow,
+					Size:    size,
+					Arrival: clock,
+				})
+			}
+		}
+	}
+	sort.SliceStable(tr.Packets, func(i, j int) bool {
+		return tr.Packets[i].Arrival < tr.Packets[j].Arrival
+	})
+	return tr
+}

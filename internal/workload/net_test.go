@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPermutationMatrixIsFixedPointFree(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		for _, n := range []int{2, 3, 4, 8, 9} {
+			perm := PermutationMatrix(seed, n)
+			seen := make([]bool, n)
+			for i, p := range perm {
+				if p == i {
+					t.Fatalf("seed %d n %d: host %d sends to itself", seed, n, i)
+				}
+				if p < 0 || p >= n || seen[p] {
+					t.Fatalf("seed %d n %d: not a permutation: %v", seed, n, perm)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}
+
+func TestPermutationTraceAccounting(t *testing.T) {
+	const hosts, fph, ppf = 8, 2, 40
+	tr := PermutationTrace(3, hosts, fph, ppf, 1500, 8, 30)
+	if tr.NumFlows != hosts*fph {
+		t.Fatalf("NumFlows = %d, want %d", tr.NumFlows, hosts*fph)
+	}
+	if len(tr.Packets) != tr.NumFlows*ppf {
+		t.Fatalf("%d packets, want %d", len(tr.Packets), tr.NumFlows*ppf)
+	}
+	perFlow := make([]int32, tr.NumFlows)
+	var last int64
+	for _, p := range tr.Packets {
+		if p.Arrival < last {
+			t.Fatal("packets not sorted by arrival")
+		}
+		last = p.Arrival
+		perFlow[p.Flow]++
+		if p.Src == p.Dst {
+			t.Fatalf("flow %d: src == dst == %d", p.Flow, p.Src)
+		}
+		if p.Src != p.Flow/fph {
+			t.Fatalf("flow %d owned by host %d, want %d", p.Flow, p.Src, p.Flow/fph)
+		}
+	}
+	for f, n := range perFlow {
+		if n != ppf {
+			t.Fatalf("flow %d has %d packets, want %d", f, n, ppf)
+		}
+		if tr.FlowPkts[f] != ppf || tr.FlowBytes[f] != int64(ppf)*1500 {
+			t.Fatalf("flow %d bookkeeping: %d pkts %d bytes", f, tr.FlowPkts[f], tr.FlowBytes[f])
+		}
+		if tr.FlowStart[f] < 0 {
+			t.Fatalf("flow %d has no start tick", f)
+		}
+	}
+}
+
+// TestNetTraceDeterminism: a fixed seed reproduces the trace
+// byte-identically — the foundation of every netsim determinism claim.
+func TestNetTraceDeterminism(t *testing.T) {
+	a := PermutationTrace(42, 8, 2, 100, 1500, 10, 40)
+	b := PermutationTrace(42, 8, 2, 100, 1500, 10, 40)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c := PermutationTrace(43, 8, 2, 100, 1500, 10, 40)
+	if reflect.DeepEqual(a.Packets, c.Packets) {
+		t.Fatal("different seeds produced identical traces")
+	}
+
+	pairs := [][2]int{{0, 1}, {1, 0}, {2, 3}}
+	d := HostPairTrace(7, pairs, 3, 50, 512, 6, 25)
+	e := HostPairTrace(7, pairs, 3, 50, 512, 6, 25)
+	if !reflect.DeepEqual(d, e) {
+		t.Fatal("same seed produced different host-pair traces")
+	}
+	if d.NumFlows != len(pairs)*3 {
+		t.Fatalf("NumFlows = %d", d.NumFlows)
+	}
+}
+
+// TestHostPairTraceDegenerateParams: zero burst/gap parameters clamp to
+// their smallest meaningful values instead of panicking in rand.Intn.
+func TestHostPairTraceDegenerateParams(t *testing.T) {
+	tr := HostPairTrace(1, [][2]int{{0, 1}}, 1, 20, 100, 0, 0)
+	if len(tr.Packets) != 20 {
+		t.Fatalf("%d packets, want 20", len(tr.Packets))
+	}
+}
+
+// TestCrossLeafPermutationNeverLocal: every host's partner sits under a
+// different leaf, and the mapping is a permutation.
+func TestCrossLeafPermutationNeverLocal(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		for _, shape := range [][2]int{{2, 1}, {4, 2}, {5, 3}} {
+			leaves, hpl := shape[0], shape[1]
+			perm := CrossLeafPermutation(seed, leaves, hpl)
+			seen := make([]bool, leaves*hpl)
+			for h, p := range perm {
+				if h/hpl == p/hpl {
+					t.Fatalf("seed %d %dx%d: host %d stays under its leaf (dst %d)", seed, leaves, hpl, h, p)
+				}
+				if seen[p] {
+					t.Fatalf("seed %d %dx%d: not a permutation", seed, leaves, hpl)
+				}
+				seen[p] = true
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("single-leaf cross-leaf permutation did not panic")
+		}
+	}()
+	CrossLeafPermutation(1, 1, 2)
+}
