@@ -4,8 +4,8 @@ SHELL := /bin/bash
 
 # BENCH_OUT is the committed per-PR benchmark snapshot `make bench` emits;
 # BENCH_BASE is the previous PR's snapshot bench-delta compares against.
-BENCH_OUT ?= BENCH_pr5.json
-BENCH_BASE ?= BENCH_pr4.json
+BENCH_OUT ?= BENCH_pr6.json
+BENCH_BASE ?= BENCH_pr5.json
 
 .PHONY: check fmt vet build test race bench bench-smoke bench-delta fuzz-smoke cover-net
 
@@ -37,7 +37,7 @@ race:
 # fuzzing; minimized crashes land in the corpus directories.
 fuzz-smoke:
 	$(GO) test ./internal/banzai -run 'FuzzOptimizerDifferential' -count=1
-	$(GO) test ./internal/netsim -run 'FuzzNetTopology' -count=1
+	$(GO) test ./internal/netsim -run 'FuzzNetTopology|FuzzNetFaults' -count=1
 
 # cover-net gates the switch + network simulator layers: their combined
 # statement coverage (from their own package tests) must stay >= 80%.

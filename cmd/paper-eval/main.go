@@ -11,6 +11,9 @@
 //	paper-eval -sched          # PIFO scheduling: weighted shares + port stats
 //	paper-eval -opt            # build-time optimizer report per algorithm
 //	paper-eval -net            # leaf-spine ECMP vs flowlet vs CONGA load balance
+//	paper-eval -faults         # routing under a seeded core-link failure
+//
+// Unknown flags or values exit non-zero with a message on stderr.
 package main
 
 import (
@@ -38,18 +41,44 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "", "table to regenerate: 3, 4, 5, 6, compile-time, resources")
-	figure := flag.String("figure", "", "figure to regenerate: 3, passes, 9")
-	tput := flag.Bool("throughput", false, "measure simulator data-path throughput (map vs header vs sharded)")
-	schedFlag := flag.Bool("sched", false, "run the PIFO egress schedulers over the multi-tenant trace")
-	optFlag := flag.Bool("opt", false, "report what the build-time optimizer does to each algorithm")
-	netFlag := flag.Bool("net", false, "run the leaf-spine routing experiment (ECMP vs flowlet vs CONGA)")
-	flag.Parse()
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "paper-eval:", err)
+		os.Exit(1)
+	}
+}
 
+// run parses args and dispatches the requested reports. Flag and value
+// errors come back as errors (so tests can exercise them and main can
+// exit non-zero); failures deep inside a report still exit via fatal.
+func run(args []string) error {
+	fs := flag.NewFlagSet("paper-eval", flag.ContinueOnError)
+	table := fs.String("table", "", "table to regenerate: 3, 4, 5, 6, compile-time, resources")
+	figure := fs.String("figure", "", "figure to regenerate: 3, passes, 9")
+	tput := fs.Bool("throughput", false, "measure simulator data-path throughput (map vs header vs sharded)")
+	schedFlag := fs.Bool("sched", false, "run the PIFO egress schedulers over the multi-tenant trace")
+	optFlag := fs.Bool("opt", false, "report what the build-time optimizer does to each algorithm")
+	netFlag := fs.Bool("net", false, "run the leaf-spine routing experiment (ECMP vs flowlet vs CONGA)")
+	faultsFlag := fs.Bool("faults", false, "run the routing experiment under a seeded core-link failure")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	more := func() bool {
+		return *table != "" || *figure != "" || *schedFlag || *tput || *optFlag
+	}
+	if *faultsFlag {
+		faultsExperiment()
+		if !more() && !*netFlag {
+			return nil
+		}
+	}
 	if *netFlag {
 		netExperiment()
-		if *table == "" && *figure == "" && !*schedFlag && !*tput && !*optFlag {
-			return
+		if !more() {
+			return nil
 		}
 	}
 
@@ -57,18 +86,18 @@ func main() {
 		throughput()
 		optReport() // the optimizer's effect belongs next to the throughput it buys
 		if *table == "" && *figure == "" && !*schedFlag {
-			return
+			return nil
 		}
 	} else if *optFlag {
 		optReport()
 		if *table == "" && *figure == "" && !*schedFlag {
-			return
+			return nil
 		}
 	}
 	if *schedFlag {
 		sched()
 		if *table == "" && *figure == "" {
-			return
+			return nil
 		}
 	}
 	if *table == "" && *figure == "" {
@@ -79,7 +108,7 @@ func main() {
 		compileTime()
 		resources()
 		figure3()
-		return
+		return nil
 	}
 	switch *table {
 	case "3":
@@ -96,7 +125,7 @@ func main() {
 		resources()
 	case "":
 	default:
-		fatal(fmt.Errorf("unknown table %q", *table))
+		return fmt.Errorf("unknown table %q (want 3, 4, 5, 6, compile-time, resources)", *table)
 	}
 	switch *figure {
 	case "3":
@@ -107,8 +136,9 @@ func main() {
 		figure9()
 	case "":
 	default:
-		fatal(fmt.Errorf("unknown figure %q", *figure))
+		return fmt.Errorf("unknown figure %q (want 3, passes, 9)", *figure)
 	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunFlagErrors: bad invocations come back as errors (main turns
+// them into exit 1 + stderr) instead of being silently ignored.
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-table", "99"},
+		{"-figure", "nope"},
+		{"stray-positional"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) = nil, want error", args)
+		}
+	}
+	if err := run([]string{"-table", "99"}); err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Errorf("table error unclear: %v", err)
+	}
+}
+
+// TestRunSmoke: a cheap good invocation succeeds end to end.
+func TestRunSmoke(t *testing.T) {
+	if err := run([]string{"-table", "6"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -35,6 +35,15 @@ import "fmt"
 // chosen output port; netsim binds it as switchsim's RouteField.
 const RouteOutPort = "out_port"
 
+// PortUpState is the per-switch uplink-liveness state array fault-aware
+// routing transactions declare (`int port_up[SPINES] = {1}`): entry s is
+// 1 while uplink s is usable, 0 while it is down. The netsim fault
+// harness pokes it from the control plane at link up/down boundaries
+// (banzai.Machine.PokeState), so rerouting around a dead link is the
+// transaction's decision, not the simulator's. Transactions that do not
+// declare it (ecmp_route, spine_route) stay failure-blind and blackhole.
+const PortUpState = "port_up"
+
 // RouteParams instantiates a routing transaction for one position in a
 // leaf-spine fabric.
 type RouteParams struct {
@@ -114,16 +123,23 @@ void ecmp_route(struct Packet pkt) {
 // burst reuse the saved hop, and a gap longer than the threshold re-hashes
 // with the arrival time, spreading bursts over paths without intra-burst
 // reordering.
+//
+// The transaction consults the port_up liveness array (PortUpState, poked
+// by the fault harness; every entry starts at 1): when the chosen uplink
+// is down, the packet detours to the next uplink instead of blackholing.
+// One state read per packet means single-failure tolerance — if the
+// detour target is also down, the packet is lost like ECMP's.
 func FlowletRouteSource(p RouteParams) (string, error) {
 	if err := p.validate(); err != nil {
 		return "", err
 	}
-	return leafHeader(p, "  int new_hop;\n  int fid;\n") + `
+	return leafHeader(p, "  int new_hop;\n  int fid;\n  int up0;\n  int upok;\n  int alt;\n") + `
 #define NUM_FLOWLETS 8000
 #define THRESHOLD 20
 
 int last_time[NUM_FLOWLETS] = {0};
 int saved_hop[NUM_FLOWLETS] = {0};
+int port_up[SPINES] = {1};
 
 void flowlet_route(struct Packet pkt) {
   pkt.dstleaf = pkt.dst / HOSTS_PER_LEAF;
@@ -134,7 +150,10 @@ void flowlet_route(struct Packet pkt) {
     saved_hop[pkt.fid] = pkt.new_hop;
   }
   last_time[pkt.fid] = pkt.arrival;
-  pkt.up = saved_hop[pkt.fid];
+  pkt.up0 = saved_hop[pkt.fid];
+  pkt.upok = port_up[pkt.up0];
+  pkt.alt = pkt.up0 + 1 == SPINES ? 0 : pkt.up0 + 1;
+  pkt.up = pkt.upok == 1 ? pkt.up0 : pkt.alt;
   pkt.down = DOWN_BASE + (pkt.dst % HOSTS_PER_LEAF);
   pkt.out_port = pkt.local ? pkt.down : pkt.up;
   pkt.path_id = pkt.local ? pkt.path_id : pkt.up;
@@ -169,7 +188,7 @@ func CongaRouteSource(p RouteParams) (string, error) {
 	if p.Leaves > 64 {
 		return "", fmt.Errorf("algorithms: conga_route supports at most 64 leaves (N_LEAVES), got %d", p.Leaves)
 	}
-	return leafHeader(p, "  int fbleaf;\n  int absorb;\n  int key;\n  int gutil;\n  int gpath;\n  int best;\n  int eup;\n  int pup;\n  int probe;\n  int dup;\n") + `
+	return leafHeader(p, "  int fbleaf;\n  int absorb;\n  int key;\n  int gutil;\n  int gpath;\n  int best;\n  int eup;\n  int pup;\n  int probe;\n  int dup;\n  int upsel;\n  int upok;\n  int alt;\n") + `
 #define N_LEAVES 64
 #define FB_NONE 1073741824
 #define FB_INIT 536870912
@@ -177,6 +196,7 @@ func CongaRouteSource(p RouteParams) (string, error) {
 
 int best_util[N_LEAVES] = {536870912};
 int best_path[N_LEAVES] = {0};
+int port_up[SPINES] = {1};
 
 void conga_route(struct Packet pkt) {
   pkt.dstleaf = pkt.dst / HOSTS_PER_LEAF;
@@ -206,7 +226,15 @@ void conga_route(struct Packet pkt) {
   pkt.probe = hash2(pkt.arrival, pkt.sport) % PROBE;
   pkt.dup = pkt.probe == 0 ? pkt.pup : pkt.best;
   pkt.eup = hash2(pkt.sport, pkt.dport) % SPINES;
-  pkt.up = pkt.fb == 1 ? pkt.eup : pkt.dup;
+  pkt.upsel = pkt.fb == 1 ? pkt.eup : pkt.dup;
+
+  // Liveness override (see PortUpState): a packet aimed at a downed
+  // uplink detours to the next one rather than blackholing. The table
+  // may briefly keep naming the dead path (its entry only refreshes on
+  // feedback), but no packet follows it there.
+  pkt.upok = port_up[pkt.upsel];
+  pkt.alt = pkt.upsel + 1 == SPINES ? 0 : pkt.upsel + 1;
+  pkt.up = pkt.upok == 1 ? pkt.upsel : pkt.alt;
   pkt.down = DOWN_BASE + (pkt.dst % HOSTS_PER_LEAF);
   pkt.out_port = pkt.local ? pkt.down : pkt.up;
   pkt.path_id = pkt.local ? pkt.path_id : pkt.up;

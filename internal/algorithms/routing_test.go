@@ -227,3 +227,89 @@ func TestSpineRouteSemantics(t *testing.T) {
 		t.Fatalf("spine packet count = %d, want 8", got)
 	}
 }
+
+// TestPortUpReroute: the liveness contract the fault harness relies on.
+// flowlet_route and conga_route consult port_up and detour to the next
+// uplink when their chosen one is poked down; ecmp_route never declares
+// the array, so a poke refuses and its route is unmoved — failure-blind
+// by construction, not by accident.
+func TestPortUpReroute(t *testing.T) {
+	t.Run("flowlet", func(t *testing.T) {
+		p := RouteParams{LeafID: 0, Leaves: 4, Spines: 4, HostsPerLeaf: 2}
+		src, err := FlowletRouteSource(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := routeMachine(t, src)
+		// Pin a burst; dst 5 sits under leaf 2, so the route is an uplink.
+		pkt := func(arr int32) interp.Packet {
+			return interp.Packet{"sport": 7, "dport": 9, "dst": 5, "arrival": arr}
+		}
+		pin := runRoute(t, m, pkt(100))
+		up := pin["out_port"]
+		alt := up + 1
+		if alt == int32(p.Spines) {
+			alt = 0
+		}
+		if !m.PokeState(PortUpState, int(up), 0) {
+			t.Fatal("flowlet_route does not expose port_up")
+		}
+		// Same burst (gap < threshold): saved hop unchanged, but the
+		// packet must detour to the next uplink.
+		if out := runRoute(t, m, pkt(101)); out["out_port"] != alt {
+			t.Fatalf("downed uplink %d: routed to %d, want detour %d", up, out["out_port"], alt)
+		}
+		m.PokeState(PortUpState, int(up), 1)
+		if out := runRoute(t, m, pkt(102)); out["out_port"] != up {
+			t.Fatalf("recovered uplink: routed to %d, want %d", out["out_port"], up)
+		}
+	})
+
+	t.Run("conga", func(t *testing.T) {
+		p := RouteParams{LeafID: 1, Leaves: 4, Spines: 2, HostsPerLeaf: 2}
+		src, err := CongaRouteSource(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := routeMachine(t, src)
+		// Feedback steers the table to path 1 (see TestCongaRouteSemantics;
+		// the sport=5/dport=6/arrival=0 data packet is non-probing there).
+		runRoute(t, m, interp.Packet{"fb": 1, "fb_path": 1, "fb_util": 50, "src": 0, "dst": 2, "sport": 1, "dport": 1})
+		d := runRoute(t, m, interp.Packet{"sport": 5, "dport": 6, "src": 2, "dst": 1})
+		if d["probe"] == 0 {
+			t.Fatal("test packet probes; best-path assertions would be vacuous")
+		}
+		if d["up"] != 1 {
+			t.Fatalf("setup: best path = %d, want 1", d["up"])
+		}
+		if !m.PokeState(PortUpState, 1, 0) {
+			t.Fatal("conga_route does not expose port_up")
+		}
+		// The table still names path 1, but the packet detours to 0.
+		d = runRoute(t, m, interp.Packet{"sport": 5, "dport": 6, "src": 2, "dst": 1})
+		if d["upsel"] != 1 || d["up"] != 0 || d["out_port"] != 0 {
+			t.Fatalf("downed best path: upsel=%d up=%d out_port=%d, want 1/0/0", d["upsel"], d["up"], d["out_port"])
+		}
+		m.PokeState(PortUpState, 1, 1)
+		d = runRoute(t, m, interp.Packet{"sport": 5, "dport": 6, "src": 2, "dst": 1})
+		if d["up"] != 1 {
+			t.Fatalf("recovered best path: up=%d, want 1", d["up"])
+		}
+	})
+
+	t.Run("ecmp-blind", func(t *testing.T) {
+		src, err := ECMPRouteSource(RouteParams{LeafID: 1, Leaves: 4, Spines: 2, HostsPerLeaf: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := routeMachine(t, src)
+		before := runRoute(t, m, interp.Packet{"sport": 10, "dport": 20, "dst": 6})
+		if m.PokeState(PortUpState, int(before["out_port"]), 0) {
+			t.Fatal("ecmp_route accepted a port_up poke; it must not declare the array")
+		}
+		after := runRoute(t, m, interp.Packet{"sport": 10, "dport": 20, "dst": 6})
+		if after["out_port"] != before["out_port"] {
+			t.Fatal("ecmp moved its route without any state to consult")
+		}
+	})
+}

@@ -483,6 +483,68 @@ func (m *Machine) DrainH() []Header {
 	return out
 }
 
+// findCell locates the atom-local cell holding a state variable, or nil
+// when the compiled program never touches it (cells exist only for state
+// the surviving statements read or write).
+func (m *Machine) findCell(name string) *cell {
+	for _, row := range m.stages {
+		for _, a := range row {
+			for _, c := range a.cells {
+				if c.name == name {
+					return c
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PokeState overwrites one element of a state variable from the control
+// plane — how a harness makes an out-of-band condition (a failed link, an
+// operator override) visible to the data-plane program between packets.
+// For scalars index must be 0. It reports false, changing nothing, when
+// the program does not touch the named state or the index is out of
+// range; state the program declares but never uses has no cell to poke.
+// Control-plane only: it scans the pipeline's atoms on every call.
+func (m *Machine) PokeState(name string, index int, v int32) bool {
+	c := m.findCell(name)
+	switch {
+	case c == nil:
+		return false
+	case c.isArray:
+		if index < 0 || index >= len(c.arr) {
+			return false
+		}
+		c.arr[index] = v
+	default:
+		if index != 0 {
+			return false
+		}
+		c.scalar = v
+	}
+	return true
+}
+
+// PeekState reads one element of a state variable from the control plane
+// (PokeState's read half, with the same cell and range rules).
+func (m *Machine) PeekState(name string, index int) (int32, bool) {
+	c := m.findCell(name)
+	switch {
+	case c == nil:
+		return 0, false
+	case c.isArray:
+		if index < 0 || index >= len(c.arr) {
+			return 0, false
+		}
+		return c.arr[index], true
+	default:
+		if index != 0 {
+			return 0, false
+		}
+		return c.scalar, true
+	}
+}
+
 // State aggregates every atom's local state into one view, for inspection
 // and equivalence testing. Declared state variables the program never
 // touches appear with their initial values.

@@ -124,6 +124,10 @@ func (l *Layout) Output(h Header) interp.Packet {
 type headerPool struct {
 	width int
 	free  []Header
+	// made counts headers the pool has ever allocated, so made-len(free)
+	// is the number currently checked out — the leak oracle behind
+	// Machine.LiveHeaders.
+	made int
 }
 
 // get returns a pooled header without zeroing it — for codec paths where
@@ -135,6 +139,7 @@ func (p *headerPool) get() Header {
 		p.free = p.free[:n-1]
 		return h
 	}
+	p.made++
 	return make(Header, p.width)
 }
 
@@ -167,6 +172,14 @@ func (m *Machine) AcquireHeaderUnzeroed() Header { return m.pool.get() }
 // keeps its entire slab reachable for as long as it sits in the free list,
 // so hand those back to their trace instead of pooling them.
 func (m *Machine) ReleaseHeader(h Header) { m.pool.put(h) }
+
+// LiveHeaders returns how many pool-allocated headers are currently
+// checked out (acquired and not yet released) — the header-leak oracle
+// fault and drain tests assert with. It is exact only under the pooling
+// contract's happy path: every release hands back a header this pool
+// allocated. Releasing foreign headers (a Layout.NewHeader, another
+// machine's header) inflates the free list and undercounts.
+func (m *Machine) LiveHeaders() int { return m.pool.made - len(m.pool.free) }
 
 // EncodeHeader encodes a packet into a header drawn from the machine's
 // free list — the codec-path acquire. It skips AcquireHeader's zeroing

@@ -1,0 +1,103 @@
+package banzai
+
+import (
+	"testing"
+
+	"domino/internal/atoms"
+	"domino/internal/interp"
+)
+
+// pokeSrc reads a control-plane-owned state array: the program never
+// writes port_up, so only PokeState can change what it reads — the
+// netsim fault convention.
+const pokeSrc = `
+struct Packet { int idx; int out; int lvl; };
+int port_up[4] = {1};
+int level = 7;
+void f(struct Packet pkt) {
+  pkt.out = port_up[pkt.idx];
+  pkt.lvl = level;
+}
+`
+
+func TestPokePeekState(t *testing.T) {
+	_, m := machine(t, pokeSrc, atoms.Nested)
+
+	read := func(idx int32) int32 {
+		out, err := m.Process(interp.Packet{"idx": idx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out["out"]
+	}
+	if got := read(2); got != 1 {
+		t.Fatalf("initial port_up[2] = %d, want 1", got)
+	}
+	if !m.PokeState("port_up", 2, 0) {
+		t.Fatal("PokeState on a read state array returned false")
+	}
+	if got := read(2); got != 0 {
+		t.Fatalf("after poke, program read port_up[2] = %d, want 0", got)
+	}
+	if got := read(1); got != 1 {
+		t.Fatalf("poke bled into port_up[1]: got %d, want 1", got)
+	}
+	if v, ok := m.PeekState("port_up", 2); !ok || v != 0 {
+		t.Fatalf("PeekState(port_up, 2) = %d,%v, want 0,true", v, ok)
+	}
+
+	// Scalars use index 0; other indices are out of range.
+	if v, ok := m.PeekState("level", 0); !ok || v != 7 {
+		t.Fatalf("PeekState(level, 0) = %d,%v, want 7,true", v, ok)
+	}
+	if !m.PokeState("level", 0, 9) {
+		t.Fatal("PokeState on a scalar returned false")
+	}
+	if v, _ := m.PeekState("level", 0); v != 9 {
+		t.Fatalf("scalar poke lost: %d", v)
+	}
+	if m.PokeState("level", 1, 1) {
+		t.Fatal("PokeState(scalar, index 1) succeeded")
+	}
+
+	// Out-of-range and unknown names refuse instead of panicking.
+	if m.PokeState("port_up", 4, 0) || m.PokeState("port_up", -1, 0) {
+		t.Fatal("out-of-range array poke succeeded")
+	}
+	if m.PokeState("no_such_state", 0, 1) {
+		t.Fatal("poke of an undeclared state succeeded")
+	}
+	if _, ok := m.PeekState("no_such_state", 0); ok {
+		t.Fatal("peek of an undeclared state succeeded")
+	}
+}
+
+// TestLiveHeaders exercises the pool-leak oracle: acquires raise it,
+// releases lower it, and the codec path (EncodeHeader) counts too.
+func TestLiveHeaders(t *testing.T) {
+	_, m := machine(t, pokeSrc, atoms.Nested)
+	if got := m.LiveHeaders(); got != 0 {
+		t.Fatalf("fresh machine has %d live headers", got)
+	}
+	a := m.AcquireHeader()
+	b := m.EncodeHeader(interp.Packet{"idx": 1})
+	c := m.AcquireHeaderUnzeroed()
+	if got := m.LiveHeaders(); got != 3 {
+		t.Fatalf("after 3 acquires: %d live", got)
+	}
+	m.ReleaseHeader(b)
+	if got := m.LiveHeaders(); got != 2 {
+		t.Fatalf("after 1 release: %d live", got)
+	}
+	m.ReleaseHeader(a)
+	m.ReleaseHeader(c)
+	if got := m.LiveHeaders(); got != 0 {
+		t.Fatalf("after all releases: %d live", got)
+	}
+	// Reacquiring reuses the free list without growing `made`.
+	d := m.AcquireHeader()
+	if got := m.LiveHeaders(); got != 1 {
+		t.Fatalf("reacquire: %d live", got)
+	}
+	m.ReleaseHeader(d)
+}

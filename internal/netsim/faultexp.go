@@ -1,0 +1,189 @@
+package netsim
+
+// The degradation experiment: the leaf-spine load-balance scenario with a
+// seeded core-link failure in the middle of the run. One directed uplink
+// (leaf FailLeaf → spine FailSpine) goes down at FailTick and recovers at
+// RecoverTick; delivered data throughput and core imbalance are measured
+// in three equal-length windows — before, during and after the outage —
+// so the recovery ratio (during/before) separates routing policies that
+// reroute around the failure (flowlet_route, conga_route read port_up)
+// from ones that keep feeding the dead port (ecmp_route).
+//
+// Only the leaf→spine direction fails: the spine's downlink routing is a
+// fixed positional mapping (spine_route has no alternative path to a
+// leaf), so failing both directions would blackhole other leaves' traffic
+// regardless of the leaf policy under test.
+
+import "fmt"
+
+// FaultExperimentConfig parameterizes one RunLeafSpineFaults call. The
+// embedded ExperimentConfig keeps its defaults except where noted; zero
+// values take the defaults in brackets.
+type FaultExperimentConfig struct {
+	ExperimentConfig
+
+	FailLeaf  int // leaf side of the failed uplink [0]
+	FailSpine int // spine side (= the leaf's uplink port) [0]
+
+	WarmTick    int64 // measurement starts here [500]
+	FailTick    int64 // link goes down [1500]
+	RecoverTick int64 // link comes back [3000]
+	EndTick     int64 // measurement ends [4500]
+}
+
+func (c *FaultExperimentConfig) setDefaults() {
+	// Longer flows than the healthy experiment so offered load is steady
+	// across all three windows.
+	if c.PktsPerFlow == 0 {
+		c.PktsPerFlow = 600
+	}
+	if c.FlowsPerHost == 0 {
+		c.FlowsPerHost = 4
+	}
+	c.ExperimentConfig.setDefaults()
+	if c.WarmTick == 0 {
+		c.WarmTick = 500
+	}
+	if c.FailTick == 0 {
+		c.FailTick = 1500
+	}
+	if c.RecoverTick == 0 {
+		c.RecoverTick = 3000
+	}
+	if c.EndTick == 0 {
+		c.EndTick = 4500
+	}
+}
+
+func (c *FaultExperimentConfig) validate() error {
+	if !(0 < c.WarmTick && c.WarmTick < c.FailTick && c.FailTick < c.RecoverTick && c.RecoverTick < c.EndTick) {
+		return fmt.Errorf("netsim: fault windows must satisfy 0 < warm %d < fail %d < recover %d < end %d",
+			c.WarmTick, c.FailTick, c.RecoverTick, c.EndTick)
+	}
+	if c.FailLeaf < 0 || c.FailLeaf >= c.Leaves {
+		return fmt.Errorf("netsim: fail leaf %d outside [0,%d)", c.FailLeaf, c.Leaves)
+	}
+	if c.FailSpine < 0 || c.FailSpine >= c.Spines {
+		return fmt.Errorf("netsim: fail spine %d outside [0,%d)", c.FailSpine, c.Spines)
+	}
+	return nil
+}
+
+// FaultWindow is one measurement window's delta.
+type FaultWindow struct {
+	Name  string
+	Ticks int64
+
+	DataPkts int64   // data packets sunk at hosts (feedback excluded)
+	Rate     float64 // DataPkts / Ticks
+
+	CoreImbalance float64 // (max-min)/mean over core-link bytes moved in the window
+
+	Dropped        int64 // switch queue-cap drops
+	Blackholed     int64 // fault destruction
+	CorruptDropped int64 // arrival-guard rejections
+}
+
+// FaultExperimentResult is one faulted run's summary.
+type FaultExperimentResult struct {
+	Routing                string
+	FailedFrom, FailedTo   string // node names of the failed uplink
+	Before, During, After  FaultWindow
+	Recovery, PostRecovery float64 // During.Rate/Before.Rate, After.Rate/Before.Rate
+	Totals                 NetTotals
+	LiveHeadersAfterDrain  int
+}
+
+// faultSnap is the cumulative state at a window boundary.
+type faultSnap struct {
+	dataPkts  int64
+	coreBytes []int64
+	totals    NetTotals
+}
+
+func (c FaultExperimentConfig) snap(ls *LeafSpine) faultSnap {
+	s := faultSnap{coreBytes: ls.CoreLinkBytes(), totals: ls.Net.Totals()}
+	for _, id := range ls.Hosts {
+		h, _ := ls.Net.HostByID(id)
+		s.dataPkts += h.RcvdPkts
+	}
+	return s
+}
+
+func window(name string, ticks int64, a, b faultSnap) FaultWindow {
+	w := FaultWindow{
+		Name:           name,
+		Ticks:          ticks,
+		DataPkts:       b.dataPkts - a.dataPkts,
+		Dropped:        b.totals.DroppedPkts - a.totals.DroppedPkts,
+		Blackholed:     b.totals.BlackholedPkts - a.totals.BlackholedPkts,
+		CorruptDropped: b.totals.CorruptDroppedPkts - a.totals.CorruptDroppedPkts,
+	}
+	if ticks > 0 {
+		w.Rate = float64(w.DataPkts) / float64(ticks)
+	}
+	delta := make([]int64, len(b.coreBytes))
+	for i := range delta {
+		delta[i] = b.coreBytes[i] - a.coreBytes[i]
+	}
+	w.CoreImbalance = Imbalance(delta)
+	return w
+}
+
+// RunLeafSpineFaults builds the fabric, schedules the core-link outage,
+// replays the trace past EndTick, and then drains to completion with the
+// conservation and pool-leak oracles asserted.
+func RunLeafSpineFaults(c FaultExperimentConfig) (*FaultExperimentResult, error) {
+	c.setDefaults()
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	ls, _, err := c.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := ls.Net.SetTrace(c.Trace(), ls.Hosts); err != nil {
+		return nil, err
+	}
+	from := ls.Leaves[c.FailLeaf]
+	sched := (&FaultSchedule{Seed: c.Seed}).
+		LinkDown(c.FailTick, from, c.FailSpine).
+		LinkUp(c.RecoverTick, from, c.FailSpine)
+	if err := ls.Net.SetFaults(sched); err != nil {
+		return nil, err
+	}
+
+	res := &FaultExperimentResult{
+		Routing:    c.Routing,
+		FailedFrom: fmt.Sprintf("leaf%d", c.FailLeaf),
+		FailedTo:   fmt.Sprintf("spine%d", c.FailSpine),
+	}
+	boundaries := []int64{c.WarmTick, c.FailTick, c.RecoverTick, c.EndTick}
+	snaps := make([]faultSnap, 0, len(boundaries))
+	for _, t := range boundaries {
+		if err := ls.Net.Run(t); err != nil {
+			return nil, err
+		}
+		snaps = append(snaps, c.snap(ls))
+	}
+	res.Before = window("before", c.FailTick-c.WarmTick, snaps[0], snaps[1])
+	res.During = window("during", c.RecoverTick-c.FailTick, snaps[1], snaps[2])
+	res.After = window("after", c.EndTick-c.RecoverTick, snaps[2], snaps[3])
+	if res.Before.Rate > 0 {
+		res.Recovery = res.During.Rate / res.Before.Rate
+		res.PostRecovery = res.After.Rate / res.Before.Rate
+	}
+
+	if err := ls.Net.Drain(c.DrainLimit); err != nil {
+		return nil, err
+	}
+	if err := ls.Net.CheckConservation(); err != nil {
+		return nil, fmt.Errorf("netsim: %s faulted run broke conservation: %w", c.Routing, err)
+	}
+	res.Totals = ls.Net.Totals()
+	res.LiveHeadersAfterDrain = ls.Net.LiveHeaders()
+	if res.LiveHeadersAfterDrain != 0 {
+		return nil, fmt.Errorf("netsim: %s faulted run leaked %d headers", c.Routing, res.LiveHeadersAfterDrain)
+	}
+	return res, nil
+}

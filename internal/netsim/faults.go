@@ -1,0 +1,345 @@
+package netsim
+
+// Fault injection: a deterministic, seeded FaultSchedule applied at tick
+// boundaries. Faults are visible to the data-plane programs, not just the
+// simulator — a downed link freezes its feeding port, blackholes what was
+// in flight, and pokes the feeding switch's port_up state array to 0, so
+// routing written as Domino transactions (flowlet_route, conga_route)
+// reroutes around the failure while failure-blind policies (ecmp_route)
+// keep blackholing. Degraded links poison their DRE stamp in proportion
+// to the lost capacity. Every destroyed packet lands in the Blackholed or
+// CorruptDropped conservation terms, so the network identity
+//
+//	injected = delivered + dropped + queued + in-flight
+//	           + blackholed + corrupt-dropped
+//
+// stays byte-exact under any schedule — the chaos oracle FuzzNetFaults
+// enforces across random schedules on random topologies.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"domino/internal/algorithms"
+)
+
+// FaultKind is one fault event's type.
+type FaultKind uint8
+
+const (
+	// FaultLinkDown takes a directed link down: its feeding port freezes
+	// (queue holds, no service), packets in flight are blackholed, and the
+	// feeding switch's port_up[port] state is poked to 0.
+	FaultLinkDown FaultKind = iota
+	// FaultLinkUp restores a downed or degraded link to full health: base
+	// capacity, corruption off, port unfrozen, port_up[port] poked to 1.
+	FaultLinkUp
+	// FaultLinkDegrade sets a link's capacity to Capacity bytes/tick and
+	// scales its DRE stamp by ceil(base/Capacity). Capacity 0 stalls the
+	// link entirely — like FaultLinkDown it freezes the port and poisons
+	// port_up, but packets already in flight are delivered, not destroyed.
+	FaultLinkDegrade
+	// FaultLinkCorrupt sets a link's per-packet corruption probability to
+	// CorruptPerMil/1000 (0 switches corruption off). A corrupted packet
+	// has 1–3 header slots scrambled and must pass the arrival-edge guard
+	// or be counted CorruptDropped.
+	FaultLinkCorrupt
+	// FaultSwitchStall freezes a switch's service: queues hold and nothing
+	// departs, but arrivals are still accepted and enqueued.
+	FaultSwitchStall
+	// FaultSwitchCrash freezes service and blackholes every packet
+	// delivered or injected into the switch while crashed.
+	FaultSwitchCrash
+	// FaultSwitchUp clears a stall or crash; queued packets resume.
+	FaultSwitchUp
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultLinkDown:
+		return "link-down"
+	case FaultLinkUp:
+		return "link-up"
+	case FaultLinkDegrade:
+		return "link-degrade"
+	case FaultLinkCorrupt:
+		return "link-corrupt"
+	case FaultSwitchStall:
+		return "switch-stall"
+	case FaultSwitchCrash:
+		return "switch-crash"
+	case FaultSwitchUp:
+		return "switch-up"
+	}
+	return fmt.Sprintf("fault-kind-%d", uint8(k))
+}
+
+// FaultEvent is one scheduled fault. Link events name the directed link
+// by its feeding switch and output port; switch events name the switch.
+type FaultEvent struct {
+	Tick int64
+	Kind FaultKind
+	Node NodeID // feeding switch (link events) or the switch itself
+	Port int    // output port (link events only)
+
+	Capacity      int64 // FaultLinkDegrade: new bytes/tick (0 stalls)
+	CorruptPerMil int32 // FaultLinkCorrupt: probability in 1/1000 units
+}
+
+// FaultSchedule is a deterministic fault script: events fire at their
+// tick, in stable order, and Seed drives every probabilistic choice
+// (corruption lotteries, scrambled slots), so a fixed (schedule, trace)
+// pair replays byte-identically.
+type FaultSchedule struct {
+	Seed   int64
+	Events []FaultEvent
+}
+
+// Chainable builders, so tests read as scripts.
+
+// LinkDown schedules a directed link failure.
+func (f *FaultSchedule) LinkDown(tick int64, from NodeID, port int) *FaultSchedule {
+	f.Events = append(f.Events, FaultEvent{Tick: tick, Kind: FaultLinkDown, Node: from, Port: port})
+	return f
+}
+
+// LinkUp schedules a link recovery.
+func (f *FaultSchedule) LinkUp(tick int64, from NodeID, port int) *FaultSchedule {
+	f.Events = append(f.Events, FaultEvent{Tick: tick, Kind: FaultLinkUp, Node: from, Port: port})
+	return f
+}
+
+// LinkDegrade schedules a capacity degradation (0 stalls the link).
+func (f *FaultSchedule) LinkDegrade(tick int64, from NodeID, port int, bytesPerTick int64) *FaultSchedule {
+	f.Events = append(f.Events, FaultEvent{Tick: tick, Kind: FaultLinkDegrade, Node: from, Port: port, Capacity: bytesPerTick})
+	return f
+}
+
+// LinkCorrupt schedules a corruption-probability change (0 disables).
+func (f *FaultSchedule) LinkCorrupt(tick int64, from NodeID, port int, perMil int32) *FaultSchedule {
+	f.Events = append(f.Events, FaultEvent{Tick: tick, Kind: FaultLinkCorrupt, Node: from, Port: port, CorruptPerMil: perMil})
+	return f
+}
+
+// SwitchStall schedules a service freeze.
+func (f *FaultSchedule) SwitchStall(tick int64, sw NodeID) *FaultSchedule {
+	f.Events = append(f.Events, FaultEvent{Tick: tick, Kind: FaultSwitchStall, Node: sw})
+	return f
+}
+
+// SwitchCrash schedules a crash (freeze + blackhole arrivals).
+func (f *FaultSchedule) SwitchCrash(tick int64, sw NodeID) *FaultSchedule {
+	f.Events = append(f.Events, FaultEvent{Tick: tick, Kind: FaultSwitchCrash, Node: sw})
+	return f
+}
+
+// SwitchUp schedules a stall/crash recovery.
+func (f *FaultSchedule) SwitchUp(tick int64, sw NodeID) *FaultSchedule {
+	f.Events = append(f.Events, FaultEvent{Tick: tick, Kind: FaultSwitchUp, Node: sw})
+	return f
+}
+
+// SetFaults installs a fault schedule. The topology must be fully wired
+// (every event's link must exist) and the clock must not have started.
+// Events are applied in stable tick order at the top of their tick,
+// before deliveries. Calling SetFaults again replaces the schedule.
+func (n *Network) SetFaults(f *FaultSchedule) error {
+	if n.ready {
+		return fmt.Errorf("netsim: cannot set faults after the clock started")
+	}
+	events := make([]FaultEvent, len(f.Events))
+	copy(events, f.Events)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Tick < events[j].Tick })
+	for i := range events {
+		ev := &events[i]
+		w, err := n.switchAt(ev.Node)
+		if err != nil {
+			return fmt.Errorf("netsim: fault %d (%s): %w", i, ev.Kind, err)
+		}
+		switch ev.Kind {
+		case FaultLinkDown, FaultLinkUp, FaultLinkDegrade, FaultLinkCorrupt:
+			if ev.Port < 0 || ev.Port >= len(w.links) || w.links[ev.Port] == nil {
+				return fmt.Errorf("netsim: fault %d (%s): switch %q has no link on port %d", i, ev.Kind, w.name, ev.Port)
+			}
+		case FaultSwitchStall, FaultSwitchCrash, FaultSwitchUp:
+			// Naming the switch is enough.
+		default:
+			return fmt.Errorf("netsim: fault %d: unknown kind %d", i, uint8(ev.Kind))
+		}
+		if ev.Kind == FaultLinkDegrade && ev.Capacity < 0 {
+			return fmt.Errorf("netsim: fault %d: negative capacity %d", i, ev.Capacity)
+		}
+		if ev.Kind == FaultLinkCorrupt && (ev.CorruptPerMil < 0 || ev.CorruptPerMil > 1000) {
+			return fmt.Errorf("netsim: fault %d: corruption %d‰ outside [0,1000]", i, ev.CorruptPerMil)
+		}
+	}
+	n.faultEvents = events
+	n.faultNext = 0
+	n.faultSeed = f.Seed
+	return nil
+}
+
+// applyFaults fires every event due at the current tick.
+func (n *Network) applyFaults() {
+	for n.faultNext < len(n.faultEvents) && n.faultEvents[n.faultNext].Tick <= n.now {
+		n.applyFault(&n.faultEvents[n.faultNext])
+		n.faultNext++
+	}
+}
+
+func (n *Network) applyFault(ev *FaultEvent) {
+	w := n.nodes[ev.Node].sw // validated by SetFaults
+	switch ev.Kind {
+	case FaultLinkDown:
+		l := w.links[ev.Port]
+		if l.down {
+			return
+		}
+		l.down = true
+		n.freezePort(l, true)
+		// Packets in flight when the link died are destroyed.
+		for l.n > 0 {
+			f := l.ring[l.head]
+			l.ring[l.head] = inflight{}
+			l.head = (l.head + 1) % len(l.ring)
+			l.n--
+			n.blackhole(l, f.h, f.size)
+		}
+	case FaultLinkUp:
+		n.restoreLink(w.links[ev.Port])
+	case FaultLinkDegrade:
+		l := w.links[ev.Port]
+		if l.down {
+			return // degrading a dead link is a no-op; LinkUp restores
+		}
+		if ev.Capacity <= 0 {
+			// Stalled, not severed: the port freezes and programs see the
+			// port as down, but in-flight packets still deliver.
+			l.capacity = 0
+			n.freezePort(l, true)
+			return
+		}
+		l.capacity = ev.Capacity
+		w.sw.SetPortRate(ev.Port, ev.Capacity)
+		l.utilScale = (l.base + ev.Capacity - 1) / ev.Capacity
+		if l.utilScale < 1 {
+			l.utilScale = 1
+		}
+		n.freezePort(l, false) // a prior degrade-to-0 may have frozen it
+	case FaultLinkCorrupt:
+		l := w.links[ev.Port]
+		if ev.CorruptPerMil <= 0 {
+			l.corrupt = 0
+			return
+		}
+		l.corrupt = uint64(ev.CorruptPerMil) * (1 << 32) / 1000
+		if l.rng == nil {
+			// Seeded from the schedule seed and the link's identity, so
+			// the lottery replays identically however events interleave.
+			l.rng = rand.New(rand.NewSource(n.faultSeed ^ (int64(ev.Node)<<20|int64(ev.Port))*0x9e3779b9))
+		}
+	case FaultSwitchStall:
+		w.stalled = true
+	case FaultSwitchCrash:
+		w.crashed = true
+	case FaultSwitchUp:
+		w.stalled, w.crashed = false, false
+	}
+}
+
+// freezePort stalls or unfreezes a link's feeding port and keeps the
+// feeding switch's port_up state array in sync, when the program declares
+// one (leaf routing does; spine_route and ecmp_route stay failure-blind
+// by not reading it).
+func (n *Network) freezePort(l *link, down bool) {
+	l.from.sw.SetPortUp(l.fromPort, !down)
+	v := int32(1)
+	if down {
+		v = 0
+	}
+	l.from.sw.Machine().PokeState(algorithms.PortUpState, l.fromPort, v)
+}
+
+// restoreLink returns a link to full health: up, base capacity, clean
+// DRE scale, corruption off, port unfrozen, port_up re-poked.
+func (n *Network) restoreLink(l *link) {
+	l.down = false
+	l.capacity = l.base
+	l.utilScale = 1
+	l.corrupt = 0
+	l.from.sw.SetPortRate(l.fromPort, l.base)
+	n.freezePort(l, false)
+}
+
+// ClearFaults cancels every pending event and restores all links and
+// switches to healthy. Losses already incurred stay accounted. It is the
+// chaos harness's epilogue: clear, Drain, then assert conservation and
+// an empty pool (LiveHeaders == 0) — turning arbitrary schedules into
+// terminating tests.
+func (n *Network) ClearFaults() {
+	n.faultNext = len(n.faultEvents)
+	for _, l := range n.links {
+		n.restoreLink(l)
+	}
+	for _, w := range n.switches {
+		w.stalled, w.crashed = false, false
+	}
+}
+
+// RandomFaults builds a seeded random schedule over the wired topology
+// for chaos testing: link downs (some never recovered — ClearFaults
+// handles them), degradations, corruption windows, and switch stalls or
+// crashes, all within [1, horizon].
+func (n *Network) RandomFaults(seed, horizon int64) *FaultSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	f := &FaultSchedule{Seed: rng.Int63()}
+	if horizon < 2 {
+		horizon = 2
+	}
+	at := func() int64 { return 1 + rng.Int63n(horizon) }
+	for i, count := 0, 1+rng.Intn(8); i < count; i++ {
+		if len(n.links) > 0 && (len(n.switches) == 0 || rng.Intn(3) > 0) {
+			l := n.links[rng.Intn(len(n.links))]
+			from, port := l.from.id, l.fromPort
+			switch rng.Intn(4) {
+			case 0:
+				t := at()
+				f.LinkDown(t, from, port)
+				if rng.Intn(2) == 0 {
+					f.LinkUp(t+1+rng.Int63n(horizon), from, port)
+				}
+			case 1:
+				cap := int64(0)
+				if l.base > 0 && rng.Intn(4) > 0 {
+					cap = 1 + rng.Int63n(l.base)
+				}
+				t := at()
+				f.LinkDegrade(t, from, port, cap)
+				if rng.Intn(2) == 0 {
+					f.LinkUp(t+1+rng.Int63n(horizon), from, port)
+				}
+			case 2:
+				t := at()
+				f.LinkCorrupt(t, from, port, 1+rng.Int31n(1000))
+				if rng.Intn(2) == 0 {
+					f.LinkCorrupt(t+1+rng.Int63n(horizon), from, port, 0)
+				}
+			case 3:
+				f.LinkUp(at(), from, port) // spurious recovery: must be a no-op
+			}
+		} else if len(n.switches) > 0 {
+			w := n.switches[rng.Intn(len(n.switches))]
+			t := at()
+			if rng.Intn(2) == 0 {
+				f.SwitchStall(t, w.id)
+			} else {
+				f.SwitchCrash(t, w.id)
+			}
+			if rng.Intn(2) == 0 {
+				f.SwitchUp(t+1+rng.Int63n(horizon), w.id)
+			}
+		}
+	}
+	return f
+}

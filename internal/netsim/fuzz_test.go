@@ -142,3 +142,153 @@ func FuzzNetTopology(f *testing.F) {
 		}
 	})
 }
+
+// FuzzNetFaults is the chaos oracle: random fault schedules (link downs
+// with and without recovery, degradations, corruption windows, switch
+// stalls and crashes) over random forward-DAG topologies under random
+// traffic. Oracles, checked every tick and after the epilogue:
+//
+//  1. extended conservation: injected = delivered + dropped + queued +
+//     in-flight + blackholed + corrupt-dropped, byte-exact;
+//  2. termination: after ClearFaults (restore everything, cancel pending
+//     events) a bounded drain must empty the network — no livelock, and
+//     the no-progress watchdog must stay quiet once nothing is wedged;
+//  3. no leaks: every header pool balances (LiveHeaders == 0) and
+//     per-host sink counts sum exactly to the delivered total;
+//  4. no panics, whatever the schedule scrambles.
+//
+// The seed corpus lives in testdata/fuzz/FuzzNetFaults; `make fuzz-smoke`
+// replays it.
+func FuzzNetFaults(f *testing.F) {
+	src, err := algorithms.SpineRouteSource(algorithms.RouteParams{
+		Leaves: 2, Spines: 1, HostsPerLeaf: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	prog, err := codegen.CompileLeastSource(src)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(int64(1), int64(3), int64(60), int64(5))
+	f.Add(int64(7), int64(0), int64(200), int64(99))
+	f.Add(int64(20260808), int64(5), int64(31), int64(0))
+
+	f.Fuzz(func(t *testing.T, seed, shape, load, fseed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		nSwitches := 2 + int(uint64(shape)%5) // 2..6 switches
+		nPackets := 1 + int(uint64(load)%512) // 1..512 packets
+		n := New()
+		n.WatchdogTicks = 512 // longest link delay is 4; a wedge shows fast
+
+		type edge struct {
+			toSwitch int // -1 → this switch's sink host
+		}
+		edges := make([][]edge, nSwitches)
+		for i := 0; i < nSwitches; i++ {
+			edges[i] = []edge{{toSwitch: -1}}
+			if i < nSwitches-1 {
+				for k := 0; k < 1+rng.Intn(3); k++ {
+					edges[i] = append(edges[i], edge{toSwitch: i + 1 + rng.Intn(nSwitches-1-i)})
+				}
+			}
+			rng.Shuffle(len(edges[i]), func(a, b int) {
+				edges[i][a], edges[i][b] = edges[i][b], edges[i][a]
+			})
+		}
+
+		switches := make([]NodeID, nSwitches)
+		hosts := make([]NodeID, nSwitches)
+		for i := 0; i < nSwitches; i++ {
+			id, err := n.AddSwitch("sw", prog, switchsim.Config{
+				Ports:               len(edges[i]),
+				QueueCapBytes:       2000 + int64(rng.Intn(20000)),
+				ServiceBytesPerTick: 500 + int64(rng.Intn(5000)),
+				RouteField:          algorithms.RouteOutPort,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			switches[i] = id
+			hid, err := n.AddHost("h", id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hosts[i] = hid
+		}
+		for i, es := range edges {
+			for p, e := range es {
+				to := hosts[i]
+				if e.toSwitch >= 0 {
+					to = switches[e.toSwitch]
+				}
+				if err := n.Connect(switches[i], p, to, LinkOptions{
+					Delay:                int64(1 + rng.Intn(4)),
+					CapacityBytesPerTick: int64(500 + rng.Intn(4000)),
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := n.MapHosts(hosts); err != nil {
+			t.Fatal(err)
+		}
+
+		// A random schedule over the wired topology — the whole point.
+		if err := n.SetFaults(n.RandomFaults(fseed, 120)); err != nil {
+			t.Fatal(err)
+		}
+
+		for k := 0; k < nPackets; k++ {
+			if err := n.InjectNow(&workload.NetPacket{
+				Src:  int32(rng.Intn(nSwitches)),
+				Dst:  int32(rng.Intn(1 << 20)),
+				Flow: int32(k),
+				Size: int32(rng.Intn(3000)),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(3) == 0 {
+				n.Tick()
+				checkNet(t, n)
+			}
+		}
+		// Let the schedule play out with the network live.
+		for i := 0; i < 150; i++ {
+			n.Tick()
+			checkNet(t, n)
+		}
+
+		// Epilogue: restore everything; the network must now drain.
+		n.ClearFaults()
+		for i := 0; i < 50000 && !n.idle(); i++ {
+			n.Tick()
+			checkNet(t, n)
+		}
+		tot := n.Totals()
+		if tot.QueuedPkts != 0 || tot.InFlightPkts != 0 {
+			t.Fatalf("faulted DAG did not drain after ClearFaults: %d queued, %d in flight", tot.QueuedPkts, tot.InFlightPkts)
+		}
+		if tot.InjectedPkts != int64(nPackets) {
+			t.Fatalf("injected %d, want %d", tot.InjectedPkts, nPackets)
+		}
+		if got := tot.DeliveredPkts + tot.DroppedPkts + tot.BlackholedPkts + tot.CorruptDroppedPkts; got != tot.InjectedPkts {
+			t.Fatalf("drained loss accounting off: %d of %d injected accounted", got, tot.InjectedPkts)
+		}
+		if live := n.LiveHeaders(); live != 0 {
+			t.Fatalf("%d headers leaked under the fault schedule", live)
+		}
+		var sunk int64
+		for _, id := range hosts {
+			h, err := n.HostByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sunk += h.RcvdPkts + h.FbPkts
+		}
+		if sunk != tot.DeliveredPkts {
+			t.Fatalf("hosts sank %d packets, network delivered %d", sunk, tot.DeliveredPkts)
+		}
+	})
+}

@@ -34,6 +34,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"domino/internal/banzai"
 	"domino/internal/codegen"
@@ -121,6 +122,12 @@ type netSwitch struct {
 	// emit is the TickFunc callback, built once so ticking allocates
 	// nothing per call.
 	emit func(port int, qh switchsim.QueuedHeader)
+
+	// Fault state (see faults.go). A stalled switch stops servicing its
+	// queues but still accepts arrivals; a crashed switch additionally
+	// blackholes everything delivered or injected into it.
+	stalled bool
+	crashed bool
 }
 
 // Host is an end host: a traffic source (its packets enter its leaf
@@ -181,6 +188,26 @@ type link struct {
 	dre   int64
 	pkts  int64
 	bytes int64
+
+	// Fault state (see faults.go). base is the healthy capacity so
+	// LinkUp/ClearFaults can restore it. utilScale poisons the DRE stamp
+	// of a degraded link: the stamp is dre*utilScale (saturating), so a
+	// link at 1/k capacity advertises k× its raw estimate and
+	// utilization-aware programs steer away from it. corrupt is a
+	// per-packet corruption probability as a uint32 threshold (0 = off);
+	// rng drives the corruption lottery and the slots it scrambles,
+	// seeded deterministically from the schedule seed and link identity.
+	// (The threshold is uint64 so 1000‰ maps to 1<<32 — always — instead
+	// of overflowing uint32 to never.)
+	base      int64
+	down      bool
+	utilScale int64
+	corrupt   uint64
+	rng       *rand.Rand
+	// Arrival-edge guard slots, resolved against the in-flight header's
+	// layout (receiver for switch links, sender for host links); -1 when
+	// the program does not declare the field.
+	gSrc, gDst, gFb, gSize int
 }
 
 // Network is a topology of switches, hosts and links plus the global
@@ -218,6 +245,23 @@ type Network struct {
 
 	injectedPkts, injectedBytes   int64
 	deliveredPkts, deliveredBytes int64
+
+	// Fault machinery (see faults.go): the sorted schedule, a cursor into
+	// it, and the two fault-loss conservation terms. Blackholed counts
+	// packets destroyed by the fabric (in flight on a link that went
+	// down, delivered or injected into a crashed switch); CorruptDropped
+	// counts packets the arrival-edge validation guard rejected.
+	faultEvents                     []FaultEvent
+	faultNext                       int
+	faultSeed                       int64
+	blackholedPkts, blackholedBytes int64
+	corruptPkts, corruptBytes       int64
+
+	// WatchdogTicks bounds how long Run/Drain tolerate zero progress
+	// (identical conservation totals, nothing in flight to wait for, no
+	// pending trace or fault events) before failing loudly; 0 means the
+	// default of 4096 ticks. It must exceed the longest link delay.
+	WatchdogTicks int64
 }
 
 // New creates an empty network.
@@ -329,17 +373,19 @@ func (n *Network) Connect(from NodeID, port int, to NodeID, opts LinkOptions) er
 		opts.Delay = 1
 	}
 	l := &link{
-		from:     w,
-		fromPort: port,
-		to:       dst,
-		delay:    opts.Delay,
-		capacity: w.sw.PortRate(port),
-		utilSlot: -1,
+		from:      w,
+		fromPort:  port,
+		to:        dst,
+		delay:     opts.Delay,
+		capacity:  w.sw.PortRate(port),
+		utilSlot:  -1,
+		utilScale: 1,
 	}
 	if opts.CapacityBytesPerTick > 0 {
 		w.sw.SetPortRate(port, opts.CapacityBytesPerTick)
 		l.capacity = opts.CapacityBytesPerTick
 	}
+	l.base = l.capacity
 	src := w.sw.Machine().Layout()
 	if dst.sw != nil {
 		dstL := dst.sw.sw.Machine().Layout()
@@ -361,6 +407,10 @@ func (n *Network) Connect(from NodeID, port int, to NodeID, opts LinkOptions) er
 			}
 		}
 		l.utilSlot = slotOr(dstL, FieldUtil)
+		// The guard validates the receiver's input slots: that is what the
+		// re-homing bridge filled and what the pipeline will read.
+		l.gSrc, l.gDst = dst.sw.in.src, dst.sw.in.dst
+		l.gFb, l.gSize = dst.sw.in.fb, dst.sw.in.size
 	} else {
 		l.rFlow = outSlot(src, FieldFlow)
 		l.rFb = outSlot(src, FieldFb)
@@ -370,6 +420,10 @@ func (n *Network) Connect(from NodeID, port int, to NodeID, opts LinkOptions) er
 		l.rPathID = outSlot(src, FieldPathID)
 		l.rUtil = outSlot(src, FieldUtil)
 		l.utilSlot = slotOr(src, FieldUtil)
+		// Host-bound headers stay in the sender's layout; the guard reads
+		// the same departing values the sink would.
+		l.gSrc, l.gDst = l.rSrc, outSlot(src, FieldDst)
+		l.gFb, l.gSize = l.rFb, outSlot(src, FieldSize)
 	}
 	w.links[port] = l
 	n.links = append(n.links, l)
@@ -422,27 +476,40 @@ func (n *Network) SetTrace(tr *workload.NetTrace, hosts []NodeID) error {
 	return nil
 }
 
-// finalize validates the topology once, before the first tick.
-func (n *Network) finalize() {
+// Start validates the topology once, before the first tick: every switch
+// output port must be bound. It is idempotent, implied by the first Tick,
+// and the error-returning way to surface wiring mistakes — Tick panics on
+// them because it cannot return one.
+func (n *Network) Start() error {
+	if n.ready {
+		return nil
+	}
 	for _, w := range n.switches {
 		for p, l := range w.links {
 			if l == nil {
-				panic(fmt.Sprintf("netsim: switch %q port %d is unbound; every output port must be connected", w.name, p))
+				return fmt.Errorf("netsim: switch %q port %d is unbound; every output port must be connected", w.name, p)
 			}
 		}
 	}
 	n.ready = true
+	return nil
 }
 
-// Tick advances the network one time unit: due link packets are delivered
-// (into the next switch's pipeline, or to their sink host), due trace
-// packets are injected at their source hosts, every switch drains its
-// ports onto its links, and the links' utilization estimators decay.
+// Tick advances the network one time unit: due fault events fire, due
+// link packets are delivered (into the next switch's pipeline, or to
+// their sink host), due trace packets are injected at their source hosts,
+// every running switch drains its ports onto its links, and the links'
+// utilization estimators decay.
 func (n *Network) Tick() {
 	if !n.ready {
-		n.finalize()
+		if err := n.Start(); err != nil {
+			// Tick cannot return an error; call Start first to get this as
+			// a value instead.
+			panic(err.Error())
+		}
 	}
 	n.now++
+	n.applyFaults()
 	for _, l := range n.links {
 		l.deliver(n)
 	}
@@ -454,6 +521,9 @@ func (n *Network) Tick() {
 		}
 	}
 	for _, w := range n.switches {
+		if w.stalled || w.crashed {
+			continue // frozen: queues hold, no service budget accrues
+		}
 		w.sw.TickFunc(w.emit)
 	}
 	for _, l := range n.links {
@@ -461,23 +531,76 @@ func (n *Network) Tick() {
 	}
 }
 
-// Run ticks until the given tick (inclusive).
-func (n *Network) Run(until int64) {
+// watchdog tracks Run/Drain progress between ticks.
+type watchdog struct {
+	last  NetTotals
+	armed bool
+	stuck int64
+}
+
+// watch fails when the network has made no progress for WatchdogTicks
+// consecutive ticks — totals frozen while packets are queued or in
+// flight, with no pending trace or fault event that could unfreeze them.
+// A link delivery always changes the totals within its delay, so only a
+// genuinely wedged network (queues behind a downed port or stalled switch
+// with no recovery scheduled) trips it.
+func (n *Network) watch(w *watchdog) error {
+	limit := n.WatchdogTicks
+	if limit <= 0 {
+		limit = 4096
+	}
+	t := n.Totals()
+	pendingWork := t.QueuedPkts > 0 || t.InFlightPkts > 0
+	pendingEvents := (n.trace != nil && n.traceNext < len(n.trace.Packets)) ||
+		n.faultNext < len(n.faultEvents)
+	if w.armed && t == w.last && pendingWork && !pendingEvents {
+		w.stuck++
+		if w.stuck >= limit {
+			return fmt.Errorf("netsim: no progress for %d ticks at tick %d: %d packets queued, %d in flight, and no recovery event pending (downed link or stalled switch never brought back?)",
+				limit, n.now, t.QueuedPkts, t.InFlightPkts)
+		}
+	} else {
+		w.stuck = 0
+	}
+	w.last, w.armed = t, true
+	return nil
+}
+
+// Run ticks until the given tick (inclusive), failing on invalid wiring
+// or when the no-progress watchdog trips (see WatchdogTicks).
+func (n *Network) Run(until int64) error {
+	if err := n.Start(); err != nil {
+		return err
+	}
+	var wd watchdog
 	for n.now < until {
 		n.Tick()
+		if err := n.watch(&wd); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Drain ticks until the trace is fully injected and no packet remains
 // queued in a switch or in flight on a link, or until limit ticks have
 // elapsed (an error). Drops are fine — a dropped packet is gone, not
-// pending.
+// pending. The no-progress watchdog turns a wedged network (frozen
+// queues, nothing left that could move them) into an early error instead
+// of a silent spin to the limit.
 func (n *Network) Drain(limit int64) error {
+	if err := n.Start(); err != nil {
+		return err
+	}
+	var wd watchdog
 	for ; limit > 0; limit-- {
 		if n.idle() {
 			return nil
 		}
 		n.Tick()
+		if err := n.watch(&wd); err != nil {
+			return err
+		}
 	}
 	if !n.idle() {
 		return fmt.Errorf("netsim: network not drained at tick %d", n.now)
@@ -530,8 +653,8 @@ func (n *Network) injectTrace(p *workload.NetPacket) {
 // harnesses that pace traffic themselves instead of replaying a trace.
 // The hosts must have been bound with MapHosts (or SetTrace) first.
 func (n *Network) InjectNow(p *workload.NetPacket) error {
-	if !n.ready {
-		n.finalize()
+	if err := n.Start(); err != nil {
+		return err
 	}
 	if int(p.Src) < 0 || int(p.Src) >= len(n.traceHost) {
 		return fmt.Errorf("netsim: InjectNow: source host %d not mapped (call MapHosts)", p.Src)
@@ -541,16 +664,24 @@ func (n *Network) InjectNow(p *workload.NetPacket) error {
 }
 
 // inject hands a stamped header to a leaf pipeline, counting it into the
-// network conservation identity.
+// network conservation identity. A crashed leaf blackholes the packet —
+// still counted injected (the host offered it) and blackholed, so the
+// identity holds through the crash.
 func (n *Network) inject(w *netSwitch, h banzai.Header, size int64) {
+	n.injectedPkts++
+	n.injectedBytes += size
+	if w.crashed {
+		w.sw.Machine().ReleaseHeader(h)
+		n.blackholedPkts++
+		n.blackholedBytes += size
+		return
+	}
 	if _, _, err := w.sw.InjectH(h, size); err != nil {
 		// The pipeline programs netsim drives are guard-free and sizes
 		// are validated by the trace generators, so a rejection here is a
 		// harness bug, not a data-plane event.
 		panic(fmt.Sprintf("netsim: inject into %q: %v", w.name, err))
 	}
-	n.injectedPkts++
-	n.injectedBytes += size
 }
 
 // transmit is the TickFunc sink: a packet departing switch w on port p
@@ -579,7 +710,14 @@ func (n *Network) transmit(w *netSwitch, p int, qh switchsim.QueuedHeader) {
 	}
 	l.dre += qh.Size
 	if l.utilSlot >= 0 {
-		if u := int32(l.dre); u > h[l.utilSlot] {
+		// A degraded link carries fewer bytes, so its raw DRE would look
+		// *less* utilized; utilScale (healthy: 1) inflates the stamp in
+		// proportion to the lost capacity.
+		u64 := l.dre * l.utilScale
+		if u64 > maxUtilStamp {
+			u64 = maxUtilStamp
+		}
+		if u := int32(u64); u > h[l.utilSlot] {
 			h[l.utilSlot] = u
 		}
 	}
@@ -587,6 +725,9 @@ func (n *Network) transmit(w *netSwitch, p int, qh switchsim.QueuedHeader) {
 	l.bytes += qh.Size
 	l.push(inflight{at: n.now + l.delay, h: h, size: qh.Size})
 }
+
+// maxUtilStamp saturates poisoned DRE stamps inside int32.
+const maxUtilStamp = int64(^uint32(0) >> 1)
 
 func (l *link) push(f inflight) {
 	if l.n == len(l.ring) {
@@ -601,19 +742,96 @@ func (l *link) push(f inflight) {
 	l.n++
 }
 
-// deliver hands every due in-flight packet to the link's far end.
+// deliver hands every due in-flight packet to the link's far end: a
+// crashed destination switch blackholes it; a corrupting link may
+// scramble header slots, after which the arrival-edge guard either drops
+// the packet (CorruptDropped) or lets a still-plausible header proceed.
 func (l *link) deliver(n *Network) {
 	for l.n > 0 && l.ring[l.head].at <= n.now {
 		f := l.ring[l.head]
 		l.ring[l.head] = inflight{}
 		l.head = (l.head + 1) % len(l.ring)
 		l.n--
+		if l.to.sw != nil && l.to.sw.crashed {
+			n.blackhole(l, f.h, f.size)
+			continue
+		}
+		if l.corrupt != 0 {
+			if uint64(l.rng.Uint32()) < l.corrupt {
+				l.scramble(f.h)
+			}
+			if !l.guardOK(n, f.h, f.size) {
+				n.corruptDrop(l, f.h, f.size)
+				continue
+			}
+		}
 		if l.to.sw != nil {
 			n.inject2(l.to.sw, f.h, f.size)
 		} else {
 			l.to.host.sink(l, f.h, f.size)
 		}
 	}
+}
+
+// scramble flips 1–3 random slots of a corrupted header. The inflight
+// record's size — not the header's size field — drives all byte
+// accounting, so corruption can damage what programs and sinks read but
+// never the conservation identity itself.
+func (l *link) scramble(h banzai.Header) {
+	k := 1 + int(l.rng.Uint32()%3)
+	for i := 0; i < k; i++ {
+		slot := int(l.rng.Uint32() % uint32(len(h)))
+		h[slot] ^= int32(l.rng.Uint32())
+	}
+}
+
+// guardOK is the arrival-edge validation guard, run on every packet
+// crossing a corrupt-enabled link: declared fields must stay inside the
+// bounds the fabric relies on (src/dst a mapped host, fb a boolean, the
+// size field matching the carried size). A corrupted header that passes —
+// damage confined to unchecked fields — proceeds like real silent
+// corruption would; everything downstream is index-safe regardless
+// because state arrays mask and sinks bounds-check.
+func (l *link) guardOK(n *Network, h banzai.Header, size int64) bool {
+	hosts := int32(len(n.traceHost))
+	if l.gSrc >= 0 && (h[l.gSrc] < 0 || h[l.gSrc] >= hosts) {
+		return false
+	}
+	if l.gDst >= 0 && (h[l.gDst] < 0 || h[l.gDst] >= hosts) {
+		return false
+	}
+	if l.gFb >= 0 && h[l.gFb] != 0 && h[l.gFb] != 1 {
+		return false
+	}
+	if l.gSize >= 0 && int64(h[l.gSize]) != size {
+		return false
+	}
+	return true
+}
+
+// blackhole destroys an in-flight packet (downed link, crashed receiver):
+// the header goes back to its owning pool and the loss is accounted.
+func (n *Network) blackhole(l *link, h banzai.Header, size int64) {
+	l.ownerMachine().ReleaseHeader(h)
+	n.blackholedPkts++
+	n.blackholedBytes += size
+}
+
+// corruptDrop destroys a packet the arrival-edge guard rejected.
+func (n *Network) corruptDrop(l *link, h banzai.Header, size int64) {
+	l.ownerMachine().ReleaseHeader(h)
+	n.corruptPkts++
+	n.corruptBytes += size
+}
+
+// ownerMachine is the machine whose pool owns a header in flight on this
+// link: the receiver's for switch links (transmit re-homed it), the
+// sender's for host links.
+func (l *link) ownerMachine() *banzai.Machine {
+	if l.to.sw != nil {
+		return l.to.sw.sw.Machine()
+	}
+	return l.from.sw.Machine()
 }
 
 // inject2 is inject without the injected counters: a forwarded packet was
@@ -703,13 +921,18 @@ func (h *Host) ID() NodeID { return h.id }
 // Name returns the host's node name.
 func (h *Host) Name() string { return h.name }
 
-// NetTotals aggregates the network-wide conservation terms.
+// NetTotals aggregates the network-wide conservation terms. Blackholed
+// covers fault destruction (in flight when a link went down, delivered or
+// injected into a crashed switch); CorruptDropped covers arrival-edge
+// guard rejections on corrupting links.
 type NetTotals struct {
-	InjectedPkts, InjectedBytes   int64
-	DeliveredPkts, DeliveredBytes int64
-	DroppedPkts, DroppedBytes     int64
-	QueuedPkts, QueuedBytes       int64
-	InFlightPkts, InFlightBytes   int64
+	InjectedPkts, InjectedBytes             int64
+	DeliveredPkts, DeliveredBytes           int64
+	DroppedPkts, DroppedBytes               int64
+	QueuedPkts, QueuedBytes                 int64
+	InFlightPkts, InFlightBytes             int64
+	BlackholedPkts, BlackholedBytes         int64
+	CorruptDroppedPkts, CorruptDroppedBytes int64
 }
 
 // Totals sums the conservation terms over every switch and link.
@@ -717,6 +940,8 @@ func (n *Network) Totals() NetTotals {
 	t := NetTotals{
 		InjectedPkts: n.injectedPkts, InjectedBytes: n.injectedBytes,
 		DeliveredPkts: n.deliveredPkts, DeliveredBytes: n.deliveredBytes,
+		BlackholedPkts: n.blackholedPkts, BlackholedBytes: n.blackholedBytes,
+		CorruptDroppedPkts: n.corruptPkts, CorruptDroppedBytes: n.corruptBytes,
 	}
 	for _, w := range n.switches {
 		st := w.sw.Totals()
@@ -736,8 +961,9 @@ func (n *Network) Totals() NetTotals {
 
 // CheckConservation verifies the network-wide identity — every packet a
 // host injected is delivered at a sink, dropped at a switch byte cap,
-// still queued in a switch, or in flight on a link — plus each switch's
-// local identity. It holds at every tick boundary.
+// still queued in a switch, in flight on a link, blackholed by a fault,
+// or rejected by the corruption guard — plus each switch's local
+// identity. It holds at every tick boundary, under any fault schedule.
 func (n *Network) CheckConservation() error {
 	for _, w := range n.switches {
 		if err := w.sw.CheckConservation(); err != nil {
@@ -745,15 +971,27 @@ func (n *Network) CheckConservation() error {
 		}
 	}
 	t := n.Totals()
-	if got := t.DeliveredPkts + t.DroppedPkts + t.QueuedPkts + t.InFlightPkts; got != t.InjectedPkts {
-		return fmt.Errorf("netsim packet conservation violated: injected %d != delivered %d + dropped %d + queued %d + in-flight %d (= %d)",
-			t.InjectedPkts, t.DeliveredPkts, t.DroppedPkts, t.QueuedPkts, t.InFlightPkts, got)
+	if got := t.DeliveredPkts + t.DroppedPkts + t.QueuedPkts + t.InFlightPkts + t.BlackholedPkts + t.CorruptDroppedPkts; got != t.InjectedPkts {
+		return fmt.Errorf("netsim packet conservation violated: injected %d != delivered %d + dropped %d + queued %d + in-flight %d + blackholed %d + corrupt-dropped %d (= %d)",
+			t.InjectedPkts, t.DeliveredPkts, t.DroppedPkts, t.QueuedPkts, t.InFlightPkts, t.BlackholedPkts, t.CorruptDroppedPkts, got)
 	}
-	if got := t.DeliveredBytes + t.DroppedBytes + t.QueuedBytes + t.InFlightBytes; got != t.InjectedBytes {
-		return fmt.Errorf("netsim byte conservation violated: injected %d != delivered %d + dropped %d + queued %d + in-flight %d (= %d)",
-			t.InjectedBytes, t.DeliveredBytes, t.DroppedBytes, t.QueuedBytes, t.InFlightBytes, got)
+	if got := t.DeliveredBytes + t.DroppedBytes + t.QueuedBytes + t.InFlightBytes + t.BlackholedBytes + t.CorruptDroppedBytes; got != t.InjectedBytes {
+		return fmt.Errorf("netsim byte conservation violated: injected %d != delivered %d + dropped %d + queued %d + in-flight %d + blackholed %d + corrupt-dropped %d (= %d)",
+			t.InjectedBytes, t.DeliveredBytes, t.DroppedBytes, t.QueuedBytes, t.InFlightBytes, t.BlackholedBytes, t.CorruptDroppedBytes, got)
 	}
 	return nil
+}
+
+// LiveHeaders sums every switch machine's checked-out header count — the
+// network-wide pool-leak oracle. At any tick boundary it must equal
+// QueuedPkts + InFlightPkts (every live header is either queued in a
+// switch or riding a link), and 0 after a successful Drain.
+func (n *Network) LiveHeaders() int {
+	live := 0
+	for _, w := range n.switches {
+		live += w.sw.Machine().LiveHeaders()
+	}
+	return live
 }
 
 // LinkStats reports every link's accounting in creation order.

@@ -354,7 +354,7 @@ func compileSpine(t *testing.T, hostsPerLeaf int) *codegen.Program {
 
 // TestNetworkWiringErrors covers the topology-construction error paths:
 // double binds, out-of-range ports, non-switch sources, unknown nodes,
-// post-start mutation, and the unbound-port panic.
+// post-start mutation, and the unbound-port Start error / Tick panic.
 func TestNetworkWiringErrors(t *testing.T) {
 	prog := compileSpine(t, 1)
 	n := New()
@@ -401,7 +401,21 @@ func TestNetworkWiringErrors(t *testing.T) {
 		t.Fatal("trace with out-of-range hosts accepted")
 	}
 
-	// Port 1 is still unbound: the first tick must refuse to run.
+	// Port 1 is still unbound: Start (and the Run/Drain/InjectNow paths
+	// built on it) must return the wiring error, and the first Tick —
+	// which cannot — must refuse to run with a panic.
+	if err := n.Start(); err == nil {
+		t.Fatal("Start with an unbound port returned nil")
+	}
+	if err := n.Run(10); err == nil {
+		t.Fatal("Run with an unbound port returned nil")
+	}
+	if err := n.Drain(10); err == nil {
+		t.Fatal("Drain with an unbound port returned nil")
+	}
+	if err := n.InjectNow(&workload.NetPacket{}); err == nil {
+		t.Fatal("InjectNow with an unbound port returned nil")
+	}
 	func() {
 		defer func() {
 			if recover() == nil {

@@ -176,6 +176,7 @@ type Switch struct {
 	stats     []PortStats
 	rates     []int64 // per-port service bytes/tick (link capacity)
 	carry     []int64 // per-port store-and-forward credit (see TickFunc)
+	portDown  []bool  // per-port service stall (a downed link's feeding port)
 	now       int64
 	seq       int64
 	rr        int
@@ -241,6 +242,7 @@ func New(prog *codegen.Program, cfg Config) (*Switch, error) {
 		queues:    queues,
 		rates:     rates,
 		carry:     make([]int64, cfg.Ports),
+		portDown:  make([]bool, cfg.Ports),
 		stats:     make([]PortStats, cfg.Ports),
 	}, nil
 }
@@ -364,6 +366,9 @@ func (s *Switch) Inject(pkt interp.Packet, size int64) (out interp.Packet, port 
 func (s *Switch) TickFunc(emit func(port int, qh QueuedHeader)) {
 	s.now++
 	for p := range s.queues {
+		if s.portDown[p] {
+			continue // downed port: queue frozen, no budget accrues
+		}
 		q := s.queues[p]
 		budget := s.rates[p] + s.carry[p]
 		s.carry[p] = 0
@@ -429,16 +434,40 @@ func (s *Switch) Drain() []Departure {
 }
 
 // PortRate returns port p's service rate in bytes per tick (the capacity
-// of the link the port feeds).
-func (s *Switch) PortRate(p int) int64 { return s.rates[p] }
+// of the link the port feeds), or 0 for a port the switch does not have.
+func (s *Switch) PortRate(p int) int64 {
+	if p < 0 || p >= len(s.rates) {
+		return 0
+	}
+	return s.rates[p]
+}
 
 // SetPortRate overrides one port's service rate — how a network harness
 // binds a link's capacity to the port that feeds it after construction.
-// Non-positive rates are ignored.
+// Non-positive rates and unknown ports are ignored.
 func (s *Switch) SetPortRate(p int, bytesPerTick int64) {
-	if bytesPerTick > 0 {
+	if p >= 0 && p < len(s.rates) && bytesPerTick > 0 {
 		s.rates[p] = bytesPerTick
 	}
+}
+
+// SetPortUp raises or stalls one port's service — how a network harness
+// reflects the feeding link's liveness. While a port is down its queue is
+// frozen: arrivals still land (and tail-drop at the byte cap), nothing
+// departs, no store-and-forward credit accrues. Unknown ports are
+// ignored; conservation holds throughout (frozen packets stay queued).
+func (s *Switch) SetPortUp(p int, up bool) {
+	if p >= 0 && p < len(s.portDown) {
+		s.portDown[p] = !up
+		if !up {
+			s.carry[p] = 0
+		}
+	}
+}
+
+// PortUp reports whether port p is serving (false for unknown ports).
+func (s *Switch) PortUp(p int) bool {
+	return p >= 0 && p < len(s.portDown) && !s.portDown[p]
 }
 
 // Stats returns a copy of the per-port statistics.

@@ -181,3 +181,74 @@ func TestInjectRejectsOutOfRangeSize(t *testing.T) {
 	sw.Drain()
 	mustConserve(t, sw)
 }
+
+// TestPortLiveness covers the port_up plumbing netsim's fault layer
+// drives: a downed port freezes its queue (arrivals still accepted),
+// bringing it back resumes service, and the rate/liveness accessors are
+// bounds-checked instead of panicking.
+func TestPortLiveness(t *testing.T) {
+	prog := compileAlg(t, "flowlets")
+	sw, err := New(prog, Config{
+		Ports:               4,
+		ServiceBytesPerTick: 3000,
+		QueueCapBytes:       1 << 30, // the freeze test wants no cap drops
+		RouteField:          "next_hop",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		if !sw.PortUp(p) {
+			t.Fatalf("fresh switch port %d reports down", p)
+		}
+	}
+	// Out-of-range queries answer safely.
+	if sw.PortUp(-1) || sw.PortUp(99) {
+		t.Fatal("out-of-range port reported up")
+	}
+	if r := sw.PortRate(99); r != 0 {
+		t.Fatalf("PortRate(99) = %d, want 0", r)
+	}
+	sw.SetPortRate(99, 123) // must not panic
+	sw.SetPortUp(99, false) // must not panic
+
+	trace := workload.FlowletTrace(3, 40, 20000, 4, 50)
+	for _, pkt := range trace {
+		if _, _, _, err := sw.Inject(pkt, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queuedBefore := sw.Totals().QueuedPkts
+	if queuedBefore == 0 {
+		t.Fatal("setup: nothing queued")
+	}
+	for p := 0; p < 4; p++ {
+		sw.SetPortUp(p, false)
+		if sw.PortUp(p) {
+			t.Fatalf("port %d still up after SetPortUp(false)", p)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		sw.Tick()
+	}
+	if got := sw.Totals().QueuedPkts; got != queuedBefore {
+		t.Fatalf("downed ports serviced traffic: queued %d -> %d", queuedBefore, got)
+	}
+	// Arrivals during the freeze are accepted, not dropped.
+	if _, _, _, err := sw.Inject(trace[0], 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Totals().QueuedPkts; got != queuedBefore+1 {
+		t.Fatalf("frozen switch rejected an arrival: queued %d, want %d", got, queuedBefore+1)
+	}
+	for p := 0; p < 4; p++ {
+		sw.SetPortUp(p, true)
+	}
+	for i := 0; i < 20000 && sw.Totals().QueuedPkts > 0; i++ {
+		sw.Tick()
+	}
+	if got := sw.Totals().QueuedPkts; got != 0 {
+		t.Fatalf("%d packets still queued after ports came back", got)
+	}
+	mustConserve(t, sw)
+}
