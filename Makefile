@@ -4,12 +4,12 @@ SHELL := /bin/bash
 
 # BENCH_OUT is the committed per-PR benchmark snapshot `make bench` emits;
 # BENCH_BASE is the previous PR's snapshot bench-delta compares against.
-BENCH_OUT ?= BENCH_pr6.json
-BENCH_BASE ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr7.json
+BENCH_BASE ?= BENCH_pr6.json
 
-.PHONY: check fmt vet build test race bench bench-smoke bench-delta fuzz-smoke cover-net
+.PHONY: check fmt vet build test race bench bench-smoke bench-delta fuzz-smoke cover-net staticcheck
 
-check: fmt vet build test race fuzz-smoke cover-net
+check: fmt vet staticcheck build test race fuzz-smoke cover-net
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -17,6 +17,16 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs honnef.co/go/tools when a binary is on PATH and
+# degrades to a skip when it is not (the toolchain image does not bake
+# it in, and fetching it would need the network).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -37,7 +47,7 @@ race:
 # fuzzing; minimized crashes land in the corpus directories.
 fuzz-smoke:
 	$(GO) test ./internal/banzai -run 'FuzzOptimizerDifferential' -count=1
-	$(GO) test ./internal/netsim -run 'FuzzNetTopology|FuzzNetFaults' -count=1
+	$(GO) test ./internal/netsim -run 'FuzzNetTopology|FuzzNetFaults|FuzzReliableTransport' -count=1
 
 # cover-net gates the switch + network simulator layers: their combined
 # statement coverage (from their own package tests) must stay >= 80%.

@@ -15,9 +15,9 @@ import (
 	"domino/internal/netsim"
 )
 
-func faultsExperiment() {
+func faultsExperiment(seed int64) {
 	cfg := netsim.FaultExperimentConfig{}
-	cfg.Seed = 1
+	cfg.Seed = seed
 	fmt.Println("== Routing under a core-link failure (leaf-0 uplink to spine-0 down, then restored) ==")
 	fmt.Println("   rate is data packets sunk per tick; recovery = during/before;")
 	fmt.Println("   imbalance is (max-min)/mean over core-link bytes moved in the window")

@@ -12,6 +12,8 @@
 //	paper-eval -opt            # build-time optimizer report per algorithm
 //	paper-eval -net            # leaf-spine ECMP vs flowlet vs CONGA load balance
 //	paper-eval -faults         # routing under a seeded core-link failure
+//	paper-eval -reliable       # raw vs reliable transport under outage + corruption
+//	paper-eval -seed 7         # reseed the -faults / -reliable scenarios
 //
 // Unknown flags or values exit non-zero with a message on stderr.
 package main
@@ -59,18 +61,29 @@ func run(args []string) error {
 	optFlag := fs.Bool("opt", false, "report what the build-time optimizer does to each algorithm")
 	netFlag := fs.Bool("net", false, "run the leaf-spine routing experiment (ECMP vs flowlet vs CONGA)")
 	faultsFlag := fs.Bool("faults", false, "run the routing experiment under a seeded core-link failure")
+	reliableFlag := fs.Bool("reliable", false, "run raw vs reliable transport under outage + corruption")
+	seed := fs.Int64("seed", 1, "seed for the -faults and -reliable scenarios")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
 	}
+	if *seed <= 0 {
+		return fmt.Errorf("seed must be positive, got %d", *seed)
+	}
 
 	more := func() bool {
 		return *table != "" || *figure != "" || *schedFlag || *tput || *optFlag
 	}
+	if *reliableFlag {
+		reliableExperiment(*seed)
+		if !more() && !*netFlag && !*faultsFlag {
+			return nil
+		}
+	}
 	if *faultsFlag {
-		faultsExperiment()
+		faultsExperiment(*seed)
 		if !more() && !*netFlag {
 			return nil
 		}

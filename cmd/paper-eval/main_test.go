@@ -13,6 +13,8 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-table", "99"},
 		{"-figure", "nope"},
 		{"stray-positional"},
+		{"-seed", "0", "-faults"},
+		{"-seed", "-3", "-reliable"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) = nil, want error", args)
@@ -26,6 +28,28 @@ func TestRunFlagErrors(t *testing.T) {
 // TestRunSmoke: a cheap good invocation succeeds end to end.
 func TestRunSmoke(t *testing.T) {
 	if err := run([]string{"-table", "6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunFaultsSeeded: the fault experiment honors a non-default -seed
+// end to end (the scenario rebuilds its trace, schedule and jitter from
+// it; any seed must drain clean through the conservation oracles).
+func TestRunFaultsSeeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-routing fault sweep")
+	}
+	if err := run([]string{"-faults", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunReliableSeeded: same for the raw-vs-reliable comparison.
+func TestRunReliableSeeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("raw+reliable sweep over three routings")
+	}
+	if err := run([]string{"-reliable", "-seed", "5"}); err != nil {
 		t.Fatal(err)
 	}
 }

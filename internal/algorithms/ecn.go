@@ -1,0 +1,45 @@
+package algorithms
+
+// Congestion signaling as a packet transaction: ecn_mark is the HULL /
+// DCTCP-style marking decision — set a bit on the packet when the output
+// queue it is about to join is deeper than a threshold — expressed as an
+// ordinary Domino program rather than simulator code. The netsim harness
+// publishes each port's queue depth into the ECNQueueState array between
+// ticks (the PR 5/6 control-plane visibility convention, like
+// PortUpState); the comparison, the threshold and the decision to mark
+// all live in the transaction.
+//
+// The leaf and spine routing transactions embed exactly this block when
+// RouteParams.ECN is set (after their out_port computation). The
+// standalone form below exists so the marking logic itself can be
+// compiled, inspected and property-tested in isolation.
+
+import "fmt"
+
+// ECNMarkSource is the standalone ecn_mark transaction for a switch with
+// the given port count: mark pkt.ecn when queue_depth[pkt.out_port]
+// exceeds thresholdBytes (DefaultECNThresholdBytes when <= 0). An
+// already-set mark is preserved — marks accumulate along a path and are
+// never cleared by a later uncongested hop.
+func ECNMarkSource(ports int, thresholdBytes int32) (string, error) {
+	if ports <= 0 {
+		return "", fmt.Errorf("algorithms: ecn_mark needs a positive port count, got %d", ports)
+	}
+	if thresholdBytes <= 0 {
+		thresholdBytes = DefaultECNThresholdBytes
+	}
+	return fmt.Sprintf(`
+struct Packet {
+  int out_port;
+  int qd;
+  int ecn;
+};
+
+int queue_depth[%d] = {0};
+
+void ecn_mark(struct Packet pkt) {
+  pkt.qd = queue_depth[pkt.out_port];
+  pkt.ecn = pkt.qd > %d ? 1 : pkt.ecn;
+}
+`, ports, thresholdBytes), nil
+}

@@ -1,0 +1,116 @@
+package algorithms
+
+import (
+	"testing"
+
+	"domino/internal/codegen"
+	"domino/internal/interp"
+)
+
+// TestECNMarkSemantics: the standalone ecn_mark transaction marks exactly
+// when the poked queue depth for the packet's output port exceeds the
+// threshold, and never clears a mark set by an earlier hop.
+func TestECNMarkSemantics(t *testing.T) {
+	src, err := ECNMarkSource(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := routeMachine(t, src)
+
+	// All queues start empty: no marks.
+	out := runRoute(t, m, interp.Packet{"out_port": 2})
+	if out["ecn"] != 0 {
+		t.Fatalf("empty queue marked: %v", out)
+	}
+	// Poke port 2 above threshold, port 1 to the threshold exactly.
+	if !m.PokeState(ECNQueueState, 2, 101) {
+		t.Fatal("ecn_mark does not expose queue_depth")
+	}
+	m.PokeState(ECNQueueState, 1, 100)
+	out = runRoute(t, m, interp.Packet{"out_port": 2})
+	if out["ecn"] != 1 || out["qd"] != 101 {
+		t.Fatalf("deep queue not marked: %v", out)
+	}
+	// Threshold is strict: depth == threshold does not mark.
+	out = runRoute(t, m, interp.Packet{"out_port": 1})
+	if out["ecn"] != 0 {
+		t.Fatalf("at-threshold queue marked: %v", out)
+	}
+	// A mark from an earlier hop survives an uncongested hop.
+	out = runRoute(t, m, interp.Packet{"out_port": 0, "ecn": 1})
+	if out["ecn"] != 1 {
+		t.Fatal("uncongested hop cleared an upstream mark")
+	}
+
+	if _, err := ECNMarkSource(0, 100); err == nil {
+		t.Fatal("zero-port ecn_mark accepted")
+	}
+	// Default threshold kicks in for <= 0.
+	dsrc, err := ECNMarkSource(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := routeMachine(t, dsrc)
+	dm.PokeState(ECNQueueState, 0, DefaultECNThresholdBytes+1)
+	if out := runRoute(t, dm, interp.Packet{"out_port": 0}); out["ecn"] != 1 {
+		t.Fatal("default threshold not applied")
+	}
+}
+
+// TestRoutingECNEmbedding: every routing transaction compiles with the
+// embedded marking block, exposes queue_depth, and marks after its own
+// out_port computation — so the depth consulted is the port the routing
+// decision actually chose.
+func TestRoutingECNEmbedding(t *testing.T) {
+	p := RouteParams{LeafID: 1, Leaves: 4, Spines: 2, HostsPerLeaf: 2, ECN: true, ECNThresholdBytes: 50}
+	for _, r := range Routings() {
+		src, err := r.Source(p)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if _, err := codegen.CompileLeastSource(src); err != nil {
+			t.Fatalf("%s with ECN does not compile: %v", r.Name, err)
+		}
+	}
+
+	// ECMP: dst 3 is local under leaf 1 → down port 3. Poke that port deep
+	// and confirm the mark lands on the routed port, not the input hint.
+	src, err := ECMPRouteSource(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := routeMachine(t, src)
+	if !m.PokeState(ECNQueueState, 3, 51) {
+		t.Fatal("ECN-enabled ecmp_route does not expose queue_depth")
+	}
+	out := runRoute(t, m, interp.Packet{"sport": 10, "dport": 20, "dst": 3})
+	if out["out_port"] != 3 || out["ecn"] != 1 {
+		t.Fatalf("ecmp ECN mark: out_port=%d ecn=%d, want 3/1", out["out_port"], out["ecn"])
+	}
+	out = runRoute(t, m, interp.Packet{"sport": 10, "dport": 21, "dst": 2})
+	if out["out_port"] != 2 || out["ecn"] != 0 {
+		t.Fatalf("shallow port marked: %v", out)
+	}
+
+	// Spine: port is the destination leaf; same mark-on-chosen-port rule.
+	ssrc, err := SpineRouteSource(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := routeMachine(t, ssrc)
+	sm.PokeState(ECNQueueState, 2, 51)
+	out = runRoute(t, sm, interp.Packet{"dst": 5})
+	if out["out_port"] != 2 || out["ecn"] != 1 {
+		t.Fatalf("spine ECN mark: out_port=%d ecn=%d, want 2/1", out["out_port"], out["ecn"])
+	}
+
+	// Without ECN the array is absent: pokes refuse, packets never mark.
+	off, err := ECMPRouteSource(RouteParams{LeafID: 1, Leaves: 4, Spines: 2, HostsPerLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	om := routeMachine(t, off)
+	if om.PokeState(ECNQueueState, 0, 1) {
+		t.Fatal("ECN-off routing accepted a queue_depth poke")
+	}
+}

@@ -23,6 +23,16 @@ package algorithms
 //	fb, fb_path, fb_util         CONGA feedback: a sink host reflects each
 //	                             data packet's (path_id, util) back to the
 //	                             sender as a small fb=1 packet
+//	seq                          per-flow sequence number (reliable
+//	                             transport; echoed back on acks)
+//	ecn                          congestion mark, set by the ecn_mark block
+//	                             when the chosen port's queue is deep
+//	fb_ack, fb_ecn               transport feedback: the receiver's
+//	                             cumulative ack and the data packet's ecn
+//	                             bit, carried on fb=1 packets
+//	csum                         end-to-end checksum over the fields
+//	                             programs never write (host-stamped,
+//	                             host-validated; catches silent corruption)
 //	out_port                     the routing decision (RouteOutPort)
 //
 // Because every transaction declares the full field set, the departing
@@ -44,6 +54,19 @@ const RouteOutPort = "out_port"
 // declare it (ecmp_route, spine_route) stay failure-blind and blackhole.
 const PortUpState = "port_up"
 
+// ECNQueueState is the per-switch queue-depth state array the ECN-marking
+// block reads (`int queue_depth[PORTS] = {0}`): entry p is the byte depth
+// of output-port p's queue, poked by the netsim harness between ticks
+// (banzai.Machine.PokeState) — the same control-plane visibility
+// convention as PortUpState. Marking stays a transaction's decision: the
+// program compares the depth against its threshold and sets the packet's
+// ecn field; the simulator only publishes the observable.
+const ECNQueueState = "queue_depth"
+
+// DefaultECNThresholdBytes is the marking threshold when RouteParams.ECN
+// is on and no threshold is given: six 1500 B packets of standing queue.
+const DefaultECNThresholdBytes = 9000
+
 // RouteParams instantiates a routing transaction for one position in a
 // leaf-spine fabric.
 type RouteParams struct {
@@ -53,6 +76,46 @@ type RouteParams struct {
 	Leaves, Spines int
 	// HostsPerLeaf is the number of hosts below each leaf.
 	HostsPerLeaf int
+	// ECN appends the ecn_mark block to the transaction: the packet's ecn
+	// field is set when the chosen output port's queue depth (the
+	// ECNQueueState array) exceeds ECNThresholdBytes.
+	ECN bool
+	// ECNThresholdBytes is the marking threshold
+	// (DefaultECNThresholdBytes when zero).
+	ECNThresholdBytes int32
+}
+
+func (p RouteParams) ecnThresh() int32 {
+	if p.ECNThresholdBytes > 0 {
+		return p.ECNThresholdBytes
+	}
+	return DefaultECNThresholdBytes
+}
+
+// ecnFields, ecnState and ecnMark are the three insertion points of the
+// ECN-marking block (scratch field, state array sized to the switch's
+// port count, and the marking statements — which must follow the
+// out_port assignment).
+func (p RouteParams) ecnFields() string {
+	if !p.ECN {
+		return ""
+	}
+	return "  int qd;\n"
+}
+
+func (p RouteParams) ecnState(ports int) string {
+	if !p.ECN {
+		return ""
+	}
+	return fmt.Sprintf("\nint queue_depth[%d] = {0};\n", ports)
+}
+
+func (p RouteParams) ecnMark() string {
+	if !p.ECN {
+		return ""
+	}
+	return fmt.Sprintf("  pkt.qd = queue_depth[pkt.out_port];\n"+
+		"  pkt.ecn = pkt.qd > %d ? 1 : pkt.ecn;\n", p.ecnThresh())
 }
 
 func (p RouteParams) validate() error {
@@ -84,6 +147,11 @@ struct Packet {
   int fb;
   int fb_path;
   int fb_util;
+  int seq;
+  int ecn;
+  int fb_ack;
+  int fb_ecn;
+  int csum;
   int util;
   int path_id;
   int dstleaf;
@@ -106,7 +174,7 @@ func ECMPRouteSource(p RouteParams) (string, error) {
 	if err := p.validate(); err != nil {
 		return "", err
 	}
-	return leafHeader(p, "") + `
+	return leafHeader(p, p.ecnFields()) + p.ecnState(p.Spines+p.HostsPerLeaf) + `
 void ecmp_route(struct Packet pkt) {
   pkt.dstleaf = pkt.dst / HOSTS_PER_LEAF;
   pkt.local = pkt.dstleaf == MY_LEAF;
@@ -114,8 +182,7 @@ void ecmp_route(struct Packet pkt) {
   pkt.down = DOWN_BASE + (pkt.dst % HOSTS_PER_LEAF);
   pkt.out_port = pkt.local ? pkt.down : pkt.up;
   pkt.path_id = pkt.local ? pkt.path_id : pkt.up;
-}
-`, nil
+` + p.ecnMark() + "}\n", nil
 }
 
 // FlowletRouteSource re-picks the uplink at every flowlet boundary (the
@@ -133,14 +200,14 @@ func FlowletRouteSource(p RouteParams) (string, error) {
 	if err := p.validate(); err != nil {
 		return "", err
 	}
-	return leafHeader(p, "  int new_hop;\n  int fid;\n  int up0;\n  int upok;\n  int alt;\n") + `
+	return leafHeader(p, "  int new_hop;\n  int fid;\n  int up0;\n  int upok;\n  int alt;\n"+p.ecnFields()) + `
 #define NUM_FLOWLETS 8000
 #define THRESHOLD 20
 
 int last_time[NUM_FLOWLETS] = {0};
 int saved_hop[NUM_FLOWLETS] = {0};
 int port_up[SPINES] = {1};
-
+` + p.ecnState(p.Spines+p.HostsPerLeaf) + `
 void flowlet_route(struct Packet pkt) {
   pkt.dstleaf = pkt.dst / HOSTS_PER_LEAF;
   pkt.local = pkt.dstleaf == MY_LEAF;
@@ -157,8 +224,7 @@ void flowlet_route(struct Packet pkt) {
   pkt.down = DOWN_BASE + (pkt.dst % HOSTS_PER_LEAF);
   pkt.out_port = pkt.local ? pkt.down : pkt.up;
   pkt.path_id = pkt.local ? pkt.path_id : pkt.up;
-}
-`, nil
+` + p.ecnMark() + "}\n", nil
 }
 
 // CongaRouteSource is leaf-to-leaf utilization-aware path choice (CONGA,
@@ -188,7 +254,7 @@ func CongaRouteSource(p RouteParams) (string, error) {
 	if p.Leaves > 64 {
 		return "", fmt.Errorf("algorithms: conga_route supports at most 64 leaves (N_LEAVES), got %d", p.Leaves)
 	}
-	return leafHeader(p, "  int fbleaf;\n  int absorb;\n  int key;\n  int gutil;\n  int gpath;\n  int best;\n  int eup;\n  int pup;\n  int probe;\n  int dup;\n  int upsel;\n  int upok;\n  int alt;\n") + `
+	return leafHeader(p, "  int fbleaf;\n  int absorb;\n  int key;\n  int gutil;\n  int gpath;\n  int best;\n  int eup;\n  int pup;\n  int probe;\n  int dup;\n  int upsel;\n  int upok;\n  int alt;\n"+p.ecnFields()) + `
 #define N_LEAVES 64
 #define FB_NONE 1073741824
 #define FB_INIT 536870912
@@ -197,7 +263,7 @@ func CongaRouteSource(p RouteParams) (string, error) {
 int best_util[N_LEAVES] = {536870912};
 int best_path[N_LEAVES] = {0};
 int port_up[SPINES] = {1};
-
+` + p.ecnState(p.Spines+p.HostsPerLeaf) + `
 void conga_route(struct Packet pkt) {
   pkt.dstleaf = pkt.dst / HOSTS_PER_LEAF;
   pkt.fbleaf = pkt.src / HOSTS_PER_LEAF;
@@ -238,8 +304,7 @@ void conga_route(struct Packet pkt) {
   pkt.down = DOWN_BASE + (pkt.dst % HOSTS_PER_LEAF);
   pkt.out_port = pkt.local ? pkt.down : pkt.up;
   pkt.path_id = pkt.local ? pkt.path_id : pkt.up;
-}
-`, nil
+` + p.ecnMark() + "}\n", nil
 }
 
 // SpineRouteSource routes down: spine port l connects to leaf l, so the
@@ -263,18 +328,22 @@ struct Packet {
   int fb;
   int fb_path;
   int fb_util;
+  int seq;
+  int ecn;
+  int fb_ack;
+  int fb_ecn;
+  int csum;
   int util;
   int path_id;
-  int out_port;
+%s  int out_port;
 };
 
 int total_pkts = 0;
-
+%s
 void spine_route(struct Packet pkt) {
   pkt.out_port = pkt.dst / HOSTS_PER_LEAF;
   total_pkts = total_pkts + 1;
-}
-`, p.HostsPerLeaf), nil
+`, p.HostsPerLeaf, p.ecnFields(), p.ecnState(p.Leaves)) + p.ecnMark() + "}\n", nil
 }
 
 // RoutingAlg is one entry of the routing-transaction catalog.

@@ -34,6 +34,13 @@ type ExperimentConfig struct {
 	LinkDelay            int64 // propagation ticks [1]
 	QueueCapBytes        int64 // per-port queue bound [1 << 20]
 
+	// ECN embeds the ecn_mark block in every leaf and spine program:
+	// packets passing a port whose queue depth exceeds ECNThresholdBytes
+	// (default algorithms.DefaultECNThresholdBytes) get their ecn bit
+	// set, which the reliable transport's ACKs echo to the sender.
+	ECN               bool
+	ECNThresholdBytes int32
+
 	DrainLimit int64 // safety bound on total ticks [1 << 20]
 }
 
@@ -128,6 +135,7 @@ func (c ExperimentConfig) Build() (*LeafSpine, *algorithms.RoutingAlg, error) {
 	compile := func(alg algorithms.RoutingAlg, leaf int) (*codegen.Program, error) {
 		src, err := alg.Source(algorithms.RouteParams{
 			LeafID: leaf, Leaves: c.Leaves, Spines: c.Spines, HostsPerLeaf: c.HostsPerLeaf,
+			ECN: c.ECN, ECNThresholdBytes: c.ECNThresholdBytes,
 		})
 		if err != nil {
 			return nil, err

@@ -73,8 +73,8 @@ func TestFaultRunDeterminism(t *testing.T) {
 			t.Fatal(err)
 		}
 		var seq []delivery
-		ls.Net.OnDeliver = func(host NodeID, flow int32, size int64, fb bool) {
-			seq = append(seq, delivery{Tick: ls.Net.Now(), Host: host, Flow: flow, Size: size, Fb: fb})
+		ls.Net.OnDeliver = func(ev Delivery) {
+			seq = append(seq, delivery{Tick: ls.Net.Now(), Ev: ev})
 		}
 		if err := ls.Net.Drain(c.DrainLimit); err != nil {
 			t.Fatal(err)
@@ -439,5 +439,87 @@ func TestClearFaults(t *testing.T) {
 	tot := n.Totals()
 	if tot.QueuedPkts != 0 || tot.InFlightPkts != 0 {
 		t.Fatalf("ClearFaults did not unwedge the network: %+v", tot)
+	}
+}
+
+// TestFeedbackFaultRobustness aims the fault model at the feedback
+// path: a CONGA fabric (whose flowlet and congestion state is fed by
+// reflected fb packets) runs its trace while the links that carry
+// feedback — a spine→leaf downlink and a leaf→host access link — are
+// scrambled, and one downlink suffers an outage window. Corrupted or
+// blackholed fb packets must never wedge the flowlet/CONGA state
+// machines or break conservation: the run drains clean, pools balance,
+// and the fabric still forwards fresh traffic afterwards.
+func TestFeedbackFaultRobustness(t *testing.T) {
+	c := ExperimentConfig{
+		Routing: "conga_route", Leaves: 3, Spines: 2, HostsPerLeaf: 1,
+		Seed: 7, FlowsPerHost: 2, PktsPerFlow: 40,
+	}
+	c.setDefaults()
+	ls, r, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feedback {
+		t.Fatal("conga_route should reflect feedback")
+	}
+	n := ls.Net
+	if err := n.SetTrace(c.Trace(), ls.Hosts); err != nil {
+		t.Fatal(err)
+	}
+	// Spine s's port l is the downlink to leaf l; leaf l's port
+	// Spines+k is host k's access link. Both carry reflected feedback.
+	sched := (&FaultSchedule{Seed: 11}).
+		LinkCorrupt(50, ls.Spines[0], 0, 300).
+		LinkCorrupt(900, ls.Spines[0], 0, 0).
+		LinkCorrupt(50, ls.Leaves[1], c.Spines, 200).
+		LinkCorrupt(900, ls.Leaves[1], c.Spines, 0).
+		LinkDown(300, ls.Spines[1], 2).
+		LinkUp(600, ls.Spines[1], 2)
+	if err := n.SetFaults(sched); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		n.Tick()
+		checkNet(t, n)
+	}
+	if err := n.Drain(100_000); err != nil {
+		t.Fatal(err)
+	}
+	checkNet(t, n)
+	if live := n.LiveHeaders(); live != 0 {
+		t.Fatalf("%d headers leaked", live)
+	}
+	tot := n.Totals()
+	if tot.FbInjectedPkts == 0 {
+		t.Fatal("no feedback reflected; the test exercised nothing")
+	}
+	if tot.CorruptDroppedPkts == 0 {
+		t.Fatal("corruption windows destroyed nothing; the test is vacuous")
+	}
+
+	// The fabric (and the fb-fed flowlet/CONGA state) must still route
+	// fresh traffic after the abuse: every post-fault packet arrives.
+	before := n.Totals().DeliveredPkts
+	const extra = 20
+	for k := 0; k < extra; k++ {
+		if err := n.InjectNow(&workload.NetPacket{
+			Src: 0, Dst: int32(len(ls.Hosts) - 1), Flow: 1 << 20, Size: 1000,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		n.Tick()
+		checkNet(t, n)
+	}
+	if err := n.Drain(100_000); err != nil {
+		t.Fatal(err)
+	}
+	checkNet(t, n)
+	delta := n.Totals().DeliveredPkts - before
+	if delta < extra {
+		t.Fatalf("post-fault fabric wedged: %d of %d fresh packets (plus feedback) delivered", delta, extra)
+	}
+	if live := n.LiveHeaders(); live != 0 {
+		t.Fatalf("%d headers leaked after the post-fault burst", live)
 	}
 }

@@ -143,6 +143,104 @@ func FuzzNetTopology(f *testing.F) {
 	})
 }
 
+// FuzzReliableTransport is the chaos oracle for the PR 7 reliable
+// delivery layer: a small leaf-spine fabric with the transport enabled,
+// a random fault schedule raging while the trace plays, then a restore
+// and a bounded drain. Oracles, checked every tick and at the end:
+//
+//  1. the full four-identity conservation system (physical, delivered
+//     split, injection split, sender resolution), byte-exact;
+//  2. sender resolution terminates: after the drain every offered
+//     packet is acked or given up — no packet is silently lost and no
+//     flow hangs forever (the retry budget converts outage into loud
+//     give-up);
+//  3. receiver sanity: exactly-once acceptances never exceed offered;
+//  4. no leaks (LiveHeaders == 0) and no panics, whatever the schedule
+//     corrupts, crashes or severs — including ACKs on the feedback path.
+//
+// The seed corpus lives in testdata/fuzz/FuzzReliableTransport; `make
+// fuzz-smoke` replays it.
+func FuzzReliableTransport(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(0))
+	f.Add(int64(4), int64(9), int64(77))
+	f.Add(int64(9), int64(16), int64(424242))
+
+	f.Fuzz(func(t *testing.T, seed, load, fseed int64) {
+		routing := "ecmp_route"
+		if seed&1 != 0 {
+			routing = "conga_route"
+		}
+		c := ExperimentConfig{
+			Routing: routing, Leaves: 2, Spines: 2, HostsPerLeaf: 1,
+			Seed:         1 + int64(uint64(seed)%997),
+			FlowsPerHost: 1 + int(uint64(load)%2),
+			PktsPerFlow:  2 + int(uint64(load)%24),
+			MeanBurst:    4, BurstGap: 8,
+			ECN: true, ECNThresholdBytes: 2000,
+		}
+		ls, _, err := c.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := ls.Net
+		tr := c.Trace()
+		if err := n.SetTrace(tr, ls.Hosts); err != nil {
+			t.Fatal(err)
+		}
+		// A tight budget keeps give-up (and so the drain) fast when the
+		// schedule severs a path for good.
+		tp, err := n.EnableTransport(TransportConfig{
+			RTO: 8, RTOMax: 64, MaxRetries: 4, Window: 8, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fseed != 0 {
+			if err := n.SetFaults(n.RandomFaults(fseed, 200)); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Let the schedule and the transport fight it out.
+		for i := 0; i < 300; i++ {
+			n.Tick()
+			checkNet(t, n)
+		}
+
+		// Epilogue: heal the fabric; the transport must now resolve
+		// every packet (ack or loud give-up) and the network must drain.
+		n.ClearFaults()
+		for i := 0; i < 100000 && !n.idle(); i++ {
+			n.Tick()
+			checkNet(t, n)
+		}
+		if !tp.Done() {
+			tt := tp.Totals()
+			t.Fatalf("transport never resolved: offered %d, acked %d, given up %d, outstanding %d",
+				tt.OfferedPkts, tt.AckedPkts, tt.GivenUpPkts, tt.OutstandingPkts)
+		}
+		tot := n.Totals()
+		if tot.QueuedPkts != 0 || tot.InFlightPkts != 0 {
+			t.Fatalf("faulted fabric did not drain: %d queued, %d in flight", tot.QueuedPkts, tot.InFlightPkts)
+		}
+		tt := tp.Totals()
+		want := int64(len(tr.Packets))
+		if tt.OfferedPkts != want {
+			t.Fatalf("offered %d of %d trace packets", tt.OfferedPkts, want)
+		}
+		if tt.AckedPkts+tt.GivenUpPkts != want || tt.OutstandingPkts != 0 {
+			t.Fatalf("sender resolution broken: acked %d + givenup %d != %d (outstanding %d)",
+				tt.AckedPkts, tt.GivenUpPkts, want, tt.OutstandingPkts)
+		}
+		if tot.AcceptedPkts > want {
+			t.Fatalf("accepted %d exceeds offered %d — dedup failed", tot.AcceptedPkts, want)
+		}
+		if live := n.LiveHeaders(); live != 0 {
+			t.Fatalf("%d headers leaked under the fault schedule", live)
+		}
+	})
+}
+
 // FuzzNetFaults is the chaos oracle: random fault schedules (link downs
 // with and without recovery, degradations, corruption windows, switch
 // stalls and crashes) over random forward-DAG topologies under random
@@ -156,6 +254,12 @@ func FuzzNetTopology(f *testing.F) {
 //  3. no leaks: every header pool balances (LiveHeaders == 0) and
 //     per-host sink counts sum exactly to the delivered total;
 //  4. no panics, whatever the schedule scrambles.
+//
+// Odd seeds additionally turn the CONGA feedback reflection on, so the
+// schedule's corruption and blackholing also hit feedback-carrying
+// links: a scrambled or destroyed fb packet must never wedge the
+// network or break conservation (with feedback, injected = trace
+// packets + reflected fb packets).
 //
 // The seed corpus lives in testdata/fuzz/FuzzNetFaults; `make fuzz-smoke`
 // replays it.
@@ -181,6 +285,7 @@ func FuzzNetFaults(f *testing.F) {
 		nPackets := 1 + int(uint64(load)%512) // 1..512 packets
 		n := New()
 		n.WatchdogTicks = 512 // longest link delay is 4; a wedge shows fast
+		n.Feedback = seed&1 != 0
 
 		type edge struct {
 			toSwitch int // -1 → this switch's sink host
@@ -270,8 +375,11 @@ func FuzzNetFaults(f *testing.F) {
 		if tot.QueuedPkts != 0 || tot.InFlightPkts != 0 {
 			t.Fatalf("faulted DAG did not drain after ClearFaults: %d queued, %d in flight", tot.QueuedPkts, tot.InFlightPkts)
 		}
-		if tot.InjectedPkts != int64(nPackets) {
-			t.Fatalf("injected %d, want %d", tot.InjectedPkts, nPackets)
+		if tot.InjectedPkts != int64(nPackets)+tot.FbInjectedPkts {
+			t.Fatalf("injected %d, want %d trace + %d reflected", tot.InjectedPkts, nPackets, tot.FbInjectedPkts)
+		}
+		if !n.Feedback && tot.FbInjectedPkts != 0 {
+			t.Fatalf("%d fb packets with feedback off", tot.FbInjectedPkts)
 		}
 		if got := tot.DeliveredPkts + tot.DroppedPkts + tot.BlackholedPkts + tot.CorruptDroppedPkts; got != tot.InjectedPkts {
 			t.Fatalf("drained loss accounting off: %d of %d injected accounted", got, tot.InjectedPkts)

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"domino/internal/algorithms"
 	"domino/internal/banzai"
 	"domino/internal/codegen"
 	"domino/internal/switchsim"
@@ -57,6 +58,11 @@ const (
 	FieldFbUtil  = "fb_util"
 	FieldUtil    = "util"
 	FieldPathID  = "path_id"
+	FieldSeq     = "seq"
+	FieldEcn     = "ecn"
+	FieldFbAck   = "fb_ack"
+	FieldFbEcn   = "fb_ecn"
+	FieldCsum    = "csum"
 )
 
 // dreShift is the links' utilization-estimator decay: every tick the
@@ -110,6 +116,7 @@ type node struct {
 // when the program does not declare the field) — the injection stamp set.
 type fieldSlots struct {
 	sport, dport, arrival, src, dst, size, flow, fb, fbPath, fbUtil int
+	seq, fbAck, fbEcn, csum                                         int
 }
 
 type netSwitch struct {
@@ -122,6 +129,11 @@ type netSwitch struct {
 	// emit is the TickFunc callback, built once so ticking allocates
 	// nothing per call.
 	emit func(port int, qh switchsim.QueuedHeader)
+
+	// qdPorts is how many leading elements of the program's queue_depth
+	// array the harness refreshes each tick (0 when the program does not
+	// declare the array — ECN marking off). Resolved once at AddSwitch.
+	qdPorts int
 
 	// Fault state (see faults.go). A stalled switch stops servicing its
 	// queues but still accepts arrivals; a crashed switch additionally
@@ -144,6 +156,19 @@ type Host struct {
 	RcvdBytes int64
 	FbPkts    int64
 	FbBytes   int64
+}
+
+// Delivery is one OnDeliver event: a packet handed to a sink host, after
+// the host's accounting. Flow and Seq are -1 when the delivering program
+// does not carry the field; Fb marks reflected feedback packets; Dup
+// marks data packets the transport's sink-side dedup suppressed.
+type Delivery struct {
+	Host NodeID
+	Flow int32
+	Seq  int32
+	Size int64
+	Fb   bool
+	Dup  bool
 }
 
 // inflight is one packet on a link.
@@ -173,6 +198,7 @@ type link struct {
 	// fields, input slots otherwise. (Size is not among them: sinks take
 	// it from the inflight record, never from the header.)
 	rFlow, rFb, rSrc, rDport, rSport, rPathID, rUtil int
+	rDst, rSeq, rEcn, rFbAck, rFbEcn, rCsum          int
 
 	// utilSlot is where the DRE stamp lands in the in-flight header's
 	// layout (the receiver's for switch links, the sender's for host
@@ -237,14 +263,27 @@ type Network struct {
 	FeedbackBytes int64
 
 	// OnDeliver, when set, observes every packet handed to a sink host
-	// (after the host's accounting): the receiving host, the packet's flow
-	// id (or -1 when the program carries none), its size, and whether it
-	// was a feedback packet. Determinism tests record this sequence; the
-	// hook must not retain the header, which is already released.
-	OnDeliver func(host NodeID, flow int32, size int64, fb bool)
+	// (after the host's accounting). Determinism tests record this
+	// sequence; the hook must not retain any header, which is already
+	// released by the time it runs.
+	OnDeliver func(ev Delivery)
+
+	// transport, when non-nil, owns injection pacing, retransmission and
+	// sink-side dedup/ACK generation (see transport.go).
+	transport *Transport
 
 	injectedPkts, injectedBytes   int64
 	deliveredPkts, deliveredBytes int64
+
+	// Delivered split: every delivered packet is exactly one of accepted
+	// (a data packet counted once at its sink), duplicate-dropped (a
+	// retransmit copy the sink's dedup suppressed — transport mode only),
+	// or delivered feedback. fbInj counts reflected feedback injections,
+	// the non-trace share of injectedPkts.
+	acceptedPkts, acceptedBytes int64
+	dupPkts, dupBytes           int64
+	fbDelivPkts, fbDelivBytes   int64
+	fbInjPkts, fbInjBytes       int64
 
 	// Fault machinery (see faults.go): the sorted schedule, a cursor into
 	// it, and the two fault-loss conservation terms. Blackholed counts
@@ -312,9 +351,19 @@ func (n *Network) AddSwitch(name string, prog *codegen.Program, cfg switchsim.Co
 			dst: slotOr(l, FieldDst), size: slotOr(l, FieldSize),
 			flow: slotOr(l, FieldFlow), fb: slotOr(l, FieldFb),
 			fbPath: slotOr(l, FieldFbPath), fbUtil: slotOr(l, FieldFbUtil),
+			seq: slotOr(l, FieldSeq), fbAck: slotOr(l, FieldFbAck),
+			fbEcn: slotOr(l, FieldFbEcn), csum: slotOr(l, FieldCsum),
 		},
 	}
 	w.emit = func(port int, qh switchsim.QueuedHeader) { n.transmit(w, port, qh) }
+	// A program that declares (and uses) the marking transaction's
+	// queue_depth array gets it refreshed from the real queues each tick.
+	for w.qdPorts < cfg.Ports {
+		if _, ok := sw.Machine().PeekState(algorithms.ECNQueueState, w.qdPorts); !ok {
+			break
+		}
+		w.qdPorts++
+	}
 	n.switches = append(n.switches, w)
 	n.nodes = append(n.nodes, &node{name: name, sw: w})
 	return w.id, nil
@@ -419,6 +468,12 @@ func (n *Network) Connect(from NodeID, port int, to NodeID, opts LinkOptions) er
 		l.rDport = outSlot(src, FieldDport)
 		l.rPathID = outSlot(src, FieldPathID)
 		l.rUtil = outSlot(src, FieldUtil)
+		l.rDst = outSlot(src, FieldDst)
+		l.rSeq = outSlot(src, FieldSeq)
+		l.rEcn = outSlot(src, FieldEcn)
+		l.rFbAck = outSlot(src, FieldFbAck)
+		l.rFbEcn = outSlot(src, FieldFbEcn)
+		l.rCsum = outSlot(src, FieldCsum)
 		l.utilSlot = slotOr(src, FieldUtil)
 		// Host-bound headers stay in the sender's layout; the guard reads
 		// the same departing values the sink would.
@@ -476,8 +531,15 @@ func (n *Network) SetTrace(tr *workload.NetTrace, hosts []NodeID) error {
 	return nil
 }
 
+// defaultWatchdogTicks is the no-progress bound Run/Drain apply when
+// WatchdogTicks is 0.
+const defaultWatchdogTicks = 4096
+
 // Start validates the topology once, before the first tick: every switch
-// output port must be bound. It is idempotent, implied by the first Tick,
+// output port must be bound, and the no-progress watchdog must exceed the
+// longest link delay (a packet legitimately makes no observable progress
+// for its whole flight time, so a shorter watchdog would declare a
+// healthy network wedged). It is idempotent, implied by the first Tick,
 // and the error-returning way to surface wiring mistakes — Tick panics on
 // them because it cannot return one.
 func (n *Network) Start() error {
@@ -489,6 +551,16 @@ func (n *Network) Start() error {
 			if l == nil {
 				return fmt.Errorf("netsim: switch %q port %d is unbound; every output port must be connected", w.name, p)
 			}
+		}
+	}
+	limit := n.WatchdogTicks
+	if limit <= 0 {
+		limit = defaultWatchdogTicks
+	}
+	for _, l := range n.links {
+		if limit <= l.delay {
+			return fmt.Errorf("netsim: watchdog of %d ticks is not above the %d-tick delay of link %q port %d → %q; raise WatchdogTicks",
+				limit, l.delay, l.from.name, l.fromPort, l.to.name)
 		}
 	}
 	n.ready = true
@@ -513,7 +585,12 @@ func (n *Network) Tick() {
 	for _, l := range n.links {
 		l.deliver(n)
 	}
-	if n.trace != nil {
+	if n.transport != nil {
+		// The transport owns injection: window, pacing and retransmit
+		// timers replace the trace's arrival clock (arrivals become
+		// not-before times).
+		n.transport.tick()
+	} else if n.trace != nil {
 		pkts := n.trace.Packets
 		for n.traceNext < len(pkts) && pkts[n.traceNext].Arrival <= n.now {
 			n.injectTrace(&pkts[n.traceNext])
@@ -529,7 +606,23 @@ func (n *Network) Tick() {
 	for _, l := range n.links {
 		l.dre -= l.dre >> dreShift
 	}
+	for _, w := range n.switches {
+		// Publish real queue depths into marking programs (PR 5/6
+		// visibility convention): next tick's packets see this tick's
+		// closing depths, one RTT-free hop behind reality like a real
+		// egress-queue sample would be.
+		for p := 0; p < w.qdPorts; p++ {
+			d := w.sw.PortQueueBytes(p)
+			if d > int64(maxInt32) {
+				d = int64(maxInt32)
+			}
+			w.sw.Machine().PokeState(algorithms.ECNQueueState, p, int32(d))
+		}
+	}
 }
+
+// maxInt32 saturates queue-depth pokes.
+const maxInt32 = int32(^uint32(0) >> 1)
 
 // watchdog tracks Run/Drain progress between ticks.
 type watchdog struct {
@@ -547,12 +640,13 @@ type watchdog struct {
 func (n *Network) watch(w *watchdog) error {
 	limit := n.WatchdogTicks
 	if limit <= 0 {
-		limit = 4096
+		limit = defaultWatchdogTicks
 	}
 	t := n.Totals()
 	pendingWork := t.QueuedPkts > 0 || t.InFlightPkts > 0
 	pendingEvents := (n.trace != nil && n.traceNext < len(n.trace.Packets)) ||
-		n.faultNext < len(n.faultEvents)
+		n.faultNext < len(n.faultEvents) ||
+		(n.transport != nil && !n.transport.Done())
 	if w.armed && t == w.last && pendingWork && !pendingEvents {
 		w.stuck++
 		if w.stuck >= limit {
@@ -609,7 +703,11 @@ func (n *Network) Drain(limit int64) error {
 }
 
 func (n *Network) idle() bool {
-	if n.trace != nil && n.traceNext < len(n.trace.Packets) {
+	if n.transport != nil {
+		if !n.transport.Done() {
+			return false
+		}
+	} else if n.trace != nil && n.traceNext < len(n.trace.Packets) {
 		return false
 	}
 	for _, l := range n.links {
@@ -655,6 +753,9 @@ func (n *Network) injectTrace(p *workload.NetPacket) {
 func (n *Network) InjectNow(p *workload.NetPacket) error {
 	if err := n.Start(); err != nil {
 		return err
+	}
+	if n.transport != nil {
+		return fmt.Errorf("netsim: InjectNow: the transport owns injection when enabled")
 	}
 	if int(p.Src) < 0 || int(p.Src) >= len(n.traceHost) {
 		return fmt.Errorf("netsim: InjectNow: source host %d not mapped (call MapHosts)", p.Src)
@@ -844,20 +945,52 @@ func (n *Network) inject2(w *netSwitch, h banzai.Header, size int64) {
 
 // sink consumes a delivered packet at a host: counts it, records flow
 // completion, optionally reflects CONGA feedback, and releases the header
-// back to the sending machine's pool.
+// back to the sending machine's pool. In transport mode the packet first
+// passes end-to-end validation (checksum + misdelivery check), data
+// packets go through duplicate suppression, the reflected feedback packet
+// doubles as the cumulative ACK, and arriving ACKs drive the sender.
 func (h *Host) sink(l *link, hd banzai.Header, size int64) {
 	n := h.net
+	tp := n.transport
+	if tp != nil && !tp.admit(h, l, hd) {
+		// Corruption the link-level guard could not see (damage to
+		// transport fields, or a scrambled out_port delivering to the
+		// wrong host): classified with the corruption drops, never
+		// counted delivered.
+		n.corruptDrop(l, hd, size)
+		return
+	}
 	n.deliveredPkts++
 	n.deliveredBytes += size
 	isFb := l.rFb >= 0 && hd[l.rFb] != 0
+	flow := int32(-1)
+	if l.rFlow >= 0 {
+		flow = hd[l.rFlow]
+	}
+	seq := int32(-1)
+	if l.rSeq >= 0 {
+		seq = hd[l.rSeq]
+	}
+	dup := false
 	if isFb {
 		h.FbPkts++
 		h.FbBytes += size
+		n.fbDelivPkts++
+		n.fbDelivBytes += size
+		if tp != nil {
+			tp.onAck(flow, hd[l.rFbAck], seq, hd[l.rFbEcn] != 0)
+		}
 	} else {
-		h.RcvdPkts++
-		h.RcvdBytes += size
-		if l.rFlow >= 0 && n.trace != nil {
-			if flow := hd[l.rFlow]; flow >= 0 && int(flow) < len(n.flowSeen) {
+		if tp != nil && !tp.onData(flow, seq) {
+			dup = true
+			n.dupPkts++
+			n.dupBytes += size
+		} else {
+			h.RcvdPkts++
+			h.RcvdBytes += size
+			n.acceptedPkts++
+			n.acceptedBytes += size
+			if flow >= 0 && n.trace != nil && int(flow) < len(n.flowSeen) {
 				n.flowSeen[flow]++
 				if int(n.flowSeen[flow]) == int(n.trace.FlowPkts[flow]) {
 					n.flowDone[flow] = n.now
@@ -865,21 +998,22 @@ func (h *Host) sink(l *link, hd banzai.Header, size int64) {
 			}
 		}
 		if n.Feedback {
+			// Reflected even for duplicates: the re-ACK is how a sender
+			// whose ACKs were lost learns to stop retransmitting.
 			h.reflect(l, hd)
 		}
 	}
-	flow := int32(-1)
-	if l.rFlow >= 0 {
-		flow = hd[l.rFlow]
-	}
 	l.from.sw.Machine().ReleaseHeader(hd)
 	if n.OnDeliver != nil {
-		n.OnDeliver(h.id, flow, size, isFb)
+		n.OnDeliver(Delivery{Host: h.id, Flow: flow, Seq: seq, Size: size, Fb: isFb, Dup: dup})
 	}
 }
 
 // reflect answers a delivered data packet with a feedback packet to the
-// sender, carrying the forward path's uplink id and max utilization.
+// sender, carrying the forward path's uplink id and max utilization. In
+// transport mode the same packet is the ACK: it carries the flow id, the
+// receiver's cumulative ack, the echoed sequence number (selective ack),
+// the echoed ECN mark, and an end-to-end checksum over those fields.
 func (h *Host) reflect(l *link, hd banzai.Header) {
 	if l.rSrc < 0 {
 		return
@@ -894,24 +1028,44 @@ func (h *Host) reflect(l *link, hd banzai.Header) {
 	in := &w.in
 	// Reverse the port pair so transit ECMP spreads feedback like reverse
 	// traffic, not like the forward flow.
+	var sp, dp int32
 	if l.rDport >= 0 {
-		stamp(fb, in.sport, hd[l.rDport])
+		sp = hd[l.rDport]
+		stamp(fb, in.sport, sp)
 	}
 	if l.rSport >= 0 {
-		stamp(fb, in.dport, hd[l.rSport])
+		dp = hd[l.rSport]
+		stamp(fb, in.dport, dp)
 	}
 	stamp(fb, in.arrival, int32(uint32(n.now)))
 	stamp(fb, in.src, h.traceIdx)
 	stamp(fb, in.dst, dst)
 	stamp(fb, in.size, int32(n.FeedbackBytes))
-	stamp(fb, in.flow, -1)
 	stamp(fb, in.fb, 1)
+	if tp := n.transport; tp != nil {
+		flow := hd[l.rFlow]
+		echo := hd[l.rSeq]
+		ack := tp.cumAck(flow)
+		var ecn int32
+		if l.rEcn >= 0 && hd[l.rEcn] != 0 {
+			ecn = 1
+		}
+		stamp(fb, in.flow, flow)
+		stamp(fb, in.seq, echo)
+		stamp(fb, in.fbAck, ack)
+		stamp(fb, in.fbEcn, ecn)
+		stamp(fb, in.csum, csumOf(sp, dp, h.traceIdx, dst, flow, echo, 1, ack, ecn))
+	} else {
+		stamp(fb, in.flow, -1)
+	}
 	if l.rPathID >= 0 {
 		stamp(fb, in.fbPath, hd[l.rPathID])
 	}
 	if l.rUtil >= 0 {
 		stamp(fb, in.fbUtil, hd[l.rUtil])
 	}
+	n.fbInjPkts++
+	n.fbInjBytes += n.FeedbackBytes
 	n.inject(w, fb, n.FeedbackBytes)
 }
 
@@ -924,7 +1078,11 @@ func (h *Host) Name() string { return h.name }
 // NetTotals aggregates the network-wide conservation terms. Blackholed
 // covers fault destruction (in flight when a link went down, delivered or
 // injected into a crashed switch); CorruptDropped covers arrival-edge
-// guard rejections on corrupting links.
+// guard rejections on corrupting links plus transport-mode sink
+// rejections (checksum mismatch, misdelivery). Delivered splits exactly
+// into Accepted (data counted once at its sink) + DupDropped (retransmit
+// copies the sink suppressed) + FbDelivered (feedback/ACK packets);
+// FbInjected is the reflected-feedback share of Injected.
 type NetTotals struct {
 	InjectedPkts, InjectedBytes             int64
 	DeliveredPkts, DeliveredBytes           int64
@@ -933,6 +1091,10 @@ type NetTotals struct {
 	InFlightPkts, InFlightBytes             int64
 	BlackholedPkts, BlackholedBytes         int64
 	CorruptDroppedPkts, CorruptDroppedBytes int64
+	AcceptedPkts, AcceptedBytes             int64
+	DupDroppedPkts, DupDroppedBytes         int64
+	FbDeliveredPkts, FbDeliveredBytes       int64
+	FbInjectedPkts, FbInjectedBytes         int64
 }
 
 // Totals sums the conservation terms over every switch and link.
@@ -942,6 +1104,10 @@ func (n *Network) Totals() NetTotals {
 		DeliveredPkts: n.deliveredPkts, DeliveredBytes: n.deliveredBytes,
 		BlackholedPkts: n.blackholedPkts, BlackholedBytes: n.blackholedBytes,
 		CorruptDroppedPkts: n.corruptPkts, CorruptDroppedBytes: n.corruptBytes,
+		AcceptedPkts: n.acceptedPkts, AcceptedBytes: n.acceptedBytes,
+		DupDroppedPkts: n.dupPkts, DupDroppedBytes: n.dupBytes,
+		FbDeliveredPkts: n.fbDelivPkts, FbDeliveredBytes: n.fbDelivBytes,
+		FbInjectedPkts: n.fbInjPkts, FbInjectedBytes: n.fbInjBytes,
 	}
 	for _, w := range n.switches {
 		st := w.sw.Totals()
@@ -978,6 +1144,37 @@ func (n *Network) CheckConservation() error {
 	if got := t.DeliveredBytes + t.DroppedBytes + t.QueuedBytes + t.InFlightBytes + t.BlackholedBytes + t.CorruptDroppedBytes; got != t.InjectedBytes {
 		return fmt.Errorf("netsim byte conservation violated: injected %d != delivered %d + dropped %d + queued %d + in-flight %d + blackholed %d + corrupt-dropped %d (= %d)",
 			t.InjectedBytes, t.DeliveredBytes, t.DroppedBytes, t.QueuedBytes, t.InFlightBytes, t.BlackholedBytes, t.CorruptDroppedBytes, got)
+	}
+	if got := t.AcceptedPkts + t.DupDroppedPkts + t.FbDeliveredPkts; got != t.DeliveredPkts {
+		return fmt.Errorf("netsim delivery split violated: delivered %d != accepted %d + dup-dropped %d + fb-delivered %d (= %d)",
+			t.DeliveredPkts, t.AcceptedPkts, t.DupDroppedPkts, t.FbDeliveredPkts, got)
+	}
+	if got := t.AcceptedBytes + t.DupDroppedBytes + t.FbDeliveredBytes; got != t.DeliveredBytes {
+		return fmt.Errorf("netsim delivery byte split violated: delivered %d != accepted %d + dup-dropped %d + fb-delivered %d (= %d)",
+			t.DeliveredBytes, t.AcceptedBytes, t.DupDroppedBytes, t.FbDeliveredBytes, got)
+	}
+	if tp := n.transport; tp != nil {
+		tt := tp.Totals()
+		// Every physical injection is a first-time send, a retransmit
+		// copy, or a reflected feedback packet — byte-exact.
+		if got := tt.OfferedPkts + tt.RetransPkts + t.FbInjectedPkts; got != t.InjectedPkts {
+			return fmt.Errorf("transport injection split violated: injected %d != offered %d + retransmits %d + fb %d (= %d)",
+				t.InjectedPkts, tt.OfferedPkts, tt.RetransPkts, t.FbInjectedPkts, got)
+		}
+		if got := tt.OfferedBytes + tt.RetransBytes + t.FbInjectedBytes; got != t.InjectedBytes {
+			return fmt.Errorf("transport injection byte split violated: injected %d != offered %d + retransmits %d + fb %d (= %d)",
+				t.InjectedBytes, tt.OfferedBytes, tt.RetransBytes, t.FbInjectedBytes, got)
+		}
+		// Sender-side resolution: every offered packet is acked, given
+		// up, or still outstanding.
+		if got := tt.AckedPkts + tt.GivenUpPkts + tt.OutstandingPkts; got != tt.OfferedPkts {
+			return fmt.Errorf("transport resolution violated: offered %d != acked %d + given-up %d + outstanding %d (= %d)",
+				tt.OfferedPkts, tt.AckedPkts, tt.GivenUpPkts, tt.OutstandingPkts, got)
+		}
+		if got := tt.AckedBytes + tt.GivenUpBytes + tt.OutstandingBytes; got != tt.OfferedBytes {
+			return fmt.Errorf("transport resolution bytes violated: offered %d != acked %d + given-up %d + outstanding %d (= %d)",
+				tt.OfferedBytes, tt.AckedBytes, tt.GivenUpBytes, tt.OutstandingBytes, got)
+		}
 	}
 	return nil
 }

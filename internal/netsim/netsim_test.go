@@ -25,18 +25,15 @@ func checkNet(t *testing.T, n *Network) {
 // byte-identical departure sequences.
 type delivery struct {
 	Tick int64
-	Host NodeID
-	Flow int32
-	Size int64
-	Fb   bool
+	Ev   Delivery
 }
 
 // recordDeliveries attaches an OnDeliver hook that appends every sink
 // event to the returned slice.
 func recordDeliveries(n *Network) *[]delivery {
 	var out []delivery
-	n.OnDeliver = func(host NodeID, flow int32, size int64, fb bool) {
-		out = append(out, delivery{Tick: n.Now(), Host: host, Flow: flow, Size: size, Fb: fb})
+	n.OnDeliver = func(ev Delivery) {
+		out = append(out, delivery{Tick: n.Now(), Ev: ev})
 	}
 	return &out
 }
@@ -540,7 +537,7 @@ func TestCrossProgramBridge(t *testing.T) {
 	}
 	// The flow id crossed the program boundary intact: the bridge copied
 	// it by name into the spine's layout, and the sink read it there.
-	if d := (*rec)[0]; d.Host != h1 || d.Flow != 42 || d.Size != 800 {
+	if d := (*rec)[0]; d.Ev.Host != h1 || d.Ev.Flow != 42 || d.Ev.Size != 800 {
 		t.Fatalf("delivery %+v, want host %d flow 42 size 800", d, h1)
 	}
 	st, err := n.SwitchStats(spine)

@@ -1,0 +1,256 @@
+package netsim
+
+// The reliability experiment: the PR 6 degradation scenario — a core
+// uplink outage plus a window of per-mille link corruption — replayed
+// twice per routing policy, once with raw trace injection (PR 6
+// behavior: lost is lost) and once with the PR 7 reliable transport
+// (retransmission, dedup, ECN pacing). The headline numbers are the
+// delivered-exactly-once fraction, the retransmit overhead the
+// reliability costs, and how long after the fabric heals the goodput
+// takes to recover.
+
+import "fmt"
+
+// ReliableExperimentConfig parameterizes one RunLeafSpineReliable call.
+// The embedded fault windows and failed-uplink choice mean the same
+// thing as in RunLeafSpineFaults; corruption rides a second uplink so
+// the two fault kinds do not mask each other.
+type ReliableExperimentConfig struct {
+	FaultExperimentConfig
+
+	Transport TransportConfig // reliable-mode tuning (zero = defaults)
+
+	// CorruptPerMille scrambles packets on the corrupt uplink with this
+	// per-mille probability between WarmTick and RecoverTick [5].
+	CorruptPerMille int32
+	// CorruptLeaf/CorruptSpine name the corrupted uplink [FailLeaf+1
+	// mod Leaves, FailSpine] — a different leaf than the outage so the
+	// corruption keeps biting while the outage link is down.
+	CorruptLeaf, CorruptSpine int
+
+	// RecoveryChunk is the tick granularity of post-recovery goodput
+	// probing [100]; RecoveryFrac the fraction of the pre-fail rate
+	// that counts as recovered [0.9].
+	RecoveryChunk int64
+	RecoveryFrac  float64
+}
+
+func (c *ReliableExperimentConfig) setDefaults() {
+	c.FaultExperimentConfig.setDefaults()
+	if c.CorruptPerMille == 0 {
+		c.CorruptPerMille = 5
+	}
+	if c.CorruptLeaf == 0 && c.CorruptSpine == 0 {
+		c.CorruptLeaf = (c.FailLeaf + 1) % c.Leaves
+		c.CorruptSpine = c.FailSpine
+	}
+	if c.RecoveryChunk == 0 {
+		c.RecoveryChunk = 100
+	}
+	if c.RecoveryFrac == 0 {
+		c.RecoveryFrac = 0.9
+	}
+}
+
+// ReliableRunStats is one mode's (raw or reliable) summary of the
+// faulted run.
+type ReliableRunStats struct {
+	Mode string // "raw" or "reliable"
+
+	// OfferedPkts is the trace size — the denominator of Delivered. In
+	// reliable mode every offered packet is eventually acked or given
+	// up; in raw mode it is injected exactly once, sink or swim.
+	OfferedPkts int64
+	// DeliveredOnce counts packets accepted at their destination
+	// exactly once (raw mode cannot duplicate, so it is plain
+	// deliveries; reliable mode counts post-dedup acceptances).
+	DeliveredOnce int64
+	DeliveredFrac float64
+
+	RetransPkts     int64   // extra copies injected (reliable only)
+	RetransOverhead float64 // RetransPkts / OfferedPkts
+	DupDroppedPkts  int64   // sink-side duplicate suppressions
+	GivenUpPkts     int64   // retry budgets exhausted (loud, never silent)
+	RateCuts        int64   // AIMD multiplicative-decrease events
+
+	// RecoveryTicks is how many ticks after RecoverTick the goodput
+	// first sustains RecoveryFrac of the pre-fail rate over one
+	// RecoveryChunk window (-1: never within EndTick).
+	RecoveryTicks int64
+	BeforeRate    float64 // delivered pkts/tick in [WarmTick, FailTick)
+	DuringRate    float64 // ... in [FailTick, RecoverTick)
+
+	BlackholedPkts     int64
+	CorruptDroppedPkts int64
+
+	Totals    NetTotals
+	Transport TransportTotals // zero-valued in raw mode
+}
+
+// ReliableExperimentResult pairs the two modes for one routing policy.
+type ReliableExperimentResult struct {
+	Routing                string
+	FailedFrom, FailedTo   string
+	CorruptFrom, CorruptTo string
+	Raw, Reliable          ReliableRunStats
+}
+
+// schedule builds the outage + corruption fault schedule against a
+// built fabric.
+func (c ReliableExperimentConfig) schedule(ls *LeafSpine) *FaultSchedule {
+	return (&FaultSchedule{Seed: c.Seed}).
+		LinkDown(c.FailTick, ls.Leaves[c.FailLeaf], c.FailSpine).
+		LinkUp(c.RecoverTick, ls.Leaves[c.FailLeaf], c.FailSpine).
+		LinkCorrupt(c.WarmTick, ls.Leaves[c.CorruptLeaf], c.CorruptSpine, c.CorruptPerMille).
+		LinkCorrupt(c.RecoverTick, ls.Leaves[c.CorruptLeaf], c.CorruptSpine, 0)
+}
+
+// delivered counts exactly-once data deliveries so far: post-dedup
+// acceptances in reliable mode, plain host receipts in raw mode (raw
+// injection cannot duplicate a packet, so every receipt is a first
+// receipt — though raw hosts, having no end-to-end checksum, cannot
+// tell a scrambled packet misdelivered to the wrong host from a real
+// one; the raw fraction is an upper bound on raw goodput).
+func delivered(ls *LeafSpine, tp *Transport) int64 {
+	if tp != nil {
+		return ls.Net.Totals().AcceptedPkts
+	}
+	var d int64
+	for _, id := range ls.Hosts {
+		h, _ := ls.Net.HostByID(id)
+		d += h.RcvdPkts
+	}
+	return d
+}
+
+// runReliableMode replays the faulted scenario in one mode and measures
+// the recovery timeline. reliable toggles EnableTransport.
+func (c ReliableExperimentConfig) runReliableMode(reliable bool) (*ReliableRunStats, *LeafSpine, error) {
+	ec := c.ExperimentConfig
+	if reliable {
+		ec.ECN = true // the transport's congestion signal is the ecn_mark transaction
+	}
+	ls, _, err := ec.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := c.Trace()
+	if err := ls.Net.SetTrace(tr, ls.Hosts); err != nil {
+		return nil, nil, err
+	}
+	var tp *Transport
+	if reliable {
+		if tp, err = ls.Net.EnableTransport(c.Transport); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := ls.Net.SetFaults(c.schedule(ls)); err != nil {
+		return nil, nil, err
+	}
+
+	st := &ReliableRunStats{Mode: "raw", OfferedPkts: int64(len(tr.Packets)), RecoveryTicks: -1}
+	if reliable {
+		st.Mode = "reliable"
+	}
+
+	// Pre-fail rate, then the outage window.
+	if err := ls.Net.Run(c.WarmTick); err != nil {
+		return nil, nil, err
+	}
+	atWarm := delivered(ls, tp)
+	if err := ls.Net.Run(c.FailTick); err != nil {
+		return nil, nil, err
+	}
+	atFail := delivered(ls, tp)
+	st.BeforeRate = float64(atFail-atWarm) / float64(c.FailTick-c.WarmTick)
+	if err := ls.Net.Run(c.RecoverTick); err != nil {
+		return nil, nil, err
+	}
+	atRecover := delivered(ls, tp)
+	st.DuringRate = float64(atRecover-atFail) / float64(c.RecoverTick-c.FailTick)
+
+	// Post-recovery: probe goodput chunk by chunk until it sustains
+	// RecoveryFrac of the healthy rate.
+	prev := atRecover
+	for t := c.RecoverTick + c.RecoveryChunk; t <= c.EndTick; t += c.RecoveryChunk {
+		if err := ls.Net.Run(t); err != nil {
+			return nil, nil, err
+		}
+		cur := delivered(ls, tp)
+		rate := float64(cur-prev) / float64(c.RecoveryChunk)
+		if st.RecoveryTicks < 0 && rate >= c.RecoveryFrac*st.BeforeRate {
+			st.RecoveryTicks = t - c.RecoverTick
+		}
+		prev = cur
+	}
+
+	if err := ls.Net.Drain(c.DrainLimit); err != nil {
+		return nil, nil, err
+	}
+	if err := ls.Net.CheckConservation(); err != nil {
+		return nil, nil, fmt.Errorf("netsim: %s %s run broke conservation: %w", c.Routing, st.Mode, err)
+	}
+	if live := ls.Net.LiveHeaders(); live != 0 {
+		return nil, nil, fmt.Errorf("netsim: %s %s run leaked %d headers", c.Routing, st.Mode, live)
+	}
+
+	st.Totals = ls.Net.Totals()
+	st.DeliveredOnce = st.Totals.AcceptedPkts
+	if tp == nil {
+		st.DeliveredOnce = delivered(ls, nil)
+	}
+	if st.OfferedPkts > 0 {
+		st.DeliveredFrac = float64(st.DeliveredOnce) / float64(st.OfferedPkts)
+	}
+	st.DupDroppedPkts = st.Totals.DupDroppedPkts
+	st.BlackholedPkts = st.Totals.BlackholedPkts
+	st.CorruptDroppedPkts = st.Totals.CorruptDroppedPkts
+	if tp != nil {
+		st.Transport = tp.Totals()
+		st.RetransPkts = st.Transport.RetransPkts
+		st.GivenUpPkts = st.Transport.GivenUpPkts
+		st.RateCuts = st.Transport.RateCuts
+		if st.OfferedPkts > 0 {
+			st.RetransOverhead = float64(st.RetransPkts) / float64(st.OfferedPkts)
+		}
+		if st.Transport.OutstandingPkts != 0 {
+			return nil, nil, fmt.Errorf("netsim: %s reliable run drained with %d packets unresolved",
+				c.Routing, st.Transport.OutstandingPkts)
+		}
+	}
+	return st, ls, nil
+}
+
+// RunLeafSpineReliable replays the outage + corruption scenario twice —
+// raw and reliable — over the same trace, seed and fault schedule, so
+// the two runs differ only in host behavior.
+func RunLeafSpineReliable(c ReliableExperimentConfig) (*ReliableExperimentResult, error) {
+	c.setDefaults()
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if c.CorruptLeaf < 0 || c.CorruptLeaf >= c.Leaves {
+		return nil, fmt.Errorf("netsim: corrupt leaf %d outside [0,%d)", c.CorruptLeaf, c.Leaves)
+	}
+	if c.CorruptSpine < 0 || c.CorruptSpine >= c.Spines {
+		return nil, fmt.Errorf("netsim: corrupt spine %d outside [0,%d)", c.CorruptSpine, c.Spines)
+	}
+	res := &ReliableExperimentResult{
+		Routing:     c.Routing,
+		FailedFrom:  fmt.Sprintf("leaf%d", c.FailLeaf),
+		FailedTo:    fmt.Sprintf("spine%d", c.FailSpine),
+		CorruptFrom: fmt.Sprintf("leaf%d", c.CorruptLeaf),
+		CorruptTo:   fmt.Sprintf("spine%d", c.CorruptSpine),
+	}
+	raw, _, err := c.runReliableMode(false)
+	if err != nil {
+		return nil, err
+	}
+	res.Raw = *raw
+	rel, _, err := c.runReliableMode(true)
+	if err != nil {
+		return nil, err
+	}
+	res.Reliable = *rel
+	return res, nil
+}

@@ -470,6 +470,17 @@ func (s *Switch) PortUp(p int) bool {
 	return p >= 0 && p < len(s.portDown) && !s.portDown[p]
 }
 
+// PortQueueBytes reports the bytes currently queued for one output port
+// without copying the stats slice — the allocation-free read a network
+// harness uses every tick to publish queue depths into a marking
+// transaction's queue_depth array. Unknown ports read as empty.
+func (s *Switch) PortQueueBytes(p int) int64 {
+	if p < 0 || p >= len(s.stats) {
+		return 0
+	}
+	return s.stats[p].QueueBytes
+}
+
 // Stats returns a copy of the per-port statistics.
 func (s *Switch) Stats() []PortStats {
 	out := make([]PortStats, len(s.stats))
