@@ -4,10 +4,13 @@ SHELL := /bin/bash
 
 # BENCH_OUT is the committed per-PR benchmark snapshot `make bench` emits;
 # BENCH_BASE is the previous PR's snapshot bench-delta compares against.
-BENCH_OUT ?= BENCH_pr7.json
-BENCH_BASE ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr8.json
+BENCH_BASE ?= BENCH_pr7.json
+# MAX_LOSS is the bench-regression gate: any benchmark present in both
+# snapshots losing more than this percent of throughput fails the build.
+MAX_LOSS ?= 10
 
-.PHONY: check fmt vet build test race bench bench-smoke bench-delta fuzz-smoke cover-net staticcheck
+.PHONY: check fmt vet build test race bench bench-smoke bench-delta bench-regression fuzz-smoke cover-net staticcheck profile
 
 check: fmt vet staticcheck build test race fuzz-smoke cover-net
 
@@ -49,24 +52,27 @@ fuzz-smoke:
 	$(GO) test ./internal/banzai -run 'FuzzOptimizerDifferential' -count=1
 	$(GO) test ./internal/netsim -run 'FuzzNetTopology|FuzzNetFaults|FuzzReliableTransport' -count=1
 
-# cover-net gates the switch + network simulator layers: their combined
-# statement coverage (from their own package tests) must stay >= 80%.
+# cover-net gates the switch + network simulator + telemetry layers:
+# their combined statement coverage (from their own package tests) must
+# stay >= 80%.
 COVER_MIN ?= 80
 cover-net:
 	$(GO) test -coverprofile=cover-net.out \
-		-coverpkg=./internal/switchsim/...,./internal/netsim/... \
-		./internal/switchsim/... ./internal/netsim/...
+		-coverpkg=./internal/switchsim/...,./internal/netsim/...,./internal/telemetry/... \
+		./internal/switchsim/... ./internal/netsim/... ./internal/telemetry/...
 	@total=$$($(GO) tool cover -func=cover-net.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
 	rm -f cover-net.out; \
-	echo "switchsim+netsim combined statement coverage: $$total% (floor $(COVER_MIN)%)"; \
+	echo "switchsim+netsim+telemetry combined statement coverage: $$total% (floor $(COVER_MIN)%)"; \
 	awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { exit (t+0 < m+0) ? 1 : 0 }' \
 		|| { echo "coverage dropped below $(COVER_MIN)%"; exit 1; }
 
 # bench runs the throughput benchmarks (pkts/s and allocs/op per workload
-# and execution path) and snapshots them to $(BENCH_OUT). pipefail so a
+# and execution path) and snapshots them to $(BENCH_OUT). Three counts per
+# benchmark; benchjson keeps the best sample, so one noisy-low pass on a
+# shared machine doesn't become the committed number. pipefail so a
 # failing benchmark run can't silently overwrite the snapshot.
 bench:
-	set -o pipefail; $(GO) test . -run xxx -bench 'Throughput' -benchtime 1s \
+	set -o pipefail; $(GO) test . -run xxx -bench 'Throughput' -benchtime 1s -count 3 \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 # bench-smoke executes every benchmark once so benchmark code can't bitrot;
@@ -78,3 +84,15 @@ bench-smoke:
 # PR's snapshot and the current one (new/old; >1 is faster).
 bench-delta:
 	$(GO) run ./cmd/benchjson -delta $(BENCH_BASE) $(BENCH_OUT)
+
+# bench-regression is bench-delta as a gate: exit non-zero if any common
+# benchmark lost more than $(MAX_LOSS)% of its throughput; CI runs this
+# against the committed snapshots.
+bench-regression:
+	$(GO) run ./cmd/benchjson -delta -maxloss $(MAX_LOSS) $(BENCH_BASE) $(BENCH_OUT)
+
+# profile writes a CPU profile of the leaf-spine network experiment;
+# inspect with `go tool pprof cpu.prof`.
+profile:
+	$(GO) run ./cmd/paper-eval -pprof cpu.prof -net
+	@echo "wrote cpu.prof; inspect with: $(GO) tool pprof cpu.prof"

@@ -36,6 +36,7 @@ import (
 	"domino/internal/sema"
 	"domino/internal/switchsim"
 	"domino/internal/synth"
+	"domino/internal/telemetry"
 	"domino/internal/workload"
 )
 
@@ -539,6 +540,57 @@ func BenchmarkNetThroughput(b *testing.B) {
 			pkts := cfg.Trace().Packets
 			// Warmup: one full trace replay at the benchmark's pacing grows
 			// every pool and ring to steady state.
+			for i := range pkts {
+				if err := ls.Net.InjectNow(&pkts[i]); err != nil {
+					b.Fatal(err)
+				}
+				if i&3 == 3 {
+					ls.Net.Tick()
+				}
+			}
+			if err := ls.Net.Drain(1 << 20); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ls.Net.InjectNow(&pkts[i%len(pkts)]); err != nil {
+					b.Fatal(err)
+				}
+				if i&3 == 3 {
+					ls.Net.Tick()
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+			b.StopTimer()
+			if err := ls.Net.CheckConservation(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkTelemetryNetThroughput prices the observability plane (PR 8):
+// the same INT-stamping ECMP fabric with telemetry off (nil sink — every
+// instrument is a nil no-op, the hot path must stay allocation-free) and
+// on (a live registry plus a sampled event ring). The two pkts/s figures
+// bound what full observability costs; the contract is under 5%.
+func BenchmarkTelemetryNetThroughput(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := netsim.ExperimentConfig{Routing: "ecmp_route", Seed: 1, INT: true}
+			if mode == "on" {
+				cfg.Telemetry = telemetry.NewRegistry()
+				cfg.Ring = telemetry.NewRing(4096, 16, 1)
+			}
+			ls, _, err := cfg.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ls.Net.MapHosts(ls.Hosts); err != nil {
+				b.Fatal(err)
+			}
+			pkts := cfg.Trace().Packets
 			for i := range pkts {
 				if err := ls.Net.InjectNow(&pkts[i]); err != nil {
 					b.Fatal(err)

@@ -10,8 +10,14 @@
 // In the default (pipe) mode, every input line is echoed to stdout, so
 // piping through benchjson does not hide the benchmark progress; lines
 // that are not benchmark results are passed through and otherwise
-// ignored. -delta compares two snapshots, printing the pkts/s ratio per
+// ignored. When the same benchmark appears multiple times (go test
+// -count=N), the snapshot keeps the best sample — highest pkts/s, or
+// lowest ns/op — so one noisy-low run on a shared machine does not
+// become the committed number. -delta compares two snapshots, printing the pkts/s ratio per
 // benchmark (new/old; >1 is faster) plus ns/op and allocs/op movement.
+// -maxloss N turns the delta into a regression gate: exit 1 if any
+// benchmark present in both snapshots lost more than N% of its pkts/s
+// (benchmarks without a pkts/s metric are compared on ns/op instead).
 package main
 
 import (
@@ -36,6 +42,8 @@ type result struct {
 func main() {
 	out := flag.String("o", "", "write the JSON snapshot to this file (default stdout)")
 	delta := flag.Bool("delta", false, "compare two snapshots: benchjson -delta old.json new.json")
+	maxLoss := flag.Float64("maxloss", -1,
+		"with -delta: fail (exit 1) if any common benchmark regresses by more than this percent")
 	flag.Parse()
 
 	if *delta {
@@ -43,23 +51,38 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -delta needs exactly two snapshot files: old.json new.json")
 			os.Exit(2)
 		}
-		if err := printDelta(flag.Arg(0), flag.Arg(1)); err != nil {
+		regressed, err := printDelta(flag.Arg(0), flag.Arg(1), *maxLoss)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %g%%: %s\n",
+				len(regressed), *maxLoss, strings.Join(regressed, ", "))
 			os.Exit(1)
 		}
 		return
 	}
 
 	results := []result{} // non-nil: an empty run still emits a JSON array
+	index := make(map[string]int)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line)
 		r, ok := parseLine(line)
-		if ok {
-			results = append(results, r)
+		if !ok {
+			continue
 		}
+		if i, dup := index[r.Name]; dup {
+			if faster(r, results[i]) {
+				results[i] = r
+			}
+			continue
+		}
+		index[r.Name] = len(results)
+		results = append(results, r)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -119,10 +142,22 @@ func parseLine(line string) (result, bool) {
 	return r, true
 }
 
+// faster reports whether sample a beats sample b of the same benchmark:
+// higher pkts/s when both report it, lower ns/op otherwise.
+func faster(a, b result) bool {
+	if ap, bp := a.Metrics["pkts/s"], b.Metrics["pkts/s"]; ap > 0 && bp > 0 {
+		return ap > bp
+	}
+	return a.Metrics["ns/op"] < b.Metrics["ns/op"]
+}
+
 // printDelta loads two snapshots and prints per-benchmark movement. The
 // pkts/s ratio (new/old) is the headline; benchmarks present in only one
-// snapshot are listed so added or removed cases are visible.
-func printDelta(oldPath, newPath string) error {
+// snapshot are listed so added or removed cases are visible. With
+// maxLoss >= 0 it also returns the benchmarks whose throughput dropped
+// by more than that percentage — pkts/s when both snapshots report it,
+// 1/(ns/op) otherwise, so every benchmark is gated on something.
+func printDelta(oldPath, newPath string, maxLoss float64) ([]string, error) {
 	load := func(path string) (map[string]result, []string, error) {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -144,13 +179,14 @@ func printDelta(oldPath, newPath string) error {
 	}
 	oldR, _, err := load(oldPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newR, newNames, err := load(newPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
+	var regressed []string
 	fmt.Printf("%-55s %12s %12s %8s %9s\n", "benchmark", "old pkts/s", "new pkts/s", "ratio", "ns/op")
 	for _, name := range newNames {
 		n := newR[name]
@@ -160,14 +196,23 @@ func printDelta(oldPath, newPath string) error {
 			continue
 		}
 		line := fmt.Sprintf("%-55s %12.4g %12.4g", name, o.Metrics["pkts/s"], n.Metrics["pkts/s"])
+		ratio := 0.0
 		if op, np := o.Metrics["pkts/s"], n.Metrics["pkts/s"]; op > 0 && np > 0 {
-			line += fmt.Sprintf(" %7.2fx", np/op)
+			ratio = np / op
+			line += fmt.Sprintf(" %7.2fx", ratio)
 		} else {
+			if ons, nns := o.Metrics["ns/op"], n.Metrics["ns/op"]; ons > 0 && nns > 0 {
+				ratio = ons / nns // faster = bigger, same sense as pkts/s
+			}
 			line += fmt.Sprintf(" %8s", "-")
 		}
 		line += fmt.Sprintf(" %9.4g", n.Metrics["ns/op"])
 		if oa, na := o.Metrics["allocs/op"], n.Metrics["allocs/op"]; na != oa {
 			line += fmt.Sprintf("  allocs %g->%g", oa, na)
+		}
+		if maxLoss >= 0 && ratio > 0 && ratio < 1-maxLoss/100 {
+			regressed = append(regressed, name)
+			line += "  REGRESSED"
 		}
 		fmt.Println(line)
 	}
@@ -181,7 +226,7 @@ func printDelta(oldPath, newPath string) error {
 	for _, name := range removed {
 		fmt.Printf("%-55s  (removed)\n", name)
 	}
-	return nil
+	return regressed, nil
 }
 
 // lastDashField returns the trailing -N GOMAXPROCS suffix (without the

@@ -13,7 +13,9 @@
 //	paper-eval -net            # leaf-spine ECMP vs flowlet vs CONGA load balance
 //	paper-eval -faults         # routing under a seeded core-link failure
 //	paper-eval -reliable       # raw vs reliable transport under outage + corruption
-//	paper-eval -seed 7         # reseed the -faults / -reliable scenarios
+//	paper-eval -telemetry      # in-band telemetry + metrics core on the faulted run
+//	paper-eval -seed 7         # reseed the -faults / -reliable / -telemetry scenarios
+//	paper-eval -pprof cpu.out  # write a CPU profile of the requested reports
 //
 // Unknown flags or values exit non-zero with a message on stderr.
 package main
@@ -23,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"domino/internal/algorithms"
@@ -62,7 +65,9 @@ func run(args []string) error {
 	netFlag := fs.Bool("net", false, "run the leaf-spine routing experiment (ECMP vs flowlet vs CONGA)")
 	faultsFlag := fs.Bool("faults", false, "run the routing experiment under a seeded core-link failure")
 	reliableFlag := fs.Bool("reliable", false, "run raw vs reliable transport under outage + corruption")
-	seed := fs.Int64("seed", 1, "seed for the -faults and -reliable scenarios")
+	telemetryFlag := fs.Bool("telemetry", false, "run the faulted scenario with in-band telemetry + metrics on")
+	seed := fs.Int64("seed", 1, "seed for the -faults, -reliable and -telemetry scenarios")
+	pprofFile := fs.String("pprof", "", "write a CPU profile of the requested reports to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,9 +77,26 @@ func run(args []string) error {
 	if *seed <= 0 {
 		return fmt.Errorf("seed must be positive, got %d", *seed)
 	}
+	if *pprofFile != "" {
+		f, err := os.Create(*pprofFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	more := func() bool {
 		return *table != "" || *figure != "" || *schedFlag || *tput || *optFlag
+	}
+	if *telemetryFlag {
+		telemetryExperiment(*seed)
+		if !more() && !*netFlag && !*faultsFlag && !*reliableFlag {
+			return nil
+		}
 	}
 	if *reliableFlag {
 		reliableExperiment(*seed)

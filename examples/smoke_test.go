@@ -1,0 +1,33 @@
+// Package examples_test smoke-tests every example binary: each one must
+// build, run to completion, and print something. The examples are the
+// repo's executable documentation, so this is the gate that keeps them
+// from bitrotting as the libraries underneath them move.
+package examples_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+var binaries = []string{"conga", "flowlet", "heavyhitters", "leafspine", "quickstart"}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples replay full experiments; skipped in -short")
+	}
+	for _, name := range binaries {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			cmd.Dir = ".." // module root, so the ./examples path resolves
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("examples/%s ran but printed nothing", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package algorithms
+
+// In-band network telemetry as a packet transaction: int_stamp is the
+// INT/P4-style per-hop measurement — every switch a packet crosses
+// stamps its observations into the packet header itself, so the
+// delivered packet carries its own path record and no out-of-band
+// collection is needed. Four fields accumulate hop by hop:
+//
+//	hops         hop count (each switch adds one)
+//	qmax         max queue depth seen along the path, bytes
+//	qdelay       sum of per-hop queue depth, bytes (a queueing-delay
+//	             proxy: depth ahead of the packet at each hop)
+//	path_digest  path identity, path_digest*31 + switch_id per hop in
+//	             int32 wraparound arithmetic — leaf-spine sinks invert
+//	             the 2–3 hop digest back to the exact switch sequence
+//
+// The inputs follow the PR 5/6/7 control-plane visibility convention:
+// the harness pokes each switch's identity into the INTSwitchIDState
+// scalar once and each port's queue depth into ECNQueueState between
+// ticks (the very same array, poke loop and pkt.qd read the ECN mark
+// uses — the two signals cannot drift). What to stamp and how to fold
+// the digest are the transaction's code, not the simulator's.
+//
+// The leaf and spine routing transactions embed exactly this block when
+// RouteParams.INT is set (after out_port, merged with ecn_mark's queue
+// read). The standalone form below exists so the stamping logic can be
+// compiled, inspected and property-tested in isolation.
+
+import "fmt"
+
+// INTStampSource is the standalone int_stamp transaction for a switch
+// with the given port count: accumulate hop count, queue-depth maximum
+// and sum, and the path digest for the packet's chosen out_port.
+func INTStampSource(ports int) (string, error) {
+	if ports <= 0 {
+		return "", fmt.Errorf("algorithms: int_stamp needs a positive port count, got %d", ports)
+	}
+	return fmt.Sprintf(`
+struct Packet {
+  int out_port;
+  int qd;
+  int sid;
+  int hops;
+  int qmax;
+  int qdelay;
+  int path_digest;
+};
+
+int queue_depth[%d] = {0};
+int switch_id = 0;
+
+void int_stamp(struct Packet pkt) {
+  pkt.qd = queue_depth[pkt.out_port];
+  pkt.sid = switch_id;
+  pkt.hops = pkt.hops + 1;
+  pkt.qmax = pkt.qd > pkt.qmax ? pkt.qd : pkt.qmax;
+  pkt.qdelay = pkt.qdelay + pkt.qd;
+  pkt.path_digest = (pkt.path_digest << 5) - pkt.path_digest + pkt.sid;
+}
+`, ports), nil
+}
+
+// PathDigest folds a hop sequence of switch ids into the digest value
+// int_stamp accumulates — the decode key for sinks: precompute the
+// digest of every candidate path and match delivered headers against
+// them. Arithmetic is int32 with wraparound, exactly like the compiled
+// transaction's.
+func PathDigest(switchIDs ...int32) int32 {
+	var d int32
+	for _, id := range switchIDs {
+		d = d*31 + id
+	}
+	return d
+}

@@ -1,0 +1,151 @@
+package algorithms
+
+import (
+	"testing"
+
+	"domino/internal/codegen"
+	"domino/internal/interp"
+)
+
+// TestINTStampSemantics: the standalone int_stamp transaction
+// accumulates hop count, queue-depth max/sum and the path digest across
+// a simulated multi-hop traversal, reading the poked switch_id and
+// queue_depth observables.
+func TestINTStampSemantics(t *testing.T) {
+	src, err := INTStampSource(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two "switches": id 7 with port-2 depth 100, id 3 with port-1 depth 40.
+	m1 := routeMachine(t, src)
+	if !m1.PokeState(INTSwitchIDState, 0, 7) {
+		t.Fatal("int_stamp does not expose switch_id")
+	}
+	if !m1.PokeState(ECNQueueState, 2, 100) {
+		t.Fatal("int_stamp does not expose queue_depth")
+	}
+	m2 := routeMachine(t, src)
+	m2.PokeState(INTSwitchIDState, 0, 3)
+	m2.PokeState(ECNQueueState, 1, 40)
+
+	// Hop 1 out port 2, hop 2 out port 1 — the header carries the record.
+	out := runRoute(t, m1, interp.Packet{"out_port": 2})
+	if out["hops"] != 1 || out["qmax"] != 100 || out["qdelay"] != 100 || out["path_digest"] != 7 {
+		t.Fatalf("after hop 1: %v", out)
+	}
+	out = runRoute(t, m2, interp.Packet{
+		"out_port": 1, "hops": out["hops"], "qmax": out["qmax"],
+		"qdelay": out["qdelay"], "path_digest": out["path_digest"],
+	})
+	if out["hops"] != 2 {
+		t.Fatalf("hops = %d, want 2", out["hops"])
+	}
+	if out["qmax"] != 100 {
+		t.Fatalf("qmax = %d, want 100 (shallower hop must not lower it)", out["qmax"])
+	}
+	if out["qdelay"] != 140 {
+		t.Fatalf("qdelay = %d, want 140", out["qdelay"])
+	}
+	if want := PathDigest(7, 3); out["path_digest"] != want {
+		t.Fatalf("path_digest = %d, want %d", out["path_digest"], want)
+	}
+
+	if _, err := INTStampSource(0); err == nil {
+		t.Fatal("zero-port int_stamp accepted")
+	}
+}
+
+// TestPathDigest pins the decode key to the transaction's fold,
+// including int32 wraparound on long/large-id paths.
+func TestPathDigest(t *testing.T) {
+	if PathDigest() != 0 {
+		t.Fatal("empty path digest should be 0")
+	}
+	if PathDigest(5) != 5 {
+		t.Fatal("single-hop digest should be the switch id")
+	}
+	if got := PathDigest(1, 2, 3); got != (1*31+2)*31+3 {
+		t.Fatalf("digest(1,2,3) = %d", got)
+	}
+	// Wraparound: fold a value that overflows int32 and check it matches
+	// the machine's 2's-complement arithmetic.
+	big := PathDigest(1<<30, 1<<30)
+	var want int32 = 1 << 30
+	want = want*31 + 1<<30
+	if big != want {
+		t.Fatalf("wraparound digest = %d, want %d", big, want)
+	}
+}
+
+// TestRoutingINTEmbedding: every routing transaction compiles with the
+// embedded int_stamp block (alone and together with ECN), exposes the
+// switch_id scalar, and stamps after its own out_port computation so the
+// depth recorded is the chosen port's.
+func TestRoutingINTEmbedding(t *testing.T) {
+	p := RouteParams{LeafID: 1, Leaves: 4, Spines: 2, HostsPerLeaf: 2, INT: true}
+	both := p
+	both.ECN = true
+	both.ECNThresholdBytes = 50
+	for _, params := range []RouteParams{p, both} {
+		for _, r := range Routings() {
+			src, err := r.Source(params)
+			if err != nil {
+				t.Fatalf("%s: %v", r.Name, err)
+			}
+			if _, err := codegen.CompileLeastSource(src); err != nil {
+				t.Fatalf("%s with INT=%v ECN=%v does not compile: %v", r.Name, params.INT, params.ECN, err)
+			}
+		}
+	}
+
+	// ECMP with INT: dst 3 is local under leaf 1 → down port 3. The stamp
+	// must record port 3's depth and this switch's identity.
+	src, err := ECMPRouteSource(both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := routeMachine(t, src)
+	if !m.PokeState(INTSwitchIDState, 0, 9) {
+		t.Fatal("INT-enabled ecmp_route does not expose switch_id")
+	}
+	m.PokeState(ECNQueueState, 3, 60)
+	out := runRoute(t, m, interp.Packet{"sport": 10, "dport": 20, "dst": 3})
+	if out["out_port"] != 3 {
+		t.Fatalf("out_port = %d, want 3", out["out_port"])
+	}
+	if out["hops"] != 1 || out["qmax"] != 60 || out["qdelay"] != 60 || out["path_digest"] != 9 {
+		t.Fatalf("INT stamp: %v", out)
+	}
+	if out["ecn"] != 1 {
+		t.Fatal("shared qd read: ECN should mark from the same depth INT records")
+	}
+
+	// Spine with INT only (no ECN): same stamp, no marking.
+	ssrc, err := SpineRouteSource(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := routeMachine(t, ssrc)
+	sm.PokeState(INTSwitchIDState, 0, 2)
+	sm.PokeState(ECNQueueState, 2, 55)
+	out = runRoute(t, sm, interp.Packet{"dst": 5, "hops": 1, "path_digest": 9})
+	if out["out_port"] != 2 || out["hops"] != 2 || out["qmax"] != 55 {
+		t.Fatalf("spine INT stamp: %v", out)
+	}
+	if want := PathDigest(9, 2); out["path_digest"] != want {
+		t.Fatalf("spine digest = %d, want %d", out["path_digest"], want)
+	}
+	if out["ecn"] != 0 {
+		t.Fatal("INT-only program must not mark ecn")
+	}
+
+	// Without INT the scalar is absent: pokes refuse.
+	off, err := ECMPRouteSource(RouteParams{LeafID: 1, Leaves: 4, Spines: 2, HostsPerLeaf: 2, ECN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	om := routeMachine(t, off)
+	if om.PokeState(INTSwitchIDState, 0, 1) {
+		t.Fatal("INT-off routing accepted a switch_id poke")
+	}
+}

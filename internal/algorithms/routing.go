@@ -33,6 +33,14 @@ package algorithms
 //	csum                         end-to-end checksum over the fields
 //	                             programs never write (host-stamped,
 //	                             host-validated; catches silent corruption)
+//	hops, qmax, qdelay,          in-band telemetry, stamped by the int_stamp
+//	path_digest                  block at every hop (RouteParams.INT): hop
+//	                             count, max queue depth seen (bytes), summed
+//	                             per-hop queue depth (a byte-delay proxy),
+//	                             and the accumulated path identity
+//	                             path_digest = path_digest*31 + switch_id
+//	                             (int32 wraparound) — sinks decode it back
+//	                             into the hop sequence
 //	out_port                     the routing decision (RouteOutPort)
 //
 // Because every transaction declares the full field set, the departing
@@ -67,6 +75,15 @@ const ECNQueueState = "queue_depth"
 // is on and no threshold is given: six 1500 B packets of standing queue.
 const DefaultECNThresholdBytes = 9000
 
+// INTSwitchIDState is the per-switch identity scalar the int_stamp
+// telemetry block reads (`int switch_id = 0;`): the netsim harness pokes
+// each machine's value once at construction (banzai.Machine.PokeState,
+// index 0) with the switch's node id — the same control-plane visibility
+// convention as PortUpState and ECNQueueState. The transaction folds it
+// into the packet's path digest; the simulator only publishes who the
+// switch is, never what to stamp.
+const INTSwitchIDState = "switch_id"
+
 // RouteParams instantiates a routing transaction for one position in a
 // leaf-spine fabric.
 type RouteParams struct {
@@ -83,6 +100,12 @@ type RouteParams struct {
 	// ECNThresholdBytes is the marking threshold
 	// (DefaultECNThresholdBytes when zero).
 	ECNThresholdBytes int32
+	// INT appends the int_stamp block to the transaction: every hop
+	// increments the packet's hop count, folds the switch's identity
+	// (INTSwitchIDState) into path_digest, and accumulates queue-depth
+	// telemetry (qmax, qdelay) from the same ECNQueueState read the ECN
+	// mark uses — one state-array access serves both signals.
+	INT bool
 }
 
 func (p RouteParams) ecnThresh() int32 {
@@ -92,30 +115,57 @@ func (p RouteParams) ecnThresh() int32 {
 	return DefaultECNThresholdBytes
 }
 
-// ecnFields, ecnState and ecnMark are the three insertion points of the
-// ECN-marking block (scratch field, state array sized to the switch's
-// port count, and the marking statements — which must follow the
-// out_port assignment).
-func (p RouteParams) ecnFields() string {
-	if !p.ECN {
-		return ""
+// obsFields, obsState and obsStamp are the three insertion points of the
+// observation block — ECN marking and/or INT stamping (scratch fields,
+// state sized to the switch's port count, and the statements, which must
+// follow the out_port assignment). The two signals share one
+// queue_depth[pkt.out_port] read: they cannot drift, and the compiled
+// pipeline pays for the state access once.
+//
+// The INT header fields (hops, qmax, qdelay, path_digest) live in the
+// shared Packet struct so every program declares them; obsFields only
+// adds the scratch fields the block computes with.
+func (p RouteParams) obsFields() string {
+	var s string
+	if p.ECN || p.INT {
+		s += "  int qd;\n"
 	}
-	return "  int qd;\n"
+	if p.INT {
+		s += "  int sid;\n"
+	}
+	return s
 }
 
-func (p RouteParams) ecnState(ports int) string {
-	if !p.ECN {
-		return ""
+func (p RouteParams) obsState(ports int) string {
+	var s string
+	if p.ECN || p.INT {
+		s += fmt.Sprintf("\nint queue_depth[%d] = {0};\n", ports)
 	}
-	return fmt.Sprintf("\nint queue_depth[%d] = {0};\n", ports)
+	if p.INT {
+		s += "int switch_id = 0;\n"
+	}
+	return s
 }
 
-func (p RouteParams) ecnMark() string {
-	if !p.ECN {
-		return ""
+func (p RouteParams) obsStamp() string {
+	var s string
+	if p.ECN || p.INT {
+		s += "  pkt.qd = queue_depth[pkt.out_port];\n"
 	}
-	return fmt.Sprintf("  pkt.qd = queue_depth[pkt.out_port];\n"+
-		"  pkt.ecn = pkt.qd > %d ? 1 : pkt.ecn;\n", p.ecnThresh())
+	if p.ECN {
+		s += fmt.Sprintf("  pkt.ecn = pkt.qd > %d ? 1 : pkt.ecn;\n", p.ecnThresh())
+	}
+	if p.INT {
+		// The digest fold is path_digest*31 + sid; the stateless atom has
+		// no multiplier, so *31 is strength-reduced to (d<<5) - d —
+		// identical in int32 wraparound arithmetic.
+		s += "  pkt.sid = switch_id;\n" +
+			"  pkt.hops = pkt.hops + 1;\n" +
+			"  pkt.qmax = pkt.qd > pkt.qmax ? pkt.qd : pkt.qmax;\n" +
+			"  pkt.qdelay = pkt.qdelay + pkt.qd;\n" +
+			"  pkt.path_digest = (pkt.path_digest << 5) - pkt.path_digest + pkt.sid;\n"
+	}
+	return s
 }
 
 func (p RouteParams) validate() error {
@@ -154,6 +204,10 @@ struct Packet {
   int csum;
   int util;
   int path_id;
+  int hops;
+  int qmax;
+  int qdelay;
+  int path_digest;
   int dstleaf;
   int local;
 %s  int up;
@@ -174,7 +228,7 @@ func ECMPRouteSource(p RouteParams) (string, error) {
 	if err := p.validate(); err != nil {
 		return "", err
 	}
-	return leafHeader(p, p.ecnFields()) + p.ecnState(p.Spines+p.HostsPerLeaf) + `
+	return leafHeader(p, p.obsFields()) + p.obsState(p.Spines+p.HostsPerLeaf) + `
 void ecmp_route(struct Packet pkt) {
   pkt.dstleaf = pkt.dst / HOSTS_PER_LEAF;
   pkt.local = pkt.dstleaf == MY_LEAF;
@@ -182,7 +236,7 @@ void ecmp_route(struct Packet pkt) {
   pkt.down = DOWN_BASE + (pkt.dst % HOSTS_PER_LEAF);
   pkt.out_port = pkt.local ? pkt.down : pkt.up;
   pkt.path_id = pkt.local ? pkt.path_id : pkt.up;
-` + p.ecnMark() + "}\n", nil
+` + p.obsStamp() + "}\n", nil
 }
 
 // FlowletRouteSource re-picks the uplink at every flowlet boundary (the
@@ -200,14 +254,14 @@ func FlowletRouteSource(p RouteParams) (string, error) {
 	if err := p.validate(); err != nil {
 		return "", err
 	}
-	return leafHeader(p, "  int new_hop;\n  int fid;\n  int up0;\n  int upok;\n  int alt;\n"+p.ecnFields()) + `
+	return leafHeader(p, "  int new_hop;\n  int fid;\n  int up0;\n  int upok;\n  int alt;\n"+p.obsFields()) + `
 #define NUM_FLOWLETS 8000
 #define THRESHOLD 20
 
 int last_time[NUM_FLOWLETS] = {0};
 int saved_hop[NUM_FLOWLETS] = {0};
 int port_up[SPINES] = {1};
-` + p.ecnState(p.Spines+p.HostsPerLeaf) + `
+` + p.obsState(p.Spines+p.HostsPerLeaf) + `
 void flowlet_route(struct Packet pkt) {
   pkt.dstleaf = pkt.dst / HOSTS_PER_LEAF;
   pkt.local = pkt.dstleaf == MY_LEAF;
@@ -224,7 +278,7 @@ void flowlet_route(struct Packet pkt) {
   pkt.down = DOWN_BASE + (pkt.dst % HOSTS_PER_LEAF);
   pkt.out_port = pkt.local ? pkt.down : pkt.up;
   pkt.path_id = pkt.local ? pkt.path_id : pkt.up;
-` + p.ecnMark() + "}\n", nil
+` + p.obsStamp() + "}\n", nil
 }
 
 // CongaRouteSource is leaf-to-leaf utilization-aware path choice (CONGA,
@@ -254,7 +308,7 @@ func CongaRouteSource(p RouteParams) (string, error) {
 	if p.Leaves > 64 {
 		return "", fmt.Errorf("algorithms: conga_route supports at most 64 leaves (N_LEAVES), got %d", p.Leaves)
 	}
-	return leafHeader(p, "  int fbleaf;\n  int absorb;\n  int key;\n  int gutil;\n  int gpath;\n  int best;\n  int eup;\n  int pup;\n  int probe;\n  int dup;\n  int upsel;\n  int upok;\n  int alt;\n"+p.ecnFields()) + `
+	return leafHeader(p, "  int fbleaf;\n  int absorb;\n  int key;\n  int gutil;\n  int gpath;\n  int best;\n  int eup;\n  int pup;\n  int probe;\n  int dup;\n  int upsel;\n  int upok;\n  int alt;\n"+p.obsFields()) + `
 #define N_LEAVES 64
 #define FB_NONE 1073741824
 #define FB_INIT 536870912
@@ -263,7 +317,7 @@ func CongaRouteSource(p RouteParams) (string, error) {
 int best_util[N_LEAVES] = {536870912};
 int best_path[N_LEAVES] = {0};
 int port_up[SPINES] = {1};
-` + p.ecnState(p.Spines+p.HostsPerLeaf) + `
+` + p.obsState(p.Spines+p.HostsPerLeaf) + `
 void conga_route(struct Packet pkt) {
   pkt.dstleaf = pkt.dst / HOSTS_PER_LEAF;
   pkt.fbleaf = pkt.src / HOSTS_PER_LEAF;
@@ -304,7 +358,7 @@ void conga_route(struct Packet pkt) {
   pkt.down = DOWN_BASE + (pkt.dst % HOSTS_PER_LEAF);
   pkt.out_port = pkt.local ? pkt.down : pkt.up;
   pkt.path_id = pkt.local ? pkt.path_id : pkt.up;
-` + p.ecnMark() + "}\n", nil
+` + p.obsStamp() + "}\n", nil
 }
 
 // SpineRouteSource routes down: spine port l connects to leaf l, so the
@@ -335,6 +389,10 @@ struct Packet {
   int csum;
   int util;
   int path_id;
+  int hops;
+  int qmax;
+  int qdelay;
+  int path_digest;
 %s  int out_port;
 };
 
@@ -343,7 +401,7 @@ int total_pkts = 0;
 void spine_route(struct Packet pkt) {
   pkt.out_port = pkt.dst / HOSTS_PER_LEAF;
   total_pkts = total_pkts + 1;
-`, p.HostsPerLeaf, p.ecnFields(), p.ecnState(p.Leaves)) + p.ecnMark() + "}\n", nil
+`, p.HostsPerLeaf, p.obsFields(), p.obsState(p.Leaves)) + p.obsStamp() + "}\n", nil
 }
 
 // RoutingAlg is one entry of the routing-transaction catalog.

@@ -12,6 +12,7 @@ import (
 
 	"domino/internal/algorithms"
 	"domino/internal/codegen"
+	"domino/internal/telemetry"
 	"domino/internal/workload"
 )
 
@@ -40,6 +41,17 @@ type ExperimentConfig struct {
 	// set, which the reliable transport's ACKs echo to the sender.
 	ECN               bool
 	ECNThresholdBytes int32
+
+	// INT embeds the int_stamp block in every leaf and spine program:
+	// each hop stamps hop count, queue-depth max/sum and the path digest
+	// into the packet's telemetry fields (see algorithms.INTStampSource).
+	INT bool
+
+	// Telemetry and Ring, when non-nil, instrument the run (see
+	// Network.SetTelemetry): per-switch and network metrics land in the
+	// sink, sampled per-packet events in the ring.
+	Telemetry telemetry.Sink
+	Ring      *telemetry.Ring
 
 	DrainLimit int64 // safety bound on total ticks [1 << 20]
 }
@@ -135,7 +147,7 @@ func (c ExperimentConfig) Build() (*LeafSpine, *algorithms.RoutingAlg, error) {
 	compile := func(alg algorithms.RoutingAlg, leaf int) (*codegen.Program, error) {
 		src, err := alg.Source(algorithms.RouteParams{
 			LeafID: leaf, Leaves: c.Leaves, Spines: c.Spines, HostsPerLeaf: c.HostsPerLeaf,
-			ECN: c.ECN, ECNThresholdBytes: c.ECNThresholdBytes,
+			ECN: c.ECN, ECNThresholdBytes: c.ECNThresholdBytes, INT: c.INT,
 		})
 		if err != nil {
 			return nil, err
@@ -161,6 +173,8 @@ func (c ExperimentConfig) Build() (*LeafSpine, *algorithms.RoutingAlg, error) {
 		LinkDelay:            c.LinkDelay,
 		QueueCapBytes:        c.QueueCapBytes,
 		RouteField:           algorithms.RouteOutPort,
+		Telemetry:            c.Telemetry,
+		Trace:                c.Ring,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -84,7 +84,9 @@ type FaultWindow struct {
 	CorruptDropped int64 // arrival-guard rejections
 }
 
-// FaultExperimentResult is one faulted run's summary.
+// FaultExperimentResult is one faulted run's summary. LS is the drained
+// fabric itself, kept so observability consumers (paper-eval -telemetry)
+// can decode INT path digests and read the run's metrics snapshot.
 type FaultExperimentResult struct {
 	Routing                string
 	FailedFrom, FailedTo   string // node names of the failed uplink
@@ -92,6 +94,7 @@ type FaultExperimentResult struct {
 	Recovery, PostRecovery float64 // During.Rate/Before.Rate, After.Rate/Before.Rate
 	Totals                 NetTotals
 	LiveHeadersAfterDrain  int
+	LS                     *LeafSpine
 }
 
 // faultSnap is the cumulative state at a window boundary.
@@ -157,6 +160,7 @@ func RunLeafSpineFaults(c FaultExperimentConfig) (*FaultExperimentResult, error)
 		Routing:    c.Routing,
 		FailedFrom: fmt.Sprintf("leaf%d", c.FailLeaf),
 		FailedTo:   fmt.Sprintf("spine%d", c.FailSpine),
+		LS:         ls,
 	}
 	boundaries := []int64{c.WarmTick, c.FailTick, c.RecoverTick, c.EndTick}
 	snaps := make([]faultSnap, 0, len(boundaries))

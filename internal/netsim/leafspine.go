@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"strings"
 
+	"domino/internal/algorithms"
 	"domino/internal/codegen"
 	"domino/internal/switchsim"
+	"domino/internal/telemetry"
 )
 
 // LeafSpineConfig sizes a fabric. Programs are supplied as compiled
@@ -36,6 +38,11 @@ type LeafSpineConfig struct {
 	// RouteField is the packet field that picks output ports
 	// (algorithms.RouteOutPort for the routing catalog).
 	RouteField string
+	// Telemetry and Trace, when non-nil, are installed on the network
+	// before the first switch is built (see Network.SetTelemetry), so
+	// every switch resolves its instruments and trace identity.
+	Telemetry telemetry.Sink
+	Trace     *telemetry.Ring
 }
 
 // LeafSpine is a built fabric.
@@ -44,6 +51,7 @@ type LeafSpine struct {
 	Leaves []NodeID
 	Spines []NodeID
 	Hosts  []NodeID // dense: host h under leaf h/HostsPerLeaf
+	cfg    LeafSpineConfig
 }
 
 // NewLeafSpine builds and fully wires the fabric.
@@ -52,8 +60,11 @@ func NewLeafSpine(cfg LeafSpineConfig) (*LeafSpine, error) {
 		return nil, fmt.Errorf("netsim: leaf-spine needs positive leaves/spines/hosts, got %d/%d/%d",
 			cfg.Leaves, cfg.Spines, cfg.HostsPerLeaf)
 	}
-	ls := &LeafSpine{Net: New()}
+	ls := &LeafSpine{Net: New(), cfg: cfg}
 	n := ls.Net
+	if err := n.SetTelemetry(cfg.Telemetry, cfg.Trace); err != nil {
+		return nil, err
+	}
 	for s := 0; s < cfg.Spines; s++ {
 		prog, err := cfg.SpineProgram(s)
 		if err != nil {
@@ -120,6 +131,41 @@ func NewLeafSpine(cfg LeafSpineConfig) (*LeafSpine, error) {
 func isCore(l LinkStats) bool {
 	return (strings.HasPrefix(l.From, "leaf") && strings.HasPrefix(l.To, "spine")) ||
 		(strings.HasPrefix(l.From, "spine") && strings.HasPrefix(l.To, "leaf"))
+}
+
+// PathName decodes an INT path digest back into the hop sequence it was
+// folded from: candidate digests are precomputable because a leaf-spine
+// data packet crosses either exactly its own leaf (local traffic) or
+// leafA→spineS→leafB, and the digest fold (algorithms.PathDigest, int32
+// wraparound) is deterministic in the switches' node ids. Unknown
+// digests — a path no healthy run produces, e.g. a detour mid-rollover —
+// are reported numerically rather than guessed at.
+func (ls *LeafSpine) PathName(digest int32) string {
+	for a, la := range ls.Leaves {
+		if algorithms.PathDigest(int32(la)) == digest {
+			return fmt.Sprintf("leaf%d (local)", a)
+		}
+		for s, sp := range ls.Spines {
+			for b, lb := range ls.Leaves {
+				if b == a {
+					continue
+				}
+				if algorithms.PathDigest(int32(la), int32(sp), int32(lb)) == digest {
+					return fmt.Sprintf("leaf%d>spine%d>leaf%d", a, s, b)
+				}
+			}
+		}
+	}
+	return fmt.Sprintf("digest %d", digest)
+}
+
+// NamedPathCounts is PathCounts with each digest decoded via PathName.
+func (ls *LeafSpine) NamedPathCounts() []PathCount {
+	out := ls.Net.PathCounts()
+	for i := range out {
+		out[i].Name = ls.PathName(out[i].Digest)
+	}
+	return out
 }
 
 // CoreLinkBytes returns the byte counts of the fabric's core links (every

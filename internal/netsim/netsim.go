@@ -40,6 +40,7 @@ import (
 	"domino/internal/banzai"
 	"domino/internal/codegen"
 	"domino/internal/switchsim"
+	"domino/internal/telemetry"
 	"domino/internal/workload"
 )
 
@@ -63,6 +64,12 @@ const (
 	FieldFbAck   = "fb_ack"
 	FieldFbEcn   = "fb_ecn"
 	FieldCsum    = "csum"
+	// In-band telemetry fields, stamped hop-by-hop by the int_stamp
+	// transaction block (RouteParams.INT) and decoded at sinks.
+	FieldHops       = "hops"
+	FieldQMax       = "qmax"
+	FieldQDelay     = "qdelay"
+	FieldPathDigest = "path_digest"
 )
 
 // dreShift is the links' utilization-estimator decay: every tick the
@@ -161,14 +168,19 @@ type Host struct {
 // Delivery is one OnDeliver event: a packet handed to a sink host, after
 // the host's accounting. Flow and Seq are -1 when the delivering program
 // does not carry the field; Fb marks reflected feedback packets; Dup
-// marks data packets the transport's sink-side dedup suppressed.
+// marks data packets the transport's sink-side dedup suppressed. Hops
+// and Digest are the packet's in-band telemetry record (hop count and
+// accumulated path digest) when the program ran the int_stamp block;
+// Hops is -1 when the field is absent.
 type Delivery struct {
-	Host NodeID
-	Flow int32
-	Seq  int32
-	Size int64
-	Fb   bool
-	Dup  bool
+	Host   NodeID
+	Flow   int32
+	Seq    int32
+	Size   int64
+	Fb     bool
+	Dup    bool
+	Hops   int32
+	Digest int32
 }
 
 // inflight is one packet on a link.
@@ -199,6 +211,7 @@ type link struct {
 	// it from the inflight record, never from the header.)
 	rFlow, rFb, rSrc, rDport, rSport, rPathID, rUtil int
 	rDst, rSeq, rEcn, rFbAck, rFbEcn, rCsum          int
+	rArrival, rHops, rQMax, rQDelay, rDigest         int
 
 	// utilSlot is where the DRE stamp lands in the in-flight header's
 	// layout (the receiver's for switch links, the sender's for host
@@ -301,6 +314,21 @@ type Network struct {
 	// pending trace or fault events) before failing loudly; 0 means the
 	// default of 4096 ticks. It must exceed the longest link delay.
 	WatchdogTicks int64
+
+	// Telemetry (see SetTelemetry): the sink instruments are resolved
+	// once, the trace ring records sampled per-packet events, and
+	// pathPkts tallies accepted data deliveries per INT path digest.
+	sink      telemetry.Sink
+	ring      *telemetry.Ring
+	latencyH  *telemetry.Histogram // injection→sink delivery latency, ticks
+	fctH      *telemetry.Histogram // flow completion times, ticks
+	linkOccH  *telemetry.Histogram // in-flight packets per link, at transmit
+	hopsH     *telemetry.Histogram // INT hop counts of delivered data
+	qmaxH     *telemetry.Histogram // INT max queue depth along the path
+	qdelayH   *telemetry.Histogram // INT summed queue depth along the path
+	ecnC      *telemetry.Counter   // delivered data packets carrying an ECN mark
+	ecnMarked int64
+	pathPkts  map[int32]int64
 }
 
 // New creates an empty network.
@@ -334,6 +362,14 @@ func (n *Network) AddSwitch(name string, prog *codegen.Program, cfg switchsim.Co
 	if n.ready {
 		return 0, fmt.Errorf("netsim: cannot add switch %q after the clock started", name)
 	}
+	if n.sink != nil && cfg.Telemetry == nil {
+		cfg.Telemetry = n.sink
+		cfg.TelemetryPrefix = "sw." + name
+	}
+	if n.ring != nil && cfg.Trace == nil {
+		cfg.Trace = n.ring
+		cfg.TraceNode = int32(len(n.nodes))
+	}
 	sw, err := switchsim.New(prog, cfg)
 	if err != nil {
 		return 0, fmt.Errorf("netsim: switch %q: %w", name, err)
@@ -356,14 +392,19 @@ func (n *Network) AddSwitch(name string, prog *codegen.Program, cfg switchsim.Co
 		},
 	}
 	w.emit = func(port int, qh switchsim.QueuedHeader) { n.transmit(w, port, qh) }
-	// A program that declares (and uses) the marking transaction's
-	// queue_depth array gets it refreshed from the real queues each tick.
+	// A program that declares (and uses) the observation block's
+	// queue_depth array gets it refreshed from the real queues each tick
+	// (publishQueueDepths — shared by ECN marking and INT stamping).
 	for w.qdPorts < cfg.Ports {
 		if _, ok := sw.Machine().PeekState(algorithms.ECNQueueState, w.qdPorts); !ok {
 			break
 		}
 		w.qdPorts++
 	}
+	// An INT-stamping program learns this switch's identity once: the
+	// node id it folds into every packet's path digest. The poke simply
+	// refuses when the program declares no switch_id.
+	sw.Machine().PokeState(algorithms.INTSwitchIDState, 0, int32(w.id))
 	n.switches = append(n.switches, w)
 	n.nodes = append(n.nodes, &node{name: name, sw: w})
 	return w.id, nil
@@ -474,6 +515,11 @@ func (n *Network) Connect(from NodeID, port int, to NodeID, opts LinkOptions) er
 		l.rFbAck = outSlot(src, FieldFbAck)
 		l.rFbEcn = outSlot(src, FieldFbEcn)
 		l.rCsum = outSlot(src, FieldCsum)
+		l.rArrival = outSlot(src, FieldArrival)
+		l.rHops = outSlot(src, FieldHops)
+		l.rQMax = outSlot(src, FieldQMax)
+		l.rQDelay = outSlot(src, FieldQDelay)
+		l.rDigest = outSlot(src, FieldPathDigest)
 		l.utilSlot = slotOr(src, FieldUtil)
 		// Host-bound headers stay in the sender's layout; the guard reads
 		// the same departing values the sink would.
@@ -607,17 +653,24 @@ func (n *Network) Tick() {
 		l.dre -= l.dre >> dreShift
 	}
 	for _, w := range n.switches {
-		// Publish real queue depths into marking programs (PR 5/6
-		// visibility convention): next tick's packets see this tick's
-		// closing depths, one RTT-free hop behind reality like a real
-		// egress-queue sample would be.
-		for p := 0; p < w.qdPorts; p++ {
-			d := w.sw.PortQueueBytes(p)
-			if d > int64(maxInt32) {
-				d = int64(maxInt32)
-			}
-			w.sw.Machine().PokeState(algorithms.ECNQueueState, p, int32(d))
+		w.publishQueueDepths()
+	}
+}
+
+// publishQueueDepths publishes the switch's real output-queue depths
+// into its program's queue_depth observable (PR 5/6 visibility
+// convention): next tick's packets see this tick's closing depths, one
+// RTT-free hop behind reality like a real egress-queue sample would be.
+// This is the single feed for every depth consumer — the ECN marking
+// comparison and the INT qmax/qdelay stamps read the same array, so the
+// two signals cannot drift.
+func (w *netSwitch) publishQueueDepths() {
+	for p := 0; p < w.qdPorts; p++ {
+		d := w.sw.PortQueueBytes(p)
+		if d > int64(maxInt32) {
+			d = int64(maxInt32)
 		}
+		w.sw.Machine().PokeState(algorithms.ECNQueueState, p, int32(d))
 	}
 }
 
@@ -771,6 +824,16 @@ func (n *Network) InjectNow(p *workload.NetPacket) error {
 func (n *Network) inject(w *netSwitch, h banzai.Header, size int64) {
 	n.injectedPkts++
 	n.injectedBytes += size
+	if n.ring != nil {
+		flow, seq := int32(-1), int32(-1)
+		if w.in.flow >= 0 {
+			flow = h[w.in.flow]
+		}
+		if w.in.seq >= 0 {
+			seq = h[w.in.seq]
+		}
+		n.ring.Record(n.now, telemetry.EvInject, int32(w.id), -1, flow, seq, int32(size), 0)
+	}
 	if w.crashed {
 		w.sw.Machine().ReleaseHeader(h)
 		n.blackholedPkts++
@@ -825,6 +888,10 @@ func (n *Network) transmit(w *netSwitch, p int, qh switchsim.QueuedHeader) {
 	l.pkts++
 	l.bytes += qh.Size
 	l.push(inflight{at: n.now + l.delay, h: h, size: qh.Size})
+	n.linkOccH.Observe(int64(l.n))
+	if n.ring != nil {
+		n.ring.Record(n.now, telemetry.EvLinkTraverse, int32(w.id), int32(p), -1, -1, int32(qh.Size), int32(l.n))
+	}
 }
 
 // maxUtilStamp saturates poisoned DRE stamps inside int32.
@@ -916,6 +983,9 @@ func (n *Network) blackhole(l *link, h banzai.Header, size int64) {
 	l.ownerMachine().ReleaseHeader(h)
 	n.blackholedPkts++
 	n.blackholedBytes += size
+	if n.ring != nil {
+		n.ring.Record(n.now, telemetry.EvDrop, int32(l.from.id), int32(l.fromPort), -1, -1, int32(size), 1)
+	}
 }
 
 // corruptDrop destroys a packet the arrival-edge guard rejected.
@@ -923,6 +993,9 @@ func (n *Network) corruptDrop(l *link, h banzai.Header, size int64) {
 	l.ownerMachine().ReleaseHeader(h)
 	n.corruptPkts++
 	n.corruptBytes += size
+	if n.ring != nil {
+		n.ring.Record(n.now, telemetry.EvCorrupt, int32(l.from.id), int32(l.fromPort), -1, -1, int32(size), 0)
+	}
 }
 
 // ownerMachine is the machine whose pool owns a header in flight on this
@@ -971,6 +1044,13 @@ func (h *Host) sink(l *link, hd banzai.Header, size int64) {
 	if l.rSeq >= 0 {
 		seq = hd[l.rSeq]
 	}
+	hops, digest := int32(-1), int32(0)
+	if l.rHops >= 0 {
+		hops = hd[l.rHops]
+	}
+	if l.rDigest >= 0 {
+		digest = hd[l.rDigest]
+	}
 	dup := false
 	if isFb {
 		h.FbPkts++
@@ -981,6 +1061,26 @@ func (h *Host) sink(l *link, hd banzai.Header, size int64) {
 			tp.onAck(flow, hd[l.rFbAck], seq, hd[l.rFbEcn] != 0)
 		}
 	} else {
+		if l.rEcn >= 0 && hd[l.rEcn] != 0 {
+			n.ecnMarked++
+			n.ecnC.Inc()
+		}
+		if n.sink != nil {
+			// Decode the packet's in-band telemetry record: the header
+			// carries its own path and queueing history, stamped hop by
+			// hop by the int_stamp transaction.
+			if l.rHops >= 0 {
+				n.hopsH.Observe(int64(hops))
+				n.qmaxH.Observe(int64(hd[l.rQMax]))
+				n.qdelayH.Observe(int64(hd[l.rQDelay]))
+			}
+			if l.rDigest >= 0 {
+				n.pathPkts[digest]++
+			}
+			if l.rArrival >= 0 {
+				n.latencyH.Observe(n.now - int64(hd[l.rArrival]))
+			}
+		}
 		if tp != nil && !tp.onData(flow, seq) {
 			dup = true
 			n.dupPkts++
@@ -994,6 +1094,7 @@ func (h *Host) sink(l *link, hd banzai.Header, size int64) {
 				n.flowSeen[flow]++
 				if int(n.flowSeen[flow]) == int(n.trace.FlowPkts[flow]) {
 					n.flowDone[flow] = n.now
+					n.fctH.Observe(n.now - n.flowStart[flow])
 				}
 			}
 		}
@@ -1004,8 +1105,11 @@ func (h *Host) sink(l *link, hd banzai.Header, size int64) {
 		}
 	}
 	l.from.sw.Machine().ReleaseHeader(hd)
+	if n.ring != nil {
+		n.ring.Record(n.now, telemetry.EvDeliver, int32(h.id), -1, flow, seq, int32(size), digest)
+	}
 	if n.OnDeliver != nil {
-		n.OnDeliver(Delivery{Host: h.id, Flow: flow, Seq: seq, Size: size, Fb: isFb, Dup: dup})
+		n.OnDeliver(Delivery{Host: h.id, Flow: flow, Seq: seq, Size: size, Fb: isFb, Dup: dup, Hops: hops, Digest: digest})
 	}
 }
 
@@ -1095,6 +1199,10 @@ type NetTotals struct {
 	DupDroppedPkts, DupDroppedBytes         int64
 	FbDeliveredPkts, FbDeliveredBytes       int64
 	FbInjectedPkts, FbInjectedBytes         int64
+	// EcnMarkedPkts counts delivered data packets (accepted or dup)
+	// carrying an ECN mark — congestion-signal activity, not a
+	// conservation term.
+	EcnMarkedPkts int64
 }
 
 // Totals sums the conservation terms over every switch and link.
@@ -1108,6 +1216,7 @@ func (n *Network) Totals() NetTotals {
 		DupDroppedPkts: n.dupPkts, DupDroppedBytes: n.dupBytes,
 		FbDeliveredPkts: n.fbDelivPkts, FbDeliveredBytes: n.fbDelivBytes,
 		FbInjectedPkts: n.fbInjPkts, FbInjectedBytes: n.fbInjBytes,
+		EcnMarkedPkts: n.ecnMarked,
 	}
 	for _, w := range n.switches {
 		st := w.sw.Totals()

@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"domino/internal/banzai"
+	"domino/internal/telemetry"
 )
 
 // TransportConfig tunes the reliable delivery layer. Zero values take
@@ -173,6 +174,16 @@ type Transport struct {
 	givenUpPkts, givenUpBytes int64
 	outPkts, outBytes         int64
 	rateCuts                  int64
+
+	// Observability (nil instruments no-op, so the uninstrumented hot
+	// path stays allocation-free). sent records each packet's fresh-send
+	// tick; RTT samples follow Karn's rule — only never-retransmitted
+	// packets, so a retransmit can't be mistaken for its original.
+	sent     []int64
+	rttH     *telemetry.Histogram
+	gapH     *telemetry.Histogram
+	retriesH *telemetry.Histogram
+	cutsC    *telemetry.Counter
 }
 
 // EnableTransport switches the network from raw trace replay to reliable
@@ -271,6 +282,11 @@ func (n *Network) EnableTransport(cfg TransportConfig) (*Transport, error) {
 	tp.due = make([]int64, len(tr.Packets))
 	tp.rbits = make([]uint64, (len(tr.Packets)+63)/64)
 	tp.rbase = make([]int32, flows)
+	tp.sent = make([]int64, len(tr.Packets))
+	tp.rttH = telemetry.GetHistogram(n.sink, "tp.rtt_ticks")
+	tp.gapH = telemetry.GetHistogram(n.sink, "tp.pacing_gap_ticks")
+	tp.retriesH = telemetry.GetHistogram(n.sink, "tp.retries_per_pkt")
+	tp.cutsC = telemetry.GetCounter(n.sink, "tp.rate_cuts")
 
 	span := int64(1024)
 	for span < 2*(cfg.RTOMax+cfg.RTO+cfg.MaxGap) {
@@ -460,6 +476,8 @@ func (tp *Transport) cut(f int32) {
 	}
 	tp.gap[f] = g
 	tp.rateCuts++
+	tp.cutsC.Inc()
+	tp.gapH.Observe(g)
 }
 
 func (tp *Transport) size(gi int32) int64 {
@@ -493,6 +511,7 @@ func (tp *Transport) send(f, s int32, retrans bool) {
 		tp.offeredBytes += sz
 		tp.outPkts++
 		tp.outBytes += sz
+		tp.sent[tp.off[f]+s] = tp.n.now
 	}
 	tp.n.inject(w, h, sz)
 }
@@ -517,6 +536,7 @@ func (tp *Transport) service(f int32) {
 			tp.outPkts--
 			tp.outBytes -= tp.size(gi)
 			tp.resolved++
+			tp.retriesH.Observe(int64(tp.retries[gi]))
 			continue
 		}
 		tp.retries[gi]++
@@ -600,6 +620,10 @@ func (tp *Transport) ackOne(gi int32) {
 	tp.outPkts--
 	tp.outBytes -= tp.size(gi)
 	tp.resolved++
+	tp.retriesH.Observe(int64(tp.retries[gi]))
+	if tp.retries[gi] == 0 {
+		tp.rttH.Observe(tp.n.now - tp.sent[gi])
+	}
 }
 
 // onAck applies an arriving ACK at the sender: cumulative ack below

@@ -31,6 +31,7 @@ import (
 	"domino/internal/algorithms"
 	"domino/internal/banzai"
 	"domino/internal/switchsim"
+	"domino/internal/telemetry"
 )
 
 // MaxDepth bounds the PIFO tree height (root to leaf, inclusive).
@@ -58,6 +59,14 @@ type NodeSpec struct {
 // output port.
 type Tree struct {
 	Root NodeSpec
+
+	// Telemetry, when non-nil, instruments every port's scheduler under
+	// TelemetryPrefix (default "pifo"): <pre>.depth_pkts.pN observes the
+	// tree's occupancy at each enqueue, <pre>.cal_defer_pkts.pN a shaped
+	// node's calendar length at each deferral. Nil leaves the hot path
+	// untouched (nil instruments no-op, zero allocations).
+	Telemetry       telemetry.Sink
+	TelemetryPrefix string
 }
 
 // Flat returns the degenerate one-node tree: a single PIFO ordered by the
@@ -90,8 +99,16 @@ func NamedSpec(name string) (RankSpec, error) {
 // returns one independent scheduler per port.
 func (t *Tree) Build(l *banzai.Layout, ports int) ([]switchsim.PortScheduler, error) {
 	out := make([]switchsim.PortScheduler, ports)
+	pre := t.TelemetryPrefix
+	if pre == "" {
+		pre = "pifo"
+	}
 	for p := range out {
 		s := &portScheduler{lastRelease: math.MinInt64}
+		if t.Telemetry != nil {
+			s.depthH = telemetry.GetHistogram(t.Telemetry, fmt.Sprintf("%s.depth_pkts.p%d", pre, p))
+			s.calH = telemetry.GetHistogram(t.Telemetry, fmt.Sprintf("%s.cal_defer_pkts.p%d", pre, p))
+		}
 		root, err := buildNode(&t.Root, l, nil, 1, s)
 		if err != nil {
 			return nil, err
@@ -223,6 +240,9 @@ type portScheduler struct {
 	// lastRelease is the most recent tick release ran at, so the
 	// Head-then-Dequeue pattern scans the calendars once per tick.
 	lastRelease int64
+	// depthH/calH are nil without a Tree.Telemetry sink.
+	depthH *telemetry.Histogram
+	calH   *telemetry.Histogram
 }
 
 // Enqueue classifies the packet to a leaf, runs every scheduling and
@@ -263,6 +283,7 @@ func (s *portScheduler) Enqueue(q switchsim.QueuedHeader) {
 	}
 	n.pifo.Push(Item{Rank: s.ranks[0], H: q.H, Size: q.Size, Arrived: q.Arrived, Seq: q.Seq})
 	s.count++
+	s.depthH.Observe(int64(s.count))
 	s.pushRefs(n, &s.ranks, &s.sends, 0, q.Arrived)
 }
 
@@ -274,6 +295,7 @@ func (s *portScheduler) pushRefs(x *node, ranks, sends *[MaxDepth]int32, hop int
 	for x.parent != nil {
 		if x.shaper != nil && int64(sends[hop]) > now {
 			x.cal.push(calItem{send: sends[hop], hop: hop, ranks: *ranks, sends: *sends})
+			s.calH.Observe(int64(x.cal.len()))
 			return
 		}
 		x.parent.pifo.Push(Item{Rank: ranks[hop+1], Child: x.selfIdx})

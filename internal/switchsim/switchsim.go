@@ -24,6 +24,7 @@ import (
 	"domino/internal/banzai"
 	"domino/internal/codegen"
 	"domino/internal/interp"
+	"domino/internal/telemetry"
 )
 
 // Config sizes the switch.
@@ -47,6 +48,19 @@ type Config struct {
 	// tail drop (the pre-PIFO behavior). The byte cap (QueueCapBytes) is
 	// enforced by the switch regardless of scheduler.
 	Scheduler Scheduler
+	// Telemetry, when non-nil, receives the switch's metrics: enqueue/
+	// dequeue/drop counters plus per-port queue-depth (at enqueue) and
+	// queueing-delay (at dequeue) histograms. Instruments are resolved
+	// once at construction under TelemetryPrefix; a nil sink costs the
+	// hot path only nil checks and allocates nothing.
+	Telemetry telemetry.Sink
+	// TelemetryPrefix namespaces this switch's instruments (e.g.
+	// "sw.leaf0"); empty means "sw".
+	TelemetryPrefix string
+	// Trace, when non-nil, records sampled enqueue/dequeue/drop events
+	// with TraceNode as the node id.
+	Trace     *telemetry.Ring
+	TraceNode int32
 }
 
 // QueuedHeader is a header waiting in an output queue plus its queueing
@@ -185,6 +199,14 @@ type Switch struct {
 	// the left side of the conservation identity.
 	injectedPkts  int64
 	injectedBytes int64
+
+	// Telemetry instruments, resolved once at construction (nil without a
+	// sink — every method on them is a nil-safe no-op).
+	enqC, deqC, dropC *telemetry.Counter
+	qdepthH, qdelayH  []*telemetry.Histogram // per port
+	trace             *telemetry.Ring
+	traceNode         int32
+	flowSlot, seqSlot int // header slots of flow/seq for trace records; -1 if absent
 }
 
 // New builds a switch around a compiled program.
@@ -235,7 +257,7 @@ func New(prog *codegen.Program, cfg Config) (*Switch, error) {
 			}
 		}
 	}
-	return &Switch{
+	s := &Switch{
 		cfg:       cfg,
 		machine:   m,
 		routeSlot: routeSlot,
@@ -244,7 +266,49 @@ func New(prog *codegen.Program, cfg Config) (*Switch, error) {
 		carry:     make([]int64, cfg.Ports),
 		portDown:  make([]bool, cfg.Ports),
 		stats:     make([]PortStats, cfg.Ports),
-	}, nil
+		qdepthH:   make([]*telemetry.Histogram, cfg.Ports),
+		qdelayH:   make([]*telemetry.Histogram, cfg.Ports),
+		trace:     cfg.Trace,
+		traceNode: cfg.TraceNode,
+		flowSlot:  -1,
+		seqSlot:   -1,
+	}
+	if pre := cfg.TelemetryPrefix; cfg.Telemetry != nil {
+		if pre == "" {
+			pre = "sw"
+		}
+		s.enqC = telemetry.GetCounter(cfg.Telemetry, pre+".enq_pkts")
+		s.deqC = telemetry.GetCounter(cfg.Telemetry, pre+".deq_pkts")
+		s.dropC = telemetry.GetCounter(cfg.Telemetry, pre+".drop_pkts")
+		for p := 0; p < cfg.Ports; p++ {
+			s.qdepthH[p] = telemetry.GetHistogram(cfg.Telemetry, fmt.Sprintf("%s.qdepth_bytes.p%d", pre, p))
+			s.qdelayH[p] = telemetry.GetHistogram(cfg.Telemetry, fmt.Sprintf("%s.qdelay_ticks.p%d", pre, p))
+		}
+	}
+	if s.trace != nil {
+		// Best-effort flow/seq identification in trace records: resolve
+		// the conventional field slots if this program declares them.
+		if slot, ok := m.Layout().OutputSlot("flow"); ok {
+			s.flowSlot = slot
+		}
+		if slot, ok := m.Layout().OutputSlot("seq"); ok {
+			s.seqSlot = slot
+		}
+	}
+	return s, nil
+}
+
+// traceIDs pulls (flow, seq) out of a header for a trace record, -1 when
+// the program has no such fields.
+func (s *Switch) traceIDs(h banzai.Header) (flow, seq int32) {
+	flow, seq = -1, -1
+	if s.flowSlot >= 0 {
+		flow = h[s.flowSlot]
+	}
+	if s.seqSlot >= 0 {
+		seq = h[s.seqSlot]
+	}
+	return flow, seq
 }
 
 // Machine exposes the embedded pipeline (for state inspection).
@@ -315,6 +379,11 @@ func (s *Switch) enqueue(h banzai.Header, size int64) (port int, dropped bool) {
 	if st.QueueBytes+size > s.cfg.QueueCapBytes {
 		st.Drops++
 		st.DroppedBytes += size
+		s.dropC.Inc()
+		if s.trace != nil {
+			flow, seq := s.traceIDs(h)
+			s.trace.Record(s.now, telemetry.EvDrop, s.traceNode, int32(port), flow, seq, int32(size), 0)
+		}
 		s.machine.ReleaseHeader(h)
 		return port, true
 	}
@@ -328,6 +397,12 @@ func (s *Switch) enqueue(h banzai.Header, size int64) (port int, dropped bool) {
 	}
 	if depth := int64(s.queues[port].Len()); depth > st.MaxDepth {
 		st.MaxDepth = depth
+	}
+	s.enqC.Inc()
+	s.qdepthH[port].Observe(st.QueueBytes)
+	if s.trace != nil {
+		flow, seq := s.traceIDs(h)
+		s.trace.Record(s.now, telemetry.EvEnqueue, s.traceNode, int32(port), flow, seq, int32(size), 0)
 	}
 	return port, false
 }
@@ -389,6 +464,12 @@ func (s *Switch) TickFunc(emit func(port int, qh QueuedHeader)) {
 			st.QueueBytes -= qh.Size
 			st.Departures++
 			st.DepartedBytes += qh.Size
+			s.deqC.Inc()
+			s.qdelayH[p].Observe(s.now - qh.Arrived)
+			if s.trace != nil {
+				flow, seq := s.traceIDs(qh.H)
+				s.trace.Record(s.now, telemetry.EvDequeue, s.traceNode, int32(p), flow, seq, int32(qh.Size), int32(s.now-qh.Arrived))
+			}
 			emit(p, qh)
 		}
 	}

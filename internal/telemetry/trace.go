@@ -1,0 +1,184 @@
+// Event-trace ring buffer: a fixed-capacity, deterministically sampled
+// record of simulator events (inject, enqueue, dequeue, link-traverse,
+// deliver, drop, corrupt). The ring is preallocated and Record never
+// allocates, so tracing can stay on during benchmarks; sampling is a
+// pure function of (seed, event ordinal), so two runs of the same seeded
+// experiment capture byte-identical traces — fuzz-found fault anomalies
+// become replayable evidence rather than vanished flukes.
+package telemetry
+
+import (
+	"encoding/json"
+)
+
+// Kind classifies a traced event.
+type Kind uint8
+
+// Event kinds, in rough packet-lifecycle order.
+const (
+	EvInject Kind = iota
+	EvEnqueue
+	EvDequeue
+	EvLinkTraverse
+	EvDeliver
+	EvDrop
+	EvCorrupt
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	EvInject:       "inject",
+	EvEnqueue:      "enqueue",
+	EvDequeue:      "dequeue",
+	EvLinkTraverse: "link_traverse",
+	EvDeliver:      "deliver",
+	EvDrop:         "drop",
+	EvCorrupt:      "corrupt",
+}
+
+// String names the kind ("?" for out-of-range values).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "?"
+}
+
+// MarshalJSON exports the kind as its name, keeping traces readable.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// Event is one sampled simulator event. Node identifies the switch or
+// host (netsim node id; -1 when not applicable), Port the switch port,
+// Aux is kind-specific (e.g. drop reason code, link id).
+type Event struct {
+	Tick int64 `json:"tick"`
+	Kind Kind  `json:"kind"`
+	Node int32 `json:"node"`
+	Port int32 `json:"port"`
+	Flow int32 `json:"flow"`
+	Seq  int32 `json:"seq"`
+	Size int32 `json:"size"`
+	Aux  int32 `json:"aux"`
+}
+
+// Ring is the trace buffer. A nil *Ring is a valid, free disabled trace:
+// Record on nil is a no-op. When the ring wraps, the oldest events fall
+// off — the tail of a run is usually where the anomaly is.
+type Ring struct {
+	events []Event
+	head   int    // next write position
+	n      int    // live events (≤ cap)
+	every  uint64 // keep 1 event in every `every` (1 = all)
+	seed   uint64
+	seen   uint64 // total events offered, sampled or not
+}
+
+// NewRing returns a trace ring holding up to capacity events, keeping a
+// deterministic 1-in-sampleEvery subset chosen by seed. capacity <= 0
+// returns nil (disabled); sampleEvery <= 1 keeps everything.
+func NewRing(capacity, sampleEvery int, seed uint64) *Ring {
+	if capacity <= 0 {
+		return nil
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &Ring{
+		events: make([]Event, capacity),
+		every:  uint64(sampleEvery),
+		seed:   seed,
+	}
+}
+
+// traceMix is the SplitMix64 finalizer — the same mixer the transport
+// uses for jitter. It hashes the event ordinal so sampling is spread
+// uniformly rather than striding (stride would alias with periodic
+// traffic patterns and sample the same phase forever).
+func traceMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Record offers one event to the ring. Nil-safe and allocation-free;
+// whether the event is kept depends only on (seed, ordinal), never on
+// wall clock or map order.
+func (r *Ring) Record(tick int64, kind Kind, node, port, flow, seq, size, aux int32) {
+	if r == nil {
+		return
+	}
+	ord := r.seen
+	r.seen++
+	if r.every > 1 && traceMix(r.seed^ord)%r.every != 0 {
+		return
+	}
+	r.events[r.head] = Event{Tick: tick, Kind: kind, Node: node, Port: port, Flow: flow, Seq: seq, Size: size, Aux: aux}
+	r.head++
+	if r.head == len(r.events) {
+		r.head = 0
+	}
+	if r.n < len(r.events) {
+		r.n++
+	}
+}
+
+// Len is the number of events currently held (0 for nil).
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Seen is the total number of events offered, kept or not (0 for nil).
+func (r *Ring) Seen() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seen
+}
+
+// Events returns the held events oldest-first. Allocates; not for the
+// hot path. Nil ring returns nil.
+func (r *Ring) Events() []Event {
+	if r == nil || r.n == 0 {
+		return nil
+	}
+	out := make([]Event, r.n)
+	start := r.head - r.n
+	if start < 0 {
+		start += len(r.events)
+	}
+	for i := 0; i < r.n; i++ {
+		out[i] = r.events[(start+i)%len(r.events)]
+	}
+	return out
+}
+
+// KindCounts tallies held events by kind, indexed by Kind.
+func (r *Ring) KindCounts() [int(numKinds)]int64 {
+	var c [int(numKinds)]int64
+	if r == nil {
+		return c
+	}
+	start := r.head - r.n
+	if start < 0 {
+		start += len(r.events)
+	}
+	for i := 0; i < r.n; i++ {
+		c[r.events[(start+i)%len(r.events)].Kind]++
+	}
+	return c
+}
+
+// ExportJSON renders the held events oldest-first as indented JSON.
+func (r *Ring) ExportJSON() ([]byte, error) {
+	ev := r.Events()
+	if ev == nil {
+		ev = []Event{}
+	}
+	return json.MarshalIndent(ev, "", "  ")
+}
