@@ -4,15 +4,15 @@ SHELL := /bin/bash
 
 # BENCH_OUT is the committed per-PR benchmark snapshot `make bench` emits;
 # BENCH_BASE is the previous PR's snapshot bench-delta compares against.
-BENCH_OUT ?= BENCH_pr8.json
-BENCH_BASE ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr9.json
+BENCH_BASE ?= BENCH_pr8.json
 # MAX_LOSS is the bench-regression gate: any benchmark present in both
 # snapshots losing more than this percent of throughput fails the build.
 MAX_LOSS ?= 10
 
-.PHONY: check fmt vet build test race bench bench-smoke bench-delta bench-regression fuzz-smoke cover-net staticcheck profile
+.PHONY: check fmt vet build test race bench bench-smoke bench-delta bench-regression fuzz-smoke cover-net staticcheck profile soak soak-smoke
 
-check: fmt vet staticcheck build test race fuzz-smoke cover-net
+check: fmt vet staticcheck build test race fuzz-smoke soak-smoke cover-net
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -21,12 +21,15 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# staticcheck runs honnef.co/go/tools when a binary is on PATH and
-# degrades to a skip when it is not (the toolchain image does not bake
-# it in, and fetching it would need the network).
+# staticcheck runs honnef.co/go/tools when a binary is on PATH. In CI
+# (where the workflow installs a pinned version) a missing binary is a
+# hard failure; locally it degrades to a skip, since the toolchain image
+# does not bake it in and fetching it would need the network.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
+	elif [ -n "$$CI" ]; then \
+		echo "staticcheck is a required CI gate but is not installed"; exit 1; \
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
@@ -90,6 +93,20 @@ bench-delta:
 # against the committed snapshots.
 bench-regression:
 	$(GO) run ./cmd/benchjson -delta -maxloss $(MAX_LOSS) $(BENCH_BASE) $(BENCH_OUT)
+
+# soak runs the full chaos soak: 1000 seeded random gray-failure
+# schedules (reorder, duplication, flaps, restarts, crashes, corruption)
+# over small fabrics, each tick checked against the conservation and
+# pool-leak oracles, with sampled byte-identical replays. SOAK_RUNS
+# scales it.
+SOAK_RUNS ?= 1000
+soak:
+	$(GO) run ./cmd/paper-eval -soak $(SOAK_RUNS)
+
+# soak-smoke is the time-budgeted slice CI runs: enough schedules to
+# cover every fault kind, both transport modes and all three routings.
+soak-smoke:
+	$(GO) test ./internal/netsim -run 'TestChaosSoakSmoke' -count=1
 
 # profile writes a CPU profile of the leaf-spine network experiment;
 # inspect with `go tool pprof cpu.prof`.

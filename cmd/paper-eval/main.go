@@ -14,7 +14,8 @@
 //	paper-eval -faults         # routing under a seeded core-link failure
 //	paper-eval -reliable       # raw vs reliable transport under outage + corruption
 //	paper-eval -telemetry      # in-band telemetry + metrics core on the faulted run
-//	paper-eval -seed 7         # reseed the -faults / -reliable / -telemetry scenarios
+//	paper-eval -soak 1000      # chaos soak: N seeded random gray-failure schedules
+//	paper-eval -seed 7         # reseed the -faults / -reliable / -telemetry / -soak scenarios
 //	paper-eval -pprof cpu.out  # write a CPU profile of the requested reports
 //
 // Unknown flags or values exit non-zero with a message on stderr.
@@ -66,7 +67,8 @@ func run(args []string) error {
 	faultsFlag := fs.Bool("faults", false, "run the routing experiment under a seeded core-link failure")
 	reliableFlag := fs.Bool("reliable", false, "run raw vs reliable transport under outage + corruption")
 	telemetryFlag := fs.Bool("telemetry", false, "run the faulted scenario with in-band telemetry + metrics on")
-	seed := fs.Int64("seed", 1, "seed for the -faults, -reliable and -telemetry scenarios")
+	soakRuns := fs.Int("soak", 0, "chaos soak: run this many seeded random gray-failure schedules")
+	seed := fs.Int64("seed", 1, "seed for the -faults, -reliable, -telemetry and -soak scenarios")
 	pprofFile := fs.String("pprof", "", "write a CPU profile of the requested reports to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +78,9 @@ func run(args []string) error {
 	}
 	if *seed <= 0 {
 		return fmt.Errorf("seed must be positive, got %d", *seed)
+	}
+	if *soakRuns < 0 {
+		return fmt.Errorf("soak run count must be positive, got %d", *soakRuns)
 	}
 	if *pprofFile != "" {
 		f, err := os.Create(*pprofFile)
@@ -91,6 +96,12 @@ func run(args []string) error {
 
 	more := func() bool {
 		return *table != "" || *figure != "" || *schedFlag || *tput || *optFlag
+	}
+	if *soakRuns > 0 {
+		soakExperiment(*soakRuns, *seed)
+		if !more() && !*netFlag && !*faultsFlag && !*reliableFlag && !*telemetryFlag {
+			return nil
+		}
 	}
 	if *telemetryFlag {
 		telemetryExperiment(*seed)

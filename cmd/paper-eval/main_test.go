@@ -15,6 +15,7 @@ func TestRunFlagErrors(t *testing.T) {
 		{"stray-positional"},
 		{"-seed", "0", "-faults"},
 		{"-seed", "-3", "-reliable"},
+		{"-soak", "-1"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) = nil, want error", args)
@@ -50,6 +51,17 @@ func TestRunReliableSeeded(t *testing.T) {
 		t.Skip("raw+reliable sweep over three routings")
 	}
 	if err := run([]string{"-reliable", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunSoakSmall: a handful of chaos schedules end to end through the
+// CLI path (the full-size soak runs via `make soak`).
+func TestRunSoakSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	if err := run([]string{"-soak", "8", "-seed", "3"}); err != nil {
 		t.Fatal(err)
 	}
 }

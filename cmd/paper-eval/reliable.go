@@ -1,13 +1,15 @@
 package main
 
 // The -reliable experiment: end-to-end reliable transport under the
-// fault schedule of -faults plus a window of per-mille link corruption.
-// Each routing policy runs the same trace twice — raw (PR 6 hosts:
-// inject once, lost is lost) and reliable (PR 7 hosts: sequence
-// numbers, retransmission with backoff, sink-side dedup, ECN-paced
-// AIMD) — so the delivered-exactly-once fraction, the retransmit
-// overhead and the post-outage recovery time isolate what host
-// reliability buys on top of each routing policy.
+// gray-failure schedule — the -faults core outage plus windows of
+// per-mille corruption, bounded in-flight reordering and per-mille
+// duplication on a second uplink, a down/up flap storm on a third, and
+// a mid-outage leaf power-cycle that wipes its routing soft state. Each
+// routing policy runs the same trace three times — raw (PR 6 hosts:
+// inject once, lost is lost), rel-rto (PR 7 hosts: retransmit on RTO
+// expiry only), and reliable (PR 9: plus duplicate-ACK fast retransmit)
+// — so the delivered-exactly-once fraction, the retransmit overhead and
+// the mean ack latency isolate what each layer of host reliability buys.
 
 import (
 	"fmt"
@@ -19,16 +21,18 @@ func reliableExperiment(seed int64) {
 	cfg := netsim.ReliableExperimentConfig{}
 	cfg.Seed = seed
 	cfg.Transport.Seed = seed
-	fmt.Println("== Reliable transport under a core outage + 5‰ link corruption ==")
+	fmt.Println("== Reliable transport under gray failure: outage + corruption +")
+	fmt.Println("   reorder + duplication + flap storm + mid-outage switch restart ==")
 	fmt.Println("   delivered is the exactly-once fraction of offered trace packets;")
-	fmt.Println("   overhead = retransmitted copies / offered; marks = delivered data")
-	fmt.Println("   packets carrying an ECN mark (raw mode runs without the ecn_mark")
-	fmt.Println("   block, so any raw marks are corruption-scrambled bits the checksum-")
-	fmt.Println("   less hosts could not reject); recovery = ticks after the fabric")
-	fmt.Println("   heals until goodput sustains 90% of its pre-fail rate")
+	fmt.Println("   overhead = retransmitted copies / offered; fastrx = the share of")
+	fmt.Println("   those triggered by duplicate-ACK evidence instead of an RTO expiry;")
+	fmt.Println("   ack = mean ticks from a packet's first send to its acknowledgment")
+	fmt.Println("   (retransmitted packets included — the loss-recovery latency);")
+	fmt.Println("   recovery = ticks after the fabric heals until goodput sustains 90%")
+	fmt.Println("   of its pre-fail rate")
 	fmt.Println()
-	fmt.Printf("%-16s %-9s %10s %9s %7s %8s %7s %9s %9s %9s\n",
-		"routing", "mode", "delivered", "overhead", "dups", "givenup", "marks", "ratecuts", "recovery", "blackhole")
+	fmt.Printf("%-16s %-9s %10s %9s %7s %7s %8s %8s %9s %9s\n",
+		"routing", "mode", "delivered", "overhead", "fastrx", "dups", "givenup", "ack", "recovery", "blackhole")
 	recovery := func(t int64) string {
 		if t < 0 {
 			return "never"
@@ -41,18 +45,20 @@ func reliableExperiment(seed int64) {
 		if err != nil {
 			fatal(err)
 		}
-		for _, st := range []*netsim.ReliableRunStats{&res.Raw, &res.Reliable} {
-			fmt.Printf("%-16s %-9s %9.4f%% %9.4f %7d %8d %7d %9d %9s %9d\n",
+		for _, st := range []*netsim.ReliableRunStats{&res.Raw, &res.RelRTO, &res.Reliable} {
+			fmt.Printf("%-16s %-9s %9.4f%% %9.4f %7d %7d %8d %8.1f %9s %9d\n",
 				res.Routing, st.Mode, 100*st.DeliveredFrac, st.RetransOverhead,
-				st.DupDroppedPkts, st.GivenUpPkts, st.Totals.EcnMarkedPkts, st.RateCuts,
+				st.FastRetransPkts, st.DupDroppedPkts, st.GivenUpPkts, st.MeanAckTicks,
 				recovery(st.RecoveryTicks), st.BlackholedPkts)
 		}
 	}
 	fmt.Println()
-	fmt.Println("   raw mode loses whatever the outage blackholes and the corruptor")
-	fmt.Println("   scrambles — and, having no end-to-end checksum, it even counts a")
-	fmt.Println("   scrambled packet misdelivered to the wrong host as a success. The")
-	fmt.Println("   reliable hosts validate, dedup and retransmit (the ECN mark is a")
-	fmt.Println("   packet transaction in the switch programs, not simulator code) and")
-	fmt.Println("   deliver every packet exactly once — or give up loudly, never silently.")
+	fmt.Println("   raw mode loses whatever the faults destroy — and, having no")
+	fmt.Println("   end-to-end checksum or dedup, it even counts a wire duplicate or a")
+	fmt.Println("   misdelivered scrambled packet as a success. The reliable hosts")
+	fmt.Println("   validate, dedup and retransmit (the ECN mark is a packet transaction")
+	fmt.Println("   in the switch programs, not simulator code) and deliver every packet")
+	fmt.Println("   exactly once — or give up loudly, never silently. rel-rto waits out")
+	fmt.Println("   the timeout on every loss; reliable resends on k duplicate ACKs and")
+	fmt.Println("   cuts the mean ack latency.")
 }

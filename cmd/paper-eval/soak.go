@@ -1,0 +1,66 @@
+package main
+
+// The -soak experiment: a chaos soak over the gray-failure fault model.
+// N seeded random schedules — link downs, degradations, corruption,
+// reorder, duplication, flap storms, switch stalls, crashes and
+// restarts (clean and state-scrambling) — rage over small leaf-spine
+// fabrics rotating through the routing catalog, half the runs with the
+// reliable host transport enabled. Every tick of every run checks the
+// four conservation identities byte-exactly plus the header-pool-leak
+// oracle; every run must drain within a bound once healed; sampled runs
+// are executed twice and must fold to a byte-identical delivery digest.
+// Any violation aborts with the run index and seed, so the exact
+// failure replays deterministically.
+
+import (
+	"fmt"
+	"os"
+
+	"domino/internal/netsim"
+)
+
+func soakExperiment(runs int, seed int64) {
+	fmt.Printf("== Chaos soak: %d seeded random fault schedules ==\n", runs)
+	fmt.Println("   fabrics: 2- and 3-leaf × 2-spine; routing rotates ecmp/flowlet/conga;")
+	fmt.Println("   every second run uses the reliable host transport. Oracles per tick:")
+	fmt.Println("   conservation ×4 (byte-exact), live headers == queued + in-flight;")
+	fmt.Println("   per run: bounded drain, zero leaks, transport resolution, and a")
+	fmt.Println("   sampled byte-identical replay.")
+	cfg := netsim.SoakConfig{
+		Runs: runs,
+		Seed: seed,
+		Progress: func(done, total int) {
+			if done%100 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "  soak: %d/%d\r", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		},
+	}
+	st, err := netsim.RunSoak(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := st.Coverage(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%-28s %12d\n", "schedules survived", st.Runs)
+	fmt.Printf("%-28s %12d raw, %d reliable\n", "transport split", st.RawRuns, st.ReliableRuns)
+	fmt.Printf("%-28s %12d (all byte-identical)\n", "replays compared", st.Replays)
+	fmt.Println("\nfault events scheduled, per kind:")
+	for _, k := range netsim.FaultKinds() {
+		fmt.Printf("  %-24s %10d\n", k, st.FaultEvents[k])
+	}
+	fmt.Println("\naggregate traffic:")
+	fmt.Printf("  %-24s %10d\n", "injected pkts", st.InjectedPkts)
+	fmt.Printf("  %-24s %10d\n", "delivered pkts", st.DeliveredPkts)
+	fmt.Printf("  %-24s %10d\n", "wire duplicates", st.DupInjectedPkts)
+	fmt.Printf("  %-24s %10d\n", "blackholed", st.BlackholedPkts)
+	fmt.Printf("  %-24s %10d\n", "corrupt-dropped", st.CorruptDroppedPkts)
+	fmt.Printf("  %-24s %10d (%d by fast retransmit)\n", "retransmissions", st.RetransPkts, st.FastRetransPkts)
+	fmt.Printf("  %-24s %10d (loud, never silent)\n", "given up", st.GivenUpPkts)
+	fmt.Println("\nevery run held all four conservation identities on every tick, leaked")
+	fmt.Println("no headers, drained within its bound, and replayed byte-identically")
+	fmt.Println("where sampled — the gray-failure model composes.")
+}

@@ -92,7 +92,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, st := range []*netsim.ReliableRunStats{&res.Raw, &res.Reliable} {
+		for _, st := range []*netsim.ReliableRunStats{&res.Raw, &res.RelRTO, &res.Reliable} {
 			rec := "never"
 			if st.RecoveryTicks >= 0 {
 				rec = fmt.Sprintf("%d", st.RecoveryTicks)

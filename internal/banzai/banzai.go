@@ -545,6 +545,65 @@ func (m *Machine) PeekState(name string, index int) (int32, bool) {
 	}
 }
 
+// ResetState returns every atom-local cell — scalar and array — to its
+// declared initial value, as if the machine had just been built: a
+// switch restart that loses all transaction-owned soft state (flowlet
+// tables, CONGA path tables) while the program itself survives in NVRAM.
+// Control-plane-poked values (port_up, switch_id, queue_depth) are wiped
+// too; the harness that poked them must re-poke after a restart, exactly
+// as a real controller re-syncs a rebooted switch.
+func (m *Machine) ResetState() {
+	for _, row := range m.stages {
+		for _, a := range row {
+			for _, c := range a.cells {
+				var init int32
+				if g, ok := m.prog.Info.StateVar(c.name); ok {
+					init = g.Init
+				}
+				if c.isArray {
+					for i := range c.arr {
+						c.arr[i] = init
+					}
+				} else {
+					c.scalar = init
+				}
+			}
+		}
+	}
+}
+
+// ScrambleState overwrites every atom-local cell with deterministic
+// seeded garbage (a SplitMix64 walk in stage order) — the adversarial
+// restart: not a clean wipe but a corrupted one, e.g. state restored
+// from a torn checkpoint. The same seed scrambles identically, so chaos
+// runs replay byte-for-byte. Programs must tolerate any int32 in their
+// state (the compiled array accesses are index-masked and the harness
+// bounds-checks everything it reads back), so a scrambled table can
+// misroute packets but never crash the pipeline.
+func (m *Machine) ScrambleState(seed int64) {
+	x := uint64(seed)
+	next := func() int32 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return int32(z ^ (z >> 31))
+	}
+	for _, row := range m.stages {
+		for _, a := range row {
+			for _, c := range a.cells {
+				if c.isArray {
+					for i := range c.arr {
+						c.arr[i] = next()
+					}
+				} else {
+					c.scalar = next()
+				}
+			}
+		}
+	}
+}
+
 // State aggregates every atom's local state into one view, for inspection
 // and equivalence testing. Declared state variables the program never
 // touches appear with their initial values.

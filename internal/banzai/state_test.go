@@ -1,0 +1,128 @@
+package banzai
+
+import (
+	"testing"
+
+	"domino/internal/atoms"
+	"domino/internal/interp"
+)
+
+// resetSrc mixes program-written state (a flowlet-style table and a
+// counter) with control-plane state (port_up) and nonzero declared
+// inits, so ResetState must restore inits — not just zeros — and
+// ScrambleState must hit every cell.
+const resetSrc = `
+struct Packet { int idx; int out; int n; };
+int saved[8] = {0};
+int port_up[4] = {1};
+int count = 0;
+int floor = 5;
+void f(struct Packet pkt) {
+  saved[pkt.idx] = saved[pkt.idx] + pkt.idx;
+  count = count + 1;
+  pkt.out = port_up[pkt.idx] + floor;
+  pkt.n = count;
+}
+`
+
+func dirty(t *testing.T, m *Machine) {
+	t.Helper()
+	for i := int32(0); i < 4; i++ {
+		if _, err := m.Process(interp.Packet{"idx": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.PokeState("port_up", 2, 0)
+}
+
+func TestResetStateRestoresDeclaredInits(t *testing.T) {
+	_, m := machine(t, resetSrc, atoms.Nested)
+	dirty(t, m)
+	if v, _ := m.PeekState("count", 0); v == 0 {
+		t.Fatal("traffic left count at 0; the test moved no state")
+	}
+
+	m.ResetState()
+
+	// Program-written soft state is gone; declared inits are back —
+	// including the nonzero ones (port_up 1, floor 5).
+	for i := 0; i < 8; i++ {
+		if v, ok := m.PeekState("saved", i); !ok || v != 0 {
+			t.Fatalf("saved[%d] = %d,%v after reset, want 0", i, v, ok)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if v, ok := m.PeekState("port_up", i); !ok || v != 1 {
+			t.Fatalf("port_up[%d] = %d,%v after reset, want declared init 1", i, v, ok)
+		}
+	}
+	if v, _ := m.PeekState("count", 0); v != 0 {
+		t.Fatalf("count = %d after reset, want 0", v)
+	}
+	if v, _ := m.PeekState("floor", 0); v != 5 {
+		t.Fatalf("floor = %d after reset, want declared init 5", v)
+	}
+	// The machine still runs: the first post-reset packet sees a fresh
+	// table exactly like a just-built machine's.
+	out, err := m.Process(interp.Packet{"idx": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["n"] != 1 {
+		t.Fatalf("first post-reset packet saw count %d, want 1", out["n"])
+	}
+}
+
+func TestScrambleStateDeterministicAndSurvivable(t *testing.T) {
+	_, m1 := machine(t, resetSrc, atoms.Nested)
+	_, m2 := machine(t, resetSrc, atoms.Nested)
+	m1.ScrambleState(42)
+	m2.ScrambleState(42)
+
+	changed := false
+	for i := 0; i < 8; i++ {
+		a, _ := m1.PeekState("saved", i)
+		b, _ := m2.PeekState("saved", i)
+		if a != b {
+			t.Fatalf("scramble(42) diverged at saved[%d]: %d vs %d", i, a, b)
+		}
+		if a != 0 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("scramble left the whole saved[] array untouched")
+	}
+	a, _ := m1.PeekState("count", 0)
+	b, _ := m2.PeekState("count", 0)
+	if a != b {
+		t.Fatalf("scramble(42) diverged on scalar count: %d vs %d", a, b)
+	}
+
+	// A different seed scrambles differently (with overwhelming odds over
+	// 13 cells); equality here would mean the seed is ignored.
+	_, m3 := machine(t, resetSrc, atoms.Nested)
+	m3.ScrambleState(43)
+	same := true
+	for i := 0; i < 8; i++ {
+		x, _ := m1.PeekState("saved", i)
+		y, _ := m3.PeekState("saved", i)
+		if x != y {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 scrambled saved[] identically")
+	}
+
+	// Garbage state must not crash the pipeline, and ResetState recovers.
+	for i := int32(-2); i < 10; i++ {
+		if _, err := m1.Process(interp.Packet{"idx": i & 7}); err != nil {
+			t.Fatalf("pipeline failed on scrambled state: %v", err)
+		}
+	}
+	m1.ResetState()
+	if v, _ := m1.PeekState("port_up", 0); v != 1 {
+		t.Fatal("ResetState did not recover from a scramble")
+	}
+}

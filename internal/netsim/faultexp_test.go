@@ -1,0 +1,115 @@
+package netsim
+
+import "testing"
+
+// Unit tests for the fault-experiment window math: the pure helpers that
+// turn cumulative boundary snapshots into per-window deltas and rates.
+// The integration runs exercise them end to end; these pin the
+// arithmetic down directly so a windowing bug reads as a one-line diff,
+// not a drifted experiment table.
+
+func TestWindowDeltasAndRate(t *testing.T) {
+	a := faultSnap{
+		dataPkts:  100,
+		coreBytes: []int64{1000, 3000, 5000, 7000},
+	}
+	a.totals.DroppedPkts = 4
+	a.totals.BlackholedPkts = 2
+	a.totals.CorruptDroppedPkts = 1
+	b := faultSnap{
+		dataPkts:  350,
+		coreBytes: []int64{2000, 4000, 6000, 8000},
+	}
+	b.totals.DroppedPkts = 10
+	b.totals.BlackholedPkts = 9
+	b.totals.CorruptDroppedPkts = 5
+
+	w := window("during", 50, a, b)
+	if w.Name != "during" || w.Ticks != 50 {
+		t.Fatalf("window identity mangled: %+v", w)
+	}
+	if w.DataPkts != 250 {
+		t.Errorf("DataPkts = %d, want the snapshot delta 250", w.DataPkts)
+	}
+	if w.Rate != 5.0 {
+		t.Errorf("Rate = %v, want 250/50 = 5", w.Rate)
+	}
+	if w.Dropped != 6 || w.Blackholed != 7 || w.CorruptDropped != 4 {
+		t.Errorf("loss deltas = %d/%d/%d, want 6/7/4", w.Dropped, w.Blackholed, w.CorruptDropped)
+	}
+	// Each link moved exactly 1000 bytes in the window, so the *delta*
+	// imbalance is 0 even though the cumulative counters are lopsided —
+	// windows must compare movement, not totals.
+	if w.CoreImbalance != 0 {
+		t.Errorf("CoreImbalance = %v on perfectly even per-window movement", w.CoreImbalance)
+	}
+}
+
+func TestWindowZeroTicksNoDivide(t *testing.T) {
+	var a, b faultSnap
+	b.dataPkts = 42
+	w := window("degenerate", 0, a, b)
+	if w.Rate != 0 {
+		t.Errorf("zero-tick window produced rate %v", w.Rate)
+	}
+	if w.DataPkts != 42 {
+		t.Errorf("zero-tick window lost its delta: %d", w.DataPkts)
+	}
+}
+
+func TestWindowImbalanceOfDeltas(t *testing.T) {
+	a := faultSnap{coreBytes: []int64{0, 0}}
+	b := faultSnap{coreBytes: []int64{3000, 1000}}
+	w := window("skewed", 10, a, b)
+	// (max-min)/mean over the deltas {3000, 1000}: (3000-1000)/2000 = 1.
+	if w.CoreImbalance != 1.0 {
+		t.Errorf("CoreImbalance = %v, want 1.0 for {3000, 1000}", w.CoreImbalance)
+	}
+}
+
+// TestMeanAckTicksAccounting: the loss-recovery latency metric is the
+// resolve-sum over acked packets — and 0, not NaN, before any ack.
+func TestMeanAckTicksAccounting(t *testing.T) {
+	tp := &Transport{}
+	if got := tp.MeanAckTicks(); got != 0 {
+		t.Fatalf("MeanAckTicks with no acks = %v, want 0", got)
+	}
+	tp.ackedPkts = 4
+	tp.resolveSum = 50
+	if got := tp.MeanAckTicks(); got != 12.5 {
+		t.Fatalf("MeanAckTicks = %v, want 50/4 = 12.5", got)
+	}
+}
+
+// TestRecoveryRateAccounting drives the chunked post-recovery goodput
+// probe end to end and pins its accounting contract: RecoveryTicks is
+// either -1 (never healed within EndTick) or a positive multiple of
+// RecoveryChunk inside the post-recovery window — the probe reports
+// chunk boundaries, never an interpolated or out-of-range tick.
+func TestRecoveryRateAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reliable replay")
+	}
+	c := ReliableExperimentConfig{}
+	c.Routing = "flowlet_route" // detours around the outage, so recovery is fast
+	c.Seed = 2
+	c.setDefaults()
+	st, _, err := c.runReliableMode(ModeReliable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BeforeRate <= 0 {
+		t.Fatalf("BeforeRate = %v, the pre-fail window measured nothing", st.BeforeRate)
+	}
+	if st.RecoveryTicks < 0 {
+		t.Fatal("flowlet run with a healed fabric never recovered — the probe is broken")
+	}
+	if st.RecoveryTicks == 0 || st.RecoveryTicks%c.RecoveryChunk != 0 {
+		t.Errorf("RecoveryTicks = %d, want a positive multiple of the %d-tick probe chunk",
+			st.RecoveryTicks, c.RecoveryChunk)
+	}
+	if st.RecoveryTicks > c.EndTick-c.RecoverTick {
+		t.Errorf("RecoveryTicks = %d exceeds the post-recovery window (%d ticks)",
+			st.RecoveryTicks, c.EndTick-c.RecoverTick)
+	}
+}

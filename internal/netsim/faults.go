@@ -10,8 +10,8 @@ package netsim
 // to the lost capacity. Every destroyed packet lands in the Blackholed or
 // CorruptDropped conservation terms, so the network identity
 //
-//	injected = delivered + dropped + queued + in-flight
-//	           + blackholed + corrupt-dropped
+//	injected + dup-injected = delivered + dropped + queued + in-flight
+//	                          + blackholed + corrupt-dropped
 //
 // stays byte-exact under any schedule — the chaos oracle FuzzNetFaults
 // enforces across random schedules on random topologies.
@@ -53,6 +53,25 @@ const (
 	FaultSwitchCrash
 	// FaultSwitchUp clears a stall or crash; queued packets resume.
 	FaultSwitchUp
+	// FaultLinkReorder sets a link's in-flight reorder window to Window
+	// (0 switches reordering off): each newly transmitted packet may swap
+	// payloads with a seeded-random earlier packet among the last Window
+	// in flight. Delivery ticks stay monotone; only the contents shuffle,
+	// so conservation is untouched while sequence order is not.
+	FaultLinkReorder
+	// FaultLinkDuplicate sets a link's per-packet duplication probability
+	// to DupPerMil/1000 (0 switches duplication off). A duplicate is a
+	// byte-exact second copy injected on the same link at the same
+	// delivery tick, counted in the DupInjected conservation terms.
+	FaultLinkDuplicate
+	// FaultSwitchRestart power-cycles a switch in place: queued packets
+	// are flushed (counted as that switch's drops), the pipeline's state
+	// arrays are wiped via banzai's ResetState — or seeded-scrambled via
+	// ScrambleState when Scramble is set — and any stall/crash ends. The
+	// harness re-pokes what the control plane owns (switch_id, port_up);
+	// transaction-owned soft state (flowlet tables, CONGA path tables)
+	// must re-converge from packets alone.
+	FaultSwitchRestart
 )
 
 func (k FaultKind) String() string {
@@ -71,8 +90,25 @@ func (k FaultKind) String() string {
 		return "switch-crash"
 	case FaultSwitchUp:
 		return "switch-up"
+	case FaultLinkReorder:
+		return "link-reorder"
+	case FaultLinkDuplicate:
+		return "link-duplicate"
+	case FaultSwitchRestart:
+		return "switch-restart"
 	}
 	return fmt.Sprintf("fault-kind-%d", uint8(k))
+}
+
+// FaultKinds lists every fault kind once, in declaration order — the
+// iteration set for coverage reports (the soak harness counts events
+// per kind against it).
+func FaultKinds() []FaultKind {
+	return []FaultKind{
+		FaultLinkDown, FaultLinkUp, FaultLinkDegrade, FaultLinkCorrupt,
+		FaultSwitchStall, FaultSwitchCrash, FaultSwitchUp,
+		FaultLinkReorder, FaultLinkDuplicate, FaultSwitchRestart,
+	}
 }
 
 // FaultEvent is one scheduled fault. Link events name the directed link
@@ -85,6 +121,9 @@ type FaultEvent struct {
 
 	Capacity      int64 // FaultLinkDegrade: new bytes/tick (0 stalls)
 	CorruptPerMil int32 // FaultLinkCorrupt: probability in 1/1000 units
+	DupPerMil     int32 // FaultLinkDuplicate: probability in 1/1000 units
+	Window        int32 // FaultLinkReorder: in-flight shuffle window (0 off)
+	Scramble      bool  // FaultSwitchRestart: scramble state instead of resetting
 }
 
 // FaultSchedule is a deterministic fault script: events fire at their
@@ -119,6 +158,52 @@ func (f *FaultSchedule) LinkDegrade(tick int64, from NodeID, port int, bytesPerT
 // LinkCorrupt schedules a corruption-probability change (0 disables).
 func (f *FaultSchedule) LinkCorrupt(tick int64, from NodeID, port int, perMil int32) *FaultSchedule {
 	f.Events = append(f.Events, FaultEvent{Tick: tick, Kind: FaultLinkCorrupt, Node: from, Port: port, CorruptPerMil: perMil})
+	return f
+}
+
+// LinkReorder schedules an in-flight reorder window change (0 disables).
+func (f *FaultSchedule) LinkReorder(tick int64, from NodeID, port int, window int32) *FaultSchedule {
+	f.Events = append(f.Events, FaultEvent{Tick: tick, Kind: FaultLinkReorder, Node: from, Port: port, Window: window})
+	return f
+}
+
+// LinkDuplicate schedules a duplication-probability change (0 disables).
+func (f *FaultSchedule) LinkDuplicate(tick int64, from NodeID, port int, perMil int32) *FaultSchedule {
+	f.Events = append(f.Events, FaultEvent{Tick: tick, Kind: FaultLinkDuplicate, Node: from, Port: port, DupPerMil: perMil})
+	return f
+}
+
+// LinkFlap schedules a down/up storm from one builder call: flaps
+// down-events each followed by a recovery, the link spending downTicks
+// dark and upTicks serving per cycle (both clamped to at least 1). The
+// storm ends with the link up.
+func (f *FaultSchedule) LinkFlap(tick int64, from NodeID, port int, flaps int, downTicks, upTicks int64) *FaultSchedule {
+	if downTicks < 1 {
+		downTicks = 1
+	}
+	if upTicks < 1 {
+		upTicks = 1
+	}
+	t := tick
+	for i := 0; i < flaps; i++ {
+		f.LinkDown(t, from, port)
+		f.LinkUp(t+downTicks, from, port)
+		t += downTicks + upTicks
+	}
+	return f
+}
+
+// SwitchRestart schedules a power cycle: queues flushed, pipeline state
+// reset to declared inits, stall/crash cleared.
+func (f *FaultSchedule) SwitchRestart(tick int64, sw NodeID) *FaultSchedule {
+	f.Events = append(f.Events, FaultEvent{Tick: tick, Kind: FaultSwitchRestart, Node: sw})
+	return f
+}
+
+// SwitchRestartScramble is SwitchRestart with the state seeded-scrambled
+// instead of reset — a restart from a torn checkpoint.
+func (f *FaultSchedule) SwitchRestartScramble(tick int64, sw NodeID) *FaultSchedule {
+	f.Events = append(f.Events, FaultEvent{Tick: tick, Kind: FaultSwitchRestart, Node: sw, Scramble: true})
 	return f
 }
 
@@ -158,11 +243,11 @@ func (n *Network) SetFaults(f *FaultSchedule) error {
 			return fmt.Errorf("netsim: fault %d (%s): %w", i, ev.Kind, err)
 		}
 		switch ev.Kind {
-		case FaultLinkDown, FaultLinkUp, FaultLinkDegrade, FaultLinkCorrupt:
+		case FaultLinkDown, FaultLinkUp, FaultLinkDegrade, FaultLinkCorrupt, FaultLinkReorder, FaultLinkDuplicate:
 			if ev.Port < 0 || ev.Port >= len(w.links) || w.links[ev.Port] == nil {
 				return fmt.Errorf("netsim: fault %d (%s): switch %q has no link on port %d", i, ev.Kind, w.name, ev.Port)
 			}
-		case FaultSwitchStall, FaultSwitchCrash, FaultSwitchUp:
+		case FaultSwitchStall, FaultSwitchCrash, FaultSwitchUp, FaultSwitchRestart:
 			// Naming the switch is enough.
 		default:
 			return fmt.Errorf("netsim: fault %d: unknown kind %d", i, uint8(ev.Kind))
@@ -172,6 +257,12 @@ func (n *Network) SetFaults(f *FaultSchedule) error {
 		}
 		if ev.Kind == FaultLinkCorrupt && (ev.CorruptPerMil < 0 || ev.CorruptPerMil > 1000) {
 			return fmt.Errorf("netsim: fault %d: corruption %d‰ outside [0,1000]", i, ev.CorruptPerMil)
+		}
+		if ev.Kind == FaultLinkDuplicate && (ev.DupPerMil < 0 || ev.DupPerMil > 1000) {
+			return fmt.Errorf("netsim: fault %d: duplication %d‰ outside [0,1000]", i, ev.DupPerMil)
+		}
+		if ev.Kind == FaultLinkReorder && ev.Window < 0 {
+			return fmt.Errorf("netsim: fault %d: negative reorder window %d", i, ev.Window)
 		}
 	}
 	n.faultEvents = events
@@ -234,18 +325,75 @@ func (n *Network) applyFault(ev *FaultEvent) {
 			return
 		}
 		l.corrupt = uint64(ev.CorruptPerMil) * (1 << 32) / 1000
-		if l.rng == nil {
-			// Seeded from the schedule seed and the link's identity, so
-			// the lottery replays identically however events interleave.
-			l.rng = rand.New(rand.NewSource(n.faultSeed ^ (int64(ev.Node)<<20|int64(ev.Port))*0x9e3779b9))
+		n.ensureRNG(l, ev)
+	case FaultLinkReorder:
+		l := w.links[ev.Port]
+		if ev.Window <= 0 {
+			l.reorderWin = 0
+			return
 		}
+		l.reorderWin = ev.Window
+		n.ensureRNG(l, ev)
+	case FaultLinkDuplicate:
+		l := w.links[ev.Port]
+		if ev.DupPerMil <= 0 {
+			l.dup = 0
+			return
+		}
+		l.dup = uint64(ev.DupPerMil) * (1 << 32) / 1000
+		n.ensureRNG(l, ev)
 	case FaultSwitchStall:
 		w.stalled = true
 	case FaultSwitchCrash:
 		w.crashed = true
 	case FaultSwitchUp:
 		w.stalled, w.crashed = false, false
+	case FaultSwitchRestart:
+		n.restartSwitch(w, ev)
 	}
+}
+
+// ensureRNG lazily seeds a link's fault lottery. Seeded from the schedule
+// seed and the link's identity, so the lottery replays identically however
+// events interleave — corruption, reorder, and duplication share one
+// stream per link, drawn in deterministic tick order.
+func (n *Network) ensureRNG(l *link, ev *FaultEvent) {
+	if l.rng == nil {
+		l.rng = rand.New(rand.NewSource(n.faultSeed ^ (int64(ev.Node)<<20|int64(ev.Port))*0x9e3779b9))
+	}
+}
+
+// restartSwitch power-cycles a switch in place. Queued packets flush as
+// the switch's own drops (its conservation identity charges them to the
+// ports they waited on), the pipeline's state arrays are wiped — reset to
+// declared inits, or seeded-scrambled for a torn-checkpoint restart — and
+// any stall or crash ends. Control-plane-owned state the harness poked
+// (switch_id, port_up) is re-poked immediately; queue_depth republishes on
+// the same tick's depth pass. Everything the transactions own (flowlet
+// tables, CONGA best-path tables) starts over and must re-converge from
+// packets alone.
+func (n *Network) restartSwitch(w *netSwitch, ev *FaultEvent) {
+	w.sw.FlushQueues(nil)
+	m := w.sw.Machine()
+	if ev.Scramble {
+		m.ScrambleState(n.faultSeed ^ int64(ev.Node)*0x9e3779b9 ^ n.now<<24)
+	} else {
+		m.ResetState()
+	}
+	m.PokeState(algorithms.INTSwitchIDState, 0, int32(w.id))
+	for port, l := range w.links {
+		if l == nil {
+			continue
+		}
+		up := !l.down && l.capacity > 0
+		w.sw.SetPortUp(port, up)
+		v := int32(0)
+		if up {
+			v = 1
+		}
+		m.PokeState(algorithms.PortUpState, port, v)
+	}
+	w.stalled, w.crashed = false, false
 }
 
 // freezePort stalls or unfreezes a link's feeding port and keeps the
@@ -262,12 +410,15 @@ func (n *Network) freezePort(l *link, down bool) {
 }
 
 // restoreLink returns a link to full health: up, base capacity, clean
-// DRE scale, corruption off, port unfrozen, port_up re-poked.
+// DRE scale, corruption/reorder/duplication off, port unfrozen, port_up
+// re-poked.
 func (n *Network) restoreLink(l *link) {
 	l.down = false
 	l.capacity = l.base
 	l.utilScale = 1
 	l.corrupt = 0
+	l.reorderWin = 0
+	l.dup = 0
 	l.from.sw.SetPortRate(l.fromPort, l.base)
 	n.freezePort(l, false)
 }
@@ -289,8 +440,9 @@ func (n *Network) ClearFaults() {
 
 // RandomFaults builds a seeded random schedule over the wired topology
 // for chaos testing: link downs (some never recovered — ClearFaults
-// handles them), degradations, corruption windows, and switch stalls or
-// crashes, all within [1, horizon].
+// handles them), degradations, corruption/reorder/duplication windows,
+// flap storms, and switch stalls, crashes, or restarts, all within
+// [1, horizon].
 func (n *Network) RandomFaults(seed, horizon int64) *FaultSchedule {
 	rng := rand.New(rand.NewSource(seed))
 	f := &FaultSchedule{Seed: rng.Int63()}
@@ -302,7 +454,7 @@ func (n *Network) RandomFaults(seed, horizon int64) *FaultSchedule {
 		if len(n.links) > 0 && (len(n.switches) == 0 || rng.Intn(3) > 0) {
 			l := n.links[rng.Intn(len(n.links))]
 			from, port := l.from.id, l.fromPort
-			switch rng.Intn(4) {
+			switch rng.Intn(7) {
 			case 0:
 				t := at()
 				f.LinkDown(t, from, port)
@@ -327,14 +479,33 @@ func (n *Network) RandomFaults(seed, horizon int64) *FaultSchedule {
 				}
 			case 3:
 				f.LinkUp(at(), from, port) // spurious recovery: must be a no-op
+			case 4:
+				t := at()
+				f.LinkReorder(t, from, port, 2+rng.Int31n(15))
+				if rng.Intn(2) == 0 {
+					f.LinkReorder(t+1+rng.Int63n(horizon), from, port, 0)
+				}
+			case 5:
+				t := at()
+				f.LinkDuplicate(t, from, port, 1+rng.Int31n(1000))
+				if rng.Intn(2) == 0 {
+					f.LinkDuplicate(t+1+rng.Int63n(horizon), from, port, 0)
+				}
+			case 6:
+				f.LinkFlap(at(), from, port, 1+rng.Intn(4), 1+rng.Int63n(8), 1+rng.Int63n(8))
 			}
 		} else if len(n.switches) > 0 {
 			w := n.switches[rng.Intn(len(n.switches))]
 			t := at()
-			if rng.Intn(2) == 0 {
+			switch rng.Intn(4) {
+			case 0:
 				f.SwitchStall(t, w.id)
-			} else {
+			case 1:
 				f.SwitchCrash(t, w.id)
+			case 2:
+				f.SwitchRestart(t, w.id)
+			case 3:
+				f.SwitchRestartScramble(t, w.id)
 			}
 			if rng.Intn(2) == 0 {
 				f.SwitchUp(t+1+rng.Int63n(horizon), w.id)

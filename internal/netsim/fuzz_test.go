@@ -381,8 +381,8 @@ func FuzzNetFaults(f *testing.F) {
 		if !n.Feedback && tot.FbInjectedPkts != 0 {
 			t.Fatalf("%d fb packets with feedback off", tot.FbInjectedPkts)
 		}
-		if got := tot.DeliveredPkts + tot.DroppedPkts + tot.BlackholedPkts + tot.CorruptDroppedPkts; got != tot.InjectedPkts {
-			t.Fatalf("drained loss accounting off: %d of %d injected accounted", got, tot.InjectedPkts)
+		if got := tot.DeliveredPkts + tot.DroppedPkts + tot.BlackholedPkts + tot.CorruptDroppedPkts; got != tot.InjectedPkts+tot.DupInjectedPkts {
+			t.Fatalf("drained loss accounting off: %d of %d injected (+%d dup-injected) accounted", got, tot.InjectedPkts, tot.DupInjectedPkts)
 		}
 		if live := n.LiveHeaders(); live != 0 {
 			t.Fatalf("%d headers leaked under the fault schedule", live)

@@ -35,6 +35,7 @@ package netsim
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"domino/internal/algorithms"
 	"domino/internal/banzai"
@@ -238,11 +239,19 @@ type link struct {
 	// seeded deterministically from the schedule seed and link identity.
 	// (The threshold is uint64 so 1000‰ maps to 1<<32 — always — instead
 	// of overflowing uint32 to never.)
-	base      int64
-	down      bool
-	utilScale int64
-	corrupt   uint64
-	rng       *rand.Rand
+	// reorderWin and dup are the gray-failure knobs: a nonzero reorderWin
+	// lets each transmitted packet swap payloads with a seeded-random
+	// earlier packet among the last reorderWin in flight (delivery ticks
+	// stay monotone — only contents shuffle), and dup is a per-packet
+	// duplication probability as a uint32 threshold, same encoding as
+	// corrupt. Both draw from the shared rng.
+	base       int64
+	down       bool
+	utilScale  int64
+	corrupt    uint64
+	reorderWin int32
+	dup        uint64
+	rng        *rand.Rand
 	// Arrival-edge guard slots, resolved against the in-flight header's
 	// layout (receiver for switch links, sender for host links); -1 when
 	// the program does not declare the field.
@@ -308,6 +317,10 @@ type Network struct {
 	faultSeed                       int64
 	blackholedPkts, blackholedBytes int64
 	corruptPkts, corruptBytes       int64
+	// DupInjected counts the extra copies a FaultLinkDuplicate lottery
+	// materialized on the wire — a second injection source, so the
+	// physical identity reads injected + dupInjected = everything else.
+	dupInjPkts, dupInjBytes int64
 
 	// WatchdogTicks bounds how long Run/Drain tolerate zero progress
 	// (identical conservation totals, nothing in flight to wait for, no
@@ -703,14 +716,34 @@ func (n *Network) watch(w *watchdog) error {
 	if w.armed && t == w.last && pendingWork && !pendingEvents {
 		w.stuck++
 		if w.stuck >= limit {
-			return fmt.Errorf("netsim: no progress for %d ticks at tick %d: %d packets queued, %d in flight, and no recovery event pending (downed link or stalled switch never brought back?)",
-				limit, n.now, t.QueuedPkts, t.InFlightPkts)
+			return fmt.Errorf("netsim: no progress for %d ticks, wedged since tick %d (now %d): %d packets queued [%s], %d in flight, and no recovery event pending (downed link or stalled switch never brought back?)",
+				limit, n.now-w.stuck, n.now, t.QueuedPkts, n.queueReport(), t.InFlightPkts)
 		}
 	} else {
 		w.stuck = 0
 	}
 	w.last, w.armed = t, true
 	return nil
+}
+
+// queueReport renders per-node queue depths for the watchdog's error, so
+// a wedged soak run is diagnosable from the message alone: every switch
+// holding packets, with its queued-packet and queued-byte counts.
+func (n *Network) queueReport() string {
+	var b strings.Builder
+	for _, w := range n.switches {
+		tot := w.sw.Totals()
+		if tot.QueuedPkts > 0 {
+			if b.Len() > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s: %d pkts/%d bytes", w.name, tot.QueuedPkts, tot.QueuedBytes)
+		}
+	}
+	if b.Len() == 0 {
+		return "none"
+	}
+	return b.String()
 }
 
 // Run ticks until the given tick (inclusive), failing on invalid wiring
@@ -888,6 +921,37 @@ func (n *Network) transmit(w *netSwitch, p int, qh switchsim.QueuedHeader) {
 	l.pkts++
 	l.bytes += qh.Size
 	l.push(inflight{at: n.now + l.delay, h: h, size: qh.Size})
+	if l.dup != 0 && uint64(l.rng.Uint32()) < l.dup {
+		// The wire materializes a byte-exact second copy: a fresh header
+		// from the owning pool (same layout — copy covers every slot), on
+		// the same delivery tick, counted as dup-injected so the physical
+		// identity gains it as a second injection source.
+		dh := l.ownerMachine().AcquireHeaderUnzeroed()
+		copy(dh, h)
+		l.pkts++
+		l.bytes += qh.Size
+		l.push(inflight{at: n.now + l.delay, h: dh, size: qh.Size})
+		n.dupInjPkts++
+		n.dupInjBytes += qh.Size
+	}
+	if l.reorderWin > 0 && l.n > 1 {
+		// Swap payloads (header + size) with a seeded-random packet among
+		// the last reorderWin in flight. Delivery ticks stay where they
+		// are — order stays monotone, only contents shuffle — so the
+		// conservation terms never notice.
+		win := int(l.reorderWin)
+		if win > l.n {
+			win = l.n
+		}
+		last := (l.head + l.n - 1) % len(l.ring)
+		off := int(l.rng.Uint32() % uint32(win))
+		pick := (l.head + l.n - 1 - off) % len(l.ring)
+		if pick != last {
+			a, b := &l.ring[last], &l.ring[pick]
+			a.h, b.h = b.h, a.h
+			a.size, b.size = b.size, a.size
+		}
+	}
 	n.linkOccH.Observe(int64(l.n))
 	if n.ring != nil {
 		n.ring.Record(n.now, telemetry.EvLinkTraverse, int32(w.id), int32(p), -1, -1, int32(qh.Size), int32(l.n))
@@ -1199,6 +1263,11 @@ type NetTotals struct {
 	DupDroppedPkts, DupDroppedBytes         int64
 	FbDeliveredPkts, FbDeliveredBytes       int64
 	FbInjectedPkts, FbInjectedBytes         int64
+	// DupInjected counts extra wire copies a FaultLinkDuplicate lottery
+	// materialized — a second injection source alongside Injected in the
+	// physical identity (the transport split stays over Injected alone,
+	// since link duplication happens past the injection edge).
+	DupInjectedPkts, DupInjectedBytes int64
 	// EcnMarkedPkts counts delivered data packets (accepted or dup)
 	// carrying an ECN mark — congestion-signal activity, not a
 	// conservation term.
@@ -1216,6 +1285,7 @@ func (n *Network) Totals() NetTotals {
 		DupDroppedPkts: n.dupPkts, DupDroppedBytes: n.dupBytes,
 		FbDeliveredPkts: n.fbDelivPkts, FbDeliveredBytes: n.fbDelivBytes,
 		FbInjectedPkts: n.fbInjPkts, FbInjectedBytes: n.fbInjBytes,
+		DupInjectedPkts: n.dupInjPkts, DupInjectedBytes: n.dupInjBytes,
 		EcnMarkedPkts: n.ecnMarked,
 	}
 	for _, w := range n.switches {
@@ -1246,13 +1316,13 @@ func (n *Network) CheckConservation() error {
 		}
 	}
 	t := n.Totals()
-	if got := t.DeliveredPkts + t.DroppedPkts + t.QueuedPkts + t.InFlightPkts + t.BlackholedPkts + t.CorruptDroppedPkts; got != t.InjectedPkts {
-		return fmt.Errorf("netsim packet conservation violated: injected %d != delivered %d + dropped %d + queued %d + in-flight %d + blackholed %d + corrupt-dropped %d (= %d)",
-			t.InjectedPkts, t.DeliveredPkts, t.DroppedPkts, t.QueuedPkts, t.InFlightPkts, t.BlackholedPkts, t.CorruptDroppedPkts, got)
+	if got := t.DeliveredPkts + t.DroppedPkts + t.QueuedPkts + t.InFlightPkts + t.BlackholedPkts + t.CorruptDroppedPkts; got != t.InjectedPkts+t.DupInjectedPkts {
+		return fmt.Errorf("netsim packet conservation violated: injected %d + dup-injected %d != delivered %d + dropped %d + queued %d + in-flight %d + blackholed %d + corrupt-dropped %d (= %d)",
+			t.InjectedPkts, t.DupInjectedPkts, t.DeliveredPkts, t.DroppedPkts, t.QueuedPkts, t.InFlightPkts, t.BlackholedPkts, t.CorruptDroppedPkts, got)
 	}
-	if got := t.DeliveredBytes + t.DroppedBytes + t.QueuedBytes + t.InFlightBytes + t.BlackholedBytes + t.CorruptDroppedBytes; got != t.InjectedBytes {
-		return fmt.Errorf("netsim byte conservation violated: injected %d != delivered %d + dropped %d + queued %d + in-flight %d + blackholed %d + corrupt-dropped %d (= %d)",
-			t.InjectedBytes, t.DeliveredBytes, t.DroppedBytes, t.QueuedBytes, t.InFlightBytes, t.BlackholedBytes, t.CorruptDroppedBytes, got)
+	if got := t.DeliveredBytes + t.DroppedBytes + t.QueuedBytes + t.InFlightBytes + t.BlackholedBytes + t.CorruptDroppedBytes; got != t.InjectedBytes+t.DupInjectedBytes {
+		return fmt.Errorf("netsim byte conservation violated: injected %d + dup-injected %d != delivered %d + dropped %d + queued %d + in-flight %d + blackholed %d + corrupt-dropped %d (= %d)",
+			t.InjectedBytes, t.DupInjectedBytes, t.DeliveredBytes, t.DroppedBytes, t.QueuedBytes, t.InFlightBytes, t.BlackholedBytes, t.CorruptDroppedBytes, got)
 	}
 	if got := t.AcceptedPkts + t.DupDroppedPkts + t.FbDeliveredPkts; got != t.DeliveredPkts {
 		return fmt.Errorf("netsim delivery split violated: delivered %d != accepted %d + dup-dropped %d + fb-delivered %d (= %d)",

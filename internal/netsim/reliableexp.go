@@ -33,6 +33,26 @@ type ReliableExperimentConfig struct {
 	// that counts as recovered [0.9].
 	RecoveryChunk int64
 	RecoveryFrac  float64
+
+	// Gray-failure extras (PR 9), all riding the same schedule. Zero
+	// takes the bracketed default; negative disables the fault.
+	//
+	// ReorderWindow shuffles in-flight packets on the corrupt uplink
+	// within this window over [WarmTick, RecoverTick) [4], and
+	// DupPerMille duplicates them with this per-mille probability over
+	// the same window [5].
+	ReorderWindow int32
+	DupPerMille   int32
+	// Flaps is the down/up storm cycle count on a third uplink
+	// ((FailLeaf+2) mod Leaves → FailSpine) starting at FailTick [3],
+	// spending FlapDown ticks dark and FlapUp serving per cycle
+	// [40/80]. Skipped when that uplink is the outage link itself.
+	Flaps            int
+	FlapDown, FlapUp int64
+	// RestartTick power-cycles leaf (FailLeaf+3) mod Leaves mid-outage —
+	// queues flushed, pipeline soft state wiped — so its routing tables
+	// re-converge from packets alone [midpoint of the outage].
+	RestartTick int64
 }
 
 func (c *ReliableExperimentConfig) setDefaults() {
@@ -49,6 +69,24 @@ func (c *ReliableExperimentConfig) setDefaults() {
 	}
 	if c.RecoveryFrac == 0 {
 		c.RecoveryFrac = 0.9
+	}
+	if c.ReorderWindow == 0 {
+		c.ReorderWindow = 4
+	}
+	if c.DupPerMille == 0 {
+		c.DupPerMille = 5
+	}
+	if c.Flaps == 0 {
+		c.Flaps = 3
+	}
+	if c.FlapDown == 0 {
+		c.FlapDown = 40
+	}
+	if c.FlapUp == 0 {
+		c.FlapUp = 80
+	}
+	if c.RestartTick == 0 {
+		c.RestartTick = (c.FailTick + c.RecoverTick) / 2
 	}
 }
 
@@ -72,6 +110,11 @@ type ReliableRunStats struct {
 	DupDroppedPkts  int64   // sink-side duplicate suppressions
 	GivenUpPkts     int64   // retry budgets exhausted (loud, never silent)
 	RateCuts        int64   // AIMD multiplicative-decrease events
+	FastRetransPkts int64   // dup-ACK-triggered resends, a share of RetransPkts
+	// MeanAckTicks is the mean first-send→ack latency including
+	// retransmitted packets — the loss-recovery time fast retransmit
+	// cuts relative to the rel-rto mode (0 in raw mode).
+	MeanAckTicks float64
 
 	// RecoveryTicks is how many ticks after RecoverTick the goodput
 	// first sustains RecoveryFrac of the pre-fail rate over one
@@ -87,30 +130,48 @@ type ReliableRunStats struct {
 	Transport TransportTotals // zero-valued in raw mode
 }
 
-// ReliableExperimentResult pairs the two modes for one routing policy.
+// ReliableExperimentResult triples the modes for one routing policy:
+// raw injection, reliable with RTO-only recovery (FastRetransmit
+// disabled — the PR 7 transport), and the full reliable transport.
 type ReliableExperimentResult struct {
 	Routing                string
 	FailedFrom, FailedTo   string
 	CorruptFrom, CorruptTo string
-	Raw, Reliable          ReliableRunStats
+	Raw, RelRTO, Reliable  ReliableRunStats
 }
 
-// schedule builds the outage + corruption fault schedule against a
-// built fabric.
+// schedule builds the gray-failure schedule against a built fabric: the
+// core outage, then corruption + reorder + duplication sharing the
+// second uplink, a flap storm on a third, and a mid-outage leaf restart.
 func (c ReliableExperimentConfig) schedule(ls *LeafSpine) *FaultSchedule {
-	return (&FaultSchedule{Seed: c.Seed}).
+	f := (&FaultSchedule{Seed: c.Seed}).
 		LinkDown(c.FailTick, ls.Leaves[c.FailLeaf], c.FailSpine).
 		LinkUp(c.RecoverTick, ls.Leaves[c.FailLeaf], c.FailSpine).
 		LinkCorrupt(c.WarmTick, ls.Leaves[c.CorruptLeaf], c.CorruptSpine, c.CorruptPerMille).
 		LinkCorrupt(c.RecoverTick, ls.Leaves[c.CorruptLeaf], c.CorruptSpine, 0)
+	if c.ReorderWindow > 0 {
+		f.LinkReorder(c.WarmTick, ls.Leaves[c.CorruptLeaf], c.CorruptSpine, c.ReorderWindow).
+			LinkReorder(c.RecoverTick, ls.Leaves[c.CorruptLeaf], c.CorruptSpine, 0)
+	}
+	if c.DupPerMille > 0 {
+		f.LinkDuplicate(c.WarmTick, ls.Leaves[c.CorruptLeaf], c.CorruptSpine, c.DupPerMille).
+			LinkDuplicate(c.RecoverTick, ls.Leaves[c.CorruptLeaf], c.CorruptSpine, 0)
+	}
+	if flapLeaf := (c.FailLeaf + 2) % c.Leaves; c.Flaps > 0 && flapLeaf != c.FailLeaf {
+		f.LinkFlap(c.FailTick, ls.Leaves[flapLeaf], c.FailSpine, c.Flaps, c.FlapDown, c.FlapUp)
+	}
+	if c.RestartTick > 0 {
+		f.SwitchRestart(c.RestartTick, ls.Leaves[(c.FailLeaf+3)%c.Leaves])
+	}
+	return f
 }
 
 // delivered counts exactly-once data deliveries so far: post-dedup
-// acceptances in reliable mode, plain host receipts in raw mode (raw
-// injection cannot duplicate a packet, so every receipt is a first
-// receipt — though raw hosts, having no end-to-end checksum, cannot
-// tell a scrambled packet misdelivered to the wrong host from a real
-// one; the raw fraction is an upper bound on raw goodput).
+// acceptances in reliable mode, plain host receipts in raw mode. Raw
+// hosts have no end-to-end checksum or dedup, so they cannot tell a
+// misdelivered scrambled packet — or, under FaultLinkDuplicate, a wire
+// duplicate — from a first receipt; the raw fraction is an upper bound
+// on raw goodput.
 func delivered(ls *LeafSpine, tp *Transport) int64 {
 	if tp != nil {
 		return ls.Net.Totals().AcceptedPkts
@@ -123,9 +184,17 @@ func delivered(ls *LeafSpine, tp *Transport) int64 {
 	return d
 }
 
+// The three experiment modes.
+const (
+	ModeRaw      = "raw"      // PR 6 injection: lost is lost
+	ModeRelRTO   = "rel-rto"  // reliable, RTO-only recovery (PR 7)
+	ModeReliable = "reliable" // reliable with fast retransmit (PR 9)
+)
+
 // runReliableMode replays the faulted scenario in one mode and measures
-// the recovery timeline. reliable toggles EnableTransport.
-func (c ReliableExperimentConfig) runReliableMode(reliable bool) (*ReliableRunStats, *LeafSpine, error) {
+// the recovery timeline.
+func (c ReliableExperimentConfig) runReliableMode(mode string) (*ReliableRunStats, *LeafSpine, error) {
+	reliable := mode != ModeRaw
 	ec := c.ExperimentConfig
 	if reliable {
 		ec.ECN = true // the transport's congestion signal is the ecn_mark transaction
@@ -140,7 +209,11 @@ func (c ReliableExperimentConfig) runReliableMode(reliable bool) (*ReliableRunSt
 	}
 	var tp *Transport
 	if reliable {
-		if tp, err = ls.Net.EnableTransport(c.Transport); err != nil {
+		tcfg := c.Transport
+		if mode == ModeRelRTO {
+			tcfg.FastRetransmit = -1
+		}
+		if tp, err = ls.Net.EnableTransport(tcfg); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -148,10 +221,7 @@ func (c ReliableExperimentConfig) runReliableMode(reliable bool) (*ReliableRunSt
 		return nil, nil, err
 	}
 
-	st := &ReliableRunStats{Mode: "raw", OfferedPkts: int64(len(tr.Packets)), RecoveryTicks: -1}
-	if reliable {
-		st.Mode = "reliable"
-	}
+	st := &ReliableRunStats{Mode: mode, OfferedPkts: int64(len(tr.Packets)), RecoveryTicks: -1}
 
 	// Pre-fail rate, then the outage window.
 	if err := ls.Net.Run(c.WarmTick); err != nil {
@@ -210,6 +280,8 @@ func (c ReliableExperimentConfig) runReliableMode(reliable bool) (*ReliableRunSt
 		st.RetransPkts = st.Transport.RetransPkts
 		st.GivenUpPkts = st.Transport.GivenUpPkts
 		st.RateCuts = st.Transport.RateCuts
+		st.FastRetransPkts = st.Transport.FastRetransPkts
+		st.MeanAckTicks = tp.MeanAckTicks()
 		if st.OfferedPkts > 0 {
 			st.RetransOverhead = float64(st.RetransPkts) / float64(st.OfferedPkts)
 		}
@@ -221,9 +293,10 @@ func (c ReliableExperimentConfig) runReliableMode(reliable bool) (*ReliableRunSt
 	return st, ls, nil
 }
 
-// RunLeafSpineReliable replays the outage + corruption scenario twice —
-// raw and reliable — over the same trace, seed and fault schedule, so
-// the two runs differ only in host behavior.
+// RunLeafSpineReliable replays the gray-failure scenario three times —
+// raw, reliable-RTO-only, and reliable with fast retransmit — over the
+// same trace, seed and fault schedule, so the runs differ only in host
+// behavior.
 func RunLeafSpineReliable(c ReliableExperimentConfig) (*ReliableExperimentResult, error) {
 	c.setDefaults()
 	if err := c.validate(); err != nil {
@@ -242,12 +315,17 @@ func RunLeafSpineReliable(c ReliableExperimentConfig) (*ReliableExperimentResult
 		CorruptFrom: fmt.Sprintf("leaf%d", c.CorruptLeaf),
 		CorruptTo:   fmt.Sprintf("spine%d", c.CorruptSpine),
 	}
-	raw, _, err := c.runReliableMode(false)
+	raw, _, err := c.runReliableMode(ModeRaw)
 	if err != nil {
 		return nil, err
 	}
 	res.Raw = *raw
-	rel, _, err := c.runReliableMode(true)
+	rto, _, err := c.runReliableMode(ModeRelRTO)
+	if err != nil {
+		return nil, err
+	}
+	res.RelRTO = *rto
+	rel, _, err := c.runReliableMode(ModeReliable)
 	if err != nil {
 		return nil, err
 	}

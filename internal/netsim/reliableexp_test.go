@@ -2,13 +2,15 @@ package netsim
 
 import "testing"
 
-// TestRunLeafSpineReliable runs the paired raw/reliable comparison for
-// ECMP (the routing that cannot detour, so host reliability does all
-// the work) and checks the headline claims: the reliable run delivers
-// at least 99.9% of offered packets exactly once, resolves every
-// packet, never gives up under this schedule, and actually exercised
-// the machinery (retransmissions happened, the end-to-end checksum
-// caught corrupted packets the raw run was blind to).
+// TestRunLeafSpineReliable runs the raw / rel-rto / reliable comparison
+// for ECMP (the routing that cannot detour, so host reliability does
+// all the work) under the full gray-failure schedule — outage,
+// corruption, reorder, duplication, flap storm, mid-outage switch
+// restart — and checks the headline claims: both reliable modes keep
+// exactly-once delivery = 1.0, never give up, resolve every packet, the
+// schedule actually exercised every fault (retransmissions, corruption
+// drops, wire duplicates), and fast retransmit measurably cuts the mean
+// ack latency vs RTO-only recovery.
 func TestRunLeafSpineReliable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full raw+reliable fault replay")
@@ -20,34 +22,50 @@ func TestRunLeafSpineReliable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw, rel := &res.Raw, &res.Reliable
-	if raw.OfferedPkts == 0 || raw.OfferedPkts != rel.OfferedPkts {
-		t.Fatalf("offered mismatch: raw %d, reliable %d", raw.OfferedPkts, rel.OfferedPkts)
+	raw, rto, rel := &res.Raw, &res.RelRTO, &res.Reliable
+	if raw.OfferedPkts == 0 || raw.OfferedPkts != rel.OfferedPkts || raw.OfferedPkts != rto.OfferedPkts {
+		t.Fatalf("offered mismatch: raw %d, rel-rto %d, reliable %d", raw.OfferedPkts, rto.OfferedPkts, rel.OfferedPkts)
 	}
-	if rel.DeliveredFrac < 0.999 {
-		t.Errorf("reliable exactly-once fraction %.6f < 0.999", rel.DeliveredFrac)
+	for _, st := range []*ReliableRunStats{rto, rel} {
+		if st.DeliveredFrac != 1.0 {
+			t.Errorf("%s exactly-once fraction %.6f, want exactly 1.0", st.Mode, st.DeliveredFrac)
+		}
+		if st.GivenUpPkts != 0 {
+			t.Errorf("%s run gave up %d packets under a survivable schedule", st.Mode, st.GivenUpPkts)
+		}
+		if st.Transport.OutstandingPkts != 0 {
+			t.Errorf("%s: %d packets unresolved after drain", st.Mode, st.Transport.OutstandingPkts)
+		}
+		if st.RetransPkts == 0 {
+			t.Errorf("%s: no retransmissions; the schedule destroyed nothing and the test is vacuous", st.Mode)
+		}
+		if st.Totals.CorruptDroppedPkts == 0 {
+			t.Errorf("%s: checksum validation never fired under 5 per-mille corruption", st.Mode)
+		}
+		if st.Totals.DupInjectedPkts == 0 {
+			t.Errorf("%s: duplication window injected no wire copies", st.Mode)
+		}
+		if st.BeforeRate <= 0 {
+			t.Errorf("%s: no goodput measured before the failure window", st.Mode)
+		}
 	}
-	if rel.GivenUpPkts != 0 {
-		t.Errorf("reliable run gave up %d packets under a survivable schedule", rel.GivenUpPkts)
+	// The new machinery vs the old: fast retransmit fires only in the
+	// full reliable mode, and buys a measurably shorter loss-recovery
+	// latency than waiting out RTO expiries.
+	if rto.FastRetransPkts != 0 {
+		t.Errorf("rel-rto mode fast-retransmitted %d packets with the feature disabled", rto.FastRetransPkts)
 	}
-	if rel.Transport.OutstandingPkts != 0 {
-		t.Errorf("%d packets unresolved after drain", rel.Transport.OutstandingPkts)
+	if rel.FastRetransPkts == 0 {
+		t.Error("reliable mode never fast-retransmitted under duplicate-ACK evidence")
 	}
-	if rel.DeliveredOnce+rel.GivenUpPkts < rel.OfferedPkts {
-		t.Errorf("accounting gap: delivered %d + givenup %d < offered %d",
-			rel.DeliveredOnce, rel.GivenUpPkts, rel.OfferedPkts)
+	if rel.MeanAckTicks >= rto.MeanAckTicks {
+		t.Errorf("fast retransmit did not cut mean ack latency: reliable %.1f >= rel-rto %.1f",
+			rel.MeanAckTicks, rto.MeanAckTicks)
 	}
-	if rel.RetransPkts == 0 {
-		t.Error("no retransmissions; the schedule destroyed nothing and the test is vacuous")
-	}
-	if rel.Totals.CorruptDroppedPkts == 0 {
-		t.Error("checksum validation never fired under 5 per-mille corruption")
-	}
-	if raw.DeliveredFrac > 1 || rel.DeliveredFrac > 1 {
-		t.Errorf("delivered fraction above 1: raw %.6f, reliable %.6f", raw.DeliveredFrac, rel.DeliveredFrac)
-	}
-	if rel.BeforeRate <= 0 {
-		t.Error("no goodput measured before the failure window")
+	// Raw hosts cannot dedup wire duplicates, so their "delivered"
+	// count legitimately overshoots; reliable must not.
+	if rel.DeliveredFrac > 1 {
+		t.Errorf("reliable delivered fraction above 1: %.6f", rel.DeliveredFrac)
 	}
 }
 

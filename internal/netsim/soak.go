@@ -1,0 +1,322 @@
+package netsim
+
+// Chaos soak (PR 9): thousands of seeded random fault schedules — every
+// FaultKind the model knows — replayed over small leaf-spine fabrics
+// across the routing catalog, with and without the reliable host
+// transport, each run checked against the full oracle set:
+//
+//   - the four conservation identities (physical with dup-injected,
+//     delivery split, transport injection split, sender resolution),
+//     byte-exact, every tick;
+//   - the pool-leak oracle: LiveHeaders == queued + in-flight at every
+//     tick boundary, and exactly 0 after the drain;
+//   - bounded termination: once ClearFaults restores the fabric, the
+//     network drains and (when enabled) the transport resolves every
+//     offered packet — acked or loud give-up, never silently lost;
+//   - determinism: sampled runs are executed twice and must fold to a
+//     byte-identical delivery digest (every delivery's host, flow, seq,
+//     size, dup bit and tick participates).
+//
+// The soak is the repo's standing answer to "does the gray-failure model
+// compose?": any single fault kind is unit-tested elsewhere; here they
+// collide on the same links in random order.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// SoakConfig parameterizes a chaos soak. The zero value of every field
+// selects the bracketed default.
+type SoakConfig struct {
+	Runs            int      // seeded schedules to run [1000]
+	Seed            int64    // base seed; run i derives from Seed+i [1]
+	Routings        []string // routing rotation [ecmp, flowlet, conga]
+	TicksWithFaults int      // live ticks while the schedule rages [150]
+	ReplayEvery     int      // every k-th run is replayed and digest-compared [25]
+	DrainLimit      int      // tick bound on the post-ClearFaults drain [100000]
+
+	// Parallel runs workers concurrently; each run is self-contained
+	// (its own Network, seeded from Seed+i), so the aggregate is
+	// order-independent and the soak stays deterministic [GOMAXPROCS,
+	// capped at 8].
+	Parallel int
+
+	// Progress, when set, is called after every completed run with
+	// (done, total) — the CLI uses it to keep a long soak honest.
+	Progress func(done, total int)
+}
+
+func (c *SoakConfig) setDefaults() {
+	if c.Runs == 0 {
+		c.Runs = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Routings) == 0 {
+		c.Routings = []string{"ecmp_route", "flowlet_route", "conga_route"}
+	}
+	if c.TicksWithFaults == 0 {
+		c.TicksWithFaults = 150
+	}
+	if c.ReplayEvery == 0 {
+		c.ReplayEvery = 25
+	}
+	if c.DrainLimit == 0 {
+		c.DrainLimit = 100000
+	}
+	if c.Parallel == 0 {
+		c.Parallel = runtime.GOMAXPROCS(0)
+		if c.Parallel > 8 {
+			c.Parallel = 8
+		}
+	}
+}
+
+// SoakStats aggregates a completed soak.
+type SoakStats struct {
+	Runs         int // schedules completed
+	ReliableRuns int // runs with the host transport enabled
+	RawRuns      int // runs without it
+	Replays      int // runs executed twice for digest comparison
+
+	// FaultEvents counts scheduled events per kind across the whole
+	// soak, indexed like FaultKinds() — the coverage proof that every
+	// kind actually ran (flap storms count their expanded down/up pairs).
+	FaultEvents map[FaultKind]int64
+
+	// Aggregate traffic accounting, summed over all runs.
+	InjectedPkts, DeliveredPkts  int64
+	DupInjectedPkts              int64
+	BlackholedPkts               int64
+	CorruptDroppedPkts           int64
+	RetransPkts, FastRetransPkts int64
+	GivenUpPkts                  int64
+}
+
+// Coverage reports whether every fault kind was scheduled at least once.
+func (s *SoakStats) Coverage() error {
+	for _, k := range FaultKinds() {
+		if s.FaultEvents[k] == 0 {
+			return fmt.Errorf("soak never scheduled a %s event in %d runs", k, s.Runs)
+		}
+	}
+	return nil
+}
+
+// soakRunResult is one run's contribution to the aggregate, plus the
+// delivery digest used for replay comparison.
+type soakRunResult struct {
+	digest uint64
+	tot    NetTotals
+	tt     TransportTotals
+	events map[FaultKind]int64
+}
+
+// soakRun executes one seeded schedule and returns its result; any
+// oracle violation comes back as an error naming the run so the exact
+// failure replays from the command line.
+func soakRun(c *SoakConfig, i int) (*soakRunResult, error) {
+	seed := c.Seed + int64(i)
+	rng := rand.New(rand.NewSource(seed))
+	reliable := i%2 == 1
+
+	ec := ExperimentConfig{
+		Routing:      c.Routings[i%len(c.Routings)],
+		Leaves:       2 + i%2, // alternate 2- and 3-leaf fabrics
+		Spines:       2,
+		HostsPerLeaf: 1,
+		Seed:         1 + rng.Int63n(1<<30),
+		FlowsPerHost: 1 + rng.Intn(2),
+		PktsPerFlow:  2 + rng.Intn(24),
+		MeanBurst:    4, BurstGap: 8,
+		ECN: reliable, ECNThresholdBytes: 2000,
+	}
+	ls, _, err := ec.Build()
+	if err != nil {
+		return nil, fmt.Errorf("soak run %d (seed %d): build: %w", i, seed, err)
+	}
+	n := ls.Net
+	n.WatchdogTicks = 512
+	tr := ec.Trace()
+	if err := n.SetTrace(tr, ls.Hosts); err != nil {
+		return nil, fmt.Errorf("soak run %d (seed %d): %w", i, seed, err)
+	}
+	var tp *Transport
+	if reliable {
+		// A tight retry budget keeps give-up (and the drain) fast when
+		// the schedule severs a path for good.
+		tp, err = n.EnableTransport(TransportConfig{
+			RTO: 8, RTOMax: 64, MaxRetries: 4, Window: 8, Seed: seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("soak run %d (seed %d): %w", i, seed, err)
+		}
+	}
+
+	res := &soakRunResult{digest: splitmix64(uint64(seed)), events: map[FaultKind]int64{}}
+	n.OnDeliver = func(ev Delivery) {
+		h := res.digest
+		h = splitmix64(h ^ uint64(ev.Host)<<32 ^ uint64(uint32(ev.Flow)))
+		h = splitmix64(h ^ uint64(uint32(ev.Seq))<<16 ^ uint64(uint32(ev.Size)))
+		if ev.Fb {
+			h = splitmix64(h ^ 0xfb)
+		}
+		if ev.Dup {
+			h = splitmix64(h ^ 0xd0d0)
+		}
+		res.digest = splitmix64(h ^ uint64(n.Now()))
+	}
+
+	sched := n.RandomFaults(rng.Int63(), int64(c.TicksWithFaults)*2/3)
+	for _, ev := range sched.Events {
+		res.events[ev.Kind]++
+	}
+	if err := n.SetFaults(sched); err != nil {
+		return nil, fmt.Errorf("soak run %d (seed %d): %w", i, seed, err)
+	}
+
+	oracle := func(phase string) error {
+		if err := n.CheckConservation(); err != nil {
+			return fmt.Errorf("soak run %d (seed %d, %s, %s, reliable=%v) tick %d: %w",
+				i, seed, ec.Routing, phase, reliable, n.Now(), err)
+		}
+		t := n.Totals()
+		if live := int64(n.LiveHeaders()); live != t.QueuedPkts+t.InFlightPkts {
+			return fmt.Errorf("soak run %d (seed %d, %s, %s) tick %d: %d live headers, %d queued + %d in flight",
+				i, seed, ec.Routing, phase, n.Now(), live, t.QueuedPkts, t.InFlightPkts)
+		}
+		return nil
+	}
+
+	for k := 0; k < c.TicksWithFaults; k++ {
+		n.Tick()
+		if err := oracle("faulted"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Epilogue: heal everything; the fabric must drain and the transport
+	// must resolve within the bound.
+	n.ClearFaults()
+	drained := false
+	for k := 0; k < c.DrainLimit; k++ {
+		if n.idle() {
+			drained = true
+			break
+		}
+		n.Tick()
+		if err := oracle("draining"); err != nil {
+			return nil, err
+		}
+	}
+	tot := n.Totals()
+	if !drained {
+		return nil, fmt.Errorf("soak run %d (seed %d, %s): no drain within %d ticks: %d queued, %d in flight",
+			i, seed, ec.Routing, c.DrainLimit, tot.QueuedPkts, tot.InFlightPkts)
+	}
+	if live := n.LiveHeaders(); live != 0 {
+		return nil, fmt.Errorf("soak run %d (seed %d, %s): %d headers leaked", i, seed, ec.Routing, live)
+	}
+	if tp != nil {
+		res.tt = tp.Totals()
+		if !tp.Done() {
+			return nil, fmt.Errorf("soak run %d (seed %d, %s): transport unresolved: offered %d, acked %d, given up %d, outstanding %d",
+				i, seed, ec.Routing, res.tt.OfferedPkts, res.tt.AckedPkts, res.tt.GivenUpPkts, res.tt.OutstandingPkts)
+		}
+	}
+	res.tot = tot
+	return res, nil
+}
+
+// RunSoak executes cfg.Runs seeded chaos schedules — cfg.Parallel at a
+// time, each self-contained — and aggregates them. The first oracle
+// violation aborts the soak with an error that names the run index and
+// seed, so `-soak` reproduces it deterministically.
+func RunSoak(cfg SoakConfig) (*SoakStats, error) {
+	cfg.setDefaults()
+	st := &SoakStats{FaultEvents: map[FaultKind]int64{}}
+
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		done    int
+		firstEr error
+	)
+	idx := make(chan int)
+	for w := 0; w < cfg.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				mu.Lock()
+				aborted := firstEr != nil
+				mu.Unlock()
+				if aborted {
+					continue // drain the channel so the sender never blocks
+				}
+				r, err := soakRun(&cfg, i)
+				if err == nil && i%cfg.ReplayEvery == 0 {
+					var again *soakRunResult
+					if again, err = soakRun(&cfg, i); err != nil {
+						err = fmt.Errorf("replay: %w", err)
+					} else if again.digest != r.digest {
+						err = fmt.Errorf("soak run %d (seed %d) replayed differently: digest %016x vs %016x — determinism broken",
+							i, cfg.Seed+int64(i), r.digest, again.digest)
+					}
+				}
+				mu.Lock()
+				if err != nil {
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				if i%cfg.ReplayEvery == 0 {
+					st.Replays++
+				}
+				st.Runs++
+				if i%2 == 1 {
+					st.ReliableRuns++
+				} else {
+					st.RawRuns++
+				}
+				for k, c := range r.events {
+					st.FaultEvents[k] += c
+				}
+				st.InjectedPkts += r.tot.InjectedPkts
+				st.DeliveredPkts += r.tot.DeliveredPkts
+				st.DupInjectedPkts += r.tot.DupInjectedPkts
+				st.BlackholedPkts += r.tot.BlackholedPkts
+				st.CorruptDroppedPkts += r.tot.CorruptDroppedPkts
+				st.RetransPkts += r.tt.RetransPkts
+				st.FastRetransPkts += r.tt.FastRetransPkts
+				st.GivenUpPkts += r.tt.GivenUpPkts
+				done++
+				if cfg.Progress != nil {
+					cfg.Progress(done, cfg.Runs)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < cfg.Runs; i++ {
+		mu.Lock()
+		stop := firstEr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return st, nil
+}

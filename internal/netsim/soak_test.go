@@ -1,0 +1,49 @@
+package netsim
+
+import "testing"
+
+// TestChaosSoakSmoke is the in-tree slice of the chaos soak: enough
+// seeded schedules to cover every fault kind, both transport modes and
+// all three routings, with replay determinism sampled along the way.
+// The full-size soak (1000+ schedules) runs via `make soak` /
+// `paper-eval -soak`.
+func TestChaosSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	st, err := RunSoak(SoakConfig{Runs: 30, Seed: 7, ReplayEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 30 || st.ReliableRuns+st.RawRuns != 30 {
+		t.Fatalf("run accounting off: %+v", st)
+	}
+	if st.Replays != 3 {
+		t.Errorf("sampled %d replays, want 3", st.Replays)
+	}
+	if err := st.Coverage(); err != nil {
+		t.Error(err)
+	}
+	// The schedules must actually bite: every gray-failure effect shows
+	// up in the aggregate, or the soak is a very slow no-op.
+	if st.DeliveredPkts == 0 || st.BlackholedPkts == 0 || st.DupInjectedPkts == 0 ||
+		st.CorruptDroppedPkts == 0 || st.RetransPkts == 0 {
+		t.Errorf("soak aggregate suspiciously quiet: %+v", st)
+	}
+}
+
+// TestSoakCoverageComplains: the coverage oracle names the missing kind.
+func TestSoakCoverageComplains(t *testing.T) {
+	st := &SoakStats{FaultEvents: map[FaultKind]int64{}}
+	for _, k := range FaultKinds() {
+		st.FaultEvents[k] = 1
+	}
+	if err := st.Coverage(); err != nil {
+		t.Fatalf("full coverage rejected: %v", err)
+	}
+	delete(st.FaultEvents, FaultLinkReorder)
+	err := st.Coverage()
+	if err == nil {
+		t.Fatal("missing link-reorder coverage accepted")
+	}
+}

@@ -56,6 +56,12 @@ type TransportConfig struct {
 	MinGap, MaxGap int64
 	// Seed drives the retransmit jitter (default 1).
 	Seed int64
+	// FastRetransmit is the duplicate-ACK threshold (default 3): that
+	// many consecutive ACKs that fail to advance a flow's base while
+	// selectively acking past it — SACK-gap evidence the base packet is
+	// lost, not late — resend it immediately instead of waiting out the
+	// RTO. Negative disables (RTO-only recovery, the PR 7 behavior).
+	FastRetransmit int
 }
 
 func (c *TransportConfig) defaults() {
@@ -86,6 +92,9 @@ func (c *TransportConfig) defaults() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.FastRetransmit == 0 {
+		c.FastRetransmit = 3
+	}
 }
 
 // Per-packet sender states.
@@ -112,6 +121,9 @@ type TransportTotals struct {
 	GivenUpPkts, GivenUpBytes         int64
 	OutstandingPkts, OutstandingBytes int64
 	RateCuts                          int64
+	// FastRetransPkts is the share of RetransPkts triggered by the
+	// duplicate-ACK threshold rather than an RTO expiry.
+	FastRetransPkts int64
 }
 
 // Transport is the per-network reliable delivery state. Create one with
@@ -139,6 +151,7 @@ type Transport struct {
 	cleanAcks []int32
 	lastCut   []int64
 	wake      []int64 // scheduled wheel wake (-1 none)
+	dupAcks   []int32 // consecutive base-stalled ACKs with SACK-gap evidence
 
 	// Sender state, per global packet index.
 	pstate  []uint8
@@ -174,6 +187,11 @@ type Transport struct {
 	givenUpPkts, givenUpBytes int64
 	outPkts, outBytes         int64
 	rateCuts                  int64
+	fastRetransPkts           int64
+	// resolveSum accumulates first-send→ack latency over every acked
+	// packet (retransmitted or not) — MeanAckTicks' numerator, the
+	// recovery-time metric fast retransmit is meant to cut.
+	resolveSum int64
 
 	// Observability (nil instruments no-op, so the uninstrumented hot
 	// path stays allocation-free). sent records each packet's fresh-send
@@ -277,6 +295,7 @@ func (n *Network) EnableTransport(cfg TransportConfig) (*Transport, error) {
 	tp.cleanAcks = make([]int32, flows)
 	tp.lastCut = make([]int64, flows)
 	tp.wake = make([]int64, flows)
+	tp.dupAcks = make([]int32, flows)
 	tp.pstate = make([]uint8, len(tr.Packets))
 	tp.retries = make([]uint8, len(tr.Packets))
 	tp.due = make([]int64, len(tr.Packets))
@@ -324,8 +343,19 @@ func (tp *Transport) Totals() TransportTotals {
 		AckedPkts: tp.ackedPkts, AckedBytes: tp.ackedBytes,
 		GivenUpPkts: tp.givenUpPkts, GivenUpBytes: tp.givenUpBytes,
 		OutstandingPkts: tp.outPkts, OutstandingBytes: tp.outBytes,
-		RateCuts: tp.rateCuts,
+		RateCuts: tp.rateCuts, FastRetransPkts: tp.fastRetransPkts,
 	}
+}
+
+// MeanAckTicks reports the mean ticks from a packet's first send to its
+// acknowledgment, over every acked packet. Unlike the Karn-filtered RTT
+// histogram it includes retransmitted packets, so it measures loss
+// recovery time — the latency fast retransmit exists to cut.
+func (tp *Transport) MeanAckTicks() float64 {
+	if tp.ackedPkts == 0 {
+		return 0
+	}
+	return float64(tp.resolveSum) / float64(tp.ackedPkts)
 }
 
 // Done reports whether every trace packet is resolved at the sender in
@@ -362,6 +392,7 @@ func (tp *Transport) Reset() error {
 		tp.gap[f] = tp.cfg.MinGap
 		tp.nextSend[f] = 0
 		tp.cleanAcks[f] = 0
+		tp.dupAcks[f] = 0
 		tp.lastCut[f] = tp.epoch - tp.cfg.RTO
 		tp.wake[f] = -1
 		if tp.off[f+1] > tp.off[f] {
@@ -620,6 +651,7 @@ func (tp *Transport) ackOne(gi int32) {
 	tp.outPkts--
 	tp.outBytes -= tp.size(gi)
 	tp.resolved++
+	tp.resolveSum += tp.n.now - tp.sent[gi]
 	tp.retriesH.Observe(int64(tp.retries[gi]))
 	if tp.retries[gi] == 0 {
 		tp.rttH.Observe(tp.n.now - tp.sent[gi])
@@ -636,6 +668,7 @@ func (tp *Transport) onAck(f, ackTo, echo int32, ecn bool) {
 	if ackTo > npk {
 		ackTo = npk
 	}
+	oldBase := tp.base[f]
 	for s := tp.base[f]; s < ackTo && s < tp.next[f]; s++ {
 		tp.ackOne(off + s)
 	}
@@ -643,6 +676,31 @@ func (tp *Transport) onAck(f, ackTo, echo int32, ecn bool) {
 		tp.ackOne(off + echo)
 	}
 	tp.advanceBase(f)
+	if tp.base[f] > oldBase {
+		tp.dupAcks[f] = 0
+	} else if k := tp.cfg.FastRetransmit; k > 0 && tp.base[f] < tp.next[f] &&
+		ackTo <= tp.base[f] && echo > tp.base[f] {
+		// The frontier is stuck while the sink selectively acks past it:
+		// SACK-gap evidence the base packet is lost, not merely late. k
+		// such ACKs trigger an immediate resend — a reorder window shorter
+		// than k data packets only stalls the frontier briefly and never
+		// accumulates k duplicates, so reordering costs a gap, not a
+		// retransmit storm.
+		gi := off + tp.base[f]
+		if tp.pstate[gi] == stOutstanding {
+			tp.dupAcks[f]++
+			if int(tp.dupAcks[f]) >= k {
+				tp.dupAcks[f] = 0
+				if int(tp.retries[gi]) < tp.cfg.MaxRetries {
+					tp.retries[gi]++
+					tp.due[gi] = tp.n.now + tp.deadline(f, tp.base[f], tp.retries[gi])
+					tp.fastRetransPkts++
+					tp.send(f, tp.base[f], true)
+					tp.cut(f) // fast retransmit is still a congestion signal
+				}
+			}
+		}
+	}
 	if ecn {
 		tp.cut(f)
 	} else {

@@ -495,6 +495,43 @@ func (s *Switch) Tick() []Departure {
 	return deps
 }
 
+// FlushQueues empties every port queue without serving the packets —
+// power-cycle semantics for a restarting switch. Each flushed packet is
+// accounted as a drop on its port, so the conservation identity
+// (injected = departed + dropped + queued) holds across the flush, and
+// is handed to emit, which owns the header exactly as TickFunc's emit
+// does (nil emit recycles into the machine pool directly). With a
+// shaping scheduler only packets the scheduler surrenders via Dequeue
+// are flushed; anything it withholds stays queued — and stays counted.
+func (s *Switch) FlushQueues(emit func(port int, qh QueuedHeader)) (pkts, bytes int64) {
+	for p := range s.queues {
+		q := s.queues[p]
+		for {
+			qh, ok := q.Dequeue(s.now)
+			if !ok {
+				break
+			}
+			st := &s.stats[p]
+			st.QueueBytes -= qh.Size
+			st.Drops++
+			st.DroppedBytes += qh.Size
+			s.dropC.Inc()
+			if s.trace != nil {
+				flow, seq := s.traceIDs(qh.H)
+				s.trace.Record(s.now, telemetry.EvDrop, s.traceNode, int32(p), flow, seq, int32(qh.Size), 2)
+			}
+			pkts++
+			bytes += qh.Size
+			if emit != nil {
+				emit(p, qh)
+			} else {
+				s.machine.ReleaseHeader(qh.H)
+			}
+		}
+	}
+	return pkts, bytes
+}
+
 // Drain ticks until every queue is empty, returning all departures. With a
 // shaping scheduler this includes idle ticks spent waiting for send times
 // to arrive.
