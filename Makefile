@@ -4,15 +4,15 @@ SHELL := /bin/bash
 
 # BENCH_OUT is the committed per-PR benchmark snapshot `make bench` emits;
 # BENCH_BASE is the previous PR's snapshot bench-delta compares against.
-BENCH_OUT ?= BENCH_pr9.json
-BENCH_BASE ?= BENCH_pr8.json
+BENCH_OUT ?= BENCH_pr10.json
+BENCH_BASE ?= BENCH_pr9.json
 # MAX_LOSS is the bench-regression gate: any benchmark present in both
 # snapshots losing more than this percent of throughput fails the build.
 MAX_LOSS ?= 10
 
-.PHONY: check fmt vet build test race bench bench-smoke bench-delta bench-regression fuzz-smoke cover-net staticcheck profile soak soak-smoke
+.PHONY: check fmt vet build test race bench bench-smoke bench-delta bench-regression fuzz-smoke cover-net staticcheck profile soak soak-smoke fct-smoke
 
-check: fmt vet staticcheck build test race fuzz-smoke soak-smoke cover-net
+check: fmt vet staticcheck build test race fuzz-smoke soak-smoke fct-smoke cover-net
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -107,6 +107,13 @@ soak:
 # cover every fault kind, both transport modes and all three routings.
 soak-smoke:
 	$(GO) test ./internal/netsim -run 'TestChaosSoakSmoke' -count=1
+
+# fct-smoke is the time-budgeted fat-tree slice CI runs: the k=4
+# tick-vs-event differential plus a small end-to-end -fct report (k=4),
+# which itself asserts the event and polled cores agree on totals.
+fct-smoke:
+	$(GO) test ./internal/netsim -run 'TestEventCoreDifferentialFatTree|TestFatTreeFCTConservation' -count=1
+	$(GO) run ./cmd/paper-eval -fct -k 4
 
 # profile writes a CPU profile of the leaf-spine network experiment;
 # inspect with `go tool pprof cpu.prof`.

@@ -15,6 +15,8 @@
 //	paper-eval -reliable       # raw vs reliable transport under outage + corruption
 //	paper-eval -telemetry      # in-band telemetry + metrics core on the faulted run
 //	paper-eval -soak 1000      # chaos soak: N seeded random gray-failure schedules
+//	paper-eval -fct            # fat-tree FCT percentiles + event-core speedup
+//	paper-eval -k 8            # fat-tree arity for -fct (even, ≥2)
 //	paper-eval -seed 7         # reseed the -faults / -reliable / -telemetry / -soak scenarios
 //	paper-eval -pprof cpu.out  # write a CPU profile of the requested reports
 //
@@ -68,6 +70,8 @@ func run(args []string) error {
 	reliableFlag := fs.Bool("reliable", false, "run raw vs reliable transport under outage + corruption")
 	telemetryFlag := fs.Bool("telemetry", false, "run the faulted scenario with in-band telemetry + metrics on")
 	soakRuns := fs.Int("soak", 0, "chaos soak: run this many seeded random gray-failure schedules")
+	fctFlag := fs.Bool("fct", false, "run the fat-tree FCT experiment (heavy-tailed flows, event core)")
+	kArity := fs.Int("k", 8, "fat-tree arity for -fct (even, >= 2)")
 	seed := fs.Int64("seed", 1, "seed for the -faults, -reliable, -telemetry and -soak scenarios")
 	pprofFile := fs.String("pprof", "", "write a CPU profile of the requested reports to this file")
 	if err := fs.Parse(args); err != nil {
@@ -81,6 +85,9 @@ func run(args []string) error {
 	}
 	if *soakRuns < 0 {
 		return fmt.Errorf("soak run count must be positive, got %d", *soakRuns)
+	}
+	if *kArity < 2 || *kArity%2 != 0 {
+		return fmt.Errorf("fat-tree arity must be even and >= 2, got %d", *kArity)
 	}
 	if *pprofFile != "" {
 		f, err := os.Create(*pprofFile)
@@ -96,6 +103,12 @@ func run(args []string) error {
 
 	more := func() bool {
 		return *table != "" || *figure != "" || *schedFlag || *tput || *optFlag
+	}
+	if *fctFlag {
+		fctExperiment(*kArity, *seed)
+		if !more() && !*netFlag && !*faultsFlag && !*reliableFlag && !*telemetryFlag && *soakRuns == 0 {
+			return nil
+		}
 	}
 	if *soakRuns > 0 {
 		soakExperiment(*soakRuns, *seed)

@@ -404,6 +404,66 @@ void spine_route(struct Packet pkt) {
 `, p.HostsPerLeaf, p.obsFields(), p.obsState(p.Leaves)) + p.obsStamp() + "}\n", nil
 }
 
+// FatAggRouteSource routes at a k-ary fat-tree aggregation switch: ports
+// [0, HALF) are uplinks to cores (HALF = k/2; uplink i of agg a reaches
+// core a*HALF+i), ports [HALF, k) are downlinks to the pod's edge
+// switches. A packet for a host in this pod goes down to its edge; any
+// other packet takes an ECMP-hashed uplink. Instantiate with LeafID =
+// the pod index, Leaves = k (pods), Spines = HostsPerLeaf = k/2 — one
+// compile serves every agg of the pod (the program's only position
+// dependence is the pod's edge-index range). Locality is a range test
+// on the global edge index, not a division by pod size, so the only
+// divisor is HOSTS_PER_LEAF — the same pipeline-friendly constant every
+// leaf transaction divides by.
+func FatAggRouteSource(p RouteParams) (string, error) {
+	if err := p.validate(); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf(`
+#define HALF %d
+#define HOSTS_PER_LEAF %d
+#define EDGE_LO %d
+#define EDGE_HI %d
+
+struct Packet {
+  int sport;
+  int dport;
+  int arrival;
+  int src;
+  int dst;
+  int size_bytes;
+  int flow;
+  int fb;
+  int fb_path;
+  int fb_util;
+  int seq;
+  int ecn;
+  int fb_ack;
+  int fb_ecn;
+  int csum;
+  int util;
+  int path_id;
+  int hops;
+  int qmax;
+  int qdelay;
+  int path_digest;
+  int edge;
+  int local;
+%s  int up;
+  int down;
+  int out_port;
+};
+%s
+void fat_agg_route(struct Packet pkt) {
+  pkt.edge = pkt.dst / HOSTS_PER_LEAF;
+  pkt.local = (pkt.edge >= EDGE_LO) && (pkt.edge < EDGE_HI);
+  pkt.up = hash2(pkt.sport, pkt.dport) %% HALF;
+  pkt.down = HALF + pkt.edge - EDGE_LO;
+  pkt.out_port = pkt.local ? pkt.down : pkt.up;
+`, p.Spines, p.HostsPerLeaf, p.LeafID*p.Spines, (p.LeafID+1)*p.Spines,
+		p.obsFields(), p.obsState(p.Spines+p.HostsPerLeaf)) + p.obsStamp() + "}\n", nil
+}
+
 // RoutingAlg is one entry of the routing-transaction catalog.
 type RoutingAlg struct {
 	// Name is the registry key (lower_snake).
@@ -451,6 +511,12 @@ func Routings() []RoutingAlg {
 			Title:       "Spine down-route",
 			Description: "Deterministic down-route: output port = destination leaf",
 			Source:      SpineRouteSource,
+		},
+		{
+			Name:        "fat_agg_route",
+			Title:       "Fat-tree aggregation",
+			Description: "Pod-local down-route, ECMP-hashed core uplink otherwise (k-ary fat tree)",
+			Source:      FatAggRouteSource,
 		},
 	}
 }

@@ -344,10 +344,13 @@ func (n *Network) applyFault(ev *FaultEvent) {
 		n.ensureRNG(l, ev)
 	case FaultSwitchStall:
 		w.stalled = true
+		w.noteFreeze(n.now)
 	case FaultSwitchCrash:
 		w.crashed = true
+		w.noteFreeze(n.now)
 	case FaultSwitchUp:
 		w.stalled, w.crashed = false, false
+		w.noteFreeze(n.now)
 	case FaultSwitchRestart:
 		n.restartSwitch(w, ev)
 	}
@@ -394,6 +397,7 @@ func (n *Network) restartSwitch(w *netSwitch, ev *FaultEvent) {
 		m.PokeState(algorithms.PortUpState, port, v)
 	}
 	w.stalled, w.crashed = false, false
+	w.noteFreeze(n.now)
 }
 
 // freezePort stalls or unfreezes a link's feeding port and keeps the
@@ -435,6 +439,7 @@ func (n *Network) ClearFaults() {
 	}
 	for _, w := range n.switches {
 		w.stalled, w.crashed = false, false
+		w.noteFreeze(n.now)
 	}
 }
 

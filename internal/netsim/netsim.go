@@ -148,6 +148,28 @@ type netSwitch struct {
 	// blackholes everything delivered or injected into it.
 	stalled bool
 	crashed bool
+
+	// Frozen-time bookkeeping: a switch's local clock advances only on
+	// ticks it is running, so switch time = fabric time − lag, where lag
+	// is the total ticks spent stalled or crashed. Tracking lag as tick
+	// arithmetic (frozenAt marks the freeze's start; −1 while running)
+	// makes the local clock a pure function of fabric time and fault
+	// history — identical whether the driver stepped or skipped the idle
+	// ticks in between.
+	frozenAt int64
+	lag      int64
+}
+
+// noteFreeze updates the frozen-time bookkeeping after any mutation of
+// stalled/crashed; now is the fabric tick the mutation happened at.
+func (w *netSwitch) noteFreeze(now int64) {
+	frozen := w.stalled || w.crashed
+	if frozen && w.frozenAt < 0 {
+		w.frozenAt = now
+	} else if !frozen && w.frozenAt >= 0 {
+		w.lag += now - w.frozenAt
+		w.frozenAt = -1
+	}
 }
 
 // Host is an end host: a traffic source (its packets enter its leaf
@@ -225,9 +247,14 @@ type link struct {
 	head int
 	n    int
 
-	dre   int64
-	pkts  int64
-	bytes int64
+	// dre decays by 1/2^dreShift per tick, applied lazily: dreTick is the
+	// last tick whose decay has been folded in, and transmit catches up
+	// before adding bytes. Lazy and eager are byte-identical because the
+	// per-tick decay is the identity once dre>>dreShift reaches zero.
+	dre     int64
+	dreTick int64
+	pkts    int64
+	bytes   int64
 
 	// Fault state (see faults.go). base is the healthy capacity so
 	// LinkUp/ClearFaults can restore it. utilScale poisons the DRE stamp
@@ -256,6 +283,13 @@ type link struct {
 	// layout (receiver for switch links, sender for host links); -1 when
 	// the program does not declare the field.
 	gSrc, gDst, gFb, gSize int
+
+	// Calendar-queue state: idx is this link's position in Network.links
+	// (the tie-breaker that keeps same-tick deliveries in link-creation
+	// order, exactly like the old poll-every-link loop); calAt is the tick
+	// of this link's earliest armed wakeup, -1 when none is armed.
+	idx   int32
+	calAt int64
 }
 
 // Network is a topology of switches, hosts and links plus the global
@@ -267,6 +301,22 @@ type Network struct {
 	links    []*link
 	now      int64
 	ready    bool
+
+	// wheel is the link-delivery calendar: a timing wheel of per-tick
+	// buckets (wheel[t % len(wheel)] lists the links with a delivery
+	// wakeup at tick t), sized at Start to the longest link delay + 1 so
+	// every armed tick lands in a distinct future bucket. Arming is a
+	// plain append; the step for tick t sorts its bucket by link-creation
+	// index — the (tick, index) order a min-heap would pop, and exactly
+	// the order the old poll-every-link loop visited — then empties it.
+	// Each link keeps at most one live entry (armLink dedups via
+	// link.calAt; a superseded ghost delivers nothing and is harmless);
+	// steps counts processed simulation steps — the event core's work
+	// metric, and the denominator of the skipped-tick ratio Steps()/Now().
+	wheel     [][]int32
+	wheelMask int64 // len(wheel)-1; the wheel is a power of two so bucket lookup is a mask, not a divide
+	wheelSpan int64 // longest link delay: arms land in (now, now+wheelSpan]
+	steps     int64
 
 	trace     *workload.NetTrace
 	traceHost []*Host // trace host index → Host
@@ -389,11 +439,12 @@ func (n *Network) AddSwitch(name string, prog *codegen.Program, cfg switchsim.Co
 	}
 	l := sw.Machine().Layout()
 	w := &netSwitch{
-		id:    NodeID(len(n.nodes)),
-		name:  name,
-		sw:    sw,
-		prog:  prog,
-		links: make([]*link, cfg.Ports),
+		id:       NodeID(len(n.nodes)),
+		name:     name,
+		sw:       sw,
+		prog:     prog,
+		links:    make([]*link, cfg.Ports),
+		frozenAt: -1,
 		in: fieldSlots{
 			sport: slotOr(l, FieldSport), dport: slotOr(l, FieldDport),
 			arrival: slotOr(l, FieldArrival), src: slotOr(l, FieldSrc),
@@ -483,6 +534,8 @@ func (n *Network) Connect(from NodeID, port int, to NodeID, opts LinkOptions) er
 		capacity:  w.sw.PortRate(port),
 		utilSlot:  -1,
 		utilScale: 1,
+		idx:       int32(len(n.links)),
+		calAt:     -1,
 	}
 	if opts.CapacityBytesPerTick > 0 {
 		w.sw.SetPortRate(port, opts.CapacityBytesPerTick)
@@ -616,33 +669,128 @@ func (n *Network) Start() error {
 	if limit <= 0 {
 		limit = defaultWatchdogTicks
 	}
+	maxDelay := int64(1)
 	for _, l := range n.links {
 		if limit <= l.delay {
 			return fmt.Errorf("netsim: watchdog of %d ticks is not above the %d-tick delay of link %q port %d → %q; raise WatchdogTicks",
 				limit, l.delay, l.from.name, l.fromPort, l.to.name)
 		}
+		if l.delay > maxDelay {
+			maxDelay = l.delay
+		}
 	}
+	w := int64(2)
+	for w < maxDelay+1 {
+		w <<= 1
+	}
+	n.wheel = make([][]int32, w)
+	n.wheelMask = w - 1
+	n.wheelSpan = maxDelay
 	n.ready = true
 	return nil
 }
 
-// Tick advances the network one time unit: due fault events fire, due
-// link packets are delivered (into the next switch's pipeline, or to
-// their sink host), due trace packets are injected at their source hosts,
-// every running switch drains its ports onto its links, and the links'
-// utilization estimators decay.
+// Tick advances the network one time unit — the documented compat
+// wrapper for harnesses that cannot thread an error. It panics on the
+// wiring errors Step returns; call Start or Step to get them as values.
 func (n *Network) Tick() {
+	if err := n.Step(); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Step advances the network one time unit: due fault events fire, due
+// link packets are delivered (into the next switch's pipeline, or to
+// their sink host), due trace packets are injected at their source
+// hosts, and every running switch drains its ports onto its links. The
+// first Step validates the topology (Start) and returns its error —
+// this is the error-returning stepping API that Run, Drain and harness
+// loops build on.
+func (n *Network) Step() error {
 	if !n.ready {
 		if err := n.Start(); err != nil {
-			// Tick cannot return an error; call Start first to get this as
-			// a value instead.
-			panic(err.Error())
+			return err
 		}
 	}
+	n.step()
+	return nil
+}
+
+// Steps reports how many simulation steps this network has processed.
+// Run and Drain skip ticks on which provably nothing can happen, so
+// Steps() ≤ Now(); the gap is the skipped idle time (a driver stepping
+// tick-by-tick has Steps() == Now()).
+func (n *Network) Steps() int64 { return n.steps }
+
+// step processes tick now+1. The phase order is the polled core's:
+// faults, link deliveries, injections, switch service, queue-depth
+// publication. Same-tick deliveries pop from the calendar in (tick,
+// link-creation-index) order — exactly the order the old
+// poll-every-link loop visited them — so the two drivers are
+// byte-identical.
+func (n *Network) step() {
 	n.now++
+	n.steps++
 	n.applyFaults()
-	for _, l := range n.links {
-		l.deliver(n)
+	for _, w := range n.switches {
+		if w.stalled || w.crashed {
+			continue
+		}
+		// Sync each running switch's clock to the fabric before deliveries
+		// land: an arrival enqueued at fabric tick T must stamp the same
+		// Arrived the polled core stamped, which is T-1 minus the switch's
+		// frozen-time lag (service, which advances the clock to T, came
+		// after deliveries there too).
+		w.sw.AdvanceTo(n.now - 1 - w.lag)
+	}
+	// Deliveries: two interchangeable strategies over the same wheel
+	// state, both visiting due links in link-creation order — so the
+	// choice is pure cost, never behavior. A dense tick (most links due)
+	// takes the poll-every-link scan, which is exactly the pre-event-core
+	// loop and keeps per-tick harness drivers at their old cost; a sparse
+	// tick (the event core's bread and butter: a handful of links due in
+	// a big, mostly idle fabric) touches only its bucket.
+	bidx := n.now & n.wheelMask
+	if b := n.wheel[bidx]; 4*len(b) >= len(n.links) {
+		for _, l := range n.links {
+			if l.calAt >= 0 && l.calAt <= n.now {
+				l.calAt = -1
+			}
+			if l.n > 0 {
+				if l.ring[l.head].at <= n.now {
+					l.deliver(n)
+				}
+				// Keep the armed-while-loaded invariant a later sparse
+				// step relies on: any link still holding packets has a
+				// live wakeup at its ring head's tick.
+				if l.n > 0 && l.calAt < 0 {
+					n.armLink(l, l.ring[l.head].at)
+				}
+			}
+		}
+		n.wheel[bidx] = b[:0]
+	} else if len(b) > 0 {
+		// Insertion sort by link-creation index: buckets fill in transmit
+		// order, which is already nearly sorted, and the pass restores the
+		// exact (tick, index) order a min-heap would pop. Re-arms during
+		// the loop always target a different (future) bucket, so iterating
+		// while arming is safe.
+		for i := 1; i < len(b); i++ {
+			for j := i; j > 0 && b[j] < b[j-1]; j-- {
+				b[j], b[j-1] = b[j-1], b[j]
+			}
+		}
+		for _, idx := range b {
+			l := n.links[idx]
+			if l.calAt == n.now {
+				l.calAt = -1
+			}
+			l.deliver(n)
+			if l.n > 0 {
+				n.armLink(l, l.ring[l.head].at)
+			}
+		}
+		n.wheel[bidx] = b[:0]
 	}
 	if n.transport != nil {
 		// The transport owns injection: window, pacing and retransmit
@@ -660,14 +808,91 @@ func (n *Network) Tick() {
 		if w.stalled || w.crashed {
 			continue // frozen: queues hold, no service budget accrues
 		}
-		w.sw.TickFunc(w.emit)
-	}
-	for _, l := range n.links {
-		l.dre -= l.dre >> dreShift
+		w.sw.TickAt(n.now-w.lag, w.emit)
 	}
 	for _, w := range n.switches {
 		w.publishQueueDepths()
 	}
+}
+
+// armLink schedules a delivery wakeup for l at tick at, deduping
+// against an already-armed earlier-or-equal wakeup so each link keeps
+// at most one live calendar entry. Every arm satisfies
+// now < at ≤ now + maxDelay, so the target bucket is always a future
+// one that fires exactly at tick at — never the bucket being processed.
+func (n *Network) armLink(l *link, at int64) {
+	if l.calAt >= 0 && l.calAt <= at {
+		return
+	}
+	l.calAt = at
+	b := at & n.wheelMask
+	n.wheel[b] = append(n.wheel[b], l.idx)
+}
+
+// nextEventTick reports the earliest future tick at which anything can
+// happen, or -1 when nothing at all is scheduled: the minimum over (a)
+// switches holding packets — next tick when a head is serviceable or
+// the switch/port is wedged (per-tick stepping keeps the no-progress
+// watchdog's accounting identical to the polled core's), else the
+// earliest shaper send time; (b) the link calendar's minimum; (c) the
+// transport's earliest timer-wheel wake, or the next trace arrival; (d)
+// the next fault event. Answering early is always safe — a step that
+// finds nothing to do changes nothing — so every component may be
+// conservative; answering late would skip work and is the one
+// forbidden direction.
+func (n *Network) nextEventTick() int64 {
+	ne := int64(-1)
+	m := func(t int64) {
+		if t > n.now && (ne < 0 || t < ne) {
+			ne = t
+		}
+	}
+	for _, w := range n.switches {
+		if w.sw.QueuedPkts() == 0 {
+			continue
+		}
+		if w.stalled || w.crashed {
+			return n.now + 1
+		}
+		if et := w.sw.NextEventTick(n.now - w.lag); et >= 0 {
+			t := et + w.lag // switch clock → fabric clock
+			if t <= n.now+1 {
+				return n.now + 1
+			}
+			m(t)
+		}
+	}
+	// Wheel entries are confined to (now, now+len(wheel)-1], so the first
+	// non-empty bucket scanning forward is the calendar minimum. A ghost
+	// bucket (all entries superseded) wakes a step that delivers nothing —
+	// answering early, which the contract allows.
+	for d := int64(1); d <= n.wheelSpan; d++ {
+		if len(n.wheel[(n.now+d)&n.wheelMask]) > 0 {
+			m(n.now + d)
+			break
+		}
+	}
+	if n.transport != nil {
+		if t := n.transport.peekWake(); t >= 0 {
+			m(t)
+		}
+	} else if n.trace != nil && n.traceNext < len(n.trace.Packets) {
+		// An arrival already due (a trace installed mid-run) injects on
+		// the very next step, like the polled core's catch-up loop.
+		if t := n.trace.Packets[n.traceNext].Arrival; t <= n.now {
+			return n.now + 1
+		} else {
+			m(t)
+		}
+	}
+	if n.faultNext < len(n.faultEvents) {
+		t := n.faultEvents[n.faultNext].Tick
+		if t <= n.now {
+			return n.now + 1
+		}
+		m(t)
+	}
+	return ne
 }
 
 // publishQueueDepths publishes the switch's real output-queue depths
@@ -690,7 +915,7 @@ func (w *netSwitch) publishQueueDepths() {
 // maxInt32 saturates queue-depth pokes.
 const maxInt32 = int32(^uint32(0) >> 1)
 
-// watchdog tracks Run/Drain progress between ticks.
+// watchdog tracks Run/Drain progress between processed steps.
 type watchdog struct {
 	last  NetTotals
 	armed bool
@@ -698,11 +923,15 @@ type watchdog struct {
 }
 
 // watch fails when the network has made no progress for WatchdogTicks
-// consecutive ticks — totals frozen while packets are queued or in
-// flight, with no pending trace or fault event that could unfreeze them.
-// A link delivery always changes the totals within its delay, so only a
-// genuinely wedged network (queues behind a downed port or stalled switch
-// with no recovery scheduled) trips it.
+// consecutive processed steps — totals frozen while packets are queued
+// or in flight, with no pending trace or fault event that could
+// unfreeze them. The watchdog is keyed to steps, not wall ticks, so the
+// event core's legal idle skips never count against it; in the one
+// state that can trip it — queues wedged behind a downed port or a
+// stalled switch with no recovery scheduled — nextEventTick forces
+// per-tick stepping, so steps and ticks coincide and the trip tick is
+// identical to the polled core's. A link delivery always changes the
+// totals within its delay, so only a genuinely wedged network trips it.
 func (n *Network) watch(w *watchdog) error {
 	limit := n.WatchdogTicks
 	if limit <= 0 {
@@ -746,15 +975,28 @@ func (n *Network) queueReport() string {
 	return b.String()
 }
 
-// Run ticks until the given tick (inclusive), failing on invalid wiring
-// or when the no-progress watchdog trips (see WatchdogTicks).
+// Run advances the clock to the given tick (inclusive), failing on
+// invalid wiring or when the no-progress watchdog trips (see
+// WatchdogTicks). It is event-driven: ticks on which provably nothing
+// can happen (nextEventTick) are skipped by advancing now directly, so
+// idle-heavy horizons cost events, not wall-clock ticks — with results
+// byte-identical to stepping every tick.
 func (n *Network) Run(until int64) error {
 	if err := n.Start(); err != nil {
 		return err
 	}
 	var wd watchdog
 	for n.now < until {
-		n.Tick()
+		ne := n.nextEventTick()
+		if ne < 0 || ne > until {
+			// Nothing scheduled inside the horizon: the rest is pure idle
+			// time. (With packets queued or in flight anywhere, ne is
+			// never -1 — every such packet has a wakeup armed.)
+			n.now = until
+			break
+		}
+		n.now = ne - 1
+		n.step()
 		if err := n.watch(&wd); err != nil {
 			return err
 		}
@@ -773,11 +1015,31 @@ func (n *Network) Drain(limit int64) error {
 		return err
 	}
 	var wd watchdog
-	for ; limit > 0; limit-- {
+	for limit > 0 {
 		if n.idle() {
 			return nil
 		}
-		n.Tick()
+		ne := n.nextEventTick()
+		if ne < 0 {
+			// Not idle yet nothing scheduled — should be unreachable (every
+			// pending packet arms a wakeup); degrade to per-tick stepping
+			// and let the watchdog produce the diagnosis.
+			ne = n.now + 1
+		}
+		// Skipped idle ticks spend the limit exactly as stepped ticks
+		// would, so the not-drained horizon (and the tick in its error)
+		// matches the polled core's.
+		if skip := ne - 1 - n.now; skip > 0 {
+			if skip >= limit {
+				n.now += limit
+				limit = 0
+				break
+			}
+			n.now = ne - 1
+			limit -= skip
+		}
+		n.step()
+		limit--
 		if err := n.watch(&wd); err != nil {
 			return err
 		}
@@ -846,6 +1108,13 @@ func (n *Network) InjectNow(p *workload.NetPacket) error {
 	if int(p.Src) < 0 || int(p.Src) >= len(n.traceHost) {
 		return fmt.Errorf("netsim: InjectNow: source host %d not mapped (call MapHosts)", p.Src)
 	}
+	// An out-of-band injection lands at the current tick: sync the leaf's
+	// clock to the fabric (a no-op under per-tick stepping, where service
+	// already advanced it) so the Arrived stamp matches the polled core
+	// even after Run/Drain skipped trailing idle ticks.
+	if w := n.traceHost[p.Src].leaf; !w.stalled && !w.crashed {
+		w.sw.AdvanceTo(n.now - w.lag)
+	}
 	n.injectTrace(p)
 	return nil
 }
@@ -905,6 +1174,21 @@ func (n *Network) transmit(w *netSwitch, p int, qh switchsim.QueuedHeader) {
 		w.sw.Machine().ReleaseHeader(h)
 		h = nh
 	}
+	// Catch up the decay for every tick since this link last folded one
+	// in: the polled core decayed after service, so a transmit at tick T
+	// must see the decays of ticks dreTick+1 … T-1. One decay is
+	// dre -= dre>>dreShift, the identity once dre>>dreShift == 0 — the
+	// early exit — so skipping idle ticks cannot change any util stamp.
+	if k := n.now - 1 - l.dreTick; k > 0 {
+		for ; k > 0; k-- {
+			d := l.dre >> dreShift
+			if d == 0 {
+				break
+			}
+			l.dre -= d
+		}
+		l.dreTick = n.now - 1
+	}
 	l.dre += qh.Size
 	if l.utilSlot >= 0 {
 		// A degraded link carries fewer bytes, so its raw DRE would look
@@ -921,6 +1205,7 @@ func (n *Network) transmit(w *netSwitch, p int, qh switchsim.QueuedHeader) {
 	l.pkts++
 	l.bytes += qh.Size
 	l.push(inflight{at: n.now + l.delay, h: h, size: qh.Size})
+	n.armLink(l, n.now+l.delay)
 	if l.dup != 0 && uint64(l.rng.Uint32()) < l.dup {
 		// The wire materializes a byte-exact second copy: a fresh header
 		// from the owning pool (same layout — copy covers every slot), on

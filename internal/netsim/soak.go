@@ -193,7 +193,9 @@ func soakRun(c *SoakConfig, i int) (*soakRunResult, error) {
 	}
 
 	for k := 0; k < c.TicksWithFaults; k++ {
-		n.Tick()
+		if err := n.Step(); err != nil {
+			return nil, fmt.Errorf("soak run %d (seed %d): %w", i, seed, err)
+		}
 		if err := oracle("faulted"); err != nil {
 			return nil, err
 		}
@@ -208,7 +210,9 @@ func soakRun(c *SoakConfig, i int) (*soakRunResult, error) {
 			drained = true
 			break
 		}
-		n.Tick()
+		if err := n.Step(); err != nil {
+			return nil, fmt.Errorf("soak run %d (seed %d): %w", i, seed, err)
+		}
 		if err := oracle("draining"); err != nil {
 			return nil, err
 		}

@@ -174,6 +174,13 @@ type Transport struct {
 	nextF    []int32
 	mask     int64
 
+	// wheap mirrors the wheel as a min-heap of (tick, flow) so the event
+	// core can ask "when does the next wake fire?" without scanning span
+	// slots. Entries are never removed eagerly: an entry is live iff it
+	// still matches wake[f]; rescheduling just pushes a new entry and the
+	// stale one is pruned lazily when it reaches the top (peekWake).
+	wheap []flowWake
+
 	// epoch offsets trace arrival times after a Reset, so a warmed
 	// transport can replay its trace from a nonzero tick; resolved
 	// counts this epoch's acked-or-given-up packets (the cumulative
@@ -387,6 +394,7 @@ func (tp *Transport) Reset() error {
 	for i := range tp.slotHead {
 		tp.slotHead[i] = -1
 	}
+	tp.wheap = tp.wheap[:0]
 	for f := range tp.base {
 		tp.base[f], tp.next[f], tp.rbase[f] = 0, 0, 0
 		tp.gap[f] = tp.cfg.MinGap
@@ -428,6 +436,63 @@ func (tp *Transport) schedule(f int32, t int64) {
 	idx := t & tp.mask
 	tp.nextF[f] = tp.slotHead[idx]
 	tp.slotHead[idx] = f
+	tp.wheap = append(tp.wheap, flowWake{at: t, f: f})
+	siftUpWake(tp.wheap)
+}
+
+// flowWake is one wake-heap entry: flow f claims a wake at tick at. The
+// claim is live only while wake[f] == at.
+type flowWake struct {
+	at int64
+	f  int32
+}
+
+func siftUpWake(h []flowWake) {
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].at <= h[i].at {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func siftDownWake(h []flowWake) {
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= len(h) {
+			break
+		}
+		if c+1 < len(h) && h[c+1].at < h[c].at {
+			c++
+		}
+		if h[i].at <= h[c].at {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+}
+
+// peekWake reports the tick of the earliest armed wheel wake, or -1 when
+// no flow is scheduled — the transport's contribution to the event
+// core's next-event calculation. Stale heap entries (superseded by a
+// reschedule or already fired) are pruned as they surface.
+func (tp *Transport) peekWake() int64 {
+	for len(tp.wheap) > 0 {
+		top := tp.wheap[0]
+		if tp.wake[top.f] == top.at {
+			return top.at
+		}
+		last := len(tp.wheap) - 1
+		tp.wheap[0] = tp.wheap[last]
+		tp.wheap = tp.wheap[:last]
+		siftDownWake(tp.wheap)
+	}
+	return -1
 }
 
 // unlink removes flow f from the slot its wake at tick w lives in.

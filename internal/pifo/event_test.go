@@ -1,0 +1,140 @@
+package pifo
+
+// The shaped-calendar event hook (PR 10): a PIFO tree whose packets are
+// all withheld by a shaper reports the earliest calendar send time
+// through switchsim.EventScheduler, and a driver that jumps straight to
+// that tick serves byte-identical departures to one that polls every
+// tick.
+
+import (
+	"testing"
+
+	"domino/internal/algorithms"
+	"domino/internal/interp"
+	"domino/internal/switchsim"
+)
+
+func newShapedSwitch(t *testing.T) *switchsim.Switch {
+	t.Helper()
+	tree := &Tree{Root: NodeSpec{
+		Name: "root",
+		Children: []NodeSpec{{
+			Name:   "shaped",
+			Shaper: ptr(mustSpec(t, "token_bucket_shape")),
+		}},
+	}}
+	sw, err := switchsim.New(compileSrc(t, algorithms.SchedIngress), switchsim.Config{
+		Ports:               1,
+		QueueCapBytes:       1 << 24,
+		ServiceBytesPerTick: 1 << 20,
+		Scheduler:           tree,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func injectShapedBurst(t *testing.T, sw *switchsim.Switch, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		pkt := interp.Packet{"tenant": 0, "flow": 0, "prio": 0, "size_bytes": 64, "cost": 64, "arrival": 0}
+		if _, _, dropped, err := sw.Inject(pkt, 64); err != nil {
+			t.Fatal(err)
+		} else if dropped {
+			t.Fatal("unexpected drop")
+		}
+	}
+}
+
+// TestShapedNextEventTickSkips: with every queued packet shaped to a
+// future send time, NextEventTick must report that send tick (not now+1),
+// and it must never be later than the tick the head actually appears at.
+func TestShapedNextEventTickSkips(t *testing.T) {
+	sw := newShapedSwitch(t)
+	injectShapedBurst(t, sw, 4)
+
+	skipped := false
+	guard := 0
+	for sw.QueuedPkts() > 0 {
+		nt := sw.NextEventTick(sw.Now())
+		if nt < 0 {
+			t.Fatal("NextEventTick = -1 with packets queued")
+		}
+		if nt <= sw.Now() {
+			t.Fatalf("NextEventTick = %d is not in the future of %d", nt, sw.Now())
+		}
+		if nt > sw.Now()+1 {
+			skipped = true
+			// Nothing may be servable strictly before the reported tick:
+			// stepping to nt-1 must serve zero packets.
+			probe := 0
+			sw.TickAt(nt-1, func(int, switchsim.QueuedHeader) { probe++ })
+			if probe != 0 {
+				t.Fatalf("NextEventTick = %d but %d packets were servable at %d", nt, probe, nt-1)
+			}
+		}
+		served := 0
+		sw.TickAt(nt, func(int, switchsim.QueuedHeader) { served++ })
+		if guard++; guard > 1000 {
+			t.Fatal("shaped queue never drained")
+		}
+	}
+	if !skipped {
+		t.Fatal("a token-bucket-shaped burst never reported a skippable gap")
+	}
+	mustConserve(t, sw)
+}
+
+// TestShapedEventDriverMatchesPolled is the per-switch differential: the
+// event driver (jump to NextEventTick) and the polled driver (every tick)
+// must serve the same packets at the same ticks on the same shaped burst.
+func TestShapedEventDriverMatchesPolled(t *testing.T) {
+	type dep struct {
+		seq  int64
+		tick int64
+	}
+	const n = 25
+
+	polledSw := newShapedSwitch(t)
+	injectShapedBurst(t, polledSw, n)
+	var polled []dep
+	for _, d := range polledSw.Drain() {
+		polled = append(polled, dep{d.Seq, d.Departed})
+	}
+	mustConserve(t, polledSw)
+
+	eventSw := newShapedSwitch(t)
+	injectShapedBurst(t, eventSw, n)
+	var event []dep
+	guard := 0
+	for eventSw.QueuedPkts() > 0 {
+		nt := eventSw.NextEventTick(eventSw.Now())
+		if nt < 0 {
+			t.Fatal("NextEventTick = -1 with packets queued")
+		}
+		eventSw.TickAt(nt, func(port int, qh switchsim.QueuedHeader) {
+			event = append(event, dep{qh.Seq, eventSw.Now()})
+		})
+		if guard++; guard > 10000 {
+			t.Fatal("event driver never drained")
+		}
+	}
+	mustConserve(t, eventSw)
+
+	if len(polled) != len(event) {
+		t.Fatalf("departure count: polled %d, event %d", len(polled), len(event))
+	}
+	steps := guard
+	for i := range polled {
+		if polled[i] != event[i] {
+			t.Fatalf("departure %d: polled (seq=%d t=%d), event (seq=%d t=%d)",
+				i, polled[i].seq, polled[i].tick, event[i].seq, event[i].tick)
+		}
+	}
+	// The shaper paces one packet per 8 ticks; the event driver must have
+	// taken roughly one step per departure, not one per tick.
+	if lastTick := polled[len(polled)-1].tick; int64(steps) >= lastTick {
+		t.Errorf("event driver took %d steps over %d ticks — no skipping happened", steps, lastTick)
+	}
+}

@@ -358,3 +358,34 @@ func (s *portScheduler) Dequeue(now int64) (switchsim.QueuedHeader, bool) {
 
 // Len counts every packet held, including ones shaping currently hides.
 func (s *portScheduler) Len() int { return s.count }
+
+// NextEventTick reports the earliest future tick at which a service pass
+// could dequeue something, without mutating the tree — the
+// switchsim.EventScheduler hook an event-driven driver uses to sleep
+// through shaping gaps. A reference visible at the root means next tick;
+// otherwise every packet is parked behind a shaped calendar and the
+// earliest send tick is the wakeup. Waking early is safe (Head just
+// finds nothing); the answer is never later than the first tick Head
+// would succeed at, because a released walk only re-defers at send ticks
+// that are themselves in the calendar-minimum's future.
+func (s *portScheduler) NextEventTick(now int64) int64 {
+	if s.count == 0 {
+		return -1
+	}
+	if s.root.pifo.Len() > 0 {
+		return now + 1
+	}
+	at := int64(-1)
+	for _, sn := range s.shaped {
+		if sn.cal.len() == 0 {
+			continue
+		}
+		if t := int64(sn.cal.peekSend()); at < 0 || t < at {
+			at = t
+		}
+	}
+	if at <= now {
+		at = now + 1
+	}
+	return at
+}

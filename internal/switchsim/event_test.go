@@ -1,0 +1,90 @@
+package switchsim
+
+// Unit tests for the event-core hooks PR 10 added to the switch:
+// QueuedPkts, NextEventTick, and the AdvanceTo/TickAt clock API an
+// event-driven harness steps the switch with.
+
+import (
+	"testing"
+
+	"domino/internal/interp"
+)
+
+func TestNextEventTickFIFO(t *testing.T) {
+	sw, err := New(compileAlg(t, "flowlets"), Config{
+		Ports: 2, ServiceBytesPerTick: 1000, RouteField: "next_hop",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.NextEventTick(sw.Now()); got != -1 {
+		t.Fatalf("empty switch: NextEventTick = %d, want -1", got)
+	}
+	if got := sw.QueuedPkts(); got != 0 {
+		t.Fatalf("empty switch: QueuedPkts = %d", got)
+	}
+
+	if _, _, _, err := sw.Inject(interp.Packet{"sport": 1, "dport": 2, "arrival": 0}, 500); err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.QueuedPkts(); got != 1 {
+		t.Fatalf("QueuedPkts = %d, want 1", got)
+	}
+	// A FIFO queue's head is always visible: service is due next tick.
+	if got, want := sw.NextEventTick(sw.Now()), sw.Now()+1; got != want {
+		t.Fatalf("queued FIFO: NextEventTick = %d, want %d", got, want)
+	}
+
+	// A downed port still answers now+1 — nothing will move, but the
+	// event driver must keep stepping so watchdog accounting matches the
+	// polled core (the wedge is observed, not skipped past).
+	sw2, err := New(compileAlg(t, "flowlets"), Config{
+		Ports: 1, ServiceBytesPerTick: 1000, RouteField: "next_hop",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := sw2.Inject(interp.Packet{"sport": 1, "dport": 2, "arrival": 0}, 500); err != nil {
+		t.Fatal(err)
+	}
+	sw2.SetPortUp(0, false)
+	if got, want := sw2.NextEventTick(sw2.Now()), sw2.Now()+1; got != want {
+		t.Fatalf("downed port with queue: NextEventTick = %d, want %d", got, want)
+	}
+}
+
+// TestAdvanceToNeverRewinds pins the clock API: AdvanceTo moves the
+// switch clock forward only, and TickAt at a jumped tick serves exactly
+// what per-tick stepping would have served by then (FIFO queues don't
+// accrue anything while idle).
+func TestAdvanceToNeverRewinds(t *testing.T) {
+	sw, err := New(compileAlg(t, "flowlets"), Config{
+		Ports: 1, ServiceBytesPerTick: 1000, RouteField: "next_hop",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.AdvanceTo(10)
+	if sw.Now() != 10 {
+		t.Fatalf("Now = %d after AdvanceTo(10)", sw.Now())
+	}
+	sw.AdvanceTo(5)
+	if sw.Now() != 10 {
+		t.Fatalf("AdvanceTo rewound the clock to %d", sw.Now())
+	}
+
+	if _, _, _, err := sw.Inject(interp.Packet{"sport": 1, "dport": 2, "arrival": 10}, 500); err != nil {
+		t.Fatal(err)
+	}
+	var served []int64
+	sw.TickAt(42, func(port int, qh QueuedHeader) {
+		served = append(served, qh.Seq)
+	})
+	if sw.Now() != 42 {
+		t.Fatalf("Now = %d after TickAt(42)", sw.Now())
+	}
+	if len(served) != 1 {
+		t.Fatalf("TickAt served %d packets, want 1", len(served))
+	}
+	mustConserve(t, sw)
+}

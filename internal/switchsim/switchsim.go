@@ -94,6 +94,20 @@ type Scheduler interface {
 	Build(l *banzai.Layout, ports int) ([]PortScheduler, error)
 }
 
+// EventScheduler is the optional calendar-queue extension of
+// PortScheduler: a scheduler that can report, without mutating itself,
+// the earliest future tick at which a service pass could dequeue
+// something — so an event-driven driver can sleep through the gap
+// instead of polling Head every tick. NextEventTick returns -1 when the
+// scheduler holds nothing; when it holds packets it must return a tick
+// > now that is never later than the first tick Head would succeed at
+// (earlier is safe — the driver just finds nothing and re-asks). Plain
+// FIFO queues don't implement it: a queued packet there is always
+// serviceable next tick.
+type EventScheduler interface {
+	NextEventTick(now int64) int64
+}
+
 // QueuedPacket is a packet waiting in an output queue, in map form (the
 // Departure edge representation).
 type QueuedPacket struct {
@@ -439,7 +453,26 @@ func (s *Switch) Inject(pkt interp.Packet, size int64) (out interp.Packet, port 
 // scenarios are unchanged; the credit never accumulates past the blocked
 // packet's size and is forfeited when the head no longer needs it.
 func (s *Switch) TickFunc(emit func(port int, qh QueuedHeader)) {
-	s.now++
+	s.TickAt(s.now+1, emit)
+}
+
+// AdvanceTo moves the switch clock forward to now without running a
+// service pass — how an event-driven driver keeps a switch's notion of
+// time (Arrived stamps, queueing-delay observations, shaper send times)
+// in step with the fabric clock across skipped idle ticks. Moving
+// backwards is a no-op: time never rewinds.
+func (s *Switch) AdvanceTo(now int64) {
+	if now > s.now {
+		s.now = now
+	}
+}
+
+// TickAt is TickFunc with an explicit clock: it advances the switch to
+// tick now (never backwards) and runs one service pass there. An
+// event-driven driver that skips idle ticks calls this with the fabric
+// tick; TickFunc(emit) is exactly TickAt(s.now+1, emit).
+func (s *Switch) TickAt(now int64, emit func(port int, qh QueuedHeader)) {
+	s.AdvanceTo(now)
 	for p := range s.queues {
 		if s.portDown[p] {
 			continue // downed port: queue frozen, no budget accrues
@@ -549,6 +582,49 @@ func (s *Switch) Drain() []Departure {
 		}
 		deps = append(deps, s.Tick()...)
 	}
+}
+
+// QueuedPkts reports the number of packets currently held across all
+// port queues (including packets a shaping scheduler is withholding).
+func (s *Switch) QueuedPkts() int64 {
+	var n int64
+	for p := range s.queues {
+		n += int64(s.queues[p].Len())
+	}
+	return n
+}
+
+// NextEventTick reports the earliest future tick at which a service pass
+// could dequeue something, or -1 when every queue is empty. A port with
+// a visible head (any FIFO, or a shaper with a due packet) needs service
+// next tick — store-and-forward credit accrues per serviced tick, so the
+// driver must not skip over it. A downed port with queued packets also
+// answers now+1: nothing will move, but per-tick stepping keeps the
+// no-progress watchdog's accounting identical to the polled core's. Only
+// a port whose scheduler is withholding everything until a future send
+// time lets the driver sleep to that tick.
+func (s *Switch) NextEventTick(now int64) int64 {
+	at := int64(-1)
+	for p := range s.queues {
+		if s.queues[p].Len() == 0 {
+			continue
+		}
+		t := now + 1
+		if !s.portDown[p] {
+			if es, ok := s.queues[p].(EventScheduler); ok {
+				if et := es.NextEventTick(now); et > t {
+					t = et
+				}
+			}
+		}
+		if t == now+1 {
+			return now + 1
+		}
+		if at < 0 || t < at {
+			at = t
+		}
+	}
+	return at
 }
 
 // PortRate returns port p's service rate in bytes per tick (the capacity

@@ -12,6 +12,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -168,6 +169,109 @@ func HostPairTrace(seed int64, pairs [][2]int, flowsPerPair, pktsPerFlow int, si
 					Arrival: clock,
 				})
 			}
+		}
+	}
+	sort.SliceStable(tr.Packets, func(i, j int) bool {
+		return tr.Packets[i].Arrival < tr.Packets[j].Arrival
+	})
+	return tr
+}
+
+// HeavyTailedConfig parameterizes HeavyTailedTrace. The zero value of
+// every field selects the bracketed default.
+type HeavyTailedConfig struct {
+	Hosts int // mapped host count, ids [0, Hosts) [16]
+	Flows int // flow arrivals to generate [256]
+	// MeanGapTicks is the mean flow inter-arrival time: flows arrive as a
+	// Poisson process (exponential gaps), so the trace alternates bursts
+	// with long idle stretches — the arrival structure that makes an
+	// event-driven core pay off [64].
+	MeanGapTicks float64
+	// Alpha is the bounded-Pareto tail exponent of flow sizes in packets:
+	// most flows are mice, a heavy tail of elephants carries most bytes —
+	// the web-search/Hadoop-style size mix the datacenter FCT evaluations
+	// (CONGA, HULL) report against [1.1].
+	Alpha   float64
+	MinPkts int   // smallest flow, packets [1]
+	MaxPkts int   // tail truncation, packets [1000]
+	Size    int32 // packet (MTU) size in bytes [1500]
+}
+
+func (c *HeavyTailedConfig) setDefaults() {
+	if c.Hosts == 0 {
+		c.Hosts = 16
+	}
+	if c.Flows == 0 {
+		c.Flows = 256
+	}
+	if c.MeanGapTicks == 0 {
+		c.MeanGapTicks = 64
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1.1
+	}
+	if c.MinPkts == 0 {
+		c.MinPkts = 1
+	}
+	if c.MaxPkts == 0 {
+		c.MaxPkts = 1000
+	}
+	if c.Size == 0 {
+		c.Size = 1500
+	}
+}
+
+// HeavyTailedTrace generates a heavy-tailed flow-arrival workload: flows
+// arrive as a Poisson process over uniformly random distinct host pairs,
+// each carrying a bounded-Pareto-sized burst of MTU packets sent
+// back-to-back (one per tick — an access link's line rate). All draws
+// come from the seed, so the trace is byte-identical across runs.
+func HeavyTailedTrace(seed int64, cfg HeavyTailedConfig) *NetTrace {
+	cfg.setDefaults()
+	if cfg.Hosts < 2 {
+		panic(fmt.Sprintf("workload: heavy-tailed trace needs >=2 hosts, got %d", cfg.Hosts))
+	}
+	if cfg.MaxPkts < cfg.MinPkts {
+		cfg.MaxPkts = cfg.MinPkts
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := &NetTrace{
+		NumFlows:  cfg.Flows,
+		FlowPkts:  make([]int32, cfg.Flows),
+		FlowBytes: make([]int64, cfg.Flows),
+		FlowStart: make([]int64, cfg.Flows),
+	}
+	// Bounded-Pareto inverse-CDF constants: with u uniform in [0,1),
+	// x = xm / (1 - u*(1 - (xm/xM)^α))^(1/α) lies in [xm, xM].
+	xm, xM := float64(cfg.MinPkts), float64(cfg.MaxPkts)
+	tailMass := 1 - math.Pow(xm/xM, cfg.Alpha)
+	clock := int64(0)
+	for f := 0; f < cfg.Flows; f++ {
+		clock += 1 + int64(rng.ExpFloat64()*cfg.MeanGapTicks)
+		src := int32(rng.Intn(cfg.Hosts))
+		dst := int32(rng.Intn(cfg.Hosts - 1))
+		if dst >= src {
+			dst++
+		}
+		pkts := int(xm / math.Pow(1-rng.Float64()*tailMass, 1/cfg.Alpha))
+		if pkts > cfg.MaxPkts {
+			pkts = cfg.MaxPkts // guard the float edge at u → 1
+		}
+		sport := int32(1024 + f)
+		dport := int32(9000 + rng.Intn(1000))
+		tr.FlowStart[f] = clock + 1
+		tr.FlowPkts[f] = int32(pkts)
+		tr.FlowBytes[f] = int64(pkts) * int64(cfg.Size)
+		for k := 0; k < pkts; k++ {
+			tr.Packets = append(tr.Packets, NetPacket{
+				Src:     src,
+				Dst:     dst,
+				Sport:   sport,
+				Dport:   dport,
+				Flow:    int32(f),
+				Size:    cfg.Size,
+				Arrival: clock + 1 + int64(k),
+			})
 		}
 	}
 	sort.SliceStable(tr.Packets, func(i, j int) bool {
